@@ -1,0 +1,174 @@
+// Command grist runs the coupled model: a GRIST-style global simulation
+// on an icosahedral grid with either the conventional or the ML physics
+// suite, printing diagnostics and the achieved simulation speed (SDPD),
+// mirroring the ParGRIST driver of the paper's artifact.
+//
+//	grist -level 4 -layers 10 -hours 24 -mode mix -physics conv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"gristgo/internal/core"
+	"gristgo/internal/mlphysics"
+	"gristgo/internal/physics"
+	"gristgo/internal/precision"
+	"gristgo/internal/synthclim"
+)
+
+func main() {
+	level := flag.Int("level", 4, "icosahedral grid level (G-level)")
+	layers := flag.Int("layers", 10, "vertical layers")
+	hours := flag.Float64("hours", 24, "simulated hours")
+	mode := flag.String("mode", "mix", "dycore precision: dp or mix")
+	phys := flag.String("physics", "conv", "physics suite: conv, ml (requires -weights), none")
+	weights := flag.String("weights", "", "trained ML suite weights (from gristtrain)")
+	period := flag.Int("period", 2, "Table 1 period index 0-3 for the initial climate")
+	terrain := flag.Bool("terrain", true, "include synthetic orography")
+	timings := flag.Bool("timings", false, "print the per-component timing table")
+	restartIn := flag.String("restart", "", "resume from a restart file")
+	restartOut := flag.String("restart-out", "", "write a restart file at the end")
+	remapEvery := flag.Int("remap", 0, "vertical remap every N physics steps (0 off)")
+	workers := flag.Int("workers", -1, "host threads for the dycore loops (-1 = all CPUs)")
+	output := flag.String("output", "", "write a GDF history file at the end")
+	flag.Parse()
+
+	pm := precision.Mixed
+	if *mode == "dp" {
+		pm = precision.DP
+	}
+
+	var scheme physics.Scheme
+	switch *phys {
+	case "conv":
+		scheme = physics.NewConventional(*layers)
+	case "none":
+		scheme = physics.Null{}
+	case "ml":
+		if *weights == "" {
+			fmt.Fprintln(os.Stderr, "-physics ml requires -weights FILE (train with gristtrain)")
+			os.Exit(2)
+		}
+		f, err := os.Open(*weights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		suite, err := mlphysics.LoadSuite(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loading weights:", err)
+			os.Exit(1)
+		}
+		if suite.NLev != *layers {
+			fmt.Fprintf(os.Stderr, "weights were trained for %d layers, run uses %d\n", suite.NLev, *layers)
+			os.Exit(2)
+		}
+		scheme = suite
+	default:
+		fmt.Fprintf(os.Stderr, "unknown physics %q\n", *phys)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Building G%d mesh...\n", *level)
+	mod := core.NewModel(core.Config{GridLevel: *level, NLev: *layers, Mode: pm, HostWorkers: *workers}, scheme)
+	fmt.Printf("  cells=%d edges=%d verts=%d layers=%d physics=%s dycore=%s\n",
+		mod.Mesh.NCells, mod.Mesh.NEdges, mod.Mesh.NVerts, *layers, scheme.Name(), pm)
+
+	cl := synthclim.ForPeriod(synthclim.Table1()[*period], 0)
+	mod.InitializeClimate(cl)
+	if *terrain {
+		mod.SetTerrain(synthclim.Terrain)
+	}
+	mod.RemapEvery = *remapEvery
+	if *restartIn != "" {
+		f, err := os.Open(*restartIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = mod.ReadRestart(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "restart:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Resumed from %s at t=%.1fh\n", *restartIn, mod.TimeSec/3600)
+	}
+
+	_, _, _, dtPhy := mod.EffectiveSteps()
+	steps := int(math.Round(*hours * 3600 / dtPhy))
+	if steps < 1 {
+		steps = 1
+	}
+	fmt.Printf("Running %d physics steps of %.0fs (%.1f simulated hours)\n", steps, dtPhy, *hours)
+
+	tm := core.NewTimings()
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if *timings {
+			mod.StepPhysicsTimed(cl.Season, tm)
+		} else {
+			mod.StepPhysics(cl.Season)
+		}
+		if (i+1)%max(1, steps/10) == 0 {
+			ps := mod.Engine.State().SurfacePressure()
+			var meanPs, maxP float64
+			for _, p := range ps {
+				meanPs += p
+			}
+			meanPs /= float64(len(ps))
+			for _, p := range mod.PrecipRate() {
+				if p > maxP {
+					maxP = p
+				}
+			}
+			fmt.Printf("  t=%6.1fh  mean ps=%8.1f Pa  max precip=%6.1f mm/day\n",
+				mod.TimeSec/3600, meanPs, maxP)
+		}
+	}
+	wall := time.Since(start).Seconds()
+	simDays := mod.TimeSec / 86400
+	fmt.Printf("Finished: %.2f simulated days in %.1fs wall -> %.2f SDPD on this host\n",
+		simDays, wall, simDays/(wall/86400))
+	if *timings {
+		fmt.Print(tm.Report())
+	}
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := mod.WriteHistory(f); err != nil {
+			fmt.Fprintln(os.Stderr, "writing history:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("Wrote history to %s\n", *output)
+	}
+	if *restartOut != "" {
+		f, err := os.Create(*restartOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := mod.WriteRestart(f); err != nil {
+			fmt.Fprintln(os.Stderr, "writing restart:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("Wrote restart to %s\n", *restartOut)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+// Command gristbench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index):
+//
+//	gristbench -exp table1|table2|table3|fig2|fig7|fig8|fig9|fig10|fig11|all
+//
+// Fast experiments (tables, fig2, fig9-fig11) print immediately; fig7 and
+// fig8 run real model integrations and take a few minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gristgo/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, all")
+	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
+	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := experiments.WriteScalingCSV(*csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "csv export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Wrote fig2/fig9/fig10/fig11 CSV files to %s\n", *csvDir)
+	}
+
+	run := func(name string, f func()) {
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		f()
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	printRows := func(rows []string) {
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+
+	all := map[string]func(){
+		"table1": func() { printRows(experiments.Table1Rows()) },
+		"table2": func() { printRows(experiments.Table2Rows(6)) },
+		"table3": func() { printRows(experiments.Table3Rows()) },
+		"fig2":   func() { printRows(experiments.Fig2Rows()) },
+		"fig7": func() {
+			printRows(experiments.RunFig7(experiments.DefaultFig7Config()).Rows())
+		},
+		"fig8": func() {
+			printRows(experiments.RunFig8(experiments.DefaultFig8Config()).Rows())
+		},
+		"fig9":  func() { printRows(experiments.RunFig9(4, 16).Rows()) },
+		"fig10": func() { printRows(experiments.Fig10Rows()) },
+		"fig11": func() { printRows(experiments.Fig11Rows()) },
+	}
+
+	if *exp == "all" {
+		order := []string{"table1", "table2", "table3", "fig2", "fig9", "fig10", "fig11"}
+		if !*fast {
+			order = append(order, "fig7", "fig8")
+		}
+		for _, name := range order {
+			run(name, all[name])
+		}
+		return
+	}
+	f, ok := all[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run(*exp, f)
+}

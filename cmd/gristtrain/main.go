@@ -1,0 +1,67 @@
+// Command gristtrain runs the ML-physics training pipeline of §3.2 end
+// to end: a storm-resolving run at the fine level, coarse-graining to the
+// training grid, residual-method Q1/Q2 targets, the paper's 7:1
+// train/test split, training of the tendency CNN and the radiation
+// diagnostic MLP, and serialization of the trained suite for cmd/grist.
+//
+//	gristtrain -fine 3 -coarse 2 -layers 8 -days 2 -out suite.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"gristgo/internal/coarse"
+	"gristgo/internal/mlphysics"
+	"gristgo/internal/synthclim"
+)
+
+func main() {
+	fine := flag.Int("fine", 3, "fine (GSRM-substitute) grid level")
+	crs := flag.Int("coarse", 2, "coarse (training) grid level")
+	layers := flag.Int("layers", 8, "vertical layers")
+	days := flag.Int("days", 2, "simulated days per Table 1 period")
+	stepsPerDay := flag.Int("steps", 4, "capture events per day")
+	periods := flag.Int("periods", 1, "how many Table 1 periods to simulate (1-4)")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	hidden := flag.Int("hidden", 16, "CNN hidden width (100 = paper scale)")
+	out := flag.String("out", "suite.bin", "output weights file")
+	flag.Parse()
+
+	var samples []*coarse.Sample
+	for pi := 0; pi < *periods && pi < 4; pi++ {
+		p := synthclim.Table1()[pi]
+		fmt.Printf("Generating training data: period %q, %d days x %d captures...\n",
+			p.Label, *days, *stepsPerDay)
+		gen := coarse.NewGenerator(coarse.GeneratorConfig{
+			FineLevel: *fine, CoarseLevel: *crs, NLev: *layers,
+			StepsPerDay: *stepsPerDay, Days: *days, Period: p,
+		}, nil, nil)
+		samples = append(samples, gen.Run()...)
+	}
+	fmt.Printf("Generated %d samples\n", len(samples))
+
+	train, test := coarse.Split(samples, *stepsPerDay, rand.New(rand.NewSource(42)))
+	fmt.Printf("Split: %d train, %d test (paper ratio 7:1 at 24 steps/day)\n", len(train), len(test))
+
+	cfg := mlphysics.DefaultTrainConfig()
+	cfg.Epochs = *epochs
+	cfg.HiddenCNN = *hidden
+	fmt.Printf("Training: %d epochs, CNN width %d...\n", cfg.Epochs, cfg.HiddenCNN)
+	suite, lossT, lossR := mlphysics.Train(train, test, *layers, cfg)
+	fmt.Printf("Held-out losses: tendency CNN %.4f, radiation MLP %.4f (normalized MSE)\n", lossT, lossR)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := suite.Save(f, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "saving:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Saved trained suite to %s\n", *out)
+}

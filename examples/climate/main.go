@@ -1,0 +1,37 @@
+// Climate: the paper's Fig. 8 experiment at reproduction scale — train
+// the ML physics suite from coarse-grained storm-resolving output and
+// compare its rainfall climatology against the conventional suite at two
+// resolutions (the paper's G6-vs-G8 resolution-adaptivity claim).
+//
+//	go run ./examples/climate
+package main
+
+import (
+	"fmt"
+
+	"gristgo/internal/experiments"
+)
+
+func main() {
+	fmt.Println("ML physics suite: training + online coupling (Fig. 8)")
+	fmt.Println()
+	cfg := experiments.DefaultFig8Config()
+	fmt.Printf("Pipeline: G%d GSRM run -> coarse-grain to G%d -> residual Q1/Q2 -> train -> couple\n",
+		cfg.FineLevel, cfg.CoarseLevel)
+	fmt.Printf("(%d days, %d captures/day, %d epochs)\n\n", cfg.TrainDays, cfg.StepsPerDay, cfg.Train.Epochs)
+
+	r := experiments.RunFig8(cfg)
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	fmt.Println()
+	switch {
+	case !r.Stable:
+		fmt.Println("=> WARNING: the ML-coupled run was not stable on this configuration")
+	case r.CorrTrainRes > 0.5 && r.CorrApplyRes > 0.5:
+		fmt.Println("=> ML suite reproduces the conventional rainfall pattern at both")
+		fmt.Println("   resolutions: the resolution-adaptive behavior of the paper's Fig. 8")
+	default:
+		fmt.Println("=> ML suite ran stably; pattern agreement is weaker than the paper's")
+	}
+}

@@ -1,0 +1,46 @@
+// Doksuri: the paper's Fig. 7 extreme-weather case at reproduction
+// scale. A warm-core typhoon vortex south of North China feeds moisture
+// into a Taihang-like ridge; the case is simulated at two horizontal
+// resolutions and both are scored against the synthetic CMPA analysis.
+// Expect the finer-horizontal member to correlate better — the paper's
+// "horizontal resolution beats vertical levels" finding.
+//
+//	go run ./examples/doksuri
+package main
+
+import (
+	"fmt"
+
+	"gristgo/internal/experiments"
+	"gristgo/internal/mesh"
+	"gristgo/internal/synthclim"
+)
+
+func main() {
+	fmt.Println("Typhoon Doksuri / \"23.7\" North China extreme rainfall (Fig. 7)")
+	fmt.Println()
+
+	// Show the observed analysis around the rainfall core.
+	cs := synthclim.NewDoksuriCase()
+	m := mesh.New(5)
+	obs := cs.RainfallOnMesh(m)
+	fmt.Println("CMPA-substitute 24h rainfall analysis (East Asia):")
+	fmt.Println(experiments.RainMapASCII(m, obs,
+		0.35, 0.85, 1.85, 2.25, 60, 16))
+
+	cfg := experiments.DefaultFig7Config()
+	fmt.Printf("Running %s and %s members for %.0f hours each...\n",
+		fmt.Sprintf("G%dL%d", cfg.CoarseLevel, cfg.CoarseLayers),
+		fmt.Sprintf("G%dL%d", cfg.FineLevel, cfg.FineLayers), cfg.Hours)
+	r := experiments.RunFig7(cfg)
+	fmt.Println()
+	for _, row := range r.Rows() {
+		fmt.Println(row)
+	}
+	fmt.Println()
+	if r.CorrFine > r.CorrCoarse {
+		fmt.Println("=> finer horizontal resolution wins, as in the paper's Fig. 7")
+	} else {
+		fmt.Println("=> WARNING: resolution ordering differs from the paper on this run")
+	}
+}

@@ -1,0 +1,38 @@
+// mlscaling: the machine-scale studies of the paper — Fig. 9 kernel
+// accelerations on the simulated SW26010P, the Fig. 10 weak scaling and
+// Fig. 11 strong scaling on the modeled 34-million-core system, and the
+// Fig. 2 landscape placing this work among published GSRM efforts.
+//
+//	go run ./examples/mlscaling
+package main
+
+import (
+	"fmt"
+
+	"gristgo/internal/experiments"
+)
+
+func main() {
+	fmt.Println("=== Fig. 9: kernel speedups over 64 CPEs (G4 workload) ===")
+	for _, row := range experiments.RunFig9(4, 16).Rows() {
+		fmt.Println(row)
+	}
+	fmt.Println()
+
+	fmt.Println("=== Fig. 10: weak scaling, 128 -> 524,288 CGs ===")
+	for _, row := range experiments.Fig10Rows() {
+		fmt.Println(row)
+	}
+	fmt.Println()
+
+	fmt.Println("=== Fig. 11: strong scaling, G12 + G11S ===")
+	for _, row := range experiments.Fig11Rows() {
+		fmt.Println(row)
+	}
+	fmt.Println()
+
+	fmt.Println("=== Fig. 2: GSRM efforts landscape ===")
+	for _, row := range experiments.Fig2Rows() {
+		fmt.Println(row)
+	}
+}

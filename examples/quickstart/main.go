@@ -1,0 +1,72 @@
+// Quickstart: build a small global model, initialize it from the
+// synthetic climatology, run six simulated hours with the conventional
+// physics suite, and print basic diagnostics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"gristgo/internal/core"
+	"gristgo/internal/physics"
+	"gristgo/internal/precision"
+	"gristgo/internal/synthclim"
+)
+
+func main() {
+	const (
+		level  = 4 // ~450 km cells: coarse, but the full model pipeline
+		layers = 8
+	)
+
+	// 1. Build the model: icosahedral mesh, mixed-precision dycore,
+	// tracer transport, conventional physics, slab land surface.
+	mod := core.NewModel(core.Config{
+		GridLevel: level,
+		NLev:      layers,
+		Mode:      precision.Mixed,
+	}, physics.NewConventional(layers))
+	fmt.Printf("G%d mesh: %d cells, %d edges, %d vertices\n",
+		level, mod.Mesh.NCells, mod.Mesh.NEdges, mod.Mesh.NVerts)
+
+	// 2. Initial conditions: July climate (Table 1, period 3) plus
+	// synthetic orography.
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod.InitializeClimate(cl)
+	mod.SetTerrain(synthclim.Terrain)
+
+	// 3. Run six hours.
+	fmt.Println("Running 6 simulated hours...")
+	mod.RunHours(6, cl.Season)
+
+	// 4. Diagnostics.
+	ps := mod.Engine.State().SurfacePressure()
+	var minPs, maxPs, meanPs float64 = ps[0], ps[0], 0
+	for _, p := range ps {
+		if p < minPs {
+			minPs = p
+		}
+		if p > maxPs {
+			maxPs = p
+		}
+		meanPs += p
+	}
+	meanPs /= float64(len(ps))
+
+	rain := mod.PrecipRate()
+	var rainy int
+	var maxRain float64
+	for _, r := range rain {
+		if r > 0.1 {
+			rainy++
+		}
+		if r > maxRain {
+			maxRain = r
+		}
+	}
+
+	fmt.Printf("Surface pressure: min %.0f, mean %.0f, max %.0f Pa\n", minPs, meanPs, maxPs)
+	fmt.Printf("Raining in %d of %d cells; max rate %.1f mm/day\n", rainy, mod.Mesh.NCells, maxRain)
+	fmt.Printf("Global dry mass: %.4e kg\n", mod.Engine.State().GlobalDryMass())
+}

@@ -1,0 +1,3 @@
+module gristgo
+
+go 1.22

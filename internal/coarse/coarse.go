@@ -1,0 +1,174 @@
+// Package coarse implements the training-data pipeline of §3.2.1–3.2.2:
+// coarse-graining of storm-resolving model output onto a lower-resolution
+// mesh, the residual-method computation of the apparent heat source Q1
+// and apparent moisture sink Q2, and the paper's train/test split (three
+// randomly selected test steps per day, the rest training — a 7:1 ratio
+// on hourly data).
+package coarse
+
+import (
+	"math/rand"
+
+	"gristgo/internal/mesh"
+)
+
+// Regridder maps cell fields from a fine mesh to a coarse mesh by
+// area-weighted aggregation: every fine cell contributes to its nearest
+// coarse cell (for icosahedral meshes of different levels this is the
+// containing coarse region up to boundary rounding).
+type Regridder struct {
+	Fine, Coarse *mesh.Mesh
+	assign       []int32   // fine cell -> coarse cell
+	weight       []float64 // total fine area per coarse cell
+}
+
+// NewRegridder builds the fine-to-coarse assignment. Cost is
+// O(fineCells * log-ish) using a greedy walk on the coarse mesh from a
+// warm-start neighbor, which is fast because consecutive fine cells are
+// spatially close after BFS ordering.
+func NewRegridder(fine, coarse *mesh.Mesh) *Regridder {
+	r := &Regridder{
+		Fine:   fine,
+		Coarse: coarse,
+		assign: make([]int32, fine.NCells),
+		weight: make([]float64, coarse.NCells),
+	}
+	guess := int32(0)
+	for c := 0; c < fine.NCells; c++ {
+		guess = nearestCoarse(coarse, fine.CellPos[c], guess)
+		r.assign[c] = guess
+		r.weight[guess] += fine.CellArea[c]
+	}
+	return r
+}
+
+// nearestCoarse walks the coarse cell graph downhill in distance from the
+// starting guess — exact for convex (spherical Voronoi) regions.
+func nearestCoarse(coarse *mesh.Mesh, p mesh.Vec3, start int32) int32 {
+	cur := start
+	dcur := mesh.ArcLength(coarse.CellPos[cur], p)
+	for {
+		improved := false
+		for _, nb := range coarse.CellCells(cur) {
+			if d := mesh.ArcLength(coarse.CellPos[nb], p); d < dcur {
+				cur, dcur = nb, d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// Assignment returns the fine->coarse cell map.
+func (r *Regridder) Assignment() []int32 { return r.assign }
+
+// CellField coarse-grains a per-cell field (area-weighted mean).
+func (r *Regridder) CellField(fine []float64) []float64 {
+	out := make([]float64, r.Coarse.NCells)
+	for c, cc := range r.assign {
+		out[cc] += fine[c] * r.Fine.CellArea[c]
+	}
+	for cc := range out {
+		out[cc] /= r.weight[cc]
+	}
+	return out
+}
+
+// ColumnField coarse-grains a column-major per-cell field [c*nlev+k].
+func (r *Regridder) ColumnField(fine []float64, nlev int) []float64 {
+	out := make([]float64, r.Coarse.NCells*nlev)
+	for c, cc := range r.assign {
+		w := r.Fine.CellArea[c]
+		for k := 0; k < nlev; k++ {
+			out[int(cc)*nlev+k] += fine[c*nlev+k] * w
+		}
+	}
+	for cc := 0; cc < r.Coarse.NCells; cc++ {
+		inv := 1.0 / r.weight[cc]
+		for k := 0; k < nlev; k++ {
+			out[cc*nlev+k] *= inv
+		}
+	}
+	return out
+}
+
+// Sample is one training example of the ML physics suite: the
+// coarse-grained column state (the CNN input channels U, V, T, Q, P) and
+// the residual-method targets Q1 (K/s) and Q2 (kg/kg/s), plus the
+// radiation-module quantities.
+type Sample struct {
+	// Column inputs, [k] per level.
+	U, V, T, Q, P []float64
+	// Surface scalars.
+	Tskin, CosZ float64
+	// Targets.
+	Q1, Q2   []float64 // per level
+	Gsw, Glw float64
+	Precip   float64 // surface precipitation rate, mm/day
+	// Bookkeeping for the split.
+	Day, StepOfDay int
+}
+
+// ResidualQ1Q2 computes the apparent heat source and moisture sink by the
+// residual method (§3.2.2, citing Zhang et al. 2022): the total
+// coarse-grained tendency of T (or q) minus the tendency produced by the
+// resolved coarse dynamics alone:
+//
+//	Q1 = (T_cg(t+dt) - T_dyn(t+dt)) / dt
+//	Q2 = (q_cg(t+dt) - q_dyn(t+dt)) / dt
+//
+// where T_cg is the coarse-grained truth and T_dyn the result of a
+// dynamics-only step started from the coarse-grained state at t. All
+// arrays are column-major over the coarse mesh.
+func ResidualQ1Q2(tCG, tDyn, qCG, qDyn []float64, dt float64) (q1, q2 []float64) {
+	q1 = make([]float64, len(tCG))
+	q2 = make([]float64, len(qCG))
+	inv := 1.0 / dt
+	for i := range tCG {
+		q1[i] = (tCG[i] - tDyn[i]) * inv
+		q2[i] = (qCG[i] - qDyn[i]) * inv
+	}
+	return q1, q2
+}
+
+// Split divides samples into training and testing sets following the
+// paper: for each simulated day, three randomly chosen steps go to the
+// test set and the remainder to training (7:1 with hourly snapshots and
+// 24 steps/day). The RNG makes the split reproducible.
+func Split(samples []*Sample, stepsPerDay int, rng *rand.Rand) (train, test []*Sample) {
+	// Group indices by day (iterated in sorted order so a fixed seed
+	// yields a reproducible split).
+	byDay := map[int][]int{}
+	maxDay := 0
+	for i, s := range samples {
+		byDay[s.Day] = append(byDay[s.Day], i)
+		if s.Day > maxDay {
+			maxDay = s.Day
+		}
+	}
+	testIdx := map[int]bool{}
+	for day := 0; day <= maxDay; day++ {
+		idxs := byDay[day]
+		if len(idxs) == 0 {
+			continue
+		}
+		perm := rng.Perm(len(idxs))
+		nTest := 3
+		if nTest > len(idxs) {
+			nTest = len(idxs)
+		}
+		for _, j := range perm[:nTest] {
+			testIdx[idxs[j]] = true
+		}
+	}
+	for i, s := range samples {
+		if testIdx[i] {
+			test = append(test, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, test
+}

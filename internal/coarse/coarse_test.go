@@ -1,0 +1,193 @@
+package coarse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/synthclim"
+)
+
+func TestRegridderConservesMean(t *testing.T) {
+	fine := mesh.New(4)
+	crs := mesh.New(2)
+	r := NewRegridder(fine, crs)
+
+	field := make([]float64, fine.NCells)
+	var fineMean, fineArea float64
+	for c := 0; c < fine.NCells; c++ {
+		field[c] = math.Sin(2*fine.CellLat[c]) + 0.3*math.Cos(fine.CellLon[c])
+		fineMean += field[c] * fine.CellArea[c]
+		fineArea += fine.CellArea[c]
+	}
+	fineMean /= fineArea
+
+	out := r.CellField(field)
+	var crsMean, crsArea float64
+	for cc := 0; cc < crs.NCells; cc++ {
+		// Weight by aggregated fine area, the measure the regridder uses.
+		crsMean += out[cc] * r.weight[cc]
+		crsArea += r.weight[cc]
+	}
+	crsMean /= crsArea
+	if d := math.Abs(crsMean - fineMean); d > 1e-12 {
+		t.Errorf("global mean not conserved: %g vs %g", crsMean, fineMean)
+	}
+}
+
+func TestRegridderConstantField(t *testing.T) {
+	fine := mesh.New(3)
+	crs := mesh.New(1)
+	r := NewRegridder(fine, crs)
+	field := make([]float64, fine.NCells)
+	for c := range field {
+		field[c] = 7.25
+	}
+	for _, v := range r.CellField(field) {
+		if math.Abs(v-7.25) > 1e-12 {
+			t.Fatalf("constant field not preserved: %v", v)
+		}
+	}
+}
+
+func TestRegridderAssignmentIsNearest(t *testing.T) {
+	fine := mesh.New(3)
+	crs := mesh.New(1)
+	r := NewRegridder(fine, crs)
+	for c := 0; c < fine.NCells; c += 37 {
+		got := r.assign[c]
+		// Brute-force nearest.
+		best, bd := int32(-1), math.Inf(1)
+		for cc := 0; cc < crs.NCells; cc++ {
+			if d := mesh.ArcLength(crs.CellPos[cc], fine.CellPos[c]); d < bd {
+				best, bd = int32(cc), d
+			}
+		}
+		if got != best {
+			// The walk is exact for Voronoi regions; allow ties only.
+			dGot := mesh.ArcLength(crs.CellPos[got], fine.CellPos[c])
+			if dGot > bd+1e-12 {
+				t.Fatalf("fine cell %d assigned to %d (d=%g), nearest is %d (d=%g)", c, got, dGot, best, bd)
+			}
+		}
+	}
+}
+
+func TestColumnFieldSmoothsFineStructure(t *testing.T) {
+	fine := mesh.New(4)
+	crs := mesh.New(2)
+	r := NewRegridder(fine, crs)
+	nlev := 3
+	field := make([]float64, fine.NCells*nlev)
+	for c := 0; c < fine.NCells; c++ {
+		for k := 0; k < nlev; k++ {
+			field[c*nlev+k] = math.Sin(20*fine.CellLat[c]) * math.Cos(15*fine.CellLon[c])
+		}
+	}
+	out := r.ColumnField(field, nlev)
+	variance := func(xs []float64) float64 {
+		var m float64
+		for _, x := range xs {
+			m += x
+		}
+		m /= float64(len(xs))
+		var v float64
+		for _, x := range xs {
+			v += (x - m) * (x - m)
+		}
+		return v / float64(len(xs))
+	}
+	if variance(out) >= variance(field) {
+		t.Error("coarse-graining did not reduce variance of fine-scale field")
+	}
+}
+
+func TestResidualQ1Q2(t *testing.T) {
+	tCG := []float64{280, 281}
+	tDyn := []float64{279.5, 281.5}
+	qCG := []float64{0.010, 0.009}
+	qDyn := []float64{0.011, 0.009}
+	q1, q2 := ResidualQ1Q2(tCG, tDyn, qCG, qDyn, 100)
+	if math.Abs(q1[0]-0.005) > 1e-12 || math.Abs(q1[1]+0.005) > 1e-12 {
+		t.Errorf("q1 = %v", q1)
+	}
+	if math.Abs(q2[0]+1e-5) > 1e-12 || q2[1] != 0 {
+		t.Errorf("q2 = %v", q2)
+	}
+}
+
+func TestSplitRatio(t *testing.T) {
+	// 24 hourly steps per day over 5 days: 3 test steps/day -> 7:1.
+	var samples []*Sample
+	for day := 0; day < 5; day++ {
+		for step := 0; step < 24; step++ {
+			// Two cells per step to mimic multiple columns.
+			samples = append(samples, &Sample{Day: day, StepOfDay: step})
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	train, test := Split(samples, 24, rng)
+	if len(train)+len(test) != len(samples) {
+		t.Fatal("split lost samples")
+	}
+	wantTest := 5 * 3
+	if len(test) != wantTest {
+		t.Errorf("test set %d, want %d", len(test), wantTest)
+	}
+	if ratio := float64(len(train)) / float64(len(test)); math.Abs(ratio-7) > 1e-9 {
+		t.Errorf("train:test = %v, want 7", ratio)
+	}
+}
+
+func TestSplitDeterministicPerSeed(t *testing.T) {
+	var samples []*Sample
+	for day := 0; day < 3; day++ {
+		for step := 0; step < 24; step++ {
+			samples = append(samples, &Sample{Day: day, StepOfDay: step})
+		}
+	}
+	_, t1 := Split(samples, 24, rand.New(rand.NewSource(9)))
+	_, t2 := Split(samples, 24, rand.New(rand.NewSource(9)))
+	if len(t1) != len(t2) {
+		t.Fatal("split not deterministic")
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestGeneratorProducesPhysicalSamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generator run is slow")
+	}
+	cfg := GeneratorConfig{
+		FineLevel: 3, CoarseLevel: 2, NLev: 6,
+		StepsPerDay: 2, Days: 1,
+		Period: synthclim.Table1()[2],
+	}
+	g := NewGenerator(cfg, nil, nil)
+	samples := g.Run()
+	wantN := 2 * g.CoarseM.NCells
+	if len(samples) != wantN {
+		t.Fatalf("samples = %d, want %d", len(samples), wantN)
+	}
+	for _, s := range samples[:50] {
+		for k := 0; k < cfg.NLev; k++ {
+			if s.T[k] < 150 || s.T[k] > 350 || math.IsNaN(s.T[k]) {
+				t.Fatalf("unphysical T: %v", s.T[k])
+			}
+			if math.IsNaN(s.Q1[k]) || math.Abs(s.Q1[k]) > 0.1 {
+				t.Fatalf("unphysical Q1: %v", s.Q1[k])
+			}
+			if math.IsNaN(s.Q2[k]) {
+				t.Fatalf("NaN Q2")
+			}
+		}
+		if s.Glw < 0 || s.Glw > 800 {
+			t.Fatalf("unphysical glw: %v", s.Glw)
+		}
+	}
+}

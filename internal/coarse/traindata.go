@@ -1,0 +1,213 @@
+package coarse
+
+import (
+	"math"
+
+	"gristgo/internal/core"
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+	"gristgo/internal/physics"
+	"gristgo/internal/synthclim"
+	"gristgo/internal/tracer"
+)
+
+// GeneratorConfig drives the training-data pipeline: a storm-resolving
+// run at FineLevel is coarse-grained to CoarseLevel (the paper's 5 km ->
+// 30 km), and Q1/Q2 targets come from the residual method against a
+// dynamics-only coarse step.
+type GeneratorConfig struct {
+	FineLevel   int
+	CoarseLevel int
+	NLev        int
+	// StepsPerDay capture events per simulated day (hourly in the paper).
+	StepsPerDay int
+	// Days of simulation per period.
+	Days int
+	// Period supplies the synthetic climate (ENSO/MJO) forcing.
+	Period synthclim.Period
+}
+
+// Generator runs the fine "GSRM" and the coarse dynamics-only companion
+// model and emits training samples.
+type Generator struct {
+	Cfg     GeneratorConfig
+	Fine    *core.Model
+	Regrid  *Regridder
+	CoarseM *mesh.Mesh
+}
+
+// NewGenerator builds the fine model, the coarse mesh and the regridder.
+// Meshes can be shared via the optional arguments (pass nil to generate).
+func NewGenerator(cfg GeneratorConfig, fineMesh, coarseMesh *mesh.Mesh) *Generator {
+	if fineMesh == nil {
+		fineMesh = mesh.New(cfg.FineLevel).ReorderBFS()
+	}
+	if coarseMesh == nil {
+		coarseMesh = mesh.New(cfg.CoarseLevel).ReorderBFS()
+	}
+	fine := core.NewModelOnMesh(core.Config{
+		GridLevel: cfg.FineLevel, NLev: cfg.NLev,
+	}, physics.NewConventional(cfg.NLev), fineMesh)
+	return &Generator{
+		Cfg:     cfg,
+		Fine:    fine,
+		Regrid:  NewRegridder(fineMesh, coarseMesh),
+		CoarseM: coarseMesh,
+	}
+}
+
+// snapshot captures the coarse-grained (T, qv) columns plus the CNN input
+// channels from the fine model's physics-coupling state.
+type snapshot struct {
+	T, Q, U, V, P []float64 // coarse columns
+	Tskin, CosZ   []float64 // coarse scalars
+	Gsw, Glw      []float64
+	Precip        []float64
+}
+
+func (g *Generator) takeSnapshot() *snapshot {
+	nlev := g.Cfg.NLev
+	in := g.Fine.In
+	return &snapshot{
+		T:      g.Regrid.ColumnField(in.T, nlev),
+		Q:      g.Regrid.ColumnField(in.Qv, nlev),
+		U:      g.Regrid.ColumnField(in.U, nlev),
+		V:      g.Regrid.ColumnField(in.V, nlev),
+		P:      g.Regrid.ColumnField(in.P, nlev),
+		Tskin:  g.Regrid.CellField(in.Tskin),
+		CosZ:   g.Regrid.CellField(in.CosZ),
+		Gsw:    g.Regrid.CellField(g.Fine.Out.Gsw),
+		Glw:    g.Regrid.CellField(g.Fine.Out.Glw),
+		Precip: g.Regrid.CellField(g.Fine.PrecipRate()),
+	}
+}
+
+// dynOnlyStep advances a dynamics-only coarse model initialized from the
+// coarse-grained state for the capture interval and returns its (T, qv).
+func (g *Generator) dynOnlyStep(s0 *snapshot, dtCapture float64) (tDyn, qDyn []float64) {
+	nlev := g.Cfg.NLev
+	cm := core.NewModelOnMesh(core.Config{
+		GridLevel: g.Cfg.CoarseLevel, NLev: nlev,
+	}, physics.Null{}, g.CoarseM)
+
+	st := cm.Engine.State()
+	nc := g.CoarseM.NCells
+	for c := 0; c < nc; c++ {
+		pIface := dycore.PTop
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			// Reconstruct layer thickness from the coarse-grained
+			// pressure profile (uniform sigma in the fine model).
+			var dpi float64
+			if k < nlev-1 {
+				dpi = s0.P[i+1] - s0.P[i]
+			} else {
+				dpi = 2 * (s0.P[i] - pIface)
+			}
+			if k == 0 {
+				dpi = 2 * (s0.P[i] - dycore.PTop)
+			}
+			st.DryMass[i] = dpi
+			theta := s0.T[i] * math.Pow(dycore.P0/s0.P[i], dycore.Rd/dycore.Cp)
+			st.ThetaM[i] = dpi * theta
+			cm.Tracers.Mass[i] = dpi
+			cm.Tracers.SetMixingRatio(tracer.QV, c, k, s0.Q[i])
+			pIface += dpi
+		}
+	}
+	dycore.HydrostaticRebalance(st)
+
+	// Winds: project the coarse-grained cell vectors onto coarse edges.
+	for e := 0; e < g.CoarseM.NEdges; e++ {
+		c0 := int(g.CoarseM.EdgeCell[e][0])
+		c1 := int(g.CoarseM.EdgeCell[e][1])
+		for k := 0; k < nlev; k++ {
+			ue := 0.5 * (s0.U[c0*nlev+k] + s0.U[c1*nlev+k])
+			ve := 0.5 * (s0.V[c0*nlev+k] + s0.V[c1*nlev+k])
+			east, north := mesh.TangentBasis(g.CoarseM.EdgePos[e])
+			vel := east.Scale(ue).Add(north.Scale(ve))
+			st.U[e*nlev+k] = vel.Dot(g.CoarseM.EdgeNormal[e])
+		}
+	}
+
+	// Advance dynamics only for the capture interval.
+	_, _, _, dtPhy := cm.EffectiveSteps()
+	steps := int(math.Round(dtCapture / dtPhy))
+	if steps < 1 {
+		steps = 1
+	}
+	for i := 0; i < steps; i++ {
+		cm.StepPhysics(0)
+	}
+
+	// Extract (T, qv).
+	tDyn = make([]float64, nc*nlev)
+	qDyn = make([]float64, nc*nlev)
+	for c := 0; c < nc; c++ {
+		pIface := dycore.PTop
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			dpi := st.DryMass[i]
+			p := pIface + 0.5*dpi
+			pIface += dpi
+			theta := st.ThetaM[i] / dpi
+			tDyn[i] = theta * math.Pow(p/dycore.P0, dycore.Rd/dycore.Cp)
+			qDyn[i] = cm.Tracers.MixingRatio(tracer.QV, c, k)
+		}
+	}
+	return tDyn, qDyn
+}
+
+// Run simulates the configured period with the fine model and returns one
+// Sample per (capture step, coarse cell).
+func (g *Generator) Run() []*Sample {
+	cfg := g.Cfg
+	nlev := cfg.NLev
+	cl0 := synthclim.ForPeriod(cfg.Period, 0)
+	g.Fine.InitializeClimate(cl0)
+
+	captureDt := 86400.0 / float64(cfg.StepsPerDay)
+	var samples []*Sample
+
+	for day := 0; day < cfg.Days; day++ {
+		cl := synthclim.ForPeriod(cfg.Period, day)
+		for step := 0; step < cfg.StepsPerDay; step++ {
+			// State before the interval.
+			g.Fine.StepPhysics(cl.Season) // ensures In/Out are fresh
+			s0 := g.takeSnapshot()
+
+			// Fine truth after the interval; the precipitation target is
+			// the interval-mean rate (convection is intermittent, so an
+			// instantaneous rate would mostly sample zeros).
+			g.Fine.ResetDiagnostics()
+			g.Fine.RunHours(captureDt/3600, cl.Season)
+			s1 := g.takeSnapshot()
+
+			// Dynamics-only coarse companion.
+			tDyn, qDyn := g.dynOnlyStep(s0, captureDt)
+
+			q1, q2 := ResidualQ1Q2(s1.T, tDyn, s1.Q, qDyn, captureDt)
+
+			nc := g.CoarseM.NCells
+			for c := 0; c < nc; c++ {
+				smp := &Sample{
+					U: sliceCol(s0.U, c, nlev), V: sliceCol(s0.V, c, nlev),
+					T: sliceCol(s0.T, c, nlev), Q: sliceCol(s0.Q, c, nlev),
+					P:     sliceCol(s0.P, c, nlev),
+					Tskin: s0.Tskin[c], CosZ: s0.CosZ[c],
+					Q1: sliceCol(q1, c, nlev), Q2: sliceCol(q2, c, nlev),
+					Gsw: s1.Gsw[c], Glw: s1.Glw[c], Precip: s1.Precip[c],
+					Day: day, StepOfDay: step,
+				}
+				samples = append(samples, smp)
+			}
+		}
+	}
+	return samples
+}
+
+func sliceCol(x []float64, c, nlev int) []float64 {
+	out := make([]float64, nlev)
+	copy(out, x[c*nlev:(c+1)*nlev])
+	return out
+}

@@ -1,0 +1,90 @@
+package comm
+
+// Collective operations beyond the reductions in comm.go. The solver
+// itself needs no global communication (§3.1.2), but initialization,
+// diagnostics and the grouped I/O layer use gather/broadcast patterns.
+
+// Broadcast distributes root's data to every rank and returns it (the
+// root passes its payload; other ranks pass nil).
+func (r *Rank) Broadcast(root int, data []float64) []float64 {
+	const tag = -7801
+	if r.id == root {
+		for dst := 0; dst < r.w.n; dst++ {
+			if dst == root {
+				continue
+			}
+			// Copy per destination: receivers own their slice.
+			buf := make([]float64, len(data))
+			copy(buf, data)
+			r.Send(dst, tag, buf)
+		}
+		return data
+	}
+	return r.Recv(root, tag)
+}
+
+// Gather collects every rank's payload at the root, ordered by rank.
+// Non-root ranks receive nil.
+func (r *Rank) Gather(root int, data []float64) [][]float64 {
+	const tag = -7802
+	if r.id != root {
+		buf := make([]float64, len(data))
+		copy(buf, data)
+		r.Send(root, tag, buf)
+		return nil
+	}
+	out := make([][]float64, r.w.n)
+	out[root] = append([]float64(nil), data...)
+	for src := 0; src < r.w.n; src++ {
+		if src == root {
+			continue
+		}
+		out[src] = r.Recv(src, tag)
+	}
+	return out
+}
+
+// AllGather gathers every rank's payload everywhere (gather + broadcast
+// of the concatenation; payload lengths may differ per rank).
+func (r *Rank) AllGather(data []float64) [][]float64 {
+	const root = 0
+	parts := r.Gather(root, data)
+	// Root flattens with a length prefix per rank, then broadcasts.
+	var flat []float64
+	if r.id == root {
+		flat = append(flat, float64(len(parts)))
+		for _, p := range parts {
+			flat = append(flat, float64(len(p)))
+			flat = append(flat, p...)
+		}
+	}
+	flat = r.Broadcast(root, flat)
+	n := int(flat[0])
+	out := make([][]float64, n)
+	pos := 1
+	for i := 0; i < n; i++ {
+		l := int(flat[pos])
+		pos++
+		out[i] = flat[pos : pos+l]
+		pos += l
+	}
+	return out
+}
+
+// Scatter distributes per-rank payloads from the root; every rank
+// receives its slice (the root passes parts with one entry per rank).
+func (r *Rank) Scatter(root int, parts [][]float64) []float64 {
+	const tag = -7803
+	if r.id == root {
+		for dst := 0; dst < r.w.n; dst++ {
+			if dst == root {
+				continue
+			}
+			buf := make([]float64, len(parts[dst]))
+			copy(buf, parts[dst])
+			r.Send(dst, tag, buf)
+		}
+		return parts[root]
+	}
+	return r.Recv(root, tag)
+}

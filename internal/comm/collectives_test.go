@@ -1,0 +1,96 @@
+package comm
+
+import (
+	"testing"
+)
+
+func TestBroadcast(t *testing.T) {
+	Run(5, func(r *Rank) {
+		var payload []float64
+		if r.ID() == 2 {
+			payload = []float64{3, 1, 4, 1, 5}
+		}
+		got := r.Broadcast(2, payload)
+		want := []float64{3, 1, 4, 1, 5}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d: got %v", r.ID(), got)
+				return
+			}
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	Run(4, func(r *Rank) {
+		data := []float64{float64(r.ID()), float64(r.ID() * 10)}
+		parts := r.Gather(0, data)
+		if r.ID() != 0 {
+			if parts != nil {
+				t.Errorf("rank %d: non-root got parts", r.ID())
+			}
+			return
+		}
+		for src := 0; src < 4; src++ {
+			if parts[src][0] != float64(src) || parts[src][1] != float64(src*10) {
+				t.Errorf("root: parts[%d] = %v", src, parts[src])
+			}
+		}
+	})
+}
+
+func TestAllGatherVariableLengths(t *testing.T) {
+	Run(4, func(r *Rank) {
+		data := make([]float64, r.ID()+1) // ragged payloads
+		for i := range data {
+			data[i] = float64(r.ID()*100 + i)
+		}
+		parts := r.AllGather(data)
+		if len(parts) != 4 {
+			t.Fatalf("rank %d: %d parts", r.ID(), len(parts))
+		}
+		for src := 0; src < 4; src++ {
+			if len(parts[src]) != src+1 {
+				t.Fatalf("rank %d: parts[%d] has len %d", r.ID(), src, len(parts[src]))
+			}
+			for i, v := range parts[src] {
+				if v != float64(src*100+i) {
+					t.Fatalf("rank %d: parts[%d][%d] = %v", r.ID(), src, i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestScatter(t *testing.T) {
+	Run(3, func(r *Rank) {
+		var parts [][]float64
+		if r.ID() == 1 {
+			parts = [][]float64{{0, 0}, {1, 11}, {2, 22}}
+		}
+		got := r.Scatter(1, parts)
+		if got[0] != float64(r.ID()) || got[1] != float64(r.ID()*11) {
+			t.Errorf("rank %d: got %v", r.ID(), got)
+		}
+	})
+}
+
+func TestCollectivesCompose(t *testing.T) {
+	// Scatter + local work + gather round-trips a dataset.
+	Run(4, func(r *Rank) {
+		var parts [][]float64
+		if r.ID() == 0 {
+			parts = [][]float64{{1}, {2}, {3}, {4}}
+		}
+		x := r.Scatter(0, parts)
+		x[0] *= 2
+		back := r.Gather(0, x)
+		if r.ID() == 0 {
+			for i, p := range back {
+				if p[0] != float64((i+1)*2) {
+					t.Errorf("back[%d] = %v", i, p)
+				}
+			}
+		}
+	})
+}

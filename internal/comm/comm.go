@@ -1,0 +1,183 @@
+// Package comm provides the message-passing runtime of the model: an
+// MPI-like world of SPMD ranks (goroutines in this in-process
+// reproduction), point-to-point sends/receives, collectives, and the
+// paper's parallelization facilitation layer — halo exchange in which all
+// registered variables are gathered through a linked list and exchanged
+// with a single call per peer (§3.1.3).
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is a tagged payload between two ranks.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World is a communicator connecting n SPMD ranks.
+type World struct {
+	n     int
+	boxes [][]chan message // boxes[to][from]
+
+	barrier *barrier
+
+	reduceMu  sync.Mutex
+	reduceBuf []float64
+	reduceN   int
+	reduceGen int
+	reduceC   *sync.Cond
+}
+
+// NewWorld creates a communicator for n ranks.
+func NewWorld(n int) *World {
+	w := &World{n: n, boxes: make([][]chan message, n), barrier: newBarrier(n)}
+	for to := 0; to < n; to++ {
+		w.boxes[to] = make([]chan message, n)
+		for from := 0; from < n; from++ {
+			w.boxes[to][from] = make(chan message, 16)
+		}
+	}
+	w.reduceC = sync.NewCond(&w.reduceMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Run executes body once per rank, concurrently, and waits for all ranks
+// to return.
+func Run(n int, body func(r *Rank)) {
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for id := 0; id < n; id++ {
+		go func(id int) {
+			defer wg.Done()
+			body(&Rank{id: id, w: w})
+		}(id)
+	}
+	wg.Wait()
+}
+
+// Rank is one SPMD process within a World.
+type Rank struct {
+	id int
+	w  *World
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.n }
+
+// Send delivers data to the destination rank under the given tag. The
+// slice is handed over; the caller must not modify it afterwards.
+func (r *Rank) Send(to, tag int, data []float64) {
+	r.w.boxes[to][r.id] <- message{tag: tag, data: data}
+}
+
+// Recv receives the next message from the source rank and checks its tag.
+// Our exchange protocols are deterministic, so a tag mismatch is a
+// program error and panics.
+func (r *Rank) Recv(from, tag int) []float64 {
+	m := <-r.w.boxes[r.id][from]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.id, tag, from, m.tag))
+	}
+	return m.data
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() { r.w.barrier.await() }
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// AllReduceSum sums x element-wise across all ranks; every rank receives
+// the same result (a new slice).
+func (r *Rank) AllReduceSum(x []float64) []float64 {
+	w := r.w
+	w.reduceMu.Lock()
+	if w.reduceBuf == nil {
+		w.reduceBuf = make([]float64, len(x))
+	}
+	if len(w.reduceBuf) != len(x) {
+		panic("comm: AllReduceSum length mismatch across ranks")
+	}
+	for i, v := range x {
+		w.reduceBuf[i] += v
+	}
+	w.reduceN++
+	gen := w.reduceGen
+	if w.reduceN == w.n {
+		w.reduceGen++
+		w.reduceC.Broadcast()
+	} else {
+		for gen == w.reduceGen {
+			w.reduceC.Wait()
+		}
+	}
+	out := make([]float64, len(x))
+	copy(out, w.reduceBuf)
+	w.reduceN--
+	if w.reduceN == 0 {
+		w.reduceBuf = nil
+	}
+	w.reduceMu.Unlock()
+	// Keep ranks in lockstep so the next reduction cannot overlap.
+	r.Barrier()
+	return out
+}
+
+// AllReduceMax returns the maximum of v across all ranks.
+func (r *Rank) AllReduceMax(v float64) float64 {
+	// Two-phase: gather to rank 0, broadcast the result.
+	const tag = -7771
+	if r.id == 0 {
+		m := v
+		for src := 1; src < r.w.n; src++ {
+			x := r.Recv(src, tag)
+			if x[0] > m {
+				m = x[0]
+			}
+		}
+		for dst := 1; dst < r.w.n; dst++ {
+			r.Send(dst, tag, []float64{m})
+		}
+		return m
+	}
+	r.Send(0, tag, []float64{v})
+	return r.Recv(0, tag)[0]
+}

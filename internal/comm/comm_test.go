@@ -1,0 +1,220 @@
+package comm
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+)
+
+func TestSendRecv(t *testing.T) {
+	Run(4, func(r *Rank) {
+		next := (r.ID() + 1) % r.Size()
+		prev := (r.ID() + r.Size() - 1) % r.Size()
+		r.Send(next, 1, []float64{float64(r.ID())})
+		got := r.Recv(prev, 1)
+		if got[0] != float64(prev) {
+			t.Errorf("rank %d: got %v from %d", r.ID(), got[0], prev)
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var before, after int64
+	Run(8, func(r *Rank) {
+		atomic.AddInt64(&before, 1)
+		r.Barrier()
+		if n := atomic.LoadInt64(&before); n != 8 {
+			t.Errorf("rank %d passed barrier with only %d arrivals", r.ID(), n)
+		}
+		atomic.AddInt64(&after, 1)
+	})
+	if after != 8 {
+		t.Fatalf("after=%d", after)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	n := 6
+	Run(n, func(r *Rank) {
+		x := []float64{float64(r.ID()), 1}
+		got := r.AllReduceSum(x)
+		wantFirst := float64(n * (n - 1) / 2)
+		if got[0] != wantFirst || got[1] != float64(n) {
+			t.Errorf("rank %d: got %v", r.ID(), got)
+		}
+		// Twice in a row must work (buffer lifecycle).
+		got2 := r.AllReduceSum([]float64{2, 2})
+		if got2[0] != float64(2*n) {
+			t.Errorf("rank %d: second reduce got %v", r.ID(), got2)
+		}
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	Run(5, func(r *Rank) {
+		got := r.AllReduceMax(float64(r.ID() * r.ID()))
+		if got != 16 {
+			t.Errorf("rank %d: max=%v", r.ID(), got)
+		}
+	})
+}
+
+func TestHaloExchangeMirrorsOwners(t *testing.T) {
+	m := mesh.New(3)
+	nparts := 4
+	d := partition.Decompose(m, nparts, 3)
+	Run(nparts, func(r *Rank) {
+		dom := NewDomain(m, d, r.ID())
+		f := dom.NewField("q", 3)
+		// Owner writes a value derived from the global cell id and level.
+		for i, c := range dom.Owned {
+			for lev := 0; lev < 3; lev++ {
+				f.Set(lev, int32(i), float64(c)*10+float64(lev))
+			}
+		}
+		h := NewHaloExchanger(dom, r)
+		h.Register(f)
+		h.Exchange()
+		// Halo cells must now hold the owner's values.
+		for i, c := range dom.Halo {
+			li := int32(len(dom.Owned) + i)
+			for lev := 0; lev < 3; lev++ {
+				want := float64(c)*10 + float64(lev)
+				if got := f.At(lev, li); got != want {
+					t.Errorf("rank %d: halo cell %d lev %d = %v, want %v", r.ID(), c, lev, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestHaloExchangeMultipleVariablesOneCall(t *testing.T) {
+	m := mesh.New(3)
+	nparts := 3
+	d := partition.Decompose(m, nparts, 9)
+	Run(nparts, func(r *Rank) {
+		dom := NewDomain(m, d, r.ID())
+		h := NewHaloExchanger(dom, r)
+		fields := make([]*Field, 5)
+		for fi := range fields {
+			fields[fi] = dom.NewField("v", 2)
+			for i, c := range dom.Owned {
+				for lev := 0; lev < 2; lev++ {
+					fields[fi].Set(lev, int32(i), float64(c)+1000*float64(fi)+0.5*float64(lev))
+				}
+			}
+			h.Register(fields[fi])
+		}
+		if h.NumRegistered() != 5 {
+			t.Errorf("registered %d", h.NumRegistered())
+		}
+		h.Exchange()
+		for fi, f := range fields {
+			for i, c := range dom.Halo {
+				li := int32(len(dom.Owned) + i)
+				for lev := 0; lev < 2; lev++ {
+					want := float64(c) + 1000*float64(fi) + 0.5*float64(lev)
+					if f.At(lev, li) != want {
+						t.Fatalf("rank %d field %d halo mismatch", r.ID(), fi)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestHaloExchangeRepeatedRounds(t *testing.T) {
+	m := mesh.New(3)
+	nparts := 4
+	d := partition.Decompose(m, nparts, 5)
+	Run(nparts, func(r *Rank) {
+		dom := NewDomain(m, d, r.ID())
+		f := dom.NewField("x", 1)
+		h := NewHaloExchanger(dom, r)
+		h.Register(f)
+		for round := 0; round < 10; round++ {
+			for i := range dom.Owned {
+				f.Set(0, int32(i), float64(round))
+			}
+			h.Exchange()
+			for i := range dom.Halo {
+				li := int32(len(dom.Owned) + i)
+				if f.At(0, li) != float64(round) {
+					t.Fatalf("round %d: halo stale", round)
+				}
+			}
+		}
+	})
+}
+
+func TestBytesPerExchange(t *testing.T) {
+	m := mesh.New(3)
+	d := partition.Decompose(m, 2, 1)
+	Run(2, func(r *Rank) {
+		dom := NewDomain(m, d, r.ID())
+		h := NewHaloExchanger(dom, r)
+		f := dom.NewField("a", 4)
+		h.Register(f)
+		var sendCells int64
+		for pi := range dom.PeerRanks {
+			sendCells += int64(len(dom.SendIdx[pi]))
+		}
+		if got, want := h.BytesPerExchange(8), sendCells*4*8; got != want {
+			t.Errorf("BytesPerExchange=%d want %d", got, want)
+		}
+		if got, want := h.BytesPerExchange(4), sendCells*4*4; got != want {
+			t.Errorf("BytesPerExchange fp32=%d want %d", got, want)
+		}
+	})
+}
+
+// TestDistributedSumMatchesSerial computes a global integral two ways.
+func TestDistributedSumMatchesSerial(t *testing.T) {
+	m := mesh.New(4)
+	var serial float64
+	for c := 0; c < m.NCells; c++ {
+		serial += m.CellArea[c] * math.Sin(m.CellLat[c]+1)
+	}
+	nparts := 8
+	d := partition.Decompose(m, nparts, 17)
+	Run(nparts, func(r *Rank) {
+		dom := NewDomain(m, d, r.ID())
+		var local float64
+		for _, c := range dom.Owned {
+			local += m.CellArea[c] * math.Sin(m.CellLat[c]+1)
+		}
+		global := r.AllReduceSum([]float64{local})[0]
+		if rel := math.Abs(global-serial) / math.Abs(serial); rel > 1e-12 {
+			t.Errorf("rank %d: distributed sum off by %g", r.ID(), rel)
+		}
+	})
+}
+
+func TestRecvTagMismatchPanics(t *testing.T) {
+	Run(2, func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, []float64{1})
+			return
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("tag mismatch did not panic")
+			}
+		}()
+		r.Recv(0, 8)
+	})
+}
+
+func TestWorldSize(t *testing.T) {
+	if NewWorld(5).Size() != 5 {
+		t.Error("world size")
+	}
+	Run(3, func(r *Rank) {
+		if r.Size() != 3 {
+			t.Error("rank's world size")
+		}
+	})
+}

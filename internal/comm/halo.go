@@ -1,0 +1,195 @@
+package comm
+
+import (
+	"sort"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+)
+
+// Domain is one rank's view of a decomposed mesh: the owned cells, the
+// halo cells it mirrors from peers, and local index translation. Local
+// cell storage is [owned..., halo...]; LocalIndex maps a global cell id
+// to its local slot.
+type Domain struct {
+	Rank   int
+	Mesh   *mesh.Mesh
+	Owned  []int32 // global ids, local slots [0, len(Owned))
+	Halo   []int32 // global ids, local slots [len(Owned), ...)
+	NLocal int
+
+	LocalIndex map[int32]int32
+
+	// For each peer (sorted): cells we send (our owned cells the peer
+	// mirrors) and cells we receive (our halo cells owned by the peer),
+	// both as local indices.
+	PeerRanks []int
+	SendIdx   [][]int32
+	RecvIdx   [][]int32
+}
+
+// NewDomain builds rank p's domain view from a decomposition.
+func NewDomain(m *mesh.Mesh, d *partition.Decomposition, p int) *Domain {
+	dom := &Domain{
+		Rank:  p,
+		Mesh:  m,
+		Owned: d.Owned[p],
+		Halo:  d.Halo[p],
+	}
+	dom.NLocal = len(dom.Owned) + len(dom.Halo)
+	dom.LocalIndex = make(map[int32]int32, dom.NLocal)
+	for i, c := range dom.Owned {
+		dom.LocalIndex[c] = int32(i)
+	}
+	for i, c := range dom.Halo {
+		dom.LocalIndex[c] = int32(len(dom.Owned) + i)
+	}
+
+	// Receive lists come straight from the decomposition (halo cells per
+	// peer). Send lists are the mirror image: the cells that peer q
+	// mirrors from us are exactly the cells in q's halo owned by us.
+	for q := range d.Peers[p] {
+		dom.PeerRanks = append(dom.PeerRanks, int(q))
+	}
+	sort.Ints(dom.PeerRanks)
+	for _, q := range dom.PeerRanks {
+		recvCells := d.Peers[p][int32(q)]
+		recv := make([]int32, len(recvCells))
+		for i, c := range recvCells {
+			recv[i] = dom.LocalIndex[c]
+		}
+		dom.RecvIdx = append(dom.RecvIdx, recv)
+
+		sendCells := d.Peers[q][int32(p)] // cells q needs from us
+		send := make([]int32, len(sendCells))
+		for i, c := range sendCells {
+			send[i] = dom.LocalIndex[c]
+		}
+		dom.SendIdx = append(dom.SendIdx, send)
+	}
+	return dom
+}
+
+// Field is a per-cell, per-level variable stored level-major:
+// Data[lev*NLocal + localCell]. NLev==1 gives a surface field.
+type Field struct {
+	Name string
+	NLev int
+	Data []float64
+	dom  *Domain
+}
+
+// NewField allocates a field over the domain.
+func (d *Domain) NewField(name string, nlev int) *Field {
+	return &Field{Name: name, NLev: nlev, Data: make([]float64, nlev*d.NLocal), dom: d}
+}
+
+// At returns the value at (level, local cell).
+func (f *Field) At(lev int, cell int32) float64 { return f.Data[lev*f.dom.NLocal+int(cell)] }
+
+// Set stores the value at (level, local cell).
+func (f *Field) Set(lev int, cell int32, v float64) { f.Data[lev*f.dom.NLocal+int(cell)] = v }
+
+// varNode is one entry of the exchange list. The paper gathers the
+// variables to exchange in a linked list so that a single communication
+// call moves all of them (§3.1.3); we mirror that structure.
+type varNode struct {
+	field *Field
+	next  *varNode
+}
+
+// HaloExchanger aggregates registered fields and exchanges all of their
+// halos with one message per peer.
+type HaloExchanger struct {
+	dom  *Domain
+	rank *Rank
+	head *varNode // linked list of registered variables
+	tag  int
+}
+
+// NewHaloExchanger creates an exchanger for the domain bound to an MPI
+// rank.
+func NewHaloExchanger(dom *Domain, r *Rank) *HaloExchanger {
+	return &HaloExchanger{dom: dom, rank: r, tag: 100}
+}
+
+// Register appends a field to the exchange list. Registration order must
+// match across ranks (SPMD).
+func (h *HaloExchanger) Register(f *Field) {
+	node := &varNode{field: f}
+	if h.head == nil {
+		h.head = node
+		return
+	}
+	cur := h.head
+	for cur.next != nil {
+		cur = cur.next
+	}
+	cur.next = node
+}
+
+// NumRegistered returns the number of fields on the exchange list.
+func (h *HaloExchanger) NumRegistered() int {
+	n := 0
+	for cur := h.head; cur != nil; cur = cur.next {
+		n++
+	}
+	return n
+}
+
+// Exchange updates the halo region of every registered field, packing all
+// variables and levels into a single message per peer.
+func (h *HaloExchanger) Exchange() {
+	dom := h.dom
+	tag := h.tag
+	h.tag++ // unique tag per exchange round
+
+	// Pack and send to each peer.
+	for pi, q := range dom.PeerRanks {
+		send := dom.SendIdx[pi]
+		var buf []float64
+		for cur := h.head; cur != nil; cur = cur.next {
+			f := cur.field
+			for lev := 0; lev < f.NLev; lev++ {
+				base := lev * dom.NLocal
+				for _, li := range send {
+					buf = append(buf, f.Data[base+int(li)])
+				}
+			}
+		}
+		h.rank.Send(q, tag, buf)
+	}
+	// Receive and unpack.
+	for pi, q := range dom.PeerRanks {
+		recv := dom.RecvIdx[pi]
+		buf := h.rank.Recv(q, tag)
+		pos := 0
+		for cur := h.head; cur != nil; cur = cur.next {
+			f := cur.field
+			for lev := 0; lev < f.NLev; lev++ {
+				base := lev * dom.NLocal
+				for _, li := range recv {
+					f.Data[base+int(li)] = buf[pos]
+					pos++
+				}
+			}
+		}
+		if pos != len(buf) {
+			panic("comm: halo exchange size mismatch")
+		}
+	}
+}
+
+// BytesPerExchange returns the number of bytes this rank sends in one
+// Exchange call at the given word size — the input to the communication
+// performance model.
+func (h *HaloExchanger) BytesPerExchange(wordBytes int) int64 {
+	var words int64
+	for pi := range h.dom.PeerRanks {
+		n := int64(len(h.dom.SendIdx[pi]))
+		for cur := h.head; cur != nil; cur = cur.next {
+			words += n * int64(cur.field.NLev)
+		}
+	}
+	return words * int64(wordBytes)
+}

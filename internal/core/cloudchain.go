@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+
+	"gristgo/internal/tracer"
+)
+
+// Cloud-chain parameters: bulk conversion timescales and thresholds of
+// the prognostic condensate species (qc, qi -> qr, qs, qg -> surface).
+const (
+	qcAutoThreshold = 2.0e-5 // kg/kg of cloud water before autoconversion
+	qiAutoThreshold = 1.0e-5 // kg/kg of cloud ice before aggregation
+	tauAuto         = 900.0  // s, autoconversion/aggregation
+	tauFall         = 1800.0 // s, precipitation fallout
+	tauRime         = 3600.0 // s, riming of rain onto ice -> graupel
+	tIce            = 258.15 // K, condensate forms as ice below this
+	tMelt           = 273.15 // K, snow/graupel melt to rain above this
+)
+
+// stepCloudChain advances the prognostic condensate species with the
+// condensate production diagnosed by the physics suite (Out.Cond) and
+// returns the surface precipitation rate added by fallout (mm/day per
+// cell). The chain is a bulk single-moment scheme:
+//
+//	vapor --Cond--> qc (T > tIce) or qi (T <= tIce)
+//	qc --auto--> qr,  qi --agg--> qs,  qr+qi --rime--> qg
+//	qr, qs, qg --fallout--> surface precipitation
+//	qs, qg --melt--> qr above freezing
+func (mod *Model) stepCloudChain(dt float64) []float64 {
+	m := mod.Mesh
+	nlev := mod.Cfg.NLev
+	tr := mod.Tracers
+	precip := make([]float64, m.NCells)
+
+	for c := 0; c < m.NCells; c++ {
+		var fallout float64 // Pa * kg/kg removed from the column
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			tK := mod.In.T[i]
+			dpi := mod.In.Dpi[i]
+
+			qc := tr.MixingRatio(tracer.QC, c, k)
+			qi := tr.MixingRatio(tracer.QI, c, k)
+			qr := tr.MixingRatio(tracer.QR, c, k)
+			qs := tr.MixingRatio(tracer.QS, c, k)
+			qg := tr.MixingRatio(tracer.QG, c, k)
+
+			// Condensate production from the physics suite.
+			cond := mod.Out.Cond[i] * dt
+			if cond > 0 {
+				if tK <= tIce {
+					qi += cond
+				} else {
+					qc += cond
+				}
+			}
+
+			// Bounded conversion factors (exponential-decay form): the
+			// bulk timescales can be shorter than the physics step, so
+			// raw dt/tau rates would overshoot and drive species
+			// negative.
+			fAuto := 1 - math.Exp(-dt/tauAuto)
+			fRime := 1 - math.Exp(-dt/tauRime)
+			fFall := 1 - math.Exp(-dt/tauFall)
+
+			// Autoconversion / aggregation above thresholds.
+			if qc > qcAutoThreshold {
+				x := (qc - qcAutoThreshold) * fAuto
+				qc -= x
+				qr += x
+			}
+			if qi > qiAutoThreshold {
+				x := (qi - qiAutoThreshold) * fAuto
+				qi -= x
+				qs += x
+			}
+
+			// Riming: supercooled rain freezing onto ice makes graupel.
+			if tK < tMelt && qr > 0 && qi > 0 {
+				x := minF(qr, qi) * fRime
+				qr -= x
+				qg += x
+			}
+
+			// Melting above freezing.
+			if tK > tMelt {
+				qr += qs + qg
+				qs, qg = 0, 0
+			}
+
+			// Fallout of precipitating species.
+			fall := (qr + qs + qg) * fFall
+			qr -= qr * fFall
+			qs -= qs * fFall
+			qg -= qg * fFall
+			fallout += fall * dpi
+
+			tr.SetMixingRatio(tracer.QC, c, k, qc)
+			tr.SetMixingRatio(tracer.QI, c, k, qi)
+			tr.SetMixingRatio(tracer.QR, c, k, qr)
+			tr.SetMixingRatio(tracer.QS, c, k, qs)
+			tr.SetMixingRatio(tracer.QG, c, k, qg)
+		}
+		precip[c] = fallout / 9.80616 / dt * 86400 // mm/day
+	}
+	return precip
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

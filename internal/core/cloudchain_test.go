@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gristgo/internal/physics"
+	"gristgo/internal/synthclim"
+	"gristgo/internal/tracer"
+)
+
+// TestCloudChainPopulatesSpecies: after a few hours of moist physics,
+// the prognostic condensate species must all be active somewhere — cloud
+// water in the warm tropics, ice/snow in cold columns, rain below.
+func TestCloudChainPopulatesSpecies(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 8}, physics.NewConventional(8), sharedMesh3)
+	mod.InitializeClimate(cl)
+	mod.RunHours(8, cl.Season)
+
+	mass := map[tracer.Species]float64{}
+	for _, sp := range []tracer.Species{tracer.QC, tracer.QR, tracer.QI, tracer.QS} {
+		mass[sp] = mod.Tracers.GlobalTracerMass(sp)
+		if math.IsNaN(mass[sp]) || mass[sp] < 0 {
+			t.Fatalf("%v mass = %v", sp, mass[sp])
+		}
+	}
+	if mass[tracer.QC] == 0 {
+		t.Error("no cloud water formed")
+	}
+	if mass[tracer.QR] == 0 {
+		t.Error("no rain water formed by autoconversion")
+	}
+}
+
+// TestCloudChainRouting drives stepCloudChain directly with synthetic
+// condensate production and checks the species routing: warm layers make
+// cloud water then rain; cold layers make ice then snow; supercooled
+// rain over ice rimes to graupel; everything melts above freezing.
+func TestCloudChainRouting(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 8}, physics.NewConventional(8), sharedMesh3)
+	mod.InitializeClimate(cl)
+	mod.StepPhysics(cl.Season) // populate In.T
+
+	nlev := 8
+	// Pick a warm layer and a cold layer in cell 0's column.
+	warmK, coldK := -1, -1
+	for k := 0; k < nlev; k++ {
+		tK := mod.In.T[0*nlev+k]
+		if tK > 275 && warmK < 0 {
+			warmK = k
+		}
+		if tK < 250 && coldK < 0 {
+			coldK = k
+		}
+	}
+	if warmK < 0 || coldK < 0 {
+		t.Skip("column lacks required temperature range")
+	}
+	for i := range mod.Out.Cond {
+		mod.Out.Cond[i] = 0
+	}
+	mod.Out.Cond[0*nlev+warmK] = 2e-7 // kg/kg/s
+	mod.Out.Cond[0*nlev+coldK] = 2e-7
+
+	var totalPrecip float64
+	for i := 0; i < 20; i++ {
+		p := mod.stepCloudChain(1800)
+		totalPrecip += p[0]
+	}
+	qc := mod.Tracers.MixingRatio(tracer.QC, 0, warmK)
+	qi := mod.Tracers.MixingRatio(tracer.QI, 0, coldK)
+	qr := mod.Tracers.MixingRatio(tracer.QR, 0, warmK)
+	qs := mod.Tracers.MixingRatio(tracer.QS, 0, coldK)
+	if qc <= 0 {
+		t.Error("warm layer holds no cloud water")
+	}
+	if qi <= 0 {
+		t.Error("cold layer holds no cloud ice")
+	}
+	if qr <= 0 {
+		t.Error("no autoconverted rain in the warm layer")
+	}
+	if qs <= 0 {
+		t.Error("no aggregated snow in the cold layer")
+	}
+	if totalPrecip <= 0 {
+		t.Error("no fallout precipitation")
+	}
+}
+
+// TestCloudChainWaterBudget: total water (vapor + all condensate +
+// accumulated surface precipitation) is conserved by the chain up to the
+// moisture sources (evaporation, nudging). We check the one-step budget
+// with sources disabled.
+func TestCloudChainWaterBudget(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 8}, physics.NewConventional(8), sharedMesh3)
+	mod.MoistureNudgeTau = 0 // disable the external source
+	mod.InitializeClimate(cl)
+
+	total := func() float64 {
+		var s float64
+		for sp := tracer.QV; sp < tracer.NumSpecies; sp++ {
+			s += mod.Tracers.GlobalTracerMass(sp)
+		}
+		// Add accumulated precipitation (mm * area -> kg).
+		for c := 0; c < mod.Mesh.NCells; c++ {
+			s += mod.PrecipAccum[c] * mod.Mesh.CellArea[c] // 1 mm = 1 kg/m^2
+		}
+		return s
+	}
+	// A couple of steps so convection/condensation engage.
+	mod.StepPhysics(cl.Season)
+	t0 := total()
+	mod.StepPhysics(cl.Season)
+	t1 := total()
+	// Surface evaporation still adds vapor; the budget may grow but the
+	// condensate chain itself must not create or destroy water wildly.
+	growth := (t1 - t0) / t0
+	if growth < -0.02 || growth > 0.05 {
+		t.Errorf("water budget changed by %.2f%% in one step", 100*growth)
+	}
+}
+
+// TestCloudChainColdColumnsMakeIceNotWater verifies the temperature
+// routing of fresh condensate.
+func TestCloudChainColdColumnsMakeIceNotWater(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[0], 0) // January
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 8}, physics.NewConventional(8), sharedMesh3)
+	mod.InitializeClimate(cl)
+	mod.RunHours(6, cl.Season)
+
+	// In polar columns, upper-level condensate should be ice, not liquid.
+	var iceAloft, liqAloft float64
+	for c := 0; c < mod.Mesh.NCells; c++ {
+		if mod.Mesh.CellLat[c] > 1.2 { // ~69N+
+			for k := 0; k < 4; k++ {
+				iceAloft += mod.Tracers.Q[tracer.QI][c*8+k]
+				liqAloft += mod.Tracers.Q[tracer.QC][c*8+k]
+			}
+		}
+	}
+	if liqAloft > iceAloft {
+		t.Errorf("polar upper-level condensate is liquid (%g) not ice (%g)", liqAloft, iceAloft)
+	}
+}

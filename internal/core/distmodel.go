@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+
+	"gristgo/internal/comm"
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+	"gristgo/internal/precision"
+	"gristgo/internal/tracer"
+)
+
+// ModelPlan extends the dynamics plan with the tracer-transport work and
+// exchange sets. The FCT limiter's dependency chain (limited flux at an
+// owned cell needs the limiter coefficients of ring-1 neighbors, which
+// need provisional ratios at ring-2, which need tracer values at ring-3)
+// sets the halo depths.
+type ModelPlan struct {
+	*DistPlan
+
+	TracCells [][]int32 // per rank: owned + rings 1-2 (compute region)
+	TracEdges [][]int32 // per rank: edges of the compute region
+
+	// Tracer cell exchange (rings 1-3) and mass-flux edge exchange
+	// (ghost edges of the compute region), per rank keyed by peer.
+	qSend, qRecv       []map[int][]int32
+	fluxSend, fluxRecv []map[int][]int32
+}
+
+// NewModelPlan builds the combined plan.
+func NewModelPlan(m *mesh.Mesh, nlev, nparts int, seed int64) *ModelPlan {
+	base := NewDistPlan(m, nlev, nparts, seed)
+	pl := &ModelPlan{
+		DistPlan:  base,
+		TracCells: make([][]int32, nparts),
+		TracEdges: make([][]int32, nparts),
+		qSend:     make([]map[int][]int32, nparts),
+		qRecv:     make([]map[int][]int32, nparts),
+		fluxSend:  make([]map[int][]int32, nparts),
+		fluxRecv:  make([]map[int][]int32, nparts),
+	}
+	part := base.Decomp.Part
+	for p := 0; p < nparts; p++ {
+		pl.qSend[p] = map[int][]int32{}
+		pl.qRecv[p] = map[int][]int32{}
+		pl.fluxSend[p] = map[int][]int32{}
+		pl.fluxRecv[p] = map[int][]int32{}
+	}
+
+	edgeOwner := func(e int32) int { return int(part[m.EdgeCell[e][0]]) }
+
+	for p := 0; p < nparts; p++ {
+		ring2 := base.Decomp.HaloRings(m, p, 2)
+		pl.TracCells[p] = append(append([]int32(nil), base.Decomp.Owned[p]...), ring2...)
+
+		// Compute-region edges, deduplicated.
+		seen := map[int32]bool{}
+		for _, c := range pl.TracCells[p] {
+			for _, e := range m.CellEdges(c) {
+				if !seen[e] {
+					seen[e] = true
+					pl.TracEdges[p] = append(pl.TracEdges[p], e)
+				}
+			}
+		}
+		sort.Slice(pl.TracEdges[p], func(i, j int) bool { return pl.TracEdges[p][i] < pl.TracEdges[p][j] })
+
+		// Tracer value halo: rings 1-3 grouped by owner.
+		for _, c := range base.Decomp.HaloRings(m, p, 3) {
+			pl.qRecv[p][int(part[c])] = append(pl.qRecv[p][int(part[c])], c)
+		}
+		// Mass-flux ghosts: compute-region edges owned elsewhere.
+		for _, e := range pl.TracEdges[p] {
+			if o := edgeOwner(e); o != p {
+				pl.fluxRecv[p][o] = append(pl.fluxRecv[p][o], e)
+			}
+		}
+	}
+	// Mirror receive lists into send lists.
+	for p := 0; p < nparts; p++ {
+		for o, cells := range pl.qRecv[p] {
+			pl.qSend[o][p] = cells
+		}
+		for o, edges := range pl.fluxRecv[p] {
+			pl.fluxSend[o][p] = edges
+		}
+	}
+	return pl
+}
+
+// tracerPeers returns the sorted peer set of rank p for the tracer
+// exchange.
+func (pl *ModelPlan) tracerPeers(p int) []int {
+	set := map[int]bool{}
+	for q := range pl.qSend[p] {
+		set[q] = true
+	}
+	for q := range pl.qRecv[p] {
+		set[q] = true
+	}
+	for q := range pl.fluxSend[p] {
+		set[q] = true
+	}
+	for q := range pl.fluxRecv[p] {
+		set[q] = true
+	}
+	peers := make([]int, 0, len(set))
+	for q := range set {
+		peers = append(peers, q)
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+// exchangeTracers refreshes tracer values + tracer mass (rings 1-3) and
+// the averaged mass flux (ghost edges) before a tracer step.
+func (pl *ModelPlan) exchangeTracers(r *comm.Rank, f *tracer.Field, flux []float64, tag int) {
+	p := r.ID()
+	nlev := f.NLev
+	peers := pl.tracerPeers(p)
+	for _, q := range peers {
+		var buf []float64
+		for _, c := range pl.qSend[p][q] {
+			base := int(c) * nlev
+			buf = append(buf, f.Mass[base:base+nlev]...)
+			for t := range f.Q {
+				buf = append(buf, f.Q[t][base:base+nlev]...)
+			}
+		}
+		for _, e := range pl.fluxSend[p][q] {
+			base := int(e) * nlev
+			buf = append(buf, flux[base:base+nlev]...)
+		}
+		r.Send(q, tag, buf)
+	}
+	for _, q := range peers {
+		buf := r.Recv(q, tag)
+		pos := 0
+		for _, c := range pl.qRecv[p][q] {
+			base := int(c) * nlev
+			pos += copy(f.Mass[base:base+nlev], buf[pos:])
+			for t := range f.Q {
+				pos += copy(f.Q[t][base:base+nlev], buf[pos:])
+			}
+		}
+		for _, e := range pl.fluxRecv[p][q] {
+			base := int(e) * nlev
+			pos += copy(flux[base:base+nlev], buf[pos:])
+		}
+		if pos != len(buf) {
+			panic("core: tracer exchange size mismatch")
+		}
+	}
+}
+
+// RunDistributedModel integrates dynamics plus tracer transport across
+// nparts ranks: nTrac tracer rounds, each sub-cycling nDyn dynamics
+// steps of dtDyn and advecting tracers over the elapsed interval with
+// the rank-locally accumulated, halo-completed mass flux. The merged
+// final state and tracer field are returned; results match the serial
+// model to rounding.
+func RunDistributedModel(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State, *tracer.Field), nTrac, nDyn int, dtDyn float64) (*dycore.State, *tracer.Field) {
+
+	pl := NewModelPlan(m, nlev, nparts, 12345)
+	finalS := dycore.NewState(m, nlev)
+	finalT := tracer.NewField(m, nlev, finalS.DryMass)
+
+	comm.Run(nparts, func(r *comm.Rank) {
+		p := r.ID()
+		eng := dycore.New(m, nlev, mode)
+		trans := tracer.New(m, nlev, mode)
+		field := tracer.NewField(m, nlev, eng.State().DryMass)
+		initFn(eng.State(), field)
+
+		ex := &exchanger{pl: pl.DistPlan, rank: r, state: eng.State(), peers: pl.peersOf(p), tag: 1000}
+		eng.SetOwned(&dycore.OwnedSets{
+			TendCells: pl.TendCells[p],
+			DiagCells: pl.DiagCells[p],
+			FluxEdges: pl.FluxEdges[p],
+			UEdges:    pl.UEdges[p],
+			Hook:      ex.exchange,
+		})
+		trans.SetOwned(&tracer.OwnedSets{
+			Cells:  pl.TracCells[p],
+			Commit: pl.TendCells[p],
+			Edges:  pl.TracEdges[p],
+		})
+
+		tracTag := 5_000_000
+		for it := 0; it < nTrac; it++ {
+			eng.ResetMassFluxAccum()
+			for id := 0; id < nDyn; id++ {
+				eng.Step(dtDyn)
+			}
+			acc := eng.MassFluxAccum()
+			n := float64(eng.AccumSteps())
+			avg := make([]float64, len(acc))
+			for i, a := range acc {
+				avg[i] = a / n
+			}
+			pl.exchangeTracers(r, field, avg, tracTag)
+			tracTag++
+			trans.Step(field, avg, float64(nDyn)*dtDyn)
+		}
+
+		// Gather owned regions to rank 0.
+		const gatherTag = 9_500_000
+		if p == 0 {
+			mergeOwned(finalS, eng.State(), pl.DistPlan, 0)
+			mergeTracers(finalT, field, pl.TendCells[0], nlev)
+			for q := 1; q < nparts; q++ {
+				buf := r.Recv(q, gatherTag)
+				pos := 0
+				for _, c := range pl.TendCells[q] {
+					base := int(c) * nlev
+					pos += copy(finalT.Mass[base:base+nlev], buf[pos:])
+					for t := range finalT.Q {
+						pos += copy(finalT.Q[t][base:base+nlev], buf[pos:])
+					}
+					pos += copy(finalS.DryMass[base:base+nlev], buf[pos:])
+					pos += copy(finalS.ThetaM[base:base+nlev], buf[pos:])
+				}
+			}
+		} else {
+			var buf []float64
+			for _, c := range pl.TendCells[p] {
+				base := int(c) * nlev
+				buf = append(buf, field.Mass[base:base+nlev]...)
+				for t := range field.Q {
+					buf = append(buf, field.Q[t][base:base+nlev]...)
+				}
+				buf = append(buf, eng.State().DryMass[base:base+nlev]...)
+				buf = append(buf, eng.State().ThetaM[base:base+nlev]...)
+			}
+			r.Send(0, gatherTag, buf)
+		}
+	})
+	return finalS, finalT
+}
+
+// mergeTracers copies the owned tracer columns of src into dst.
+func mergeTracers(dst, src *tracer.Field, cells []int32, nlev int) {
+	for _, c := range cells {
+		base := int(c) * nlev
+		copy(dst.Mass[base:base+nlev], src.Mass[base:base+nlev])
+		for t := range dst.Q {
+			copy(dst.Q[t][base:base+nlev], src.Q[t][base:base+nlev])
+		}
+	}
+}

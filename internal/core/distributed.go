@@ -1,0 +1,288 @@
+package core
+
+import (
+	"sort"
+
+	"gristgo/internal/comm"
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+	"gristgo/internal/precision"
+)
+
+// DistPlan is the precomputed exchange plan of a distributed dynamics
+// run: per-rank ownership sets and the per-peer cell/edge lists moved on
+// every halo exchange. The mesh topology is shared read-only across
+// ranks; each rank advances only its owned cells and edges.
+type DistPlan struct {
+	Mesh   *mesh.Mesh
+	NLev   int
+	NParts int
+	Decomp *partition.Decomposition
+
+	TendCells [][]int32 // per rank: owned cells
+	DiagCells [][]int32 // per rank: owned + one-ring halo
+	UEdges    [][]int32 // per rank: owned edges (owner = part of EdgeCell[0])
+	FluxEdges [][]int32 // per rank: edges of owned cells
+
+	// Exchange lists: for rank p and peer q,
+	// cellSend[p][q] = owned cells of p that q mirrors;
+	// edgeSend[p][q] = owned edges of p that q mirrors.
+	cellSend []map[int][]int32
+	edgeSend []map[int][]int32
+	cellRecv []map[int][]int32
+	edgeRecv []map[int][]int32
+}
+
+// NewDistPlan partitions the mesh into nparts domains and derives all
+// ownership and exchange lists.
+func NewDistPlan(m *mesh.Mesh, nlev, nparts int, seed int64) *DistPlan {
+	d := partition.Decompose(m, nparts, seed)
+	pl := &DistPlan{
+		Mesh: m, NLev: nlev, NParts: nparts, Decomp: d,
+		TendCells: make([][]int32, nparts),
+		DiagCells: make([][]int32, nparts),
+		UEdges:    make([][]int32, nparts),
+		FluxEdges: make([][]int32, nparts),
+		cellSend:  make([]map[int][]int32, nparts),
+		edgeSend:  make([]map[int][]int32, nparts),
+		cellRecv:  make([]map[int][]int32, nparts),
+		edgeRecv:  make([]map[int][]int32, nparts),
+	}
+	part := d.Part
+
+	edgeOwner := func(e int32) int32 { return part[m.EdgeCell[e][0]] }
+
+	for p := 0; p < nparts; p++ {
+		pl.TendCells[p] = d.Owned[p]
+		pl.DiagCells[p] = append(append([]int32(nil), d.Owned[p]...), d.Halo[p]...)
+		pl.cellSend[p] = map[int][]int32{}
+		pl.edgeSend[p] = map[int][]int32{}
+		pl.cellRecv[p] = map[int][]int32{}
+		pl.edgeRecv[p] = map[int][]int32{}
+	}
+
+	// Cell exchange: q receives its halo cells from their owners.
+	for q := 0; q < nparts; q++ {
+		for owner, cells := range d.Peers[q] {
+			pl.cellRecv[q][int(owner)] = cells
+			pl.cellSend[owner][q] = cells
+		}
+	}
+
+	// Edge ownership and ghost-edge exchange.
+	for p := 0; p < nparts; p++ {
+		seen := make(map[int32]bool)
+		var fluxEdges []int32
+		for _, c := range d.Owned[p] {
+			for _, e := range m.CellEdges(c) {
+				if !seen[e] {
+					seen[e] = true
+					fluxEdges = append(fluxEdges, e)
+				}
+			}
+		}
+		// Ghost edges additionally include edges of halo cells (needed
+		// for kinetic energy at halo cells and vorticity at boundary
+		// vertices).
+		ghostSeen := make(map[int32]bool)
+		for _, c := range pl.DiagCells[p] {
+			for _, e := range m.CellEdges(c) {
+				if ghostSeen[e] {
+					continue
+				}
+				ghostSeen[e] = true
+				owner := int(edgeOwner(e))
+				if owner == p {
+					pl.UEdges[p] = append(pl.UEdges[p], e)
+				} else {
+					pl.edgeRecv[p][owner] = append(pl.edgeRecv[p][owner], e)
+				}
+			}
+		}
+		sort.Slice(fluxEdges, func(i, j int) bool { return fluxEdges[i] < fluxEdges[j] })
+		pl.FluxEdges[p] = fluxEdges
+		sort.Slice(pl.UEdges[p], func(i, j int) bool { return pl.UEdges[p][i] < pl.UEdges[p][j] })
+	}
+	// Mirror edge receive lists into the owners' send lists (sorted for
+	// a deterministic wire order).
+	for p := 0; p < nparts; p++ {
+		for owner, edges := range pl.edgeRecv[p] {
+			es := append([]int32(nil), edges...)
+			sort.Slice(es, func(i, j int) bool { return es[i] < es[j] })
+			pl.edgeRecv[p][owner] = es
+			pl.edgeSend[owner][p] = es
+		}
+	}
+	return pl
+}
+
+// peersOf returns the sorted union of cell/edge exchange peers of rank p.
+func (pl *DistPlan) peersOf(p int) []int {
+	set := map[int]bool{}
+	for q := range pl.cellSend[p] {
+		set[q] = true
+	}
+	for q := range pl.cellRecv[p] {
+		set[q] = true
+	}
+	for q := range pl.edgeSend[p] {
+		set[q] = true
+	}
+	for q := range pl.edgeRecv[p] {
+		set[q] = true
+	}
+	peers := make([]int, 0, len(set))
+	for q := range set {
+		peers = append(peers, q)
+	}
+	sort.Ints(peers)
+	return peers
+}
+
+// exchanger performs the per-stage halo refresh for one rank.
+type exchanger struct {
+	pl    *DistPlan
+	rank  *comm.Rank
+	state *dycore.State
+	peers []int
+	tag   int
+}
+
+// exchange refreshes halo cells (DryMass, ThetaM, W, Phi) and ghost
+// edges (U) from their owners, one message per peer (the linked-list
+// aggregation of §3.1.3 applied to the distributed dycore).
+func (ex *exchanger) exchange() {
+	pl := ex.pl
+	p := ex.rank.ID()
+	nlev := pl.NLev
+	ni := nlev + 1
+	s := ex.state
+	tag := ex.tag
+	ex.tag++
+
+	for _, q := range ex.peers {
+		var buf []float64
+		for _, c := range pl.cellSend[p][q] {
+			base := int(c) * nlev
+			ibase := int(c) * ni
+			buf = append(buf, s.DryMass[base:base+nlev]...)
+			buf = append(buf, s.ThetaM[base:base+nlev]...)
+			buf = append(buf, s.W[ibase:ibase+ni]...)
+			buf = append(buf, s.Phi[ibase:ibase+ni]...)
+		}
+		for _, e := range pl.edgeSend[p][q] {
+			base := int(e) * nlev
+			buf = append(buf, s.U[base:base+nlev]...)
+		}
+		ex.rank.Send(q, tag, buf)
+	}
+	for _, q := range ex.peers {
+		buf := ex.rank.Recv(q, tag)
+		pos := 0
+		for _, c := range pl.cellRecv[p][q] {
+			base := int(c) * nlev
+			ibase := int(c) * ni
+			pos += copy(s.DryMass[base:base+nlev], buf[pos:])
+			pos += copy(s.ThetaM[base:base+nlev], buf[pos:])
+			pos += copy(s.W[ibase:ibase+ni], buf[pos:])
+			pos += copy(s.Phi[ibase:ibase+ni], buf[pos:])
+		}
+		for _, e := range pl.edgeRecv[p][q] {
+			base := int(e) * nlev
+			pos += copy(s.U[base:base+nlev], buf[pos:])
+		}
+		if pos != len(buf) {
+			panic("core: distributed exchange size mismatch")
+		}
+	}
+}
+
+// RunDistributedDynamics integrates the dry dynamics for the given number
+// of steps across nparts ranks (goroutines), each owning one domain of
+// the decomposition, with halo exchanges after every internal stage. The
+// initial state is produced by initFn on every rank identically; the
+// merged final state is returned. The result matches a serial run of the
+// same configuration to rounding.
+func RunDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64) *dycore.State {
+
+	pl := NewDistPlan(m, nlev, nparts, 12345)
+	final := dycore.NewState(m, nlev)
+
+	comm.Run(nparts, func(r *comm.Rank) {
+		p := r.ID()
+		eng := dycore.New(m, nlev, mode)
+		initFn(eng.State())
+		ex := &exchanger{pl: pl, rank: r, state: eng.State(), peers: pl.peersOf(p), tag: 1000}
+		eng.SetOwned(&dycore.OwnedSets{
+			TendCells: pl.TendCells[p],
+			DiagCells: pl.DiagCells[p],
+			FluxEdges: pl.FluxEdges[p],
+			UEdges:    pl.UEdges[p],
+			Hook:      ex.exchange,
+		})
+		for i := 0; i < steps; i++ {
+			eng.Step(dt)
+		}
+
+		// Gather owned regions to rank 0.
+		const gatherTag = 9_000_000
+		s := eng.State()
+		ni := nlev + 1
+		if p == 0 {
+			// Copy own region.
+			mergeOwned(final, s, pl, 0)
+			for q := 1; q < nparts; q++ {
+				buf := r.Recv(q, gatherTag)
+				pos := 0
+				for _, c := range pl.TendCells[q] {
+					base := int(c) * nlev
+					ibase := int(c) * ni
+					pos += copy(final.DryMass[base:base+nlev], buf[pos:])
+					pos += copy(final.ThetaM[base:base+nlev], buf[pos:])
+					pos += copy(final.W[ibase:ibase+ni], buf[pos:])
+					pos += copy(final.Phi[ibase:ibase+ni], buf[pos:])
+				}
+				for _, e := range pl.UEdges[q] {
+					base := int(e) * nlev
+					pos += copy(final.U[base:base+nlev], buf[pos:])
+				}
+			}
+		} else {
+			var buf []float64
+			for _, c := range pl.TendCells[p] {
+				base := int(c) * nlev
+				ibase := int(c) * ni
+				buf = append(buf, s.DryMass[base:base+nlev]...)
+				buf = append(buf, s.ThetaM[base:base+nlev]...)
+				buf = append(buf, s.W[ibase:ibase+ni]...)
+				buf = append(buf, s.Phi[ibase:ibase+ni]...)
+			}
+			for _, e := range pl.UEdges[p] {
+				base := int(e) * nlev
+				buf = append(buf, s.U[base:base+nlev]...)
+			}
+			r.Send(0, gatherTag, buf)
+		}
+	})
+	return final
+}
+
+// mergeOwned copies rank p's owned region from src into dst.
+func mergeOwned(dst, src *dycore.State, pl *DistPlan, p int) {
+	nlev := pl.NLev
+	ni := nlev + 1
+	for _, c := range pl.TendCells[p] {
+		base := int(c) * nlev
+		ibase := int(c) * ni
+		copy(dst.DryMass[base:base+nlev], src.DryMass[base:base+nlev])
+		copy(dst.ThetaM[base:base+nlev], src.ThetaM[base:base+nlev])
+		copy(dst.W[ibase:ibase+ni], src.W[ibase:ibase+ni])
+		copy(dst.Phi[ibase:ibase+ni], src.Phi[ibase:ibase+ni])
+	}
+	for _, e := range pl.UEdges[p] {
+		base := int(e) * nlev
+		copy(dst.U[base:base+nlev], src.U[base:base+nlev])
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"io"
+	"math"
+
+	"gristgo/internal/dycore"
+	"gristgo/internal/gdf"
+	"gristgo/internal/tracer"
+)
+
+// WriteHistory emits a GDF history record of the current model state:
+// grid coordinates, surface pressure, skin and lowest-layer temperature,
+// column water vapor, accumulated precipitation rate, and 3-D potential
+// temperature and vapor — the standard contents of a model history file.
+func (mod *Model) WriteHistory(w io.Writer) error {
+	m := mod.Mesh
+	nlev := mod.Cfg.NLev
+	s := mod.Engine.State()
+
+	f := &gdf.File{}
+	f.AddDim("cell", m.NCells)
+	f.AddDim("lev", nlev)
+
+	add := func(name, units, long string, dims []string, data []float64) error {
+		return f.AddVar(gdf.Variable{
+			Name:  name,
+			Attrs: map[string]string{"units": units, "long_name": long},
+			Dims:  dims, Data: data,
+		})
+	}
+
+	latDeg := make([]float64, m.NCells)
+	lonDeg := make([]float64, m.NCells)
+	for c := 0; c < m.NCells; c++ {
+		latDeg[c] = m.CellLat[c] * 180 / math.Pi
+		lonDeg[c] = m.CellLon[c] * 180 / math.Pi
+	}
+	cell := []string{"cell"}
+	if err := add("lat", "degrees_north", "cell center latitude", cell, latDeg); err != nil {
+		return err
+	}
+	if err := add("lon", "degrees_east", "cell center longitude", cell, lonDeg); err != nil {
+		return err
+	}
+	if err := add("ps", "Pa", "dry surface pressure", cell, s.SurfacePressure()); err != nil {
+		return err
+	}
+	if err := add("tskin", "K", "surface skin temperature", cell,
+		append([]float64(nil), mod.In.Tskin...)); err != nil {
+		return err
+	}
+	if err := add("precip", "mm/day", "mean precipitation rate", cell, mod.PrecipRate()); err != nil {
+		return err
+	}
+
+	cwv := make([]float64, m.NCells)
+	theta := make([]float64, m.NCells*nlev)
+	qv := make([]float64, m.NCells*nlev)
+	for c := 0; c < m.NCells; c++ {
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			theta[i] = s.ThetaM[i] / s.DryMass[i]
+			qv[i] = mod.Tracers.MixingRatio(tracer.QV, c, k)
+			cwv[c] += qv[i] * s.DryMass[i] / dycore.Gravity
+		}
+	}
+	if err := add("cwv", "kg/m2", "column water vapor", cell, cwv); err != nil {
+		return err
+	}
+	col := []string{"cell", "lev"}
+	if err := add("theta", "K", "potential temperature", col, theta); err != nil {
+		return err
+	}
+	if err := add("qv", "kg/kg", "water vapor mixing ratio", col, qv); err != nil {
+		return err
+	}
+	return f.Write(w)
+}

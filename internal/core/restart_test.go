@@ -1,0 +1,296 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"gristgo/internal/gdf"
+	"gristgo/internal/physics"
+	"gristgo/internal/precision"
+	"gristgo/internal/synthclim"
+)
+
+// TestRestartReproducibility: run A->B->C; restart from B and re-run to
+// C; the two C states must be bitwise identical (the long-integration
+// requirement real climate models enforce).
+func TestRestartReproducibility(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[1], 0)
+
+	mk := func() *Model {
+		mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6, Mode: precision.Mixed},
+			physics.NewConventional(6), sharedMesh3)
+		mod.InitializeClimate(cl)
+		mod.SetTerrain(synthclim.Terrain)
+		return mod
+	}
+
+	ref := mk()
+	for i := 0; i < 3; i++ {
+		ref.StepPhysics(cl.Season)
+	}
+	var snap bytes.Buffer
+	if err := ref.WriteRestart(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ref.StepPhysics(cl.Season)
+	}
+
+	resumed := mk()
+	if err := resumed.ReadRestart(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		resumed.StepPhysics(cl.Season)
+	}
+
+	cmp := func(name string, a, b []float64) {
+		t.Helper()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] differs after restart: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+	sa, sb := ref.Engine.State(), resumed.Engine.State()
+	cmp("DryMass", sa.DryMass, sb.DryMass)
+	cmp("ThetaM", sa.ThetaM, sb.ThetaM)
+	cmp("U", sa.U, sb.U)
+	cmp("W", sa.W, sb.W)
+	cmp("Phi", sa.Phi, sb.Phi)
+	cmp("qv", ref.Tracers.Q[0], resumed.Tracers.Q[0])
+	cmp("Tskin", ref.In.Tskin, resumed.In.Tskin)
+	cmp("PrecipAccum", ref.PrecipAccum, resumed.PrecipAccum)
+	if ref.TimeSec != resumed.TimeSec {
+		t.Fatalf("TimeSec differs: %v vs %v", ref.TimeSec, resumed.TimeSec)
+	}
+}
+
+func TestRestartRejectsMismatchedGrid(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[0], 0)
+	a := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.Null{}, sharedMesh3)
+	a.InitializeClimate(cl)
+	var buf bytes.Buffer
+	if err := a.WriteRestart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := NewModelOnMesh(Config{GridLevel: 3, NLev: 8}, physics.Null{}, sharedMesh3)
+	if err := b.ReadRestart(&buf); err == nil {
+		t.Fatal("mismatched layer count accepted")
+	}
+}
+
+func TestOrographicPrecipUpslopeOnly(t *testing.T) {
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod.InitializeClimate(cl)
+	mod.SetTerrain(synthclim.Terrain)
+	mod.StepPhysics(cl.Season) // populate In
+
+	oro := mod.OrographicPrecip()
+	var pos, neg int
+	for _, p := range oro {
+		if p > 0 {
+			pos++
+		}
+		if p < 0 {
+			neg++
+		}
+	}
+	if neg != 0 {
+		t.Errorf("%d cells with negative orographic precip", neg)
+	}
+	if pos == 0 {
+		t.Error("no upslope precipitation anywhere despite terrain and wind")
+	}
+	// Flat terrain: no orographic precipitation at all.
+	flat := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+	flat.InitializeClimate(cl)
+	flat.StepPhysics(cl.Season)
+	for c, p := range flat.OrographicPrecip() {
+		if p != 0 {
+			t.Fatalf("flat terrain produced oro precip %v at cell %d", p, c)
+		}
+	}
+}
+
+func TestSetTerrainBarometricConsistency(t *testing.T) {
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.Null{}, sharedMesh3)
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod.InitializeClimate(cl)
+	mod.SetTerrain(synthclim.Terrain)
+
+	s := mod.Engine.State()
+	ps := s.SurfacePressure()
+	for c := 0; c < mod.Mesh.NCells; c++ {
+		h := synthclim.Terrain(mod.Mesh.CellLat[c], mod.Mesh.CellLon[c])
+		if h > 2000 && ps[c] > 85000 {
+			t.Errorf("cell %d at %v m has surface pressure %v Pa", c, h, ps[c])
+		}
+		if h < 10 && math.Abs(ps[c]-1e5) > 500 {
+			t.Errorf("sea-level cell %d has ps %v", c, ps[c])
+		}
+	}
+}
+
+func TestMoistureNudgeKeepsTropicsMoist(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	run := func(tau float64) float64 {
+		mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+		mod.MoistureNudgeTau = tau
+		mod.InitializeClimate(cl)
+		mod.RunHours(12, cl.Season)
+		// Mean low-level vapor in the tropics.
+		var q float64
+		n := 0
+		for c := 0; c < mod.Mesh.NCells; c++ {
+			if math.Abs(mod.Mesh.CellLat[c]) < 0.25 {
+				q += mod.Tracers.MixingRatio(0, c, 5)
+				n++
+			}
+		}
+		return q / float64(n)
+	}
+	withNudge := run(6 * 3600)
+	without := run(0)
+	if withNudge <= without {
+		t.Errorf("nudge did not maintain moisture: %g vs %g", withNudge, without)
+	}
+}
+
+func TestModelWithVerticalRemap(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+	mod.RemapEvery = 2
+	mod.InitializeClimate(cl)
+	mass0 := mod.Engine.State().GlobalDryMass()
+	mod.RunHours(4, cl.Season)
+	s := mod.Engine.State()
+	if rel := math.Abs(s.GlobalDryMass()-mass0) / mass0; rel > 1e-10 {
+		t.Errorf("remap violated dry-mass conservation: %g", rel)
+	}
+	// Layers are near-uniform right after a remap-divisible step count.
+	for c := 0; c < 10; c++ {
+		base := c * 6
+		for k := 1; k < 6; k++ {
+			if d := math.Abs(s.DryMass[base+k]-s.DryMass[base]) / s.DryMass[base]; d > 0.2 {
+				t.Fatalf("layers strongly non-uniform despite remap (cell %d: %g)", c, d)
+			}
+		}
+	}
+}
+
+func TestStepPhysicsTimedMatchesUntimed(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mk := func() *Model {
+		mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+		mod.InitializeClimate(cl)
+		return mod
+	}
+	a, b := mk(), mk()
+	tm := NewTimings()
+	for i := 0; i < 2; i++ {
+		a.StepPhysics(cl.Season)
+		b.StepPhysicsTimed(cl.Season, tm)
+	}
+	sa, sb := a.Engine.State(), b.Engine.State()
+	for i := range sa.DryMass {
+		if sa.DryMass[i] != sb.DryMass[i] {
+			t.Fatalf("timed path diverged at %d", i)
+		}
+	}
+	// Timing report contains the expected components with nonzero time.
+	rep := tm.Report()
+	for _, want := range []string{"dynamics", "tracer_transport", "physics_Conventional", "coupling_input"} {
+		if !contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if tm.Total() <= 0 {
+		t.Error("no time recorded")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}
+
+func TestAquaplanetAllOcean(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[1], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+	mod.InitializeAquaplanet(cl)
+	for c := 0; c < mod.Mesh.NCells; c++ {
+		if mod.Land[c] != 0 {
+			t.Fatalf("cell %d has land on the aquaplanet", c)
+		}
+		if math.IsNaN(mod.SSTFix[c]) {
+			t.Fatalf("cell %d has no prescribed SST", c)
+		}
+		if mod.Engine.State().PhiSurf[c] != 0 {
+			t.Fatalf("cell %d has terrain", c)
+		}
+	}
+	// Zonal symmetry of the initial state: cells at the same latitude
+	// share SST.
+	type key int
+	seen := map[int]float64{}
+	for c := 0; c < mod.Mesh.NCells; c++ {
+		b := int((mod.Mesh.CellLat[c] + 2) * 1e6)
+		if v, ok := seen[b]; ok {
+			if math.Abs(v-mod.SSTFix[c]) > 1e-9 {
+				t.Fatalf("SST not zonally symmetric")
+			}
+		}
+		seen[b] = mod.SSTFix[c]
+	}
+	// Runs stably.
+	mod.RunHours(3, cl.Season)
+	for _, u := range mod.Engine.State().U {
+		if math.IsNaN(u) {
+			t.Fatal("aquaplanet run produced NaN")
+		}
+	}
+}
+
+func TestWriteHistoryRoundTrip(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+	mod.InitializeClimate(cl)
+	mod.RunHours(1, cl.Season)
+
+	var buf bytes.Buffer
+	if err := mod.WriteHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := gdf.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DimSize("cell") != mod.Mesh.NCells || f.DimSize("lev") != 6 {
+		t.Fatalf("dims: %+v", f.Dims)
+	}
+	for _, name := range []string{"lat", "lon", "ps", "tskin", "precip", "cwv", "theta", "qv"} {
+		v := f.Var(name)
+		if v == nil {
+			t.Fatalf("missing variable %q", name)
+		}
+		if v.Attrs["units"] == "" {
+			t.Errorf("%s has no units attribute", name)
+		}
+	}
+	ps := f.Var("ps").Data
+	want := mod.Engine.State().SurfacePressure()
+	for i := range ps {
+		if ps[i] != want[i] {
+			t.Fatalf("ps[%d] mismatch", i)
+		}
+	}
+	// Column water vapor is physically plausible (earth range 0-80).
+	for _, v := range f.Var("cwv").Data {
+		if v < 0 || v > 120 {
+			t.Fatalf("cwv = %v", v)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gristgo/internal/dycore"
+)
+
+// Timings accumulates wall time per model component, mirroring the
+// per-kernel timing log the GRIST artifact prints ("you can obtain the
+// runtime of this task and many kernels").
+type Timings struct {
+	byName map[string]time.Duration
+	calls  map[string]int
+}
+
+// NewTimings returns an empty accumulator.
+func NewTimings() *Timings {
+	return &Timings{byName: map[string]time.Duration{}, calls: map[string]int{}}
+}
+
+// Add records one timed invocation of a component.
+func (t *Timings) Add(name string, d time.Duration) {
+	t.byName[name] += d
+	t.calls[name]++
+}
+
+// Time runs f and records its duration under name.
+func (t *Timings) Time(name string, f func()) {
+	start := time.Now()
+	f()
+	t.Add(name, time.Since(start))
+}
+
+// Total returns the summed duration.
+func (t *Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, d := range t.byName {
+		sum += d
+	}
+	return sum
+}
+
+// Report renders a per-component table sorted by time share, in the
+// style of the model's log file.
+func (t *Timings) Report() string {
+	names := make([]string, 0, len(t.byName))
+	for n := range t.byName {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return t.byName[names[i]] > t.byName[names[j]] })
+	total := t.Total()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %8s %8s\n", "component", "time", "calls", "share")
+	for _, n := range names {
+		share := 0.0
+		if total > 0 {
+			share = float64(t.byName[n]) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, "%-24s %12s %8d %7.1f%%\n", n, t.byName[n].Round(time.Microsecond), t.calls[n], share)
+	}
+	return b.String()
+}
+
+// StepPhysicsTimed advances one physics step while attributing wall time
+// to the dynamics, tracer transport, physics and coupling components.
+func (mod *Model) StepPhysicsTimed(season float64, tm *Timings) {
+	st := mod.Cfg.Steps
+	nDyn, nTrac, dtTrac, dtPhy := mod.EffectiveSteps()
+
+	for it := 0; it < nTrac; it++ {
+		mod.Engine.ResetMassFluxAccum()
+		tm.Time("dynamics", func() {
+			for id := 0; id < nDyn; id++ {
+				mod.Engine.Step(st.Dyn)
+				mod.TimeSec += st.Dyn
+			}
+		})
+		tm.Time("tracer_transport", func() {
+			acc := mod.Engine.MassFluxAccum()
+			n := float64(mod.Engine.AccumSteps())
+			avg := make([]float64, len(acc))
+			for i, a := range acc {
+				avg[i] = a / n
+			}
+			mod.Transport.Step(mod.Tracers, avg, dtTrac)
+		})
+	}
+
+	tm.Time("coupling_input", func() { mod.computePhysicsInput(season) })
+	tm.Time("physics_"+strings.ReplaceAll(mod.Physics.Name(), " ", "_"), func() {
+		mod.Physics.Compute(mod.In, mod.Out, dtPhy)
+	})
+	tm.Time("coupling_output", func() { mod.applyPhysicsOutput(dtPhy) })
+
+	mod.stepCount++
+	if mod.RemapEvery > 0 && mod.stepCount%mod.RemapEvery == 0 {
+		tm.Time("vertical_remap", func() {
+			verticalRemapModel(mod)
+		})
+	}
+}
+
+// verticalRemapModel is split out so the timed and untimed paths share
+// one call site.
+func verticalRemapModel(mod *Model) {
+	dycore.VerticalRemap(mod.Engine.State(), mod.Tracers)
+}

@@ -1,0 +1,129 @@
+// Package diag provides the global diagnostics a climate modeler expects
+// from a run: area-weighted global means, zonal-mean profiles, budgets,
+// and simple text rendering. The examples and cmd/grist use it to print
+// the summary statistics the paper's log files report.
+package diag
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gristgo/internal/mesh"
+)
+
+// GlobalMean returns the area-weighted mean of a cell field.
+func GlobalMean(m *mesh.Mesh, x []float64) float64 {
+	var s, w float64
+	for c := 0; c < m.NCells; c++ {
+		s += x[c] * m.CellArea[c]
+		w += m.CellArea[c]
+	}
+	return s / w
+}
+
+// GlobalMinMax returns the extrema of a cell field.
+func GlobalMinMax(x []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// ZonalMean bins a cell field into nBins latitude bands and returns the
+// band centers (radians) and area-weighted means. Empty bands return NaN.
+func ZonalMean(m *mesh.Mesh, x []float64, nBins int) (lat, mean []float64) {
+	lat = make([]float64, nBins)
+	mean = make([]float64, nBins)
+	w := make([]float64, nBins)
+	for b := 0; b < nBins; b++ {
+		lat[b] = -math.Pi/2 + (float64(b)+0.5)*math.Pi/float64(nBins)
+	}
+	for c := 0; c < m.NCells; c++ {
+		b := int((m.CellLat[c] + math.Pi/2) / math.Pi * float64(nBins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		mean[b] += x[c] * m.CellArea[c]
+		w[b] += m.CellArea[c]
+	}
+	for b := 0; b < nBins; b++ {
+		if w[b] > 0 {
+			mean[b] /= w[b]
+		} else {
+			mean[b] = math.NaN()
+		}
+	}
+	return lat, mean
+}
+
+// ZonalProfileASCII renders a zonal-mean profile as a sideways bar chart
+// (south pole at the top), for terminal inspection.
+func ZonalProfileASCII(latRad, mean []float64, width int, unit string) string {
+	lo, hi := GlobalMinMax(finite(mean))
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for i := range mean {
+		deg := latRad[i] * 180 / math.Pi
+		if math.IsNaN(mean[i]) {
+			fmt.Fprintf(&b, "%+6.1f |\n", deg)
+			continue
+		}
+		n := int(float64(width) * (mean[i] - lo) / span)
+		fmt.Fprintf(&b, "%+6.1f |%s %.3g %s\n", deg, strings.Repeat("#", n), mean[i], unit)
+	}
+	return b.String()
+}
+
+func finite(xs []float64) []float64 {
+	out := xs[:0:0]
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return []float64{0}
+	}
+	return out
+}
+
+// AreaWeightedRMS returns the area-weighted root-mean-square of a field.
+func AreaWeightedRMS(m *mesh.Mesh, x []float64) float64 {
+	var s, w float64
+	for c := 0; c < m.NCells; c++ {
+		s += x[c] * x[c] * m.CellArea[c]
+		w += m.CellArea[c]
+	}
+	return math.Sqrt(s / w)
+}
+
+// PatternCorrelation is the area-weighted Pearson correlation of two
+// fields (convenience re-export used by examples; the experiments use
+// synthclim.SpatialCorrelation which also supports masks).
+func PatternCorrelation(m *mesh.Mesh, a, b []float64) float64 {
+	am, bm := GlobalMean(m, a), GlobalMean(m, b)
+	var cov, va, vb float64
+	for c := 0; c < m.NCells; c++ {
+		w := m.CellArea[c]
+		cov += w * (a[c] - am) * (b[c] - bm)
+		va += w * (a[c] - am) * (a[c] - am)
+		vb += w * (b[c] - bm) * (b[c] - bm)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

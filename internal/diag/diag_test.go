@@ -1,0 +1,91 @@
+package diag
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gristgo/internal/mesh"
+)
+
+var m3 = mesh.New(3)
+
+func TestGlobalMeanConstantField(t *testing.T) {
+	x := make([]float64, m3.NCells)
+	for i := range x {
+		x[i] = 42
+	}
+	if got := GlobalMean(m3, x); math.Abs(got-42) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGlobalMeanWeighting(t *testing.T) {
+	// sin(lat) integrates to zero over the sphere with area weights.
+	x := make([]float64, m3.NCells)
+	for c := range x {
+		x[c] = math.Sin(m3.CellLat[c])
+	}
+	if got := GlobalMean(m3, x); math.Abs(got) > 1e-3 {
+		t.Errorf("area-weighted mean of sin(lat) = %v, want ~0", got)
+	}
+}
+
+func TestZonalMeanRecoversLatFunction(t *testing.T) {
+	x := make([]float64, m3.NCells)
+	for c := range x {
+		x[c] = 3 * m3.CellLat[c]
+	}
+	lat, mean := ZonalMean(m3, x, 18)
+	for b := range lat {
+		if math.IsNaN(mean[b]) {
+			continue
+		}
+		if math.Abs(mean[b]-3*lat[b]) > 0.2 {
+			t.Errorf("bin %d: mean %v at lat %v", b, mean[b], lat[b])
+		}
+	}
+}
+
+func TestZonalProfileASCII(t *testing.T) {
+	lat, mean := ZonalMean(m3, m3.CellLat, 10)
+	art := ZonalProfileASCII(lat, mean, 20, "rad")
+	if len(strings.Split(strings.TrimSpace(art), "\n")) != 10 {
+		t.Errorf("profile lines wrong:\n%s", art)
+	}
+	if !strings.Contains(art, "#") {
+		t.Error("no bars rendered")
+	}
+}
+
+func TestAreaWeightedRMS(t *testing.T) {
+	x := make([]float64, m3.NCells)
+	for i := range x {
+		x[i] = -2
+	}
+	if got := AreaWeightedRMS(m3, x); math.Abs(got-2) > 1e-12 {
+		t.Errorf("rms = %v", got)
+	}
+}
+
+func TestPatternCorrelation(t *testing.T) {
+	a := make([]float64, m3.NCells)
+	b := make([]float64, m3.NCells)
+	for c := range a {
+		a[c] = math.Sin(2 * m3.CellLat[c])
+		b[c] = -a[c]
+	}
+	if r := PatternCorrelation(m3, a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self corr %v", r)
+	}
+	if r := PatternCorrelation(m3, a, b); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti corr %v", r)
+	}
+}
+
+func TestGlobalMinMax(t *testing.T) {
+	lo, hi := GlobalMinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("minmax = %v %v", lo, hi)
+	}
+}

@@ -1,0 +1,391 @@
+package dycore
+
+import (
+	"math"
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/precision"
+)
+
+func testMesh(t testing.TB, level int) *mesh.Mesh {
+	t.Helper()
+	return mesh.New(level).ReorderBFS()
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func TestIsothermalRestIsSteady(t *testing.T) {
+	m := testMesh(t, 3)
+	eng := New(m, 10, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(280)
+
+	ps0 := s.SurfacePressure()
+	for i := 0; i < 10; i++ {
+		eng.Step(60)
+	}
+	ps := s.SurfacePressure()
+	if dev := precision.RelL2(ps, ps0); dev > 1e-6 {
+		t.Errorf("surface pressure drifted: relL2 = %g", dev)
+	}
+	if u := maxAbs(s.U); u > 1e-4 {
+		t.Errorf("spurious winds developed: max|u| = %g m/s", u)
+	}
+	if w := maxAbs(s.W); w > 1e-4 {
+		t.Errorf("spurious vertical motion: max|w| = %g m/s", w)
+	}
+}
+
+func TestDryMassConservation(t *testing.T) {
+	m := testMesh(t, 3)
+	eng := New(m, 8, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(300)
+	s.AddThermalBubble(0.3, 1.0, 0.2, 5)
+	s.AddSolidBodyWind(20)
+
+	mass0 := s.GlobalDryMass()
+	for i := 0; i < 20; i++ {
+		eng.Step(60)
+	}
+	mass := s.GlobalDryMass()
+	if rel := math.Abs(mass-mass0) / mass0; rel > 1e-12 {
+		t.Errorf("dry mass drifted by %g (relative)", rel)
+	}
+}
+
+func TestBubbleDrivesMotionButStaysStable(t *testing.T) {
+	m := testMesh(t, 3)
+	eng := New(m, 10, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(300)
+	s.AddThermalBubble(0.0, 0.0, 0.15, 8)
+
+	for i := 0; i < 60; i++ {
+		eng.Step(60)
+	}
+	u := maxAbs(s.U)
+	if u < 1e-3 {
+		t.Errorf("bubble produced no motion: max|u| = %g", u)
+	}
+	if u > 150 {
+		t.Errorf("run unstable: max|u| = %g", u)
+	}
+	for i, d := range s.DryMass {
+		if d <= 0 || math.IsNaN(d) {
+			t.Fatalf("non-positive dry mass at %d: %v", i, d)
+		}
+	}
+}
+
+func TestImplicitSolverAllowsAcousticCFLViolation(t *testing.T) {
+	// With ~10 layers over 40 km, a vertically explicit scheme would
+	// need dt < dz/c ~ 4000/340 ~ 12 s. The implicit solve must be
+	// stable far beyond that.
+	m := testMesh(t, 2)
+	eng := New(m, 10, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(280)
+	s.AddThermalBubble(0.5, 0.5, 0.2, 10)
+	for i := 0; i < 20; i++ {
+		eng.Step(120) // 10x the vertical acoustic CFL limit
+	}
+	if w := maxAbs(s.W); w > 100 || math.IsNaN(w) {
+		t.Errorf("implicit vertical solve unstable: max|w| = %g", w)
+	}
+}
+
+func TestMixedPrecisionWithinThreshold(t *testing.T) {
+	// §3.4.1: ps and vor of the mixed run must stay within 5% relative
+	// L2 of the double-precision gold standard.
+	m := testMesh(t, 3)
+
+	run := func(mode precision.Mode) ([]float64, []float64) {
+		eng := New(m, 8, mode)
+		s := eng.State()
+		s.IsothermalRest(300)
+		s.AddThermalBubble(0.4, 2.0, 0.25, 6)
+		s.AddSolidBodyWind(25)
+		for i := 0; i < 30; i++ {
+			eng.Step(60)
+		}
+		return s.SurfacePressure(), eng.VorticityAtLevel(4)
+	}
+	psDP, vorDP := run(precision.DP)
+	psMX, vorMX := run(precision.Mixed)
+
+	dev := precision.Measure(psMX, psDP, vorMX, vorDP)
+	if !dev.Acceptable() {
+		t.Errorf("mixed precision deviation too large: ps=%.4f vor=%.4f", dev.Ps, dev.Vor)
+	}
+	t.Logf("mixed-precision deviation: ps=%.2e vor=%.2e (threshold %.2f)", dev.Ps, dev.Vor, precision.ErrorThreshold)
+}
+
+func TestMassFluxAccumulatorIsDP(t *testing.T) {
+	m := testMesh(t, 2)
+	eng := New(m, 6, precision.Mixed)
+	s := eng.State()
+	s.IsothermalRest(290)
+	s.AddSolidBodyWind(15)
+
+	eng.Step(60)
+	eng.Step(60)
+	if eng.AccumSteps() != 2 {
+		t.Fatalf("AccumSteps = %d", eng.AccumSteps())
+	}
+	acc := eng.MassFluxAccum()
+	if maxAbs(acc) == 0 {
+		t.Fatal("mass flux accumulator empty after steps with wind")
+	}
+	eng.ResetMassFluxAccum()
+	if eng.AccumSteps() != 0 || maxAbs(eng.MassFluxAccum()) != 0 {
+		t.Fatal("reset did not clear accumulator")
+	}
+}
+
+func TestApplyHeatingWarmsColumn(t *testing.T) {
+	m := testMesh(t, 2)
+	eng := New(m, 6, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(280)
+
+	q1 := make([]float64, m.NCells*6)
+	target := 100 // one column
+	for k := 0; k < 6; k++ {
+		q1[target*6+k] = 1.0 / 3600 // 1 K/h
+	}
+	before := s.Theta(target, 3)
+	eng.ApplyHeating(q1, 3600)
+	after := s.Theta(target, 3)
+	// 1 K of temperature is slightly more than 1 K of theta at p<p0.
+	if after-before < 0.9 {
+		t.Errorf("heating raised theta by %g, want ~>=1", after-before)
+	}
+	// Other columns untouched.
+	if d := s.Theta(5, 3) - before; math.Abs(d) > 1e-12 {
+		t.Errorf("heating leaked to other columns: %g", d)
+	}
+}
+
+func TestHydrostaticRebalanceMatchesIsothermal(t *testing.T) {
+	m := testMesh(t, 2)
+	s := NewState(m, 8)
+	s.IsothermalRest(280)
+	phi0 := append([]float64(nil), s.Phi...)
+	HydrostaticRebalance(s)
+	for i := range phi0 {
+		if math.Abs(s.Phi[i]-phi0[i]) > 1e-6*(1+math.Abs(phi0[i])) {
+			t.Fatalf("rebalance changed phi[%d]: %g vs %g", i, s.Phi[i], phi0[i])
+		}
+	}
+}
+
+func TestVorticityMatchesMeshOperator(t *testing.T) {
+	m := testMesh(t, 3)
+	eng := New(m, 4, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(280)
+	s.AddSolidBodyWind(30)
+	vor := eng.VorticityAtLevel(2)
+	// Solid body rotation: zeta = 2*u0/R*sin(lat).
+	var worst float64
+	for v := 0; v < m.NVerts; v++ {
+		lat, _ := m.VertPos[v].LatLon()
+		want := 2 * 30.0 / m.Radius * math.Sin(lat)
+		if d := math.Abs(vor[v] - want); d > worst {
+			worst = d
+		}
+	}
+	if scale := 2 * 30.0 / m.Radius; worst > 0.1*scale {
+		t.Errorf("vorticity error %g (scale %g)", worst, scale)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := testMesh(t, 1)
+	s := NewState(m, 4)
+	s.IsothermalRest(280)
+	c := s.Clone()
+	c.DryMass[0] += 5
+	if s.DryMass[0] == c.DryMass[0] {
+		t.Fatal("clone aliases DryMass")
+	}
+}
+
+func TestVortexInjectsCyclonicCirculation(t *testing.T) {
+	m := testMesh(t, 4)
+	s := NewState(m, 6)
+	s.IsothermalRest(300)
+	lat0, lon0 := 0.35, 2.1
+	s.AddVortex(lat0, lon0, 30, 0.05)
+	// Vorticity near the center should be strongly positive (NH cyclone).
+	eng := NewFromState(s, precision.DP)
+	vor := eng.VorticityAtLevel(5)
+	center := mesh.FromLatLon(lat0, lon0)
+	var near float64
+	n := 0
+	for v := 0; v < m.NVerts; v++ {
+		if mesh.ArcLength(m.VertPos[v], center) < 0.05 {
+			near += vor[v]
+			n++
+		}
+	}
+	if n == 0 || near/float64(n) <= 0 {
+		t.Errorf("no cyclonic vorticity at vortex center: mean=%g over %d verts", near/float64(n), n)
+	}
+}
+
+// TestHostParallelismMatchesSerial: the OpenMP-analog shared-memory
+// execution must reproduce the serial results exactly (loops are
+// conflict-free per entity, so only scheduling changes).
+func TestHostParallelismMatchesSerial(t *testing.T) {
+	m := testMesh(t, 3)
+	run := func(workers int) *State {
+		eng := New(m, 8, precision.Mixed)
+		eng.SetHostParallelism(workers)
+		s := eng.State()
+		s.InitIdealized(CaseTropicalCyclone)
+		for i := 0; i < 5; i++ {
+			eng.Step(90)
+		}
+		return s
+	}
+	serial := run(1)
+	parallel := run(8)
+	cmp := func(name string, a, b []float64) {
+		t.Helper()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: %v != %v", name, i, a[i], b[i])
+			}
+		}
+	}
+	cmp("DryMass", serial.DryMass, parallel.DryMass)
+	cmp("ThetaM", serial.ThetaM, parallel.ThetaM)
+	cmp("U", serial.U, parallel.U)
+	cmp("W", serial.W, parallel.W)
+	cmp("Phi", serial.Phi, parallel.Phi)
+}
+
+// TestSpongeLayerDampsTopWinds: winds confined to the top layer decay
+// much faster than mid-level winds.
+func TestSpongeLayerDampsTopWinds(t *testing.T) {
+	m := testMesh(t, 2)
+	eng := New(m, 8, precision.DP)
+	s := eng.State()
+	s.IsothermalRest(280)
+	// Same wind at the top layer (k=0) and a mid layer (k=4).
+	for e := 0; e < m.NEdges; e++ {
+		lat, _ := m.EdgePos[e].LatLon()
+		east, _ := mesh.TangentBasis(m.EdgePos[e])
+		un := east.Scale(10 * math.Cos(lat)).Dot(m.EdgeNormal[e])
+		s.U[e*8+0] = un
+		s.U[e*8+4] = un
+	}
+	amp := func(k int) float64 {
+		var a float64
+		for e := 0; e < m.NEdges; e++ {
+			a += s.U[e*8+k] * s.U[e*8+k]
+		}
+		return a
+	}
+	top0, mid0 := amp(0), amp(4)
+	for i := 0; i < 10; i++ {
+		eng.Step(120)
+	}
+	topDecay := amp(0) / top0
+	midDecay := amp(4) / mid0
+	if topDecay > 0.5*midDecay {
+		t.Errorf("sponge ineffective: top retains %.3f, mid %.3f", topDecay, midDecay)
+	}
+}
+
+func TestSpongeRateProfile(t *testing.T) {
+	nlev := 10
+	if spongeRate(0, nlev) <= spongeRate(1, nlev) {
+		t.Error("sponge not strongest at the top")
+	}
+	for k := 2; k < nlev; k++ {
+		if spongeRate(k, nlev) != 0 {
+			t.Errorf("sponge leaks into layer %d", k)
+		}
+	}
+}
+
+// TestHyperdiffusionScaleSelectivity: del^4 must damp a grid-scale
+// (checkerboard-like) wind perturbation much faster than a planetary-
+// scale one, relative to what del^2 does.
+func TestHyperdiffusionScaleSelectivity(t *testing.T) {
+	m := testMesh(t, 3)
+	nlev := 4
+
+	energy := func(u []float64, edges []int32) float64 {
+		var s float64
+		for _, e := range edges {
+			s += u[int(e)*nlev] * u[int(e)*nlev]
+		}
+		return s
+	}
+	all := make([]int32, m.NEdges)
+	for i := range all {
+		all[i] = int32(i)
+	}
+
+	run := func(hyper bool, gridScale bool) float64 {
+		eng := New(m, nlev, precision.DP)
+		if hyper {
+			eng.EnableHyperdiffusion()
+		}
+		s := eng.State()
+		s.IsothermalRest(280)
+		for e := 0; e < m.NEdges; e++ {
+			var amp float64
+			if gridScale {
+				amp = 2 * float64(e%2*2-1) // alternating-sign noise
+			} else {
+				lat, _ := m.EdgePos[e].LatLon()
+				amp = 2 * math.Sin(lat)
+			}
+			for k := 0; k < nlev; k++ {
+				s.U[e*nlev+k] = amp
+			}
+		}
+		e0 := energy(s.U, all)
+		for i := 0; i < 10; i++ {
+			eng.Step(60)
+		}
+		return energy(s.U, all) / e0
+	}
+
+	// Hyperdiffusion kills grid noise hard...
+	noiseH := run(true, true)
+	if noiseH > 0.5 {
+		t.Errorf("hyperdiffusion retained %.3f of grid noise", noiseH)
+	}
+	// ...while sparing the planetary scale far more than it spares noise.
+	smoothH := run(true, false)
+	if smoothH < 2*noiseH {
+		t.Errorf("hyperdiffusion not scale-selective: smooth %.3f vs noise %.3f", smoothH, noiseH)
+	}
+}
+
+func TestHyperdiffusionRejectsDistributed(t *testing.T) {
+	m := testMesh(t, 2)
+	eng := New(m, 4, precision.DP)
+	eng.SetOwned(&OwnedSets{})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic enabling hyperdiffusion on a distributed engine")
+		}
+	}()
+	eng.EnableHyperdiffusion()
+}

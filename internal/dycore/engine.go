@@ -1,0 +1,631 @@
+package dycore
+
+import (
+	"math"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/precision"
+)
+
+// Engine integrates the nonhydrostatic equations. Two instantiations
+// exist behind this interface: the double-precision reference and the
+// mixed-precision build, which demotes the precision-insensitive
+// advective work arrays to float32 while keeping pressure-gradient and
+// gravity terms — and the accumulated tracer mass flux — in float64
+// (§3.4.2).
+type Engine interface {
+	// Step advances the state by one dynamics timestep (HEVI: 3-stage
+	// explicit horizontal Runge-Kutta + implicit vertical solve).
+	Step(dt float64)
+	// State returns the prognostic state (always float64 storage).
+	State() *State
+	// Mode reports the precision configuration.
+	Mode() precision.Mode
+	// MassFluxAccum returns the edge mass flux accumulated in double
+	// precision since the last reset, for the tracer transport
+	// sub-cycling (the one term of the tracer equation that must stay
+	// FP64 — §3.4.2). Units: Pa m/s, summed over accumulated steps.
+	MassFluxAccum() []float64
+	// AccumSteps returns how many dynamics steps are in the accumulator.
+	AccumSteps() int
+	// ResetMassFluxAccum zeroes the accumulator.
+	ResetMassFluxAccum()
+	// VorticityAtLevel diagnoses relative vorticity at dual vertices.
+	VorticityAtLevel(k int) []float64
+	// ApplyHeating adds a potential-temperature tendency from a heating
+	// rate Q1 (K/s of temperature), cell-major [c*NLev+k], over dt.
+	ApplyHeating(q1 []float64, dt float64)
+	// SetOwned restricts computation to the given entity sets for
+	// distributed runs (nil resets to serial full-mesh operation). The
+	// Hook runs after every internal stage so the driver can refresh
+	// halos.
+	SetOwned(o *OwnedSets)
+	// SetHostParallelism runs the entity loops across n host workers
+	// (shared-memory OpenMP analog; 0/1 = serial, negative = all CPUs).
+	SetHostParallelism(n int)
+	// EnableHyperdiffusion replaces the del^2 closure with scale-
+	// selective del^4 (serial engines only).
+	EnableHyperdiffusion()
+}
+
+// OwnedSets describes one rank's share of the mesh for distributed runs:
+// TendCells receive prognostic updates (owned cells); DiagCells
+// additionally include the one-ring halo, where diagnostic quantities
+// (density, pressure, kinetic energy) must be valid; FluxEdges are the
+// edges of owned cells, where mass fluxes are formed; UEdges are the
+// owned edges whose normal velocity this rank advances. Hook is invoked
+// after each internal stage so the caller can exchange halos.
+type OwnedSets struct {
+	TendCells []int32
+	DiagCells []int32
+	FluxEdges []int32
+	UEdges    []int32
+	Hook      func()
+}
+
+// New creates an Engine over the mesh with nlev layers in the given
+// precision mode.
+func New(m *mesh.Mesh, nlev int, mode precision.Mode) Engine {
+	s := NewState(m, nlev)
+	return NewFromState(s, mode)
+}
+
+// NewFromState wraps an existing state in an Engine.
+func NewFromState(s *State, mode precision.Mode) Engine {
+	if mode == precision.Mixed {
+		return newEngine[float32](s, mode)
+	}
+	return newEngine[float64](s, mode)
+}
+
+// engine is the generic integrator; T is the working precision of the
+// insensitive terms.
+type engine[T precision.Real] struct {
+	s    *State
+	mode precision.Mode
+
+	// Active sets for distributed runs; nil means every entity.
+	owned *OwnedSets
+
+	// Host worker count for shared-memory parallel loops (<=1: serial).
+	workers int
+
+	// Work arrays in switchable precision T (advective terms, kinetic
+	// energy, vorticity, tangential winds — the insensitive terms).
+	massEdge  []T // reconstructed delta-pi at edges
+	thetaEdge []T // reconstructed theta at edges
+	flux      []T // delta-pi * u at edges
+	ke        []T // kinetic energy at cells
+	zeta      []T // relative vorticity at dual vertices
+	vtan      []T // TRiSK tangential velocity at edges
+	rrr       []T // reciprocal density (specific volume) per cell/level
+
+	// Sensitive diagnostics kept in float64 (pressure gradient, gravity).
+	pres  []float64 // full nonhydrostatic layer pressure
+	exner []float64 // Exner function per layer
+	pmid  []float64 // dry-mass mid-layer pressure (pi)
+
+	// Tendencies (always float64 accumulation).
+	dMass  []float64
+	dTheta []float64
+	dU     []float64
+
+	// Double-precision accumulated mass flux for tracer transport.
+	massFluxAcc []float64
+	accumSteps  int
+
+	// RK3 stage-zero state (reused across steps to avoid per-step
+	// allocation).
+	saveMass, saveTheta, saveU []float64
+
+	// Horizontal diffusion coefficients, scaled with mesh spacing at
+	// construction: nu is the del^2 background, nu4 the optional
+	// scale-selective del^4 (enabled by EnableHyperdiffusion).
+	nu  float64
+	nu4 float64
+
+	// lapU holds the vector Laplacian of u when hyperdiffusion is on.
+	lapU []float64
+}
+
+func newEngine[T precision.Real](s *State, mode precision.Mode) *engine[T] {
+	m := s.M
+	nlev := s.NLev
+	e := &engine[T]{
+		s:    s,
+		mode: mode,
+
+		massEdge:  make([]T, m.NEdges*nlev),
+		thetaEdge: make([]T, m.NEdges*nlev),
+		flux:      make([]T, m.NEdges*nlev),
+		ke:        make([]T, m.NCells*nlev),
+		zeta:      make([]T, m.NVerts*nlev),
+		vtan:      make([]T, m.NEdges*nlev),
+		rrr:       make([]T, m.NCells*nlev),
+
+		pres:  make([]float64, m.NCells*nlev),
+		exner: make([]float64, m.NCells*nlev),
+		pmid:  make([]float64, m.NCells*nlev),
+
+		dMass:  make([]float64, m.NCells*nlev),
+		dTheta: make([]float64, m.NCells*nlev),
+		dU:     make([]float64, m.NEdges*nlev),
+
+		massFluxAcc: make([]float64, m.NEdges*nlev),
+	}
+	// Scale-selective damping: nu ~ dx^2 / tau with tau ~ 2h.
+	meanDx := meanEdgeLength(m)
+	e.nu = meanDx * meanDx / 7200.0
+	return e
+}
+
+func meanEdgeLength(m *mesh.Mesh) float64 {
+	var s float64
+	for e := 0; e < m.NEdges; e++ {
+		s += m.DcEdge[e]
+	}
+	return s / float64(m.NEdges)
+}
+
+func (e *engine[T]) State() *State            { return e.s }
+func (e *engine[T]) Mode() precision.Mode     { return e.mode }
+func (e *engine[T]) MassFluxAccum() []float64 { return e.massFluxAcc }
+func (e *engine[T]) AccumSteps() int          { return e.accumSteps }
+
+func (e *engine[T]) ResetMassFluxAccum() {
+	for i := range e.massFluxAcc {
+		e.massFluxAcc[i] = 0
+	}
+	e.accumSteps = 0
+}
+
+func (e *engine[T]) SetOwned(o *OwnedSets) { e.owned = o }
+
+// EnableHyperdiffusion switches the background del^2 closure to a
+// scale-selective del^4 hyperdiffusion (the higher-order dissipation
+// real GSRMs use: it damps grid-scale noise hard while leaving resolved
+// scales nearly untouched). Serial (full-mesh) runs only: the del^4
+// stencil spans two rings, beyond the distributed halo.
+func (e *engine[T]) EnableHyperdiffusion() {
+	if e.owned != nil {
+		panic("dycore: hyperdiffusion requires a full-mesh (serial) engine")
+	}
+	m := e.s.M
+	meanDx := meanEdgeLength(m)
+	// nu4 ~ dx^4 / tau with tau ~ 2h at the grid scale.
+	e.nu4 = meanDx * meanDx * meanDx * meanDx / 7200.0
+	e.nu = 0
+	e.lapU = make([]float64, m.NEdges*e.s.NLev)
+}
+
+func (e *engine[T]) hookStage() {
+	if e.owned != nil && e.owned.Hook != nil {
+		e.owned.Hook()
+	}
+}
+
+// iterate runs f over the given id set, or over [0, n) when ids is nil.
+func iterate(ids []int32, n int, f func(int32)) {
+	if ids == nil {
+		for i := int32(0); i < int32(n); i++ {
+			f(i)
+		}
+		return
+	}
+	for _, i := range ids {
+		f(i)
+	}
+}
+
+// eachTendCell iterates over cells receiving prognostic updates.
+func (e *engine[T]) eachTendCell(f func(c int32)) {
+	var ids []int32
+	if e.owned != nil {
+		ids = e.owned.TendCells
+	}
+	e.iterateParallel(ids, e.s.M.NCells, f)
+}
+
+// eachDiagCell iterates over cells needing valid diagnostics (owned +
+// one-ring halo in distributed runs).
+func (e *engine[T]) eachDiagCell(f func(c int32)) {
+	var ids []int32
+	if e.owned != nil {
+		ids = e.owned.DiagCells
+	}
+	e.iterateParallel(ids, e.s.M.NCells, f)
+}
+
+// eachFluxEdge iterates over edges where mass fluxes are formed.
+func (e *engine[T]) eachFluxEdge(f func(ed int32)) {
+	var ids []int32
+	if e.owned != nil {
+		ids = e.owned.FluxEdges
+	}
+	e.iterateParallel(ids, e.s.M.NEdges, f)
+}
+
+// eachUEdge iterates over edges whose velocity this rank advances.
+func (e *engine[T]) eachUEdge(f func(ed int32)) {
+	var ids []int32
+	if e.owned != nil {
+		ids = e.owned.UEdges
+	}
+	e.iterateParallel(ids, e.s.M.NEdges, f)
+}
+
+// Step advances one HEVI timestep: Wicker-Skamarock RK3 for the
+// horizontal explicit terms, then the vertically-implicit acoustic
+// adjustment of (w, phi).
+func (e *engine[T]) Step(dt float64) {
+	s := e.s
+	if e.saveMass == nil {
+		e.saveMass = make([]float64, len(s.DryMass))
+		e.saveTheta = make([]float64, len(s.ThetaM))
+		e.saveU = make([]float64, len(s.U))
+	}
+	copy(e.saveMass, s.DryMass)
+	copy(e.saveTheta, s.ThetaM)
+	copy(e.saveU, s.U)
+
+	for _, frac := range []float64{dt / 3, dt / 2, dt} {
+		e.computeTendencies()
+		e.eachTendCell(func(c int32) {
+			for k := 0; k < s.NLev; k++ {
+				i := int(c)*s.NLev + k
+				s.DryMass[i] = e.saveMass[i] + frac*e.dMass[i]
+				s.ThetaM[i] = e.saveTheta[i] + frac*e.dTheta[i]
+			}
+		})
+		e.eachUEdge(func(ed int32) {
+			for k := 0; k < s.NLev; k++ {
+				i := int(ed)*s.NLev + k
+				s.U[i] = e.saveU[i] + frac*e.dU[i]
+			}
+		})
+		e.hookStage()
+	}
+
+	// Accumulate the final-stage mass flux in double precision for the
+	// tracer sub-cycling (§3.4.2: delta-pi*V must stay FP64).
+	e.eachFluxEdge(func(ed int32) {
+		for k := 0; k < s.NLev; k++ {
+			i := int(ed)*s.NLev + k
+			e.massFluxAcc[i] += float64(e.flux[i])
+		}
+	})
+	e.accumSteps++
+
+	e.implicitVertical(dt)
+	e.hookStage()
+}
+
+// computeTendencies evaluates the explicit horizontal tendencies of
+// delta-pi, Theta and u into dMass, dTheta, dU.
+func (e *engine[T]) computeTendencies() {
+	e.ComputeRRR()
+	e.PrimalNormalFluxEdge()
+	e.computeKineticEnergy()
+	e.computeVorticity()
+	e.tangentialParallel()
+
+	if e.nu4 > 0 {
+		e.vectorLaplacian(e.lapU)
+	}
+	e.continuityAndThermo()
+	e.momentum()
+}
+
+// ComputeRRR diagnoses the reciprocal density (specific volume)
+// rrr = dphi/dpi per layer, the full nonhydrostatic pressure from the
+// equation of state, the Exner function, and the dry mid-layer pressure.
+// This is the paper's compute_rrr kernel: it touches many arrays and
+// carries pow/division work, and its rrr output is precision-insensitive
+// while pressure and Exner stay FP64.
+func (e *engine[T]) ComputeRRR() {
+	s := e.s
+	nlev := s.NLev
+	kappa := Rd / Cp
+	e.eachDiagCell(func(c int32) {
+		pIface := PTop
+		for k := 0; k < nlev; k++ {
+			i := int(c)*nlev + k
+			dphi := s.Phi[int(c)*(nlev+1)+k] - s.Phi[int(c)*(nlev+1)+k+1]
+			dpi := s.DryMass[i]
+			e.rrr[i] = T(dphi / dpi)
+			theta := s.ThetaM[i] / dpi
+			rho := dpi / dphi
+			p := P0 * math.Pow(Rd*rho*theta/P0, Gamma)
+			e.pres[i] = p
+			e.exner[i] = math.Pow(p/P0, kappa)
+			e.pmid[i] = pIface + 0.5*dpi
+			pIface += dpi
+		}
+	})
+}
+
+// PrimalNormalFluxEdge reconstructs delta-pi and theta at edges and forms
+// the horizontal mass flux delta-pi*u. The reconstruction blends a
+// positivity-friendly harmonic mean with an upwind value weighted by the
+// local Courant ratio — the division-heavy structure that makes this
+// kernel profit from single precision on CPEs (Fig. 9).
+func (e *engine[T]) PrimalNormalFluxEdge() {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	e.eachFluxEdge(func(ed int32) {
+		c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
+		uStar := T(10.0) // blending velocity scale, m/s
+		for k := 0; k < nlev; k++ {
+			i := int(ed)*nlev + k
+			m0 := T(s.DryMass[int(c0)*nlev+k])
+			m1 := T(s.DryMass[int(c1)*nlev+k])
+			t0 := T(s.ThetaM[int(c0)*nlev+k]) / m0
+			t1 := T(s.ThetaM[int(c1)*nlev+k]) / m1
+			u := T(s.U[i])
+			au := u
+			if au < 0 {
+				au = -au
+			}
+			// Upwind weight rises with |u|.
+			wUp := au / (au + uStar)
+			// Harmonic mean (centered, positivity-friendly).
+			hm := 2 * m0 * m1 / (m0 + m1)
+			var up, tup T
+			if u >= 0 {
+				up, tup = m0, t0
+			} else {
+				up, tup = m1, t1
+			}
+			me := (1-wUp)*hm + wUp*up
+			te := (1-wUp)*(0.5*(t0+t1)) + wUp*tup
+			e.massEdge[i] = me
+			e.thetaEdge[i] = te
+			e.flux[i] = me * u
+		}
+	})
+}
+
+// computeKineticEnergy evaluates cell kinetic energy from the edge-normal
+// winds (MPAS/TRiSK form): KE_c = (1/A_c) sum_e (Dv*Dc/4) u_e^2.
+func (e *engine[T]) computeKineticEnergy() {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	e.eachDiagCell(func(c int32) {
+		inv := T(1.0 / m.CellArea[c])
+		for k := 0; k < nlev; k++ {
+			e.ke[int(c)*nlev+k] = 0
+		}
+		for kk := m.CellOff[c]; kk < m.CellOff[c+1]; kk++ {
+			ed := m.CellEdge[kk]
+			w := T(0.25 * m.DvEdge[ed] * m.DcEdge[ed])
+			for k := 0; k < nlev; k++ {
+				u := T(s.U[int(ed)*nlev+k])
+				e.ke[int(c)*nlev+k] += w * u * u * inv
+			}
+		}
+	})
+}
+
+// computeVorticity evaluates relative vorticity at dual vertices.
+func (e *engine[T]) computeVorticity() {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	e.parallelFor(m.NVerts, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			inv := T(1.0 / m.VertArea[v])
+			for k := 0; k < nlev; k++ {
+				var acc T
+				for j := 0; j < 3; j++ {
+					ed := m.VertEdge[v][j]
+					acc += T(m.VertEdgeSign[v][j]) * T(s.U[int(ed)*nlev+k]) * T(m.DcEdge[ed])
+				}
+				e.zeta[v*nlev+k] = acc * inv
+			}
+		}
+	})
+}
+
+// continuityAndThermo forms the divergence tendencies of dry mass and
+// mass-weighted potential temperature from the edge fluxes.
+func (e *engine[T]) continuityAndThermo() {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	e.eachTendCell(func(c int32) {
+		inv := 1.0 / m.CellArea[c]
+		for k := 0; k < nlev; k++ {
+			e.dMass[int(c)*nlev+k] = 0
+			e.dTheta[int(c)*nlev+k] = 0
+		}
+		for kk := m.CellOff[c]; kk < m.CellOff[c+1]; kk++ {
+			ed := m.CellEdge[kk]
+			sign := float64(m.CellEdgeSign[kk]) * m.DvEdge[ed] * inv
+			for k := 0; k < nlev; k++ {
+				f := float64(e.flux[int(ed)*nlev+k])
+				e.dMass[int(c)*nlev+k] -= sign * f
+				e.dTheta[int(c)*nlev+k] -= sign * f * float64(e.thetaEdge[int(ed)*nlev+k])
+			}
+		}
+	})
+}
+
+// vectorLaplacian evaluates the TRiSK vector Laplacian of the current
+// normal winds into dst: L(u)_e = grad(div u)_e - curl(zeta)_e. The
+// divergence comes from divAt; the vorticity from the zeta work array
+// (assumed fresh from computeVorticity).
+func (e *engine[T]) vectorLaplacian(dst []float64) {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	e.parallelFor(m.NEdges, func(lo, hi int) {
+		for ed := lo; ed < hi; ed++ {
+			c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
+			v0, v1 := m.EdgeVert[ed][0], m.EdgeVert[ed][1]
+			invDc := 1.0 / m.DcEdge[ed]
+			invDv := 1.0 / m.DvEdge[ed]
+			for k := 0; k < nlev; k++ {
+				dst[ed*nlev+k] = (e.divAt(c1, k)-e.divAt(c0, k))*invDc -
+					(float64(e.zeta[int(v1)*nlev+k])-float64(e.zeta[int(v0)*nlev+k]))*invDv
+			}
+		}
+	})
+}
+
+// lapOfField computes div/curl of an arbitrary edge field (for the
+// second application of the Laplacian in del^4).
+func (e *engine[T]) lapOfField(u []float64, ed int32, k int) float64 {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
+	v0, v1 := m.EdgeVert[ed][0], m.EdgeVert[ed][1]
+	divOf := func(c int32) float64 {
+		var acc float64
+		for kk := m.CellOff[c]; kk < m.CellOff[c+1]; kk++ {
+			ee := m.CellEdge[kk]
+			acc += float64(m.CellEdgeSign[kk]) * u[int(ee)*nlev+k] * m.DvEdge[ee]
+		}
+		return acc / m.CellArea[c]
+	}
+	curlOf := func(v int32) float64 {
+		var acc float64
+		for j := 0; j < 3; j++ {
+			ee := m.VertEdge[v][j]
+			acc += float64(m.VertEdgeSign[v][j]) * u[int(ee)*nlev+k] * m.DcEdge[ee]
+		}
+		return acc / m.VertArea[v]
+	}
+	return (divOf(c1)-divOf(c0))/m.DcEdge[ed] - (curlOf(v1)-curlOf(v0))/m.DvEdge[ed]
+}
+
+// momentum assembles the edge-normal velocity tendency:
+// Coriolis + vorticity flux (insensitive, T), kinetic-energy gradient
+// (insensitive, T), pressure-gradient force (sensitive, float64), and
+// scale-selective diffusion.
+func (e *engine[T]) momentum() {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+
+	e.eachUEdge(func(ed int32) {
+		c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
+		v0, v1 := m.EdgeVert[ed][0], m.EdgeVert[ed][1]
+		invDc := 1.0 / m.DcEdge[ed]
+		invDv := 1.0 / m.DvEdge[ed]
+		f := 2 * Omega * math.Sin(m.EdgeLat[ed])
+		for k := 0; k < nlev; k++ {
+			i := int(ed)*nlev + k
+
+			// CalcCoriolisTerm: (f + zeta_e) * v_tangential.
+			zetaE := 0.5 * (float64(e.zeta[int(v0)*nlev+k]) + float64(e.zeta[int(v1)*nlev+k]))
+			cor := (f + zetaE) * float64(e.vtan[i])
+
+			// TendGradKEAtEdge (Fig. 4 of the paper).
+			gradKE := (float64(e.ke[int(c1)*nlev+k]) - float64(e.ke[int(c0)*nlev+k])) * invDc
+
+			// Pressure-gradient force, FP64 (precision-sensitive):
+			// -grad(phi_mid - phi_ref(pi)) - rrr * grad(p - pi).
+			// Subtracting the hydrostatic reference profile phi_ref
+			// removes the two-large-terms cancellation error of
+			// terrain-following coordinates over steep orography (the
+			// cells of one level sit at different dry pressures there).
+			phm0 := 0.5*(s.Phi[int(c0)*(nlev+1)+k]+s.Phi[int(c0)*(nlev+1)+k+1]) -
+				refPhi(e.pmid[int(c0)*nlev+k])
+			phm1 := 0.5*(s.Phi[int(c1)*(nlev+1)+k]+s.Phi[int(c1)*(nlev+1)+k+1]) -
+				refPhi(e.pmid[int(c1)*nlev+k])
+			rrrE := 0.5 * (float64(e.rrr[int(c0)*nlev+k]) + float64(e.rrr[int(c1)*nlev+k]))
+			pgf := (phm1 - phm0 + rrrE*((e.pres[int(c1)*nlev+k]-e.pmid[int(c1)*nlev+k])-
+				(e.pres[int(c0)*nlev+k]-e.pmid[int(c0)*nlev+k]))) * invDc
+
+			// Scale-selective diffusion (insensitive): del^2 background
+			// or del^4 hyperdiffusion when enabled (note the sign flip:
+			// -nu4 * L(L(u)) damps).
+			var lap float64
+			if e.nu4 > 0 {
+				lap = -e.nu4 * e.lapOfField(e.lapU, ed, k)
+			} else {
+				lap = e.nu * ((e.divAt(c1, k)-e.divAt(c0, k))*invDc -
+					(float64(e.zeta[int(v1)*nlev+k])-float64(e.zeta[int(v0)*nlev+k]))*invDv)
+			}
+
+			// Model-top sponge: Rayleigh damping of the winds in the
+			// top layers absorbs upward-propagating waves instead of
+			// reflecting them off the rigid lid.
+			sponge := spongeRate(k, nlev) * s.U[i]
+
+			e.dU[i] = cor - gradKE - pgf + lap - sponge
+		}
+	})
+}
+
+// spongeRate returns the Rayleigh damping rate (1/s) of the model-top
+// sponge layer: zero below the top two layers, ramping to 1/(10 min) at
+// the uppermost layer.
+func spongeRate(k, nlev int) float64 {
+	depth := 2
+	if nlev < 6 {
+		depth = 1
+	}
+	if k >= depth {
+		return 0
+	}
+	frac := float64(depth-k) / float64(depth)
+	return frac / 600.0
+}
+
+// refPhi is the hydrostatic reference geopotential of an isothermal
+// 288 K atmosphere at dry pressure pi, used to precondition the
+// pressure-gradient force over terrain.
+func refPhi(pi float64) float64 {
+	return Rd * 288.0 * math.Log(P0/pi)
+}
+
+// divAt returns the velocity divergence at (cell, level) from the current
+// normal winds (used by the diffusion term).
+func (e *engine[T]) divAt(c int32, k int) float64 {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	var acc float64
+	for kk := m.CellOff[c]; kk < m.CellOff[c+1]; kk++ {
+		ed := m.CellEdge[kk]
+		acc += float64(m.CellEdgeSign[kk]) * s.U[int(ed)*nlev+k] * m.DvEdge[ed]
+	}
+	return acc / m.CellArea[c]
+}
+
+// VorticityAtLevel diagnoses relative vorticity (float64) at dual
+// vertices for level k — one of the two mixed-precision observation
+// points of §3.4.1.
+func (e *engine[T]) VorticityAtLevel(k int) []float64 {
+	s := e.s
+	m := s.M
+	nlev := s.NLev
+	out := make([]float64, m.NVerts)
+	for v := 0; v < m.NVerts; v++ {
+		var acc float64
+		for j := 0; j < 3; j++ {
+			ed := m.VertEdge[v][j]
+			acc += float64(m.VertEdgeSign[v][j]) * s.U[int(ed)*nlev+k] * m.DcEdge[ed]
+		}
+		out[v] = acc / m.VertArea[v]
+	}
+	return out
+}
+
+// ApplyHeating converts a temperature heating rate Q1 (K/s) into a
+// potential-temperature tendency and integrates it over dt.
+func (e *engine[T]) ApplyHeating(q1 []float64, dt float64) {
+	s := e.s
+	nlev := s.NLev
+	e.ComputeRRR() // refresh Exner
+	e.eachTendCell(func(c int32) {
+		for k := 0; k < nlev; k++ {
+			i := int(c)*nlev + k
+			s.ThetaM[i] += dt * s.DryMass[i] * q1[i] / e.exner[i]
+		}
+	})
+}

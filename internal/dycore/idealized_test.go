@@ -1,0 +1,190 @@
+package dycore
+
+import (
+	"math"
+	"testing"
+
+	"gristgo/internal/precision"
+)
+
+// TestMixedPrecisionHierarchy reproduces the §3.4.2 validation protocol:
+// for every idealized case in the hierarchy, the mixed-precision dycore
+// must stay within the 5% relative-L2 envelope of the double-precision
+// gold standard on both observation points (ps and vor).
+func TestMixedPrecisionHierarchy(t *testing.T) {
+	m := testMesh(t, 3)
+	for _, c := range AllIdealizedCases() {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			run := func(mode precision.Mode) ([]float64, []float64) {
+				eng := New(m, 8, mode)
+				eng.State().InitIdealized(c)
+				for i := 0; i < 25; i++ {
+					eng.Step(90)
+				}
+				return eng.State().SurfacePressure(), eng.VorticityAtLevel(5)
+			}
+			psDP, vorDP := run(precision.DP)
+			psMX, vorMX := run(precision.Mixed)
+			dev := precision.Measure(psMX, psDP, vorMX, vorDP)
+			if !dev.Acceptable() {
+				t.Errorf("%s: mixed precision outside envelope: ps=%.4f vor=%.4f",
+					c, dev.Ps, dev.Vor)
+			}
+			t.Logf("%s: ps dev %.2e, vor dev %.2e", c, dev.Ps, dev.Vor)
+		})
+	}
+}
+
+// TestIdealizedCasesRunStably integrates each case and checks physical
+// sanity: finite fields, bounded winds, positive layer masses.
+func TestIdealizedCasesRunStably(t *testing.T) {
+	m := testMesh(t, 3)
+	for _, c := range AllIdealizedCases() {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			eng := New(m, 8, precision.DP)
+			eng.State().InitIdealized(c)
+			for i := 0; i < 40; i++ {
+				eng.Step(90)
+			}
+			s := eng.State()
+			if w := s.MaxWind(); w > 200 || math.IsNaN(w) {
+				t.Fatalf("winds blew up: %v", w)
+			}
+			for i, d := range s.DryMass {
+				if d <= 0 || math.IsNaN(d) {
+					t.Fatalf("bad mass at %d: %v", i, d)
+				}
+			}
+		})
+	}
+}
+
+// TestBaroclinicWaveGrows checks the defining behavior: the zonal
+// asymmetry of the surface pressure in the storm-track band grows from
+// the small upstream seed over a ~2-day integration (baroclinic growth
+// operates on day timescales).
+func TestBaroclinicWaveGrows(t *testing.T) {
+	m := testMesh(t, 4)
+	eng := New(m, 8, precision.DP)
+	eng.State().InitIdealized(CaseBaroclinicWave)
+
+	// Eddy measure: variance of ps about its latitude-bin mean in the
+	// 35-55N band — zero for a zonally symmetric state.
+	eddy := func() float64 {
+		ps := eng.State().SurfacePressure()
+		const bins = 8
+		var sum [bins]float64
+		var cnt [bins]float64
+		bin := func(lat float64) int {
+			b := int((lat - 0.6) / (0.95 - 0.6) * bins)
+			if b < 0 || b >= bins {
+				return -1
+			}
+			return b
+		}
+		for c := 0; c < m.NCells; c++ {
+			if b := bin(m.CellLat[c]); b >= 0 {
+				sum[b] += ps[c]
+				cnt[b]++
+			}
+		}
+		var v, n float64
+		for c := 0; c < m.NCells; c++ {
+			if b := bin(m.CellLat[c]); b >= 0 && cnt[b] > 0 {
+				d := ps[c] - sum[b]/cnt[b]
+				v += d * d
+				n++
+			}
+		}
+		return v / n
+	}
+	e0 := eddy()
+	for i := 0; i < 400; i++ { // 2 simulated days at dt=450s
+		eng.Step(450)
+	}
+	e1 := eddy()
+	if e1 <= 2*e0 {
+		t.Errorf("baroclinic eddies did not grow: %g -> %g", e0, e1)
+	}
+}
+
+// TestTropicalCycloneMaintainsVortex checks that the warm-core vortex
+// persists as a coherent circulation.
+func TestTropicalCycloneMaintainsVortex(t *testing.T) {
+	m := testMesh(t, 4)
+	eng := New(m, 6, precision.DP)
+	eng.State().InitIdealized(CaseTropicalCyclone)
+
+	circ := func() float64 {
+		vor := eng.VorticityAtLevel(5)
+		var best float64
+		for v := 0; v < m.NVerts; v++ {
+			if vor[v] > best {
+				best = vor[v]
+			}
+		}
+		return best
+	}
+	c0 := circ()
+	for i := 0; i < 30; i++ {
+		eng.Step(90)
+	}
+	c1 := circ()
+	if c1 < 0.25*c0 {
+		t.Errorf("vortex decayed too fast: %g -> %g", c0, c1)
+	}
+}
+
+// TestSupercellUpdraft checks that the sheared thermal produces
+// nonhydrostatic vertical motion.
+func TestSupercellUpdraft(t *testing.T) {
+	m := testMesh(t, 3)
+	eng := New(m, 10, precision.DP)
+	eng.State().InitIdealized(CaseSupercell)
+	for i := 0; i < 20; i++ {
+		eng.Step(60)
+	}
+	var maxW float64
+	for _, w := range eng.State().W {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW < 1e-3 {
+		t.Errorf("no updraft developed: max w = %g m/s", maxW)
+	}
+	if maxW > 80 {
+		t.Errorf("unphysical updraft: %g m/s", maxW)
+	}
+}
+
+// TestTotalEnergyBounded checks the energy diagnostic is conserved to a
+// few percent over an adiabatic integration (the solver is not exactly
+// energy conserving — diffusion and time truncation drain a little).
+func TestTotalEnergyBounded(t *testing.T) {
+	m := testMesh(t, 3)
+	eng := New(m, 8, precision.DP)
+	eng.State().InitIdealized(CaseBaroclinicWave)
+	e0 := eng.State().TotalEnergy()
+	for i := 0; i < 40; i++ {
+		eng.Step(90)
+	}
+	e1 := eng.State().TotalEnergy()
+	if rel := math.Abs(e1-e0) / e0; rel > 0.02 {
+		t.Errorf("total energy drifted %.3f%% over 1h", 100*rel)
+	}
+}
+
+// TestEnergyDiagnosticPositive sanity-checks the magnitude: Earth's
+// atmosphere holds ~1e24 J of internal+potential energy.
+func TestEnergyDiagnosticPositive(t *testing.T) {
+	m := testMesh(t, 2)
+	s := NewState(m, 6)
+	s.IsothermalRest(280)
+	e := s.TotalEnergy()
+	if e < 1e23 || e > 1e25 {
+		t.Errorf("total energy %.3e J outside the expected order", e)
+	}
+}

@@ -1,0 +1,64 @@
+package dycore
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SetHostParallelism enables shared-memory parallel execution of the
+// engine's entity loops across n host workers (0 or 1 restores serial
+// execution; negative uses GOMAXPROCS). This is the host-side analog of
+// the paper's OpenMP parallelization: every loop is conflict-free per
+// entity (§3.3.4 — "most of loops are conflict-free"), so the static
+// chunking matches the "!$omp do" schedule.
+//
+// Parallel execution is only available for full-mesh (serial-domain)
+// runs; distributed runs with OwnedSets keep their own decomposition.
+func (e *engine[T]) SetHostParallelism(n int) {
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
+}
+
+// parallelFor splits [0, n) into static chunks across the configured
+// workers. With workers <= 1 it runs inline.
+func (e *engine[T]) parallelFor(n int, body func(lo, hi int)) {
+	w := e.workers
+	if w <= 1 || n < 4*w {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// iterateParallel runs f over the id set (or [0, n) when ids is nil),
+// in parallel when the engine is configured for it.
+func (e *engine[T]) iterateParallel(ids []int32, n int, f func(int32)) {
+	if ids != nil {
+		// Distributed runs stay serial per rank (each rank is already a
+		// goroutine).
+		for _, i := range ids {
+			f(i)
+		}
+		return
+	}
+	e.parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(int32(i))
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package experiments implements the reproduction of every table and
+// figure in the paper's evaluation section. Each experiment returns a
+// structured result; cmd/gristbench renders them as the paper-style
+// rows, and the repository-level benchmarks regenerate them under
+// `go test -bench`. The per-experiment index lives in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/perfmodel"
+	"gristgo/internal/precision"
+	"gristgo/internal/sunway"
+	"gristgo/internal/synthclim"
+)
+
+// Table1Rows renders the training-period table (Table 1).
+func Table1Rows() []string {
+	rows := []string{fmt.Sprintf("%-22s %-22s %s", "Time period", "Oceanic Niño Index", "RMM index")}
+	for _, p := range synthclim.Table1() {
+		rows = append(rows, fmt.Sprintf("%-22s %+.1f (%s)%*s %.2f to %.2f",
+			p.Label, p.ONI, p.ENSOPhase, 10-len(p.ENSOPhase), "", p.RMMMin, p.RMMMax))
+	}
+	return rows
+}
+
+// Table2Rows renders the grid census table (Table 2). Grid statistics
+// come from the closed forms; levels <= verify report the counts of a
+// really generated mesh as a cross-check.
+func Table2Rows(verify int) []string {
+	rows := []string{fmt.Sprintf("%-5s %-12s %-6s %-22s %-9s %-9s %-9s %s",
+		"Label", "Res (km)", "Layers", "dt dyn/trac/phy/rad", "Cells", "Edges", "Verts", "check")}
+	for _, g := range mesh.Table2() {
+		c := mesh.Census(g.Level)
+		check := "-"
+		if g.Level <= verify {
+			m := mesh.New(g.Level)
+			if int64(m.NCells) == c.Cells && int64(m.NEdges) == c.Edges && int64(m.NVerts) == c.Verts {
+				check = "mesh OK"
+			} else {
+				check = "MISMATCH"
+			}
+		}
+		rows = append(rows, fmt.Sprintf("%-5s %5.2f~%-6.2f %-6d %4.0f/%3.0f/%4.0f/%4.0f   %9s %9s %9s %s",
+			g.Label, c.MinResKm, c.MaxResKm, g.Layers,
+			g.Steps.Dyn, g.Steps.Trac, g.Steps.Phy, g.Steps.Rad,
+			human(c.Cells), human(c.Edges), human(c.Verts), check))
+	}
+	return rows
+}
+
+func human(n int64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.3gM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.3gK", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Table3Rows renders the scheme-configuration table (Table 3).
+func Table3Rows() []string {
+	rows := []string{fmt.Sprintf("%-8s %-18s %s", "Label", "Dycore", "Physics")}
+	for _, s := range perfmodel.AllSchemes() {
+		dy := "double precision"
+		if s.Mode.String() == "MIX" {
+			dy = "mixed precision"
+		}
+		ph := "Conventional"
+		if s.ML {
+			ph = "ML-physics"
+		}
+		rows = append(rows, fmt.Sprintf("%-8s %-18s %s", s.Label(), dy, ph))
+	}
+	return rows
+}
+
+// Fig2Rows renders the modeling-effort landscape (Fig. 2).
+func Fig2Rows() []string {
+	m := perfmodel.NewMachine()
+	rows := []string{fmt.Sprintf("%-30s %-16s %-5s %-8s %-9s %s",
+		"Model", "Machine", "Year", "Res(km)", "SYPD", "Note")}
+	for _, e := range append(perfmodel.Fig2Literature(), perfmodel.Fig2Ours(m)...) {
+		rows = append(rows, fmt.Sprintf("%-30s %-16s %-5d %-8.2f %-9.3f %s",
+			e.Model, e.Machine, e.Year, e.ResolutionKm, e.SYPD, e.Note))
+	}
+	return rows
+}
+
+// Fig9Result carries the kernel speedup table of Fig. 9.
+type Fig9Result struct {
+	Kernels  []string
+	Variants []string
+	// Speedup[k][v] relative to MPE-DP.
+	Speedup [][]float64
+	// HitRate[k][v] LDCache hit ratios of the CPE variants.
+	HitRate [][]float64
+}
+
+// RunFig9 executes the Fig. 9 study on the given mesh workload.
+func RunFig9(level, nlev int) Fig9Result {
+	m := mesh.New(level)
+	variants := sunway.Fig9Variants()
+	var res Fig9Result
+	for _, v := range variants {
+		res.Variants = append(res.Variants, v.Label())
+	}
+	for _, k := range sunway.Kernels() {
+		base, _ := k.Run(sunway.Variant{}, m, nlev)
+		var sp, hr []float64
+		for _, v := range variants {
+			s, _ := k.Run(v, m, nlev)
+			sp = append(sp, base.Seconds/s.Seconds)
+			hr = append(hr, s.HitRate())
+		}
+		res.Kernels = append(res.Kernels, k.Name)
+		res.Speedup = append(res.Speedup, sp)
+		res.HitRate = append(res.HitRate, hr)
+	}
+	return res
+}
+
+// Rows renders the Fig. 9 result.
+func (r Fig9Result) Rows() []string {
+	head := fmt.Sprintf("%-36s", "kernel")
+	for _, v := range r.Variants {
+		head += fmt.Sprintf("%12s", v)
+	}
+	rows := []string{head}
+	for i, k := range r.Kernels {
+		line := fmt.Sprintf("%-36s", k)
+		for _, s := range r.Speedup[i] {
+			line += fmt.Sprintf("%11.1fx", s)
+		}
+		rows = append(rows, line)
+	}
+	return rows
+}
+
+// Fig10Rows renders the weak-scaling study (Fig. 10) for MIX-PHY and
+// MIX-ML.
+func Fig10Rows() []string {
+	m := perfmodel.NewMachine()
+	rows := []string{fmt.Sprintf("%-8s %-9s %-6s %-10s %-8s %-8s %s",
+		"Scheme", "NCG", "Grid", "SDPD", "Eff%", "Comm%", "Cores")}
+	for _, s := range []perfmodel.Scheme{
+		{Mode: precision.Mixed, ML: false},
+		{Mode: precision.Mixed, ML: true},
+	} {
+		for _, p := range m.WeakScaling(s) {
+			rows = append(rows, fmt.Sprintf("%-8s %-9d G%-5d %-10.1f %-8.1f %-8.1f %s",
+				s.Label(), p.NCG, p.Level, p.R.SDPD, p.EffPct, 100*p.R.CommShare, human(int64(p.NCG)*390/6)))
+		}
+	}
+	return rows
+}
+
+// Fig11Rows renders the strong-scaling study (Fig. 11): all G12 schemes
+// plus G11S MIX-ML.
+func Fig11Rows() []string {
+	m := perfmodel.NewMachine()
+	rows := []string{fmt.Sprintf("%-8s %-10s %-9s %-10s %-8s %s",
+		"Grid", "Scheme", "NCG", "SDPD", "Eff%", "CacheHit")}
+	for _, s := range perfmodel.AllSchemes() {
+		for _, p := range m.StrongScaling(12, 30, perfmodel.G12Steps(), s) {
+			rows = append(rows, fmt.Sprintf("%-8s %-10s %-9d %-10.1f %-8.1f %.3f",
+				"G12", s.Label(), p.NCG, p.R.SDPD, p.EffPct, p.R.CacheHit))
+		}
+	}
+	s := perfmodel.Scheme{Mode: precision.Mixed, ML: true}
+	for _, p := range m.StrongScaling(11, 30, perfmodel.G11SSteps(), s) {
+		rows = append(rows, fmt.Sprintf("%-8s %-10s %-9d %-10.1f %-8.1f %.3f",
+			"G11S", s.Label(), p.NCG, p.R.SDPD, p.EffPct, p.R.CacheHit))
+	}
+	return rows
+}
+
+// RainMapASCII renders a cell rainfall field as a coarse lat-lon ASCII
+// map for terminal inspection (used by the Doksuri and climate
+// examples).
+func RainMapASCII(m *mesh.Mesh, field []float64, latMin, latMax, lonMin, lonMax float64, w, h int) string {
+	grid := make([][]float64, h)
+	cnt := make([][]int, h)
+	for i := range grid {
+		grid[i] = make([]float64, w)
+		cnt[i] = make([]int, w)
+	}
+	for c := 0; c < m.NCells; c++ {
+		lat, lon := m.CellLat[c], m.CellLon[c]
+		if lat < latMin || lat > latMax || lon < lonMin || lon > lonMax {
+			continue
+		}
+		x := int(float64(w-1) * (lon - lonMin) / (lonMax - lonMin))
+		y := int(float64(h-1) * (latMax - lat) / (latMax - latMin))
+		grid[y][x] += field[c]
+		cnt[y][x]++
+	}
+	var maxV float64
+	for y := range grid {
+		for x := range grid[y] {
+			if cnt[y][x] > 0 {
+				grid[y][x] /= float64(cnt[y][x])
+				if grid[y][x] > maxV {
+					maxV = grid[y][x]
+				}
+			}
+		}
+	}
+	shades := " .:-=+*#%@"
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if cnt[y][x] == 0 {
+				b.WriteByte(' ')
+				continue
+			}
+			lvl := 0
+			if maxV > 0 {
+				lvl = int(math.Sqrt(grid[y][x]/maxV) * float64(len(shades)-1))
+			}
+			b.WriteByte(shades[lvl])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"gristgo/internal/mesh"
+)
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1Rows()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"El Niño", "La Niña", "1998", "1988", "+2.2", "-1.5"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2RowsVerifyMesh(t *testing.T) {
+	rows := Table2Rows(4) // really verify only cheap levels
+	if len(rows) != 8 {   // header + 7 grids
+		t.Fatalf("rows = %d", len(rows))
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"G12", "G11W", "G11S", "168M", "41.9M"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table 2 missing %q\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "MISMATCH") {
+		t.Error("census/mesh mismatch flagged")
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	joined := strings.Join(Table3Rows(), "\n")
+	for _, want := range []string{"DP-PHY", "DP-ML", "MIX-PHY", "MIX-ML", "mixed precision", "ML-physics"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestFig2Rows(t *testing.T) {
+	joined := strings.Join(Fig2Rows(), "\n")
+	for _, want := range []string{"SCREAM", "COSMO", "this work", "Sunway"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Fig 2 missing %q", want)
+		}
+	}
+}
+
+func TestRunFig9SmallWorkload(t *testing.T) {
+	r := RunFig9(2, 6)
+	if len(r.Kernels) != 6 || len(r.Variants) != 5 {
+		t.Fatalf("shape: %d kernels, %d variants", len(r.Kernels), len(r.Variants))
+	}
+	for i, name := range r.Kernels {
+		// MPE-DP column is the baseline: speedup 1.
+		if r.Speedup[i][0] != 1 {
+			t.Errorf("%s: baseline speedup %v", name, r.Speedup[i][0])
+		}
+		for v, s := range r.Speedup[i] {
+			if s <= 0 {
+				t.Errorf("%s variant %s: speedup %v", name, r.Variants[v], s)
+			}
+		}
+	}
+	rows := r.Rows()
+	if len(rows) != 7 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestFig10And11Rows(t *testing.T) {
+	f10 := strings.Join(Fig10Rows(), "\n")
+	for _, want := range []string{"MIX-PHY", "MIX-ML", "524288", "G12"} {
+		if !strings.Contains(f10, want) {
+			t.Errorf("Fig 10 missing %q", want)
+		}
+	}
+	f11 := strings.Join(Fig11Rows(), "\n")
+	for _, want := range []string{"G11S", "DP-PHY", "32768"} {
+		if !strings.Contains(f11, want) {
+			t.Errorf("Fig 11 missing %q", want)
+		}
+	}
+}
+
+func TestRainMapASCII(t *testing.T) {
+	m := newTestMeshForMap()
+	field := make([]float64, m.NCells)
+	for c := range field {
+		field[c] = float64(c % 13)
+	}
+	art := RainMapASCII(m, field, -1.0, 1.0, -2.0, 2.0, 30, 10)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("map has %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) > 30 {
+			t.Fatalf("line too long: %d", len(l))
+		}
+	}
+	// Nonempty content somewhere.
+	if !strings.ContainsAny(art, ".:-=+*#%@") {
+		t.Error("map is blank")
+	}
+}
+
+func newTestMeshForMap() *mesh.Mesh { return mesh.New(3) }
+
+func TestWriteScalingCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteScalingCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2.csv", "fig9.csv", "fig10.csv", "fig11.csv"} {
+		b, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(b), "\n")
+		if lines < 3 {
+			t.Errorf("%s has only %d lines", name, lines)
+		}
+	}
+	// fig11.csv must carry the anchor row near 177 SDPD.
+	b, _ := os.ReadFile(dir + "/fig11.csv")
+	if !strings.Contains(string(b), "G12,MIX-ML,524288") {
+		t.Error("fig11.csv missing the G12 MIX-ML full-machine row")
+	}
+}
+
+func TestWriteRainfallCSV(t *testing.T) {
+	m := newTestMeshForMap()
+	field := make([]float64, m.NCells)
+	path := t.TempDir() + "/rain.csv"
+	if err := WriteRainfallCSV(path, m, field); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := os.ReadFile(path)
+	if strings.Count(string(b), "\n") != m.NCells+1 {
+		t.Error("rainfall CSV row count wrong")
+	}
+}

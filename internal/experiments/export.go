@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/perfmodel"
+	"gristgo/internal/precision"
+)
+
+// WriteScalingCSV writes plot-ready CSV files for the machine-scale
+// figures (fig2.csv, fig9.csv, fig10.csv, fig11.csv) into dir, creating
+// it if needed. These are the series a plotting script needs to redraw
+// the paper's figures.
+func WriteScalingCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := perfmodel.NewMachine()
+
+	// --- Fig. 2 ---
+	if err := writeCSV(filepath.Join(dir, "fig2.csv"),
+		[]string{"model", "machine", "year", "resolution_km", "sypd", "note"},
+		func(emit func(...string)) {
+			for _, e := range append(perfmodel.Fig2Literature(), perfmodel.Fig2Ours(m)...) {
+				emit(e.Model, e.Machine, fmt.Sprint(e.Year),
+					fmt.Sprintf("%g", e.ResolutionKm), fmt.Sprintf("%g", e.SYPD), e.Note)
+			}
+		}); err != nil {
+		return err
+	}
+
+	// --- Fig. 9 ---
+	r9 := RunFig9(4, 16)
+	if err := writeCSV(filepath.Join(dir, "fig9.csv"),
+		append([]string{"kernel"}, r9.Variants...),
+		func(emit func(...string)) {
+			for i, k := range r9.Kernels {
+				row := []string{k}
+				for _, s := range r9.Speedup[i] {
+					row = append(row, fmt.Sprintf("%.2f", s))
+				}
+				emit(row...)
+			}
+		}); err != nil {
+		return err
+	}
+
+	// --- Fig. 10 ---
+	if err := writeCSV(filepath.Join(dir, "fig10.csv"),
+		[]string{"scheme", "ncg", "grid", "sdpd", "eff_pct", "comm_pct"},
+		func(emit func(...string)) {
+			for _, s := range []perfmodel.Scheme{
+				{Mode: precision.Mixed, ML: false},
+				{Mode: precision.Mixed, ML: true},
+			} {
+				for _, p := range m.WeakScaling(s) {
+					emit(s.Label(), fmt.Sprint(p.NCG), fmt.Sprintf("G%d", p.Level),
+						fmt.Sprintf("%.2f", p.R.SDPD), fmt.Sprintf("%.2f", p.EffPct),
+						fmt.Sprintf("%.2f", 100*p.R.CommShare))
+				}
+			}
+		}); err != nil {
+		return err
+	}
+
+	// --- Fig. 11 ---
+	return writeCSV(filepath.Join(dir, "fig11.csv"),
+		[]string{"grid", "scheme", "ncg", "sdpd", "eff_pct", "cache_hit"},
+		func(emit func(...string)) {
+			for _, s := range perfmodel.AllSchemes() {
+				for _, p := range m.StrongScaling(12, 30, perfmodel.G12Steps(), s) {
+					emit("G12", s.Label(), fmt.Sprint(p.NCG),
+						fmt.Sprintf("%.2f", p.R.SDPD), fmt.Sprintf("%.2f", p.EffPct),
+						fmt.Sprintf("%.4f", p.R.CacheHit))
+				}
+			}
+			s := perfmodel.Scheme{Mode: precision.Mixed, ML: true}
+			for _, p := range m.StrongScaling(11, 30, perfmodel.G11SSteps(), s) {
+				emit("G11S", s.Label(), fmt.Sprint(p.NCG),
+					fmt.Sprintf("%.2f", p.R.SDPD), fmt.Sprintf("%.2f", p.EffPct),
+					fmt.Sprintf("%.4f", p.R.CacheHit))
+			}
+		})
+}
+
+// WriteRainfallCSV writes a (lat, lon, value) table of a cell field —
+// the plot-ready form of the Fig. 7/8 rainfall maps.
+func WriteRainfallCSV(path string, m *mesh.Mesh, field []float64) error {
+	return writeCSV(path, []string{"lat_deg", "lon_deg", "value"},
+		func(emit func(...string)) {
+			for c := 0; c < m.NCells; c++ {
+				emit(fmt.Sprintf("%.4f", m.CellLat[c]*180/3.141592653589793),
+					fmt.Sprintf("%.4f", m.CellLon[c]*180/3.141592653589793),
+					fmt.Sprintf("%.6g", field[c]))
+			}
+		})
+}
+
+func writeCSV(path string, header []string, body func(emit func(...string))) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	var writeErr error
+	body(func(fields ...string) {
+		if writeErr == nil {
+			writeErr = w.Write(fields)
+		}
+	})
+	w.Flush()
+	if writeErr != nil {
+		return writeErr
+	}
+	return w.Error()
+}

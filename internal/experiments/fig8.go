@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gristgo/internal/coarse"
+	"gristgo/internal/core"
+	"gristgo/internal/mesh"
+	"gristgo/internal/mlphysics"
+	"gristgo/internal/physics"
+	"gristgo/internal/synthclim"
+)
+
+// Fig8Config drives the ML-physics evaluation: the full §3.2 pipeline at
+// reproduction scale — run a finer-grid "GSRM" with conventional physics,
+// coarse-grain its output, derive Q1/Q2 by the residual method, train the
+// ML suite, then couple it online and compare rainfall against the
+// conventional suite.
+type Fig8Config struct {
+	FineLevel   int // the "5 km GSRM" substitute
+	CoarseLevel int // the "30 km" training grid
+	ApplyLevel  int // an additional resolution to test adaptivity (G6 vs G8 in the paper)
+	NLev        int
+	TrainDays   int
+	StepsPerDay int
+	RunHours    float64
+	Train       mlphysics.TrainConfig
+}
+
+// DefaultFig8Config returns the reproduction-scale configuration.
+func DefaultFig8Config() Fig8Config {
+	tc := mlphysics.DefaultTrainConfig()
+	tc.Epochs = 25
+	return Fig8Config{
+		FineLevel: 3, CoarseLevel: 2, ApplyLevel: 3,
+		NLev: 8, TrainDays: 2, StepsPerDay: 4, RunHours: 6,
+		Train: tc,
+	}
+}
+
+// Fig8Result compares conventional and ML-physics simulations.
+type Fig8Result struct {
+	TendTestLoss float64 // normalized MSE of the tendency CNN on held-out steps
+	RadTestLoss  float64 // same for the radiation MLP
+
+	// Pattern correlation of the two suites' rainfall at the training
+	// resolution and at the adaptivity-test resolution.
+	CorrTrainRes float64
+	CorrApplyRes float64
+
+	// Tropical rain-band check: area-mean rainfall inside the ITCZ band
+	// vs outside, per suite, at the training resolution.
+	BandContrastConv float64
+	BandContrastML   float64
+
+	Stable bool // ML run finished without NaN/blowup
+}
+
+// smoothLog prepares a rainfall field for pattern correlation the way
+// precipitation verification usually does: one smoothing pass to the
+// mesh scale and a log(1+R) transform so the heavy tail does not
+// dominate the statistic.
+func smoothLog(m *mesh.Mesh, rain []float64) []float64 {
+	out := make([]float64, m.NCells)
+	for c := int32(0); c < int32(m.NCells); c++ {
+		sum := rain[c] * m.CellArea[c]
+		w := m.CellArea[c]
+		for _, nb := range m.CellCells(c) {
+			sum += rain[nb] * m.CellArea[nb]
+			w += m.CellArea[nb]
+		}
+		out[c] = math.Log1p(sum / w)
+	}
+	return out
+}
+
+// rainBandContrast returns mean rainfall within 15 degrees of the ITCZ
+// latitude divided by the mean elsewhere.
+func rainBandContrast(m *mesh.Mesh, rain []float64, itczLat float64) float64 {
+	var in, out, inW, outW float64
+	for c := 0; c < m.NCells; c++ {
+		w := m.CellArea[c]
+		if math.Abs(m.CellLat[c]-itczLat) < 15*math.Pi/180 {
+			in += rain[c] * w
+			inW += w
+		} else {
+			out += rain[c] * w
+			outW += w
+		}
+	}
+	if outW == 0 {
+		return math.Inf(1)
+	}
+	outMean := out / outW
+	if outMean <= 0 {
+		outMean = 1e-6 // all rain inside the band: report a large finite contrast
+	}
+	return (in / inW) / outMean
+}
+
+// runSuite integrates a model with the given physics suite and returns
+// its mean rainfall field.
+func runSuite(level, nlev int, scheme physics.Scheme, m *mesh.Mesh, hours float64) ([]float64, bool) {
+	mod := core.NewModelOnMesh(core.Config{GridLevel: level, NLev: nlev}, scheme, m)
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod.InitializeClimate(cl)
+	mod.ResetDiagnostics()
+	mod.RunHours(hours, cl.Season)
+	rain := mod.PrecipRate()
+	for _, v := range rain {
+		if math.IsNaN(v) || v < 0 || v > 1e5 {
+			return rain, false
+		}
+	}
+	for _, v := range mod.Engine.State().U {
+		if math.IsNaN(v) || math.Abs(v) > 500 {
+			return rain, false
+		}
+	}
+	return rain, true
+}
+
+// RunFig8 executes the full pipeline.
+func RunFig8(cfg Fig8Config) Fig8Result {
+	// --- 1. Training data from the GSRM substitute (§3.2.1). ---
+	gen := coarse.NewGenerator(coarse.GeneratorConfig{
+		FineLevel: cfg.FineLevel, CoarseLevel: cfg.CoarseLevel, NLev: cfg.NLev,
+		StepsPerDay: cfg.StepsPerDay, Days: cfg.TrainDays,
+		Period: synthclim.Table1()[2],
+	}, nil, nil)
+	samples := gen.Run()
+	train, test := coarse.Split(samples, cfg.StepsPerDay, rand.New(rand.NewSource(42)))
+
+	// --- 2. Train the ML suite (§3.2.3). ---
+	suite, lossT, lossR := mlphysics.Train(train, test, cfg.NLev, cfg.Train)
+
+	res := Fig8Result{TendTestLoss: lossT, RadTestLoss: lossR}
+
+	// --- 3. Online coupling at the training resolution (§3.2.4). ---
+	mTrain := mesh.New(cfg.CoarseLevel).ReorderBFS()
+	rainConv, okC := runSuite(cfg.CoarseLevel, cfg.NLev, physics.NewConventional(cfg.NLev), mTrain, cfg.RunHours)
+	rainML, okM := runSuite(cfg.CoarseLevel, cfg.NLev, suite, mTrain, cfg.RunHours)
+	res.Stable = okC && okM
+	res.CorrTrainRes = synthclim.SpatialCorrelation(mTrain, smoothLog(mTrain, rainML), smoothLog(mTrain, rainConv), nil)
+
+	itcz := 8 * math.Pi / 180
+	res.BandContrastConv = rainBandContrast(mTrain, rainConv, itcz)
+	res.BandContrastML = rainBandContrast(mTrain, rainML, itcz)
+
+	// --- 4. Resolution adaptivity: apply the same trained suite at a
+	// different resolution (§3.2.2's G6-vs-G8 claim). ---
+	if cfg.ApplyLevel != cfg.CoarseLevel {
+		mApply := mesh.New(cfg.ApplyLevel).ReorderBFS()
+		rainConvA, _ := runSuite(cfg.ApplyLevel, cfg.NLev, physics.NewConventional(cfg.NLev), mApply, cfg.RunHours)
+		rainMLA, okA := runSuite(cfg.ApplyLevel, cfg.NLev, suite, mApply, cfg.RunHours)
+		res.Stable = res.Stable && okA
+		res.CorrApplyRes = synthclim.SpatialCorrelation(mApply, smoothLog(mApply, rainMLA), smoothLog(mApply, rainConvA), nil)
+	}
+	return res
+}
+
+// Rows renders the Fig. 8 result.
+func (r Fig8Result) Rows() []string {
+	return []string{
+		fmt.Sprintf("tendency CNN held-out loss (normalized MSE): %.4f", r.TendTestLoss),
+		fmt.Sprintf("radiation MLP held-out loss (normalized MSE): %.4f", r.RadTestLoss),
+		fmt.Sprintf("rainfall pattern corr, ML vs conventional (training res): %.3f", r.CorrTrainRes),
+		fmt.Sprintf("rainfall pattern corr, ML vs conventional (transfer res): %.3f", r.CorrApplyRes),
+		fmt.Sprintf("ITCZ rain-band contrast: conventional %.2f, ML %.2f", r.BandContrastConv, r.BandContrastML),
+		fmt.Sprintf("ML-coupled run stable: %v", r.Stable),
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFig7ResolutionOrdering runs a reduced Doksuri case end to end and
+// asserts the paper's claim: the finer-horizontal member beats the
+// coarser one against the common analysis despite having fewer vertical
+// levels. ~1 minute; skipped with -short.
+func TestFig7ResolutionOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model integration (~1 min)")
+	}
+	cfg := DefaultFig7Config()
+	cfg.Hours = 6
+	r := RunFig7(cfg)
+	if math.IsNaN(r.CorrCoarse) || math.IsNaN(r.CorrFine) {
+		t.Fatalf("NaN correlations: %+v", r)
+	}
+	if r.CorrFine <= 0 {
+		t.Errorf("fine member uncorrelated with the analysis: %.3f", r.CorrFine)
+	}
+	if r.CorrFine <= r.CorrCoarse {
+		t.Errorf("fine member (%.3f) did not beat coarse (%.3f)", r.CorrFine, r.CorrCoarse)
+	}
+	if r.PeakFine <= 0 || r.PeakCoarse <= 0 {
+		t.Errorf("members produced no regional rain: %+v", r)
+	}
+}
+
+// TestFig8PipelineEndToEnd runs a reduced ML-physics pipeline and
+// asserts the §3.2 claims: the modules learn, the coupled run is stable,
+// and the suite transfers across resolution. ~40 s; skipped with -short.
+func TestFig8PipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training pipeline (~40 s)")
+	}
+	cfg := DefaultFig8Config()
+	cfg.TrainDays = 1
+	cfg.Train.Epochs = 15
+	r := RunFig8(cfg)
+
+	if !r.Stable {
+		t.Error("ML-coupled run unstable")
+	}
+	if r.TendTestLoss > 0.5 || math.IsNaN(r.TendTestLoss) {
+		t.Errorf("tendency CNN did not learn: loss %.4f", r.TendTestLoss)
+	}
+	if r.RadTestLoss > 0.5 || math.IsNaN(r.RadTestLoss) {
+		t.Errorf("radiation MLP did not learn: loss %.4f", r.RadTestLoss)
+	}
+	if r.CorrTrainRes < 0.3 {
+		t.Errorf("ML rainfall pattern weakly correlated at training res: %.3f", r.CorrTrainRes)
+	}
+	if r.CorrApplyRes < 0.3 {
+		t.Errorf("ML rainfall pattern does not transfer across resolution: %.3f", r.CorrApplyRes)
+	}
+	if r.BandContrastConv <= 1 {
+		t.Errorf("conventional suite lost the ITCZ band: contrast %.2f", r.BandContrastConv)
+	}
+	if r.BandContrastML <= 1 {
+		t.Errorf("ML suite lost the ITCZ band: contrast %.2f", r.BandContrastML)
+	}
+}

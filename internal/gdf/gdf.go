@@ -1,0 +1,262 @@
+// Package gdf implements the GRIST Data Format: a minimal
+// self-describing binary container for model output — named dimensions,
+// attributed variables, float64 payloads — standing in for the NetCDF
+// history files the paper's model writes (stdlib-only substitution).
+//
+// Layout (little-endian):
+//
+//	magic "GDF1" | ndims | {nameLen name size}* | nvars |
+//	{nameLen name nattrs {keyLen key valLen val}* ndims {dimIdx}* data}*
+package gdf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+const magic = "GDF1"
+
+// Dimension is a named axis length.
+type Dimension struct {
+	Name string
+	Size int
+}
+
+// Variable is a data array over an ordered list of dimensions.
+type Variable struct {
+	Name  string
+	Attrs map[string]string
+	Dims  []string  // dimension names, slowest-varying first
+	Data  []float64 // len = product of dimension sizes
+}
+
+// File is an in-memory GDF dataset.
+type File struct {
+	Dims []Dimension
+	Vars []Variable
+}
+
+// AddDim registers a dimension and returns its index.
+func (f *File) AddDim(name string, size int) int {
+	f.Dims = append(f.Dims, Dimension{Name: name, Size: size})
+	return len(f.Dims) - 1
+}
+
+// DimSize returns the size of a named dimension, or -1.
+func (f *File) DimSize(name string) int {
+	for _, d := range f.Dims {
+		if d.Name == name {
+			return d.Size
+		}
+	}
+	return -1
+}
+
+// AddVar appends a variable after validating its shape against the
+// registered dimensions.
+func (f *File) AddVar(v Variable) error {
+	want := 1
+	for _, dn := range v.Dims {
+		s := f.DimSize(dn)
+		if s < 0 {
+			return fmt.Errorf("gdf: variable %q uses unknown dimension %q", v.Name, dn)
+		}
+		want *= s
+	}
+	if len(v.Data) != want {
+		return fmt.Errorf("gdf: variable %q has %d values, dims imply %d", v.Name, len(v.Data), want)
+	}
+	f.Vars = append(f.Vars, v)
+	return nil
+}
+
+// Var returns the named variable, or nil.
+func (f *File) Var(name string) *Variable {
+	for i := range f.Vars {
+		if f.Vars[i].Name == name {
+			return &f.Vars[i]
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", errors.New("gdf: unreasonable string length")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Write serializes the dataset.
+func (f *File) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(f.Dims))); err != nil {
+		return err
+	}
+	dimIdx := map[string]uint32{}
+	for i, d := range f.Dims {
+		if err := writeString(w, d.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(d.Size)); err != nil {
+			return err
+		}
+		dimIdx[d.Name] = uint32(i)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(f.Vars))); err != nil {
+		return err
+	}
+	for _, v := range f.Vars {
+		if err := writeString(w, v.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(v.Attrs))); err != nil {
+			return err
+		}
+		// Deterministic attribute order.
+		keys := make([]string, 0, len(v.Attrs))
+		for k := range v.Attrs {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			if err := writeString(w, k); err != nil {
+				return err
+			}
+			if err := writeString(w, v.Attrs[k]); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(v.Dims))); err != nil {
+			return err
+		}
+		for _, dn := range v.Dims {
+			idx, ok := dimIdx[dn]
+			if !ok {
+				return fmt.Errorf("gdf: variable %q references unknown dimension %q", v.Name, dn)
+			}
+			if err := binary.Write(w, binary.LittleEndian, idx); err != nil {
+				return err
+			}
+		}
+		bits := make([]uint64, len(v.Data))
+		for i, x := range v.Data {
+			bits[i] = math.Float64bits(x)
+		}
+		if err := binary.Write(w, binary.LittleEndian, bits); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses a dataset written by Write.
+func Read(r io.Reader) (*File, error) {
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head) != magic {
+		return nil, errors.New("gdf: bad magic")
+	}
+	var f File
+	var ndims uint32
+	if err := binary.Read(r, binary.LittleEndian, &ndims); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ndims; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var size uint64
+		if err := binary.Read(r, binary.LittleEndian, &size); err != nil {
+			return nil, err
+		}
+		f.Dims = append(f.Dims, Dimension{Name: name, Size: int(size)})
+	}
+	var nvars uint32
+	if err := binary.Read(r, binary.LittleEndian, &nvars); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nvars; i++ {
+		var v Variable
+		var err error
+		if v.Name, err = readString(r); err != nil {
+			return nil, err
+		}
+		var nattrs uint32
+		if err := binary.Read(r, binary.LittleEndian, &nattrs); err != nil {
+			return nil, err
+		}
+		v.Attrs = map[string]string{}
+		for a := uint32(0); a < nattrs; a++ {
+			k, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			val, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			v.Attrs[k] = val
+		}
+		var nd uint32
+		if err := binary.Read(r, binary.LittleEndian, &nd); err != nil {
+			return nil, err
+		}
+		size := 1
+		for d := uint32(0); d < nd; d++ {
+			var idx uint32
+			if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+				return nil, err
+			}
+			if int(idx) >= len(f.Dims) {
+				return nil, errors.New("gdf: dimension index out of range")
+			}
+			v.Dims = append(v.Dims, f.Dims[idx].Name)
+			size *= f.Dims[idx].Size
+		}
+		bits := make([]uint64, size)
+		if err := binary.Read(r, binary.LittleEndian, bits); err != nil {
+			return nil, err
+		}
+		v.Data = make([]float64, size)
+		for j, b := range bits {
+			v.Data[j] = math.Float64frombits(b)
+		}
+		f.Vars = append(f.Vars, v)
+	}
+	return &f, nil
+}
+
+// sortStrings is a dependency-free insertion sort (attribute lists are
+// tiny).
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package gdf
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func sample() *File {
+	f := &File{}
+	f.AddDim("cell", 4)
+	f.AddDim("lev", 3)
+	_ = f.AddVar(Variable{
+		Name:  "ps",
+		Attrs: map[string]string{"units": "Pa", "long_name": "surface pressure"},
+		Dims:  []string{"cell"},
+		Data:  []float64{1e5, 99000, math.Pi, -0},
+	})
+	_ = f.AddVar(Variable{
+		Name: "theta",
+		Dims: []string{"cell", "lev"},
+		Data: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Attrs: map[string]string{
+			"units": "K",
+		},
+	})
+	return f
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sample()
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Dims) != 2 || g.DimSize("cell") != 4 || g.DimSize("lev") != 3 {
+		t.Fatalf("dims: %+v", g.Dims)
+	}
+	ps := g.Var("ps")
+	if ps == nil || ps.Attrs["units"] != "Pa" {
+		t.Fatalf("ps: %+v", ps)
+	}
+	for i, want := range f.Vars[0].Data {
+		if ps.Data[i] != want {
+			t.Fatalf("ps[%d] = %v", i, ps.Data[i])
+		}
+	}
+	th := g.Var("theta")
+	if th == nil || len(th.Data) != 12 || th.Dims[1] != "lev" {
+		t.Fatalf("theta: %+v", th)
+	}
+}
+
+func TestAddVarValidatesShape(t *testing.T) {
+	f := &File{}
+	f.AddDim("cell", 4)
+	if err := f.AddVar(Variable{Name: "x", Dims: []string{"cell"}, Data: make([]float64, 3)}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := f.AddVar(Variable{Name: "x", Dims: []string{"nope"}, Data: make([]float64, 3)}); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE----"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated file.
+	f := sample()
+	var buf bytes.Buffer
+	_ = f.Write(&buf)
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	var a, b bytes.Buffer
+	_ = sample().Write(&a)
+	_ = sample().Write(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("encoding not deterministic (attribute order?)")
+	}
+}
+
+func TestMissingVar(t *testing.T) {
+	if sample().Var("absent") != nil {
+		t.Error("missing variable found")
+	}
+}

@@ -1,0 +1,145 @@
+package mesh
+
+import "math"
+
+// Vec3 is a point or direction in 3-space. Mesh geometry is computed on the
+// unit sphere and scaled by the planetary radius where physical lengths are
+// needed.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s * a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the scalar product a . b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the vector product a x b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns the Euclidean length of a.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a scaled to unit length. The zero vector is returned
+// unchanged.
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// LatLon returns the latitude and longitude (radians) of a point on the
+// sphere.
+func (a Vec3) LatLon() (lat, lon float64) {
+	u := a.Normalize()
+	return math.Asin(clamp(u.Z, -1, 1)), math.Atan2(u.Y, u.X)
+}
+
+// FromLatLon returns the unit-sphere point at the given latitude and
+// longitude (radians).
+func FromLatLon(lat, lon float64) Vec3 {
+	c := math.Cos(lat)
+	return Vec3{c * math.Cos(lon), c * math.Sin(lon), math.Sin(lat)}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ArcLength returns the great-circle distance between two unit-sphere
+// points, in radians (multiply by the sphere radius for physical length).
+func ArcLength(a, b Vec3) float64 {
+	// atan2 formulation is accurate for both small and large separations.
+	cross := a.Cross(b).Norm()
+	dot := a.Dot(b)
+	return math.Atan2(cross, dot)
+}
+
+// SphericalTriangleArea returns the area of the spherical triangle with
+// unit-sphere corners a, b, c, on the unit sphere (steradians). The result
+// is always non-negative.
+func SphericalTriangleArea(a, b, c Vec3) float64 {
+	// L'Huilier-free formulation via the spherical excess using
+	// the Eriksson / van Oosterom-Strackee solid-angle formula:
+	// tan(E/2) = |a.(b x c)| / (1 + a.b + b.c + c.a)
+	num := math.Abs(a.Dot(b.Cross(c)))
+	den := 1 + a.Dot(b) + b.Dot(c) + c.Dot(a)
+	e := 2 * math.Atan2(num, den)
+	return math.Abs(e)
+}
+
+// SphericalPolygonArea returns the area (steradians) of the spherical
+// polygon with the given unit-sphere corners, traversed in order. The
+// polygon is fanned from its (normalized) centroid, so it must be
+// star-shaped about the centroid — true for all cells and kites on an
+// icosahedral mesh.
+func SphericalPolygonArea(pts []Vec3) float64 {
+	if len(pts) < 3 {
+		return 0
+	}
+	var centroid Vec3
+	for _, p := range pts {
+		centroid = centroid.Add(p)
+	}
+	centroid = centroid.Normalize()
+	var area float64
+	for i := range pts {
+		j := (i + 1) % len(pts)
+		area += SphericalTriangleArea(centroid, pts[i], pts[j])
+	}
+	return area
+}
+
+// Circumcenter returns the circumcenter of the spherical triangle (a, b, c)
+// projected onto the unit sphere, oriented to lie on the same hemisphere as
+// the triangle.
+func Circumcenter(a, b, c Vec3) Vec3 {
+	cc := b.Sub(a).Cross(c.Sub(a))
+	cc = cc.Normalize()
+	// Orient toward the triangle.
+	if cc.Dot(a.Add(b).Add(c)) < 0 {
+		cc = cc.Scale(-1)
+	}
+	return cc
+}
+
+// Midpoint returns the normalized midpoint of two unit-sphere points.
+func Midpoint(a, b Vec3) Vec3 { return a.Add(b).Normalize() }
+
+// LocalVertical returns the outward unit normal of the sphere at p (which
+// is simply p normalized).
+func LocalVertical(p Vec3) Vec3 { return p.Normalize() }
+
+// TangentBasis returns the local east and north unit vectors at unit-sphere
+// point p. At the poles the basis is chosen along the x-axis meridian.
+func TangentBasis(p Vec3) (east, north Vec3) {
+	up := p.Normalize()
+	zAxis := Vec3{0, 0, 1}
+	east = zAxis.Cross(up)
+	if east.Norm() < 1e-12 {
+		east = Vec3{0, 1, 0}
+	} else {
+		east = east.Normalize()
+	}
+	north = up.Cross(east)
+	return east, north
+}

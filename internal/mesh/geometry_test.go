@@ -1,0 +1,183 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randUnit(rng *rand.Rand) Vec3 {
+	for {
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if n := v.Norm(); n > 1e-6 {
+			return v.Scale(1 / n)
+		}
+	}
+}
+
+func TestVec3AlgebraProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randUnit(r), randUnit(r), randUnit(r)
+		// Cross product antisymmetry and orthogonality.
+		ab := a.Cross(b)
+		ba := b.Cross(a)
+		if ab.Add(ba).Norm() > 1e-12 {
+			return false
+		}
+		if math.Abs(ab.Dot(a)) > 1e-12 || math.Abs(ab.Dot(b)) > 1e-12 {
+			return false
+		}
+		// Scalar triple product is cyclic.
+		t1 := a.Dot(b.Cross(c))
+		t2 := b.Dot(c.Cross(a))
+		if math.Abs(t1-t2) > 1e-12 {
+			return false
+		}
+		// Lagrange identity: |a x b|^2 = |a|^2|b|^2 - (a.b)^2.
+		lhs := ab.Dot(ab)
+		rhs := 1 - math.Pow(a.Dot(b), 2)
+		return math.Abs(lhs-rhs) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLatLonRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		lat := (r.Float64() - 0.5) * math.Pi * 0.999
+		lon := (r.Float64() - 0.5) * 2 * math.Pi * 0.999
+		p := FromLatLon(lat, lon)
+		la, lo := p.LatLon()
+		return math.Abs(la-lat) < 1e-12 && math.Abs(lo-lon) < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArcLengthProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randUnit(r), randUnit(r), randUnit(r)
+		dab := ArcLength(a, b)
+		// Symmetry, bounds, identity.
+		if math.Abs(dab-ArcLength(b, a)) > 1e-12 {
+			return false
+		}
+		if dab < 0 || dab > math.Pi+1e-12 {
+			return false
+		}
+		if ArcLength(a, a) > 1e-7 {
+			return false
+		}
+		// Triangle inequality on the sphere.
+		return ArcLength(a, c) <= dab+ArcLength(b, c)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSphericalTriangleAreaKnownValues(t *testing.T) {
+	// Octant triangle: area = 4*pi/8 = pi/2.
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	c := Vec3{0, 0, 1}
+	if got := SphericalTriangleArea(a, b, c); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("octant area = %v, want pi/2", got)
+	}
+	// Degenerate triangle has ~zero area.
+	if got := SphericalTriangleArea(a, a, b); got > 1e-12 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestSphericalPolygonAreaMatchesTriangleSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// A convex spherical quad around the north pole.
+	for trial := 0; trial < 20; trial++ {
+		lat := 0.6 + 0.5*rng.Float64()
+		pts := make([]Vec3, 4)
+		for i := range pts {
+			lon := float64(i)/4*2*math.Pi + 0.2*rng.Float64()
+			pts[i] = FromLatLon(lat, lon)
+		}
+		quad := SphericalPolygonArea(pts)
+		tris := SphericalTriangleArea(pts[0], pts[1], pts[2]) +
+			SphericalTriangleArea(pts[0], pts[2], pts[3])
+		if math.Abs(quad-tris) > 1e-9*(1+tris) {
+			t.Fatalf("quad area %v != triangle sum %v", quad, tris)
+		}
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Three nearby points (a well-conditioned spherical triangle).
+		base := randUnit(r)
+		perturb := func() Vec3 {
+			return base.Add(Vec3{0.1 * r.NormFloat64(), 0.1 * r.NormFloat64(), 0.1 * r.NormFloat64()}).Normalize()
+		}
+		a, b, c := perturb(), perturb(), perturb()
+		if a.Sub(b).Norm() < 1e-3 || b.Sub(c).Norm() < 1e-3 || a.Sub(c).Norm() < 1e-3 {
+			return true // skip degenerate draws
+		}
+		cc := Circumcenter(a, b, c)
+		da, db, dc := ArcLength(cc, a), ArcLength(cc, b), ArcLength(cc, c)
+		return math.Abs(da-db) < 1e-9 && math.Abs(db-dc) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTangentBasisOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randUnit(r)
+		east, north := TangentBasis(p)
+		up := p.Normalize()
+		return math.Abs(east.Norm()-1) < 1e-12 &&
+			math.Abs(north.Norm()-1) < 1e-12 &&
+			math.Abs(east.Dot(north)) < 1e-12 &&
+			math.Abs(east.Dot(up)) < 1e-12 &&
+			math.Abs(north.Dot(up)) < 1e-12 &&
+			// Right-handed: east x north = up.
+			east.Cross(north).Sub(up).Norm() < 1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// Poles are well-defined too.
+	for _, p := range []Vec3{{0, 0, 1}, {0, 0, -1}} {
+		east, north := TangentBasis(p)
+		if east.Norm() == 0 || north.Norm() == 0 {
+			t.Error("degenerate basis at pole")
+		}
+	}
+}
+
+func TestMidpointBisects(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		a, b := randUnit(rng), randUnit(rng)
+		if a.Add(b).Norm() < 1e-3 {
+			continue // antipodal: midpoint ill-defined
+		}
+		m := Midpoint(a, b)
+		if math.Abs(ArcLength(a, m)-ArcLength(m, b)) > 1e-9 {
+			t.Fatalf("midpoint not equidistant")
+		}
+	}
+}

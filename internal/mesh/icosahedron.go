@@ -1,0 +1,97 @@
+package mesh
+
+// Triangulation is the primal icosahedral triangulation of the sphere from
+// which the hexagonal C-grid (its Voronoi dual) is built. Vertices of the
+// triangulation become cell centers of the C-grid; triangles become the
+// dual vertices.
+type Triangulation struct {
+	Level int        // number of bisection refinements applied
+	Verts []Vec3     // unit-sphere vertex positions
+	Tris  [][3]int32 // corner indices, counterclockwise seen from outside
+}
+
+// baseIcosahedron returns the unrefined icosahedron (12 vertices,
+// 20 faces) with counterclockwise faces.
+func baseIcosahedron() *Triangulation {
+	// Golden-ratio construction.
+	const phi = 1.618033988749894848204586834365638118
+	raw := [][3]float64{
+		{-1, phi, 0}, {1, phi, 0}, {-1, -phi, 0}, {1, -phi, 0},
+		{0, -1, phi}, {0, 1, phi}, {0, -1, -phi}, {0, 1, -phi},
+		{phi, 0, -1}, {phi, 0, 1}, {-phi, 0, -1}, {-phi, 0, 1},
+	}
+	verts := make([]Vec3, len(raw))
+	for i, r := range raw {
+		verts[i] = Vec3{r[0], r[1], r[2]}.Normalize()
+	}
+	tris := [][3]int32{
+		{0, 11, 5}, {0, 5, 1}, {0, 1, 7}, {0, 7, 10}, {0, 10, 11},
+		{1, 5, 9}, {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+		{3, 9, 4}, {3, 4, 2}, {3, 2, 6}, {3, 6, 8}, {3, 8, 9},
+		{4, 9, 5}, {2, 4, 11}, {6, 2, 10}, {8, 6, 7}, {9, 8, 1},
+	}
+	t := &Triangulation{Level: 0, Verts: verts, Tris: tris}
+	t.orientCCW()
+	return t
+}
+
+// orientCCW flips any triangle whose corners are clockwise when seen from
+// outside the sphere, so all faces share a consistent orientation.
+func (t *Triangulation) orientCCW() {
+	for i, tr := range t.Tris {
+		a, b, c := t.Verts[tr[0]], t.Verts[tr[1]], t.Verts[tr[2]]
+		// CCW from outside <=> (b-a)x(c-a) points outward.
+		if b.Sub(a).Cross(c.Sub(a)).Dot(a.Add(b).Add(c)) < 0 {
+			t.Tris[i][1], t.Tris[i][2] = tr[2], tr[1]
+		}
+	}
+}
+
+// Refine returns a new triangulation with every triangle split into four,
+// with edge midpoints projected onto the sphere. The refinement level
+// increases by one.
+func (t *Triangulation) Refine() *Triangulation {
+	type edgeKey struct{ a, b int32 }
+	mid := make(map[edgeKey]int32, len(t.Tris)*3/2)
+	verts := make([]Vec3, len(t.Verts), len(t.Verts)+3*len(t.Tris)/2)
+	copy(verts, t.Verts)
+
+	midpoint := func(a, b int32) int32 {
+		k := edgeKey{a, b}
+		if a > b {
+			k = edgeKey{b, a}
+		}
+		if idx, ok := mid[k]; ok {
+			return idx
+		}
+		idx := int32(len(verts))
+		verts = append(verts, Midpoint(t.Verts[a], t.Verts[b]))
+		mid[k] = idx
+		return idx
+	}
+
+	tris := make([][3]int32, 0, 4*len(t.Tris))
+	for _, tr := range t.Tris {
+		a, b, c := tr[0], tr[1], tr[2]
+		ab := midpoint(a, b)
+		bc := midpoint(b, c)
+		ca := midpoint(c, a)
+		tris = append(tris,
+			[3]int32{a, ab, ca},
+			[3]int32{b, bc, ab},
+			[3]int32{c, ca, bc},
+			[3]int32{ab, bc, ca},
+		)
+	}
+	return &Triangulation{Level: t.Level + 1, Verts: verts, Tris: tris}
+}
+
+// NewTriangulation builds the icosahedral triangulation at the given
+// refinement level (level 0 is the raw icosahedron).
+func NewTriangulation(level int) *Triangulation {
+	t := baseIcosahedron()
+	for i := 0; i < level; i++ {
+		t = t.Refine()
+	}
+	return t
+}

@@ -1,0 +1,389 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCensusCounts(t *testing.T) {
+	want := []struct {
+		level               int
+		cells, edges, verts int64
+	}{
+		{6, 40962, 122880, 81920},
+		{8, 655362, 1966080, 1310720},
+		{9, 2621442, 7864320, 5242880},
+		{10, 10485762, 31457280, 20971520},
+		{11, 41943042, 125829120, 83886080},
+		{12, 167772162, 503316480, 335544320},
+	}
+	for _, w := range want {
+		c := Census(w.level)
+		if c.Cells != w.cells || c.Edges != w.edges || c.Verts != w.verts {
+			t.Errorf("G%d: got (%d,%d,%d), want (%d,%d,%d)",
+				w.level, c.Cells, c.Edges, c.Verts, w.cells, w.edges, w.verts)
+		}
+	}
+}
+
+func TestGeneratedMeshMatchesCensus(t *testing.T) {
+	for level := 0; level <= 4; level++ {
+		m := New(level)
+		c := Census(level)
+		if int64(m.NCells) != c.Cells {
+			t.Errorf("level %d: NCells=%d want %d", level, m.NCells, c.Cells)
+		}
+		if int64(m.NEdges) != c.Edges {
+			t.Errorf("level %d: NEdges=%d want %d", level, m.NEdges, c.Edges)
+		}
+		if int64(m.NVerts) != c.Verts {
+			t.Errorf("level %d: NVerts=%d want %d", level, m.NVerts, c.Verts)
+		}
+	}
+}
+
+func TestEulerCharacteristic(t *testing.T) {
+	m := New(3)
+	// V - E + F = 2 for the sphere (cells are faces of the dual).
+	if got := m.NCells - m.NEdges + m.NVerts; got != 2 {
+		t.Errorf("Euler characteristic = %d, want 2", got)
+	}
+}
+
+func TestCellDegrees(t *testing.T) {
+	m := New(3)
+	pentagons := 0
+	for c := int32(0); c < int32(m.NCells); c++ {
+		switch m.CellDegree(c) {
+		case 5:
+			pentagons++
+		case 6:
+		default:
+			t.Fatalf("cell %d has degree %d", c, m.CellDegree(c))
+		}
+	}
+	if pentagons != 12 {
+		t.Errorf("pentagon count = %d, want 12", pentagons)
+	}
+}
+
+func TestAreasTileSphere(t *testing.T) {
+	m := New(4)
+	total := 4 * math.Pi * m.Radius * m.Radius
+	var cells, verts float64
+	for _, a := range m.CellArea {
+		cells += a
+	}
+	for _, a := range m.VertArea {
+		verts += a
+	}
+	if rel := math.Abs(cells-total) / total; rel > 1e-9 {
+		t.Errorf("cell areas cover %.12f of sphere (rel err %g)", cells/total, rel)
+	}
+	if rel := math.Abs(verts-total) / total; rel > 1e-9 {
+		t.Errorf("vertex areas cover %.12f of sphere (rel err %g)", verts/total, rel)
+	}
+}
+
+func TestKiteFractionsSumToOne(t *testing.T) {
+	m := New(3)
+	for c := int32(0); c < int32(m.NCells); c++ {
+		var s float64
+		for k := m.CellOff[c]; k < m.CellOff[c+1]; k++ {
+			s += m.KiteFrac[k]
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("cell %d kite fractions sum to %v", c, s)
+		}
+	}
+}
+
+func TestEdgeOrientationConventions(t *testing.T) {
+	m := New(3)
+	for e := 0; e < m.NEdges; e++ {
+		up := LocalVertical(m.EdgePos[e])
+		tangent := up.Cross(m.EdgeNormal[e])
+		if tangent.Sub(m.EdgeTangent[e]).Norm() > 1e-12 {
+			t.Fatalf("edge %d: tangent != up x normal", e)
+		}
+		// Dual vertices ordered along the tangent.
+		d := m.VertPos[m.EdgeVert[e][1]].Sub(m.VertPos[m.EdgeVert[e][0]])
+		if d.Dot(m.EdgeTangent[e]) <= 0 {
+			t.Fatalf("edge %d: EdgeVert not ordered along tangent", e)
+		}
+		// Normal points from cell 0 to cell 1.
+		d = m.CellPos[m.EdgeCell[e][1]].Sub(m.CellPos[m.EdgeCell[e][0]])
+		if d.Dot(m.EdgeNormal[e]) <= 0 {
+			t.Fatalf("edge %d: normal does not point from cell0 to cell1", e)
+		}
+	}
+}
+
+// divergence computes the C-grid divergence of an edge-normal field for
+// test purposes.
+func divergence(m *Mesh, u []float64) []float64 {
+	div := make([]float64, m.NCells)
+	for c := int32(0); c < int32(m.NCells); c++ {
+		var s float64
+		for k := m.CellOff[c]; k < m.CellOff[c+1]; k++ {
+			e := m.CellEdge[k]
+			s += float64(m.CellEdgeSign[k]) * u[e] * m.DvEdge[e]
+		}
+		div[c] = s / m.CellArea[c]
+	}
+	return div
+}
+
+// gradient computes the C-grid edge-normal gradient of a cell field.
+func gradient(m *Mesh, psi []float64) []float64 {
+	g := make([]float64, m.NEdges)
+	for e := 0; e < m.NEdges; e++ {
+		g[e] = (psi[m.EdgeCell[e][1]] - psi[m.EdgeCell[e][0]]) / m.DcEdge[e]
+	}
+	return g
+}
+
+// curl computes the C-grid relative vorticity at dual vertices.
+func curl(m *Mesh, u []float64) []float64 {
+	z := make([]float64, m.NVerts)
+	for v := 0; v < m.NVerts; v++ {
+		var s float64
+		for k := 0; k < 3; k++ {
+			e := m.VertEdge[v][k]
+			s += float64(m.VertEdgeSign[v][k]) * u[e] * m.DcEdge[e]
+		}
+		z[v] = s / m.VertArea[v]
+	}
+	return z
+}
+
+func TestCurlOfGradientIsZero(t *testing.T) {
+	m := New(3)
+	psi := make([]float64, m.NCells)
+	for c := 0; c < m.NCells; c++ {
+		psi[c] = math.Sin(3*m.CellLat[c]) * math.Cos(2*m.CellLon[c]) * 1e3
+	}
+	z := curl(m, gradient(m, psi))
+	for v, zz := range z {
+		if math.Abs(zz) > 1e-12 {
+			t.Fatalf("curl(grad) at vertex %d = %g, want ~0", v, zz)
+		}
+	}
+}
+
+func TestDivergenceTheoremGlobalSum(t *testing.T) {
+	m := New(3)
+	u := make([]float64, m.NEdges)
+	for e := range u {
+		u[e] = math.Sin(float64(e)) // arbitrary field
+	}
+	div := divergence(m, u)
+	var s float64
+	for c := 0; c < m.NCells; c++ {
+		s += div[c] * m.CellArea[c]
+	}
+	// Every edge flux appears twice with opposite signs.
+	if math.Abs(s) > 1e-3 { // absolute: fluxes are O(1e6 m * 1) each
+		t.Errorf("global divergence integral = %g, want ~0", s)
+	}
+}
+
+// solidBodyU returns the edge-normal velocities of solid-body rotation
+// about the z-axis with equatorial speed u0.
+func solidBodyU(m *Mesh, u0 float64) []float64 {
+	u := make([]float64, m.NEdges)
+	for e := 0; e < m.NEdges; e++ {
+		lat, _ := m.EdgePos[e].LatLon()
+		east, _ := TangentBasis(m.EdgePos[e])
+		vel := east.Scale(u0 * math.Cos(lat))
+		u[e] = vel.Dot(m.EdgeNormal[e])
+	}
+	return u
+}
+
+func TestSolidBodyRotationDivergenceFree(t *testing.T) {
+	m := New(4)
+	const u0 = 40.0
+	div := divergence(m, solidBodyU(m, u0))
+	scale := u0 / m.Radius // natural divergence scale of the flow
+	for c, d := range div {
+		// Discretization (truncation) error only: |div| << u0/R.
+		if math.Abs(d) > 0.01*scale {
+			t.Fatalf("cell %d: div = %g (%.2f%% of u0/R)", c, d, 100*math.Abs(d)/scale)
+		}
+	}
+}
+
+func TestSolidBodyRotationVorticity(t *testing.T) {
+	m := New(4)
+	const u0 = 40.0
+	z := curl(m, solidBodyU(m, u0))
+	// Analytic: zeta = 2*u0/R * sin(lat).
+	var worst float64
+	for v := 0; v < m.NVerts; v++ {
+		lat, _ := m.VertPos[v].LatLon()
+		want := 2 * u0 / m.Radius * math.Sin(lat)
+		diff := math.Abs(z[v] - want)
+		if diff > worst {
+			worst = diff
+		}
+	}
+	scale := 2 * u0 / m.Radius
+	if worst > 0.05*scale {
+		t.Errorf("max vorticity error %g (%.1f%% of 2u0/R)", worst, 100*worst/scale)
+	}
+}
+
+func TestTangentialReconstruction(t *testing.T) {
+	m := New(4)
+	const u0 = 40.0
+	u := solidBodyU(m, u0)
+	v := make([]float64, m.NEdges)
+	m.TangentialVelocity(v, u)
+	var worst, sum float64
+	for e := 0; e < m.NEdges; e++ {
+		lat, _ := m.EdgePos[e].LatLon()
+		east, _ := TangentBasis(m.EdgePos[e])
+		want := east.Scale(u0 * math.Cos(lat)).Dot(m.EdgeTangent[e])
+		diff := math.Abs(v[e] - want)
+		sum += diff * diff
+		if diff > worst {
+			worst = diff
+		}
+	}
+	rms := math.Sqrt(sum / float64(m.NEdges))
+	// The TRiSK reconstruction is low-order near the 12 pentagons on raw
+	// bisection meshes (max error does not converge there), but the bulk
+	// error does converge.
+	if worst > 0.15*u0 {
+		t.Errorf("max tangential reconstruction error %.3f m/s (u0=%v)", worst, u0)
+	}
+	if rms > 0.03*u0 {
+		t.Errorf("rms tangential reconstruction error %.3f m/s (u0=%v)", rms, u0)
+	}
+}
+
+// TestTrskEnergyAntisymmetry verifies the defining conservation property
+// of the TRiSK weights (Ringler et al. 2010, eq. 25): with
+// v_e = sum W_{e,e'} u_{e'}, the rescaled weights
+// w_{e,e'} = W_{e,e'} * Dc_e / Dv_{e'} satisfy w_{e,e'} = -w_{e',e},
+// which makes the Coriolis term energy-neutral.
+func TestTrskEnergyAntisymmetry(t *testing.T) {
+	m := New(3)
+	type pair struct{ a, b int32 }
+	W := make(map[pair]float64)
+	for e := int32(0); e < int32(m.NEdges); e++ {
+		for k := m.TrskOff[e]; k < m.TrskOff[e+1]; k++ {
+			W[pair{e, m.TrskEdge[k]}] += m.TrskWeight[k]
+		}
+	}
+	for p, w := range W {
+		a := w * m.DcEdge[p.a] / m.DvEdge[p.b]
+		b := W[pair{p.b, p.a}] * m.DcEdge[p.b] / m.DvEdge[p.a]
+		if math.Abs(a+b) > 1e-12 {
+			t.Fatalf("edges (%d,%d): w=%g mirror=%g, sum=%g", p.a, p.b, a, b, a+b)
+		}
+	}
+}
+
+func TestReorderPreservesOperators(t *testing.T) {
+	m := New(3)
+	r := m.ReorderBFS()
+	if r.NCells != m.NCells || r.NEdges != m.NEdges || r.NVerts != m.NVerts {
+		t.Fatal("reorder changed entity counts")
+	}
+	// Divergence of solid-body rotation must be identical up to
+	// permutation; compare global L2 norms of div and curl fields.
+	norm := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+	u1 := solidBodyU(m, 40)
+	u2 := solidBodyU(r, 40)
+	if d := math.Abs(norm(curl(m, u1)) - norm(curl(r, u2))); d > 1e-15 {
+		t.Errorf("curl norm changed by %g after reorder", d)
+	}
+	v1 := make([]float64, m.NEdges)
+	v2 := make([]float64, r.NEdges)
+	m.TangentialVelocity(v1, u1)
+	r.TangentialVelocity(v2, u2)
+	if d := math.Abs(norm(v1) - norm(v2)); d > 1e-9 {
+		t.Errorf("tangential reconstruction norm changed by %g after reorder", d)
+	}
+}
+
+func TestBFSOrderIsPermutation(t *testing.T) {
+	m := New(3)
+	perm := m.BFSOrder(0)
+	if len(perm) != m.NCells {
+		t.Fatalf("perm length %d != %d", len(perm), m.NCells)
+	}
+	seen := make([]bool, m.NCells)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatalf("duplicate %d in permutation", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestBFSImprovesLocality(t *testing.T) {
+	m := New(5)
+	r := m.ReorderBFS()
+	spread := func(mm *Mesh) float64 {
+		var s float64
+		for c := int32(0); c < int32(mm.NCells); c++ {
+			for _, nb := range mm.CellCells(c) {
+				s += math.Abs(float64(nb - c))
+			}
+		}
+		return s
+	}
+	if spread(r) >= spread(m) {
+		t.Errorf("BFS reorder did not reduce neighbor index spread: %g >= %g", spread(r), spread(m))
+	}
+}
+
+// TestCGridOrthogonality: on a Voronoi-dual C-grid the primal edge (arc
+// between the two dual vertices) should be nearly perpendicular to the
+// dual edge (arc between the two cell centers) — the property the
+// staggered divergence/gradient operators rely on.
+func TestCGridOrthogonality(t *testing.T) {
+	m := New(4)
+	var worst, mean float64
+	for e := 0; e < m.NEdges; e++ {
+		cellDir := m.CellPos[m.EdgeCell[e][1]].Sub(m.CellPos[m.EdgeCell[e][0]]).Normalize()
+		vertDir := m.VertPos[m.EdgeVert[e][1]].Sub(m.VertPos[m.EdgeVert[e][0]]).Normalize()
+		dot := math.Abs(cellDir.Dot(vertDir))
+		mean += dot
+		if dot > worst {
+			worst = dot
+		}
+	}
+	mean /= float64(m.NEdges)
+	// Raw bisection meshes are not SCVT-optimized, so perpendicularity
+	// is approximate; the mean deviation must still be small.
+	if mean > 0.05 {
+		t.Errorf("mean |cos| between primal and dual edges = %.4f", mean)
+	}
+	if worst > 0.25 {
+		t.Errorf("worst |cos| = %.4f", worst)
+	}
+}
+
+// TestEdgeMidpointNearArcCrossing: the edge position used for flux
+// sampling should sit close to both arcs.
+func TestEdgeMidpointNearArcCrossing(t *testing.T) {
+	m := New(3)
+	for e := 0; e < m.NEdges; e++ {
+		dC := ArcLength(m.EdgePos[e], m.CellPos[m.EdgeCell[e][0]]) +
+			ArcLength(m.EdgePos[e], m.CellPos[m.EdgeCell[e][1]])
+		// Detour ratio along the cell-cell arc.
+		if direct := ArcLength(m.CellPos[m.EdgeCell[e][0]], m.CellPos[m.EdgeCell[e][1]]); dC > 1.0001*direct {
+			t.Fatalf("edge %d midpoint off the cell-cell arc (detour %.6f)", e, dC/direct)
+		}
+	}
+}

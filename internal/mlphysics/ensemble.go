@@ -1,0 +1,87 @@
+package mlphysics
+
+import (
+	"gristgo/internal/coarse"
+	"gristgo/internal/physics"
+)
+
+// Ensemble averages the outputs of several independently trained ML
+// suites. The paper builds on Han et al. (2023), "An ensemble of neural
+// networks for moist physics processes, its generalizability and stable
+// integration": averaging decorrelated network errors damps the coupled
+// feedback loops that destabilize single-network parameterizations.
+type Ensemble struct {
+	Members []*Suite
+	scratch *physics.Output
+}
+
+// NewEnsemble wraps trained member suites (all must share NLev).
+func NewEnsemble(members ...*Suite) *Ensemble {
+	if len(members) == 0 {
+		panic("mlphysics: empty ensemble")
+	}
+	for _, m := range members[1:] {
+		if m.NLev != members[0].NLev {
+			panic("mlphysics: ensemble members disagree on NLev")
+		}
+	}
+	return &Ensemble{Members: members}
+}
+
+// Name implements physics.Scheme.
+func (e *Ensemble) Name() string { return "ML-physics-ensemble" }
+
+// NLev returns the members' layer count.
+func (e *Ensemble) NLev() int { return e.Members[0].NLev }
+
+// Compute implements physics.Scheme by averaging member outputs. The
+// members' own surface-slab updates are suppressed (they would each
+// advance Tskin); the slab runs once on the averaged radiation.
+func (e *Ensemble) Compute(in *physics.Input, out *physics.Output, dt float64) {
+	out.Reset()
+	if e.scratch == nil || len(e.scratch.Q1) != len(out.Q1) {
+		e.scratch = physics.NewOutput(in.NCol, in.NLev)
+	}
+	// Preserve the skin temperature across member calls: each member's
+	// Compute runs the slab update, which must not compound.
+	tskin0 := append([]float64(nil), in.Tskin...)
+	inv := 1.0 / float64(len(e.Members))
+	for _, mem := range e.Members {
+		copy(in.Tskin, tskin0)
+		mem.Compute(in, e.scratch, dt)
+		for i := range out.Q1 {
+			out.Q1[i] += inv * e.scratch.Q1[i]
+			out.Q2[i] += inv * e.scratch.Q2[i]
+		}
+		for c := range out.Gsw {
+			out.Gsw[c] += inv * e.scratch.Gsw[c]
+			out.Glw[c] += inv * e.scratch.Glw[c]
+			out.Precip[c] += inv * e.scratch.Precip[c]
+		}
+	}
+	// One slab update with the ensemble-mean radiation. The members'
+	// averaged Q1/Q2 already include the surface fluxes, so the update
+	// runs on a scratch output: only the Tskin side effect is kept.
+	copy(in.Tskin, tskin0)
+	e.scratch.Reset()
+	copy(e.scratch.Gsw, out.Gsw)
+	copy(e.scratch.Glw, out.Glw)
+	physics.NewSurface().Compute(in, e.scratch, dt)
+}
+
+// TrainEnsemble trains size members on the same data with different
+// initialization/shuffling seeds and returns the ensemble plus the mean
+// member test losses.
+func TrainEnsemble(samples, testSamples []*coarse.Sample, nlev, size int, cfg TrainConfig) (*Ensemble, float64, float64) {
+	var members []*Suite
+	var sumT, sumR float64
+	for i := 0; i < size; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1009
+		s, lt, lr := Train(samples, testSamples, nlev, c)
+		members = append(members, s)
+		sumT += lt
+		sumR += lr
+	}
+	return NewEnsemble(members...), sumT / float64(size), sumR / float64(size)
+}

@@ -1,0 +1,119 @@
+package mlphysics
+
+import (
+	"math"
+	"testing"
+
+	"gristgo/internal/physics"
+)
+
+func ensembleTestInput(nlev int) *physics.Input {
+	in := physics.NewInput(3, nlev)
+	for c := 0; c < 3; c++ {
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			p := 22500 + float64(k)/float64(nlev-1)*75000
+			in.P[i] = p
+			in.Dpi[i] = 97750.0 / float64(nlev)
+			in.T[i] = 295 + float64(c) - 55*math.Log(1e5/p)
+			in.Qv[i] = 0.012 * math.Pow(p/1e5, 3)
+		}
+		in.Tskin[c] = 300
+		in.CosZ[c] = 0.5
+	}
+	return in
+}
+
+func TestEnsembleAveragesMembers(t *testing.T) {
+	nlev := 6
+	samples := syntheticSamples(150, nlev, 11)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	ens, lt, lr := TrainEnsemble(samples, nil, nlev, 3, cfg)
+	if len(ens.Members) != 3 {
+		t.Fatalf("members = %d", len(ens.Members))
+	}
+	if !math.IsNaN(lt) || !math.IsNaN(lr) {
+		// No test set was given, so losses are NaN by contract.
+		t.Errorf("losses without test set: %v %v", lt, lr)
+	}
+
+	in := ensembleTestInput(nlev)
+	outE := physics.NewOutput(3, nlev)
+	tskin0 := append([]float64(nil), in.Tskin...)
+	ens.Compute(in, outE, 600)
+
+	// Hand-average the members for one (cell, level).
+	var q1Mean float64
+	for _, mem := range ens.Members {
+		copy(in.Tskin, tskin0)
+		o := physics.NewOutput(3, nlev)
+		mem.Compute(in, o, 600)
+		q1Mean += o.Q1[7] / 3
+	}
+	if math.Abs(outE.Q1[7]-q1Mean) > 1e-15*(1+math.Abs(q1Mean)) {
+		t.Errorf("ensemble Q1 %g != member mean %g", outE.Q1[7], q1Mean)
+	}
+}
+
+func TestEnsembleMembersDiffer(t *testing.T) {
+	nlev := 6
+	samples := syntheticSamples(150, nlev, 12)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	ens, _, _ := TrainEnsemble(samples, nil, nlev, 2, cfg)
+	in := ensembleTestInput(nlev)
+	tskin0 := append([]float64(nil), in.Tskin...)
+	o1 := physics.NewOutput(3, nlev)
+	o2 := physics.NewOutput(3, nlev)
+	ens.Members[0].Compute(in, o1, 600)
+	copy(in.Tskin, tskin0)
+	ens.Members[1].Compute(in, o2, 600)
+	same := true
+	for i := range o1.Q1 {
+		if o1.Q1[i] != o2.Q1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("differently seeded members are identical")
+	}
+}
+
+func TestEnsembleTskinSingleUpdate(t *testing.T) {
+	// The ensemble must advance the skin temperature once, not once per
+	// member.
+	nlev := 6
+	samples := syntheticSamples(150, nlev, 13)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 8
+	ens, _, _ := TrainEnsemble(samples, nil, nlev, 4, cfg)
+
+	in := ensembleTestInput(nlev)
+	t0 := in.Tskin[0]
+	out := physics.NewOutput(3, nlev)
+	ens.Compute(in, out, 600)
+	dEns := in.Tskin[0] - t0
+
+	// A single member with the same (ensemble-mean-ish) radiation moves
+	// Tskin by a comparable amount; 4 compounded updates would be ~4x.
+	in2 := ensembleTestInput(nlev)
+	o2 := physics.NewOutput(3, nlev)
+	ens.Members[0].Compute(in2, o2, 600)
+	dOne := in2.Tskin[0] - t0
+	if math.Abs(dEns) > 2.5*math.Abs(dOne)+1e-9 {
+		t.Errorf("ensemble Tskin step %g vs single member %g: looks compounded", dEns, dOne)
+	}
+}
+
+func TestEnsembleRejectsMismatchedMembers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for mismatched NLev")
+		}
+	}()
+	a := &Suite{NLev: 4}
+	b := &Suite{NLev: 6}
+	NewEnsemble(a, b)
+}

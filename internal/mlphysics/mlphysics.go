@@ -1,0 +1,398 @@
+// Package mlphysics implements the resolution-adaptive ML-based physics
+// suite of §3.2: the ML physical tendency module (an 11-layer 1-D CNN
+// with five ResUnits predicting the apparent heat source Q1 and moisture
+// sink Q2 from the column state), the ML radiation diagnostic module (a
+// 7-layer residual MLP predicting surface downward shortwave and
+// longwave radiation gsw/glw, with skin temperature and the cosine of
+// the solar zenith angle as extra physical inputs), and the conventional
+// physics diagnostic module (surface precipitation from the column
+// moisture budget). Together they implement the physics.Scheme coupling
+// contract, so the dynamical core drives them exactly as it drives the
+// conventional suite (§3.2.4).
+package mlphysics
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"gristgo/internal/coarse"
+	"gristgo/internal/nn"
+	"gristgo/internal/physics"
+)
+
+// TendencyChannels are the CNN input channels: U, V, T, Q, P (§3.2.4).
+const TendencyChannels = 5
+
+// TendencyOutputs are the CNN output channels: Q1 and Q2.
+const TendencyOutputs = 2
+
+// maxOutSigma caps network outputs at +/-6 standard deviations of the
+// training targets (§3.2.3 stability engineering): the coupled model
+// must never receive tendencies outside the envelope the residual data
+// ever contained.
+const maxOutSigma = 6.0
+
+// clampAbs limits v to [-lim, lim].
+func clampAbs(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// Normalizer holds per-feature mean and standard deviation. Features
+// with (numerically) zero variance in the training data are "dead":
+// they normalize to zero and always invert to their training mean, so
+// network noise on a constant target (e.g. the moisture tendency at the
+// model top) can never re-enter the model at unit scale.
+type Normalizer struct {
+	Mean, Std []float64
+	Dead      []bool
+}
+
+// NewNormalizer computes stats over rows of features.
+func NewNormalizer(rows [][]float64) *Normalizer {
+	if len(rows) == 0 {
+		panic("mlphysics: no rows for normalizer")
+	}
+	n := len(rows[0])
+	nm := &Normalizer{Mean: make([]float64, n), Std: make([]float64, n)}
+	for _, r := range rows {
+		for i, v := range r {
+			nm.Mean[i] += v
+		}
+	}
+	for i := range nm.Mean {
+		nm.Mean[i] /= float64(len(rows))
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			d := v - nm.Mean[i]
+			nm.Std[i] += d * d
+		}
+	}
+	var maxStd float64
+	for i := range nm.Std {
+		nm.Std[i] = math.Sqrt(nm.Std[i] / float64(len(rows)))
+		if nm.Std[i] > maxStd {
+			maxStd = nm.Std[i]
+		}
+	}
+	nm.Dead = make([]bool, n)
+	for i := range nm.Std {
+		if nm.Std[i] < 1e-9*maxStd || nm.Std[i] == 0 {
+			nm.Dead[i] = true
+			nm.Std[i] = 1 // keep Apply/Invert arithmetic finite
+		}
+	}
+	return nm
+}
+
+// Apply returns the normalized copy of x, clipped to +/-5 standard
+// deviations: out-of-distribution inputs (possible during coupled
+// integration) must not drive the networks into extrapolation regimes —
+// part of the stability engineering of §3.2.3.
+func (nm *Normalizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if nm.Dead[i] {
+			continue // stays 0
+		}
+		z := (v - nm.Mean[i]) / nm.Std[i]
+		if z > 5 {
+			z = 5
+		} else if z < -5 {
+			z = -5
+		}
+		out[i] = z
+	}
+	return out
+}
+
+// Invert maps a normalized vector back to physical units; dead features
+// return their training mean regardless of the network output.
+func (nm *Normalizer) Invert(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if nm.Dead[i] {
+			out[i] = nm.Mean[i]
+			continue
+		}
+		out[i] = v*nm.Std[i] + nm.Mean[i]
+	}
+	return out
+}
+
+// Suite is the trained ML physics suite.
+type Suite struct {
+	NLev int
+
+	Tend *nn.Sequential // tendency CNN
+	Rad  *nn.Sequential // radiation MLP
+
+	TendIn  *Normalizer // over 5*nlev channel-major features
+	TendOut *Normalizer // over 2*nlev targets
+	RadIn   *Normalizer // over 2*nlev + 2 features
+	RadOut  *Normalizer // over 2 targets
+}
+
+// Name implements physics.Scheme.
+func (s *Suite) Name() string { return "ML-physics" }
+
+// tendencyInput builds the channel-major CNN input for column c of in.
+func tendencyInput(in *physics.Input, c, nlev int) []float64 {
+	x := make([]float64, TendencyChannels*nlev)
+	base := c * nlev
+	for k := 0; k < nlev; k++ {
+		x[0*nlev+k] = in.U[base+k]
+		x[1*nlev+k] = in.V[base+k]
+		x[2*nlev+k] = in.T[base+k]
+		x[3*nlev+k] = in.Qv[base+k]
+		x[4*nlev+k] = in.P[base+k]
+	}
+	return x
+}
+
+// radiationInput builds the diagnostic-MLP input: T and Q columns plus
+// tskin and coszr (§3.2.3).
+func radiationInput(in *physics.Input, c, nlev int) []float64 {
+	x := make([]float64, 2*nlev+2)
+	base := c * nlev
+	for k := 0; k < nlev; k++ {
+		x[k] = in.T[base+k]
+		x[nlev+k] = in.Qv[base+k]
+	}
+	x[2*nlev] = in.Tskin[c]
+	x[2*nlev+1] = in.CosZ[c]
+	return x
+}
+
+// Compute implements physics.Scheme: per column, the tendency CNN emits
+// Q1/Q2, the radiation MLP emits gsw/glw, and the conventional
+// diagnostic module closes the surface water budget (precipitation =
+// column-integrated apparent drying, floored at zero).
+func (s *Suite) Compute(in *physics.Input, out *physics.Output, dt float64) {
+	out.Reset()
+	nlev := s.NLev
+	for c := 0; c < in.NCol; c++ {
+		x := s.TendIn.Apply(tendencyInput(in, c, nlev))
+		raw := s.Tend.Forward(x)
+		for i, v := range raw {
+			raw[i] = clampAbs(v, maxOutSigma)
+		}
+		pred := s.TendOut.Invert(raw)
+		base := c * nlev
+		var rain float64
+		for k := 0; k < nlev; k++ {
+			q1 := pred[k]
+			q2 := pred[nlev+k]
+			// Physical guard rails: do not dry below zero vapor.
+			if in.Qv[base+k]+q2*dt < 0 {
+				q2 = -in.Qv[base+k] / dt
+			}
+			out.Q1[base+k] = q1
+			out.Q2[base+k] = q2
+			rain += -q2 * in.Dpi[base+k]
+		}
+		_ = rain
+
+		// The diagnostic module (7-layer residual MLP) returns the
+		// surface radiation for the land model plus the precipitation
+		// rate (the apparent moisture sink alone would be net of
+		// surface evaporation).
+		r := s.RadOut.Invert(s.Rad.Forward(s.RadIn.Apply(radiationInput(in, c, nlev))))
+		gsw, glw := r[0], r[1]
+		if p := r[2]; p > 0 {
+			out.Precip[c] = p
+		}
+		if gsw < 0 {
+			gsw = 0
+		}
+		if in.CosZ[c] <= 0 {
+			gsw = 0 // no insolation at night, regardless of the net
+		}
+		if glw < 0 {
+			glw = 0
+		}
+		out.Gsw[c] = gsw
+		out.Glw[c] = glw
+	}
+	// The land surface stays prognostic: reuse the conventional surface
+	// scheme's slab update with the ML radiation diagnostics (the
+	// coupling of §3.2.3: gsw/glw are provided to the land surface
+	// model and surface layer scheme).
+	sfc := physics.NewSurface()
+	sfc.Compute(in, out, dt)
+}
+
+// TrainConfig sets the training hyperparameters.
+type TrainConfig struct {
+	HiddenCNN int
+	HiddenMLP int
+	Kernel    int
+	Epochs    int
+	Batch     int
+	LR        float64
+	Seed      int64
+}
+
+// DefaultTrainConfig returns a configuration that trains in seconds on
+// test-size data while keeping the paper's architecture shape.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{HiddenCNN: 16, HiddenMLP: 48, Kernel: 3, Epochs: 40, Batch: 32, LR: 2e-3, Seed: 7}
+}
+
+// PaperScaleConfig returns the paper-scale architecture (~0.5M CNN
+// parameters).
+func PaperScaleConfig() TrainConfig {
+	c := DefaultTrainConfig()
+	c.HiddenCNN = 100
+	c.HiddenMLP = 128
+	return c
+}
+
+// datasetsFromSamples converts coarse training samples into the two
+// module datasets.
+func datasetsFromSamples(samples []*coarse.Sample, nlev int) (tend, rad *nn.Dataset, tIn, tOut, rIn, rOut [][]float64) {
+	tend = &nn.Dataset{}
+	rad = &nn.Dataset{}
+	for _, s := range samples {
+		x := make([]float64, TendencyChannels*nlev)
+		copy(x[0*nlev:], s.U)
+		copy(x[1*nlev:], s.V)
+		copy(x[2*nlev:], s.T)
+		copy(x[3*nlev:], s.Q)
+		copy(x[4*nlev:], s.P)
+		y := make([]float64, TendencyOutputs*nlev)
+		copy(y[:nlev], s.Q1)
+		copy(y[nlev:], s.Q2)
+		tend.Add(x, y)
+		tIn = append(tIn, x)
+		tOut = append(tOut, y)
+
+		rx := make([]float64, 2*nlev+2)
+		copy(rx[:nlev], s.T)
+		copy(rx[nlev:], s.Q)
+		rx[2*nlev] = s.Tskin
+		rx[2*nlev+1] = s.CosZ
+		ry := []float64{s.Gsw, s.Glw, s.Precip}
+		rad.Add(rx, ry)
+		rIn = append(rIn, rx)
+		rOut = append(rOut, ry)
+	}
+	return tend, rad, tIn, tOut, rIn, rOut
+}
+
+// Train fits the ML physics suite to training samples and reports the
+// final test losses (normalized MSE) of both modules.
+func Train(samples, testSamples []*coarse.Sample, nlev int, cfg TrainConfig) (*Suite, float64, float64) {
+	if len(samples) == 0 {
+		panic("mlphysics: no training samples")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	tendData, radData, tIn, tOut, rIn, rOut := datasetsFromSamples(samples, nlev)
+	s := &Suite{
+		NLev:    nlev,
+		Tend:    nn.NewResUnitCNN(TendencyChannels, cfg.HiddenCNN, TendencyOutputs, nlev, 5, cfg.Kernel, rng),
+		Rad:     nn.NewResMLP(2*nlev+2, cfg.HiddenMLP, 3, 7, rng),
+		TendIn:  NewNormalizer(tIn),
+		TendOut: NewNormalizer(tOut),
+		RadIn:   NewNormalizer(rIn),
+		RadOut:  NewNormalizer(rOut),
+	}
+	normalizeDataset(tendData, s.TendIn, s.TendOut)
+	normalizeDataset(radData, s.RadIn, s.RadOut)
+
+	optT := nn.NewAdam(cfg.LR)
+	optR := nn.NewAdam(cfg.LR)
+	for e := 0; e < cfg.Epochs; e++ {
+		order := rng.Perm(tendData.Len())
+		nn.TrainEpoch(s.Tend, optT, tendData, order, cfg.Batch)
+		order = rng.Perm(radData.Len())
+		nn.TrainEpoch(s.Rad, optR, radData, order, cfg.Batch)
+	}
+
+	testTend, testRad, _, _, _, _ := datasetsFromSamples(testSamples, nlev)
+	if testTend.Len() > 0 {
+		normalizeDataset(testTend, s.TendIn, s.TendOut)
+		normalizeDataset(testRad, s.RadIn, s.RadOut)
+		return s, nn.Evaluate(s.Tend, testTend), nn.Evaluate(s.Rad, testRad)
+	}
+	return s, math.NaN(), math.NaN()
+}
+
+func normalizeDataset(d *nn.Dataset, in, out *Normalizer) {
+	for i := range d.X {
+		d.X[i] = in.Apply(d.X[i])
+		d.Y[i] = out.Apply(d.Y[i])
+	}
+}
+
+// archSpec is the serialized architecture descriptor.
+type archSpec struct {
+	NLev, HiddenCNN, HiddenMLP, Kernel int
+}
+
+// Save writes the suite (architecture, normalizers, weights).
+func (s *Suite) Save(w io.Writer, cfg TrainConfig) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(archSpec{s.NLev, cfg.HiddenCNN, cfg.HiddenMLP, cfg.Kernel}); err != nil {
+		return err
+	}
+	for _, nm := range []*Normalizer{s.TendIn, s.TendOut, s.RadIn, s.RadOut} {
+		if err := enc.Encode(nm); err != nil {
+			return err
+		}
+	}
+	// A single gob encoder must carry the whole stream (decoders read
+	// ahead), so parameters are encoded here rather than via nn.Save.
+	for _, mod := range []nn.Module{s.Tend, s.Rad} {
+		for _, p := range mod.Params() {
+			if err := enc.Encode(p.W); err != nil {
+				return fmt.Errorf("mlphysics: saving %s: %w", p.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadSuite restores a suite saved by Save.
+func LoadSuite(r io.Reader) (*Suite, error) {
+	dec := gob.NewDecoder(r)
+	var spec archSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("mlphysics: reading arch: %w", err)
+	}
+	rng := rand.New(rand.NewSource(0))
+	s := &Suite{
+		NLev: spec.NLev,
+		Tend: nn.NewResUnitCNN(TendencyChannels, spec.HiddenCNN, TendencyOutputs, spec.NLev, 5, spec.Kernel, rng),
+		Rad:  nn.NewResMLP(2*spec.NLev+2, spec.HiddenMLP, 3, 7, rng),
+	}
+	for _, nm := range []**Normalizer{&s.TendIn, &s.TendOut, &s.RadIn, &s.RadOut} {
+		*nm = &Normalizer{}
+		if err := dec.Decode(*nm); err != nil {
+			return nil, err
+		}
+	}
+	for _, mod := range []nn.Module{s.Tend, s.Rad} {
+		for _, p := range mod.Params() {
+			var w []float64
+			if err := dec.Decode(&w); err != nil {
+				return nil, fmt.Errorf("mlphysics: loading %s: %w", p.Name, err)
+			}
+			if len(w) != len(p.W) {
+				return nil, fmt.Errorf("mlphysics: %s length %d != %d", p.Name, len(w), len(p.W))
+			}
+			copy(p.W, w)
+		}
+	}
+	return s, nil
+}

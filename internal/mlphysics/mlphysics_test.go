@@ -1,0 +1,196 @@
+package mlphysics
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"gristgo/internal/coarse"
+	"gristgo/internal/physics"
+)
+
+// syntheticSamples fabricates physically-shaped training samples with a
+// learnable relationship: Q1/Q2 and gsw/glw are smooth functions of the
+// column state plus small noise.
+func syntheticSamples(n, nlev int, seed int64) []*coarse.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*coarse.Sample
+	for i := 0; i < n; i++ {
+		s := &coarse.Sample{
+			U: make([]float64, nlev), V: make([]float64, nlev),
+			T: make([]float64, nlev), Q: make([]float64, nlev),
+			P: make([]float64, nlev), Q1: make([]float64, nlev), Q2: make([]float64, nlev),
+			Day: i % 4, StepOfDay: i % 24,
+		}
+		tSfc := 285 + 20*rng.Float64()
+		moist := rng.Float64()
+		for k := 0; k < nlev; k++ {
+			p := 22500 + float64(k)/float64(nlev-1)*75000
+			s.P[k] = p
+			s.T[k] = tSfc - 55*math.Log(1e5/p)
+			s.Q[k] = moist * 0.02 * math.Pow(p/1e5, 3)
+			s.U[k] = 10 * rng.NormFloat64()
+			s.V[k] = 5 * rng.NormFloat64()
+			// Target: heating proportional to moisture and instability.
+			s.Q1[k] = 2e-5 * moist * math.Sin(math.Pi*float64(k)/float64(nlev-1))
+			s.Q2[k] = -1e-8 * moist * s.Q[k] / 0.02 * 1e3
+		}
+		s.Tskin = tSfc + 2*rng.NormFloat64()
+		s.CosZ = rng.Float64()
+		s.Gsw = 1000 * s.CosZ * (1 - 0.3*moist)
+		s.Glw = 300 + 150*moist + 2*(s.Tskin-290)
+		s.Precip = 20 * moist * moist
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	nlev := 10
+	samples := syntheticSamples(300, nlev, 1)
+	train, test := coarse.Split(samples, 24, rand.New(rand.NewSource(2)))
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 30
+	suite, lossT, lossR := Train(train, test, nlev, cfg)
+
+	// Normalized MSE well below the variance (==0.5 in the 0.5*d^2
+	// convention) means the modules learned real structure.
+	if lossT > 0.25 {
+		t.Errorf("tendency test loss %g too high", lossT)
+	}
+	if lossR > 0.25 {
+		t.Errorf("radiation test loss %g too high", lossR)
+	}
+	if suite.Name() != "ML-physics" {
+		t.Errorf("name %q", suite.Name())
+	}
+}
+
+func TestSuiteImplementsSchemePhysically(t *testing.T) {
+	nlev := 8
+	samples := syntheticSamples(200, nlev, 3)
+	suite, _, _ := Train(samples, nil, nlev, DefaultTrainConfig())
+
+	in := physics.NewInput(4, nlev)
+	for c := 0; c < 4; c++ {
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			p := 22500 + float64(k)/float64(nlev-1)*75000
+			in.P[i] = p
+			in.Dpi[i] = 97750.0 / float64(nlev)
+			in.T[i] = 300 - 55*math.Log(1e5/p)
+			in.Qv[i] = 0.015 * math.Pow(p/1e5, 3)
+		}
+		in.Tskin[c] = 302
+		in.CosZ[c] = float64(c) * 0.3
+	}
+	out := physics.NewOutput(4, nlev)
+	var scheme physics.Scheme = suite
+	scheme.Compute(in, out, 600)
+
+	for c := 0; c < 4; c++ {
+		if out.Precip[c] < 0 {
+			t.Errorf("negative precip %v", out.Precip[c])
+		}
+		if out.Gsw[c] < 0 || out.Glw[c] < 0 {
+			t.Error("negative radiation")
+		}
+		if math.IsNaN(out.Gsw[c]) || math.IsNaN(out.Glw[c]) {
+			t.Error("NaN radiation")
+		}
+	}
+	// Night column gets no shortwave.
+	if out.Gsw[0] != 0 {
+		t.Errorf("night column gsw = %v", out.Gsw[0])
+	}
+	// Q2 never dries below zero vapor.
+	for i := range out.Q2 {
+		if in.Qv[i]+out.Q2[i]*600 < -1e-15 {
+			t.Errorf("Q2 overshoots vapor at %d", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	nlev := 6
+	samples := syntheticSamples(120, nlev, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	suite, _, _ := Train(samples, nil, nlev, cfg)
+
+	var buf bytes.Buffer
+	if err := suite.Save(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := physics.NewInput(2, nlev)
+	for c := 0; c < 2; c++ {
+		for k := 0; k < nlev; k++ {
+			i := c*nlev + k
+			p := 30000 + float64(k)*10000
+			in.P[i] = p
+			in.Dpi[i] = 1e4
+			in.T[i] = 280 + float64(k)
+			in.Qv[i] = 0.001 * float64(k+1)
+		}
+		in.Tskin[c] = 295
+		in.CosZ[c] = 0.4
+	}
+	o1 := physics.NewOutput(2, nlev)
+	o2 := physics.NewOutput(2, nlev)
+	suite.Compute(in, o1, 600)
+	// Surface scheme mutates Tskin; reset for identical comparison.
+	in.Tskin[0], in.Tskin[1] = 295, 295
+	loaded.Compute(in, o2, 600)
+	for i := range o1.Q1 {
+		if o1.Q1[i] != o2.Q1[i] || o1.Q2[i] != o2.Q2[i] {
+			t.Fatalf("loaded suite differs at %d", i)
+		}
+	}
+	for c := range o1.Gsw {
+		if o1.Gsw[c] != o2.Gsw[c] || o1.Glw[c] != o2.Glw[c] {
+			t.Fatalf("loaded radiation differs at %d", c)
+		}
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	rows := [][]float64{{1, 100}, {3, 300}, {5, 200}}
+	nm := NewNormalizer(rows)
+	x := []float64{2.5, 250}
+	y := nm.Invert(nm.Apply(x))
+	for i := range x {
+		if math.Abs(y[i]-x[i]) > 1e-12 {
+			t.Fatalf("round trip failed: %v -> %v", x, y)
+		}
+	}
+	// Normalized training rows have ~zero mean, unit variance.
+	var mean float64
+	for _, r := range rows {
+		mean += nm.Apply(r)[0]
+	}
+	if math.Abs(mean) > 1e-12 {
+		t.Errorf("normalized mean %g", mean)
+	}
+}
+
+func TestParameterCountPaperScale(t *testing.T) {
+	nlev := 30
+	samples := syntheticSamples(30, nlev, 8)
+	cfg := PaperScaleConfig()
+	cfg.Epochs = 1
+	suite, _, _ := Train(samples, nil, nlev, cfg)
+	// Paper: CNN parameter count close to half a million.
+	n := 0
+	for _, p := range suite.Tend.Params() {
+		n += len(p.W)
+	}
+	if n < 250_000 || n > 750_000 {
+		t.Errorf("CNN params = %d, want ~0.5M", n)
+	}
+}

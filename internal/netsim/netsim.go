@@ -1,0 +1,118 @@
+// Package netsim models the interconnect of the next-generation Sunway
+// supercomputer (§4.1 of the paper): every node connects to a 304-port
+// leaf switch — 256 ports down to nodes, 48 up to second-level switches —
+// so each 256-node group forms a "supernode" with full bandwidth inside
+// and a 16:3 oversubscribed multilayer fat tree between supernodes.
+package netsim
+
+import "math"
+
+// Topology constants from §4.1.
+const (
+	NodesPerSupernode = 256
+	LeafPorts         = 304
+	UplinkPorts       = 48
+	// Oversubscription = downlinks / uplinks = 256/48 = 16/3.
+	Oversubscription = float64(NodesPerSupernode) / float64(UplinkPorts)
+	CGsPerNode       = 6
+)
+
+// Network carries the link parameters.
+type Network struct {
+	LinkBandwidth float64 // bytes/s per node link
+	LinkLatency   float64 // seconds per message
+}
+
+// New returns the network with typical HDR-class link parameters.
+func New() *Network {
+	return &Network{
+		LinkBandwidth: 25.0e9, // 200 Gb/s
+		LinkLatency:   2.0e-6,
+	}
+}
+
+// Supernodes returns how many supernodes nNodes span.
+func Supernodes(nNodes int) int {
+	return (nNodes + NodesPerSupernode - 1) / NodesPerSupernode
+}
+
+// SupernodeOf returns the supernode index of a node under the natural
+// linear placement.
+func SupernodeOf(node int) int { return node / NodesPerSupernode }
+
+// CrossFraction estimates the fraction of halo-exchange traffic that
+// leaves its source supernode when a locality-preserving (partition-
+// order) placement maps neighboring subdomains to neighboring ranks. A
+// supernode holds S = 256*6 CGs covering a contiguous patch of the
+// sphere; the off-supernode traffic is the patch-perimeter share of the
+// subdomain neighbors, which scales like 1/sqrt(S patch size) but grows
+// toward a plateau as the machine fills and patches stop being compact.
+func CrossFraction(nNodes int) float64 {
+	sn := Supernodes(nNodes)
+	if sn <= 1 {
+		return 0
+	}
+	// Perimeter/area of a compact patch of 1536 cells-worth of
+	// subdomains: ~4/sqrt(1536) per side, times the share of neighbors
+	// pointing outward; saturates as patches wrap the sphere.
+	f := 0.09 * math.Sqrt(float64(sn-1))
+	if f > 0.62 {
+		f = 0.62
+	}
+	return f
+}
+
+// PointToPoint returns the time to move one message of the given size
+// between two nodes, charging the oversubscription factor when the
+// endpoints sit in different supernodes and the fabric is loaded.
+func (n *Network) PointToPoint(bytes int64, crossSupernode, loaded bool) float64 {
+	bw := n.LinkBandwidth
+	if crossSupernode && loaded {
+		bw /= Oversubscription
+	}
+	return n.LinkLatency + float64(bytes)/bw
+}
+
+// HaloExchange returns the per-step halo-exchange time of one node that
+// sends totalBytes spread over nPeers messages, with crossFrac of the
+// bytes crossing supernode boundaries while every node communicates at
+// once (the loaded all-exchange of a timestep).
+func (n *Network) HaloExchange(totalBytes int64, nPeers int, crossFrac float64) float64 {
+	if nPeers <= 0 || totalBytes <= 0 {
+		return 0
+	}
+	local := float64(totalBytes) * (1 - crossFrac) / n.LinkBandwidth
+	cross := float64(totalBytes) * crossFrac * Oversubscription / n.LinkBandwidth
+	return float64(nPeers)*n.LinkLatency + local + cross
+}
+
+// Reduction returns the time of a small global reduction over nNodes
+// (tree depth times per-hop latency) — used sparingly: the solver needs
+// no global communication (§3.1.2), but timing collection does.
+func (n *Network) Reduction(nNodes int) float64 {
+	if nNodes <= 1 {
+		return 0
+	}
+	depth := math.Ceil(math.Log2(float64(nNodes)))
+	return depth * 2 * n.LinkLatency
+}
+
+// Hops returns the switch hops between two nodes under the two-level
+// fat tree: 1 leaf switch inside a supernode, 3 hops (leaf, spine, leaf)
+// across supernodes.
+func Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if SupernodeOf(a) == SupernodeOf(b) {
+		return 1
+	}
+	return 3
+}
+
+// HopLatency returns the modeled wire+switch latency for a path of the
+// given hop count.
+func (n *Network) HopLatency(hops int) float64 {
+	const perHop = 150e-9 // switch traversal
+	return n.LinkLatency + float64(hops)*perHop
+}

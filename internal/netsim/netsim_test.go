@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOversubscriptionRatio(t *testing.T) {
+	if Oversubscription < 5.33 || Oversubscription > 5.34 {
+		t.Errorf("oversubscription = %v, want 16/3", Oversubscription)
+	}
+	if LeafPorts != NodesPerSupernode+UplinkPorts {
+		t.Errorf("leaf ports %d != %d + %d", LeafPorts, NodesPerSupernode, UplinkPorts)
+	}
+}
+
+func TestSupernodeAccounting(t *testing.T) {
+	if Supernodes(1) != 1 || Supernodes(256) != 1 || Supernodes(257) != 2 {
+		t.Error("supernode counting wrong")
+	}
+	if SupernodeOf(255) != 0 || SupernodeOf(256) != 1 {
+		t.Error("supernode-of wrong")
+	}
+}
+
+func TestCrossFractionMonotoneAndBounded(t *testing.T) {
+	f := func(a, b uint16) bool {
+		na, nb := int(a)+1, int(b)+1
+		if na > nb {
+			na, nb = nb, na
+		}
+		fa, fb := CrossFraction(na*NodesPerSupernode), CrossFraction(nb*NodesPerSupernode)
+		return fa <= fb+1e-12 && fb <= 0.62 && fa >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if CrossFraction(100) != 0 {
+		t.Error("single supernode should have no cross traffic")
+	}
+}
+
+func TestPointToPointCosts(t *testing.T) {
+	n := New()
+	local := n.PointToPoint(1<<20, false, true)
+	cross := n.PointToPoint(1<<20, true, true)
+	if cross <= local {
+		t.Error("cross-supernode message not slower under load")
+	}
+	// Latency floor.
+	if tiny := n.PointToPoint(1, false, false); tiny < n.LinkLatency {
+		t.Error("latency floor violated")
+	}
+}
+
+func TestHaloExchangeScalesWithCrossFraction(t *testing.T) {
+	n := New()
+	t0 := n.HaloExchange(1<<20, 6, 0)
+	t1 := n.HaloExchange(1<<20, 6, 0.5)
+	if t1 <= t0 {
+		t.Error("cross traffic should cost more")
+	}
+	if n.HaloExchange(0, 0, 0) != 0 {
+		t.Error("empty exchange should be free")
+	}
+}
+
+func TestReductionLogDepth(t *testing.T) {
+	n := New()
+	if n.Reduction(1) != 0 {
+		t.Error("single node reduction should be free")
+	}
+	if n.Reduction(1024) <= n.Reduction(4) {
+		t.Error("reduction should grow with node count")
+	}
+}
+
+func TestHops(t *testing.T) {
+	if Hops(3, 3) != 0 {
+		t.Error("self hops")
+	}
+	if Hops(0, 255) != 1 {
+		t.Error("intra-supernode should be 1 hop")
+	}
+	if Hops(0, 256) != 3 {
+		t.Error("inter-supernode should be 3 hops")
+	}
+}
+
+func TestHopLatencyGrows(t *testing.T) {
+	n := New()
+	if n.HopLatency(3) <= n.HopLatency(1) {
+		t.Error("latency must grow with hops")
+	}
+}

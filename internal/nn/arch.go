@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// NewResUnitCNN builds the ML physical tendency architecture of §3.2.3:
+// an input 1-D convolution lifting inCh channels to hidden channels and
+// five ResUnits (each: Conv-ReLU-Conv with a skip connection) — the
+// paper's 11-layer deep CNN — followed by a kernel-1 channel projection
+// to outCh. The parameter count lands near half a million at the paper's
+// hidden width.
+func NewResUnitCNN(inCh, hidden, outCh, levels, units, kernel int, rng *rand.Rand) *Sequential {
+	s := &Sequential{}
+	s.Layers = append(s.Layers, NewConv1D(inCh, hidden, kernel, levels, rng), &ReLU{})
+	for u := 0; u < units; u++ {
+		body := &Sequential{Layers: []Module{
+			NewConv1D(hidden, hidden, kernel, levels, rng),
+			&ReLU{},
+			NewConv1D(hidden, hidden, kernel, levels, rng),
+		}}
+		s.Layers = append(s.Layers, &Residual{Body: body}, &ReLU{})
+	}
+	// Output head: per-level channel projection (kernel 1), not counted
+	// among the 11 deep layers.
+	s.Layers = append(s.Layers, NewConv1D(hidden, outCh, 1, levels, rng))
+	return s
+}
+
+// NewResMLP builds the ML radiation diagnostic architecture of §3.2.3: a
+// 7-layer multilayer perceptron with residual connections over the
+// hidden width, mapping a one-dimensional input vector (column state +
+// tskin + coszr) to surface radiation scalars (gsw, glw).
+func NewResMLP(in, hidden, out, layers int, rng *rand.Rand) *Sequential {
+	if layers < 3 {
+		panic("nn: ResMLP needs at least 3 layers")
+	}
+	s := &Sequential{}
+	s.Layers = append(s.Layers, NewDense(in, hidden, rng), &ReLU{})
+	for l := 0; l < layers-2; l++ {
+		body := &Sequential{Layers: []Module{
+			NewDense(hidden, hidden, rng),
+			&ReLU{},
+		}}
+		s.Layers = append(s.Layers, &Residual{Body: body})
+	}
+	s.Layers = append(s.Layers, NewDense(hidden, out, rng))
+	return s
+}
+
+// Save serializes the parameters of a module (architecture is not
+// stored; the loader must construct the same shape first).
+func Save(w io.Writer, m Module) error {
+	enc := gob.NewEncoder(w)
+	params := m.Params()
+	if err := enc.Encode(len(params)); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := enc.Encode(p.W); err != nil {
+			return fmt.Errorf("nn: saving %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Load restores parameters saved by Save into a module of identical
+// architecture.
+func Load(r io.Reader, m Module) error {
+	dec := gob.NewDecoder(r)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return err
+	}
+	params := m.Params()
+	if n != len(params) {
+		return fmt.Errorf("nn: snapshot has %d params, module has %d", n, len(params))
+	}
+	for _, p := range params {
+		var w []float64
+		if err := dec.Decode(&w); err != nil {
+			return fmt.Errorf("nn: loading %s: %w", p.Name, err)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("nn: %s length %d != %d", p.Name, len(w), len(p.W))
+		}
+		copy(p.W, w)
+	}
+	return nil
+}

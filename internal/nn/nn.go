@@ -1,0 +1,311 @@
+// Package nn is a small from-scratch neural-network library (stdlib only)
+// that powers the ML physics suite: dense and 1-D convolutional layers,
+// ReLU, residual blocks, mean-squared-error loss, reverse-mode
+// differentiation and an Adam optimizer. It provides exactly the two
+// architectures of §3.2.3: an 11-layer 1-D CNN built from five ResUnits
+// for the Q1/Q2 tendency module, and a 7-layer residual MLP for the
+// radiation diagnostic module.
+//
+// Modules are stateful (they cache activations for the backward pass) and
+// therefore not safe for concurrent use; clone per goroutine instead.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable tensor with its gradient and Adam moments.
+type Param struct {
+	Name string
+	W    []float64 // weights
+	G    []float64 // gradient accumulator
+	m, v []float64 // Adam first/second moments
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{
+		Name: name,
+		W:    make([]float64, n),
+		G:    make([]float64, n),
+		m:    make([]float64, n),
+		v:    make([]float64, n),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Module is a differentiable computation node.
+type Module interface {
+	// Forward maps an input vector to an output vector, caching whatever
+	// the backward pass needs.
+	Forward(x []float64) []float64
+	// Backward consumes dLoss/dOutput and returns dLoss/dInput,
+	// accumulating parameter gradients.
+	Backward(grad []float64) []float64
+	// Params returns the learnable parameters.
+	Params() []*Param
+}
+
+// ---------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------
+
+// Dense is a fully-connected layer: y = W x + b.
+type Dense struct {
+	In, Out int
+	Weight  *Param // Out x In, row-major
+	Bias    *Param
+
+	x []float64 // cached input
+}
+
+// NewDense constructs a dense layer with He-uniform initialization.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		Weight: newParam(fmt.Sprintf("dense_w_%dx%d", out, in), in*out),
+		Bias:   newParam(fmt.Sprintf("dense_b_%d", out), out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	for i := range d.Weight.W {
+		d.Weight.W[i] = (2*rng.Float64() - 1) * bound
+	}
+	return d
+}
+
+// Forward implements Module.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense expected %d inputs, got %d", d.In, len(x)))
+	}
+	d.x = append(d.x[:0], x...)
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		s := d.Bias.W[o]
+		row := d.Weight.W[o*d.In : (o+1)*d.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward implements Module.
+func (d *Dense) Backward(grad []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad[o]
+		d.Bias.G[o] += g
+		row := d.Weight.W[o*d.In : (o+1)*d.In]
+		grow := d.Weight.G[o*d.In : (o+1)*d.In]
+		for i := 0; i < d.In; i++ {
+			grow[i] += g * d.x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// ---------------------------------------------------------------------
+// Conv1D
+// ---------------------------------------------------------------------
+
+// Conv1D is a same-padded 1-D convolution over channel-major input
+// x[ch*L + pos], capturing the vertical structure of atmospheric columns
+// (§3.2.3).
+type Conv1D struct {
+	InCh, OutCh, K, L int
+	Weight            *Param // [out][in][k]
+	Bias              *Param // [out]
+
+	x []float64
+}
+
+// NewConv1D constructs the layer; K must be odd (same padding).
+func NewConv1D(inCh, outCh, k, l int, rng *rand.Rand) *Conv1D {
+	if k%2 == 0 {
+		panic("nn: Conv1D kernel must be odd")
+	}
+	c := &Conv1D{
+		InCh: inCh, OutCh: outCh, K: k, L: l,
+		Weight: newParam(fmt.Sprintf("conv_w_%dx%dx%d", outCh, inCh, k), inCh*outCh*k),
+		Bias:   newParam(fmt.Sprintf("conv_b_%d", outCh), outCh),
+	}
+	bound := math.Sqrt(6.0 / float64(inCh*k))
+	for i := range c.Weight.W {
+		c.Weight.W[i] = (2*rng.Float64() - 1) * bound
+	}
+	return c
+}
+
+func (c *Conv1D) widx(o, i, k int) int { return (o*c.InCh+i)*c.K + k }
+
+// Forward implements Module.
+func (c *Conv1D) Forward(x []float64) []float64 {
+	if len(x) != c.InCh*c.L {
+		panic(fmt.Sprintf("nn: Conv1D expected %d inputs, got %d", c.InCh*c.L, len(x)))
+	}
+	c.x = append(c.x[:0], x...)
+	y := make([]float64, c.OutCh*c.L)
+	half := c.K / 2
+	for o := 0; o < c.OutCh; o++ {
+		for p := 0; p < c.L; p++ {
+			s := c.Bias.W[o]
+			for i := 0; i < c.InCh; i++ {
+				for k := 0; k < c.K; k++ {
+					q := p + k - half
+					if q < 0 || q >= c.L {
+						continue
+					}
+					s += c.Weight.W[c.widx(o, i, k)] * x[i*c.L+q]
+				}
+			}
+			y[o*c.L+p] = s
+		}
+	}
+	return y
+}
+
+// Backward implements Module.
+func (c *Conv1D) Backward(grad []float64) []float64 {
+	dx := make([]float64, c.InCh*c.L)
+	half := c.K / 2
+	for o := 0; o < c.OutCh; o++ {
+		for p := 0; p < c.L; p++ {
+			g := grad[o*c.L+p]
+			c.Bias.G[o] += g
+			for i := 0; i < c.InCh; i++ {
+				for k := 0; k < c.K; k++ {
+					q := p + k - half
+					if q < 0 || q >= c.L {
+						continue
+					}
+					c.Weight.G[c.widx(o, i, k)] += g * c.x[i*c.L+q]
+					dx[i*c.L+q] += g * c.Weight.W[c.widx(o, i, k)]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (c *Conv1D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// ---------------------------------------------------------------------
+// ReLU, Sequential, Residual
+// ---------------------------------------------------------------------
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ mask []bool }
+
+// Forward implements Module.
+func (r *ReLU) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	if cap(r.mask) < len(x) {
+		r.mask = make([]bool, len(x))
+	}
+	r.mask = r.mask[:len(x)]
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Module.
+func (r *ReLU) Backward(grad []float64) []float64 {
+	dx := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.mask[i] {
+			dx[i] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Module.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sequential chains modules.
+type Sequential struct{ Layers []Module }
+
+// Forward implements Module.
+func (s *Sequential) Forward(x []float64) []float64 {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Module.
+func (s *Sequential) Backward(grad []float64) []float64 {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Module.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Residual computes y = x + Body(x) — the ResUnit skip connection that
+// keeps the deep tendency CNN stable and accurate (§3.2.3, citing Han et
+// al. 2020).
+type Residual struct{ Body Module }
+
+// Forward implements Module.
+func (r *Residual) Forward(x []float64) []float64 {
+	y := r.Body.Forward(x)
+	if len(y) != len(x) {
+		panic("nn: Residual body changed shape")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// Backward implements Module.
+func (r *Residual) Backward(grad []float64) []float64 {
+	dBody := r.Body.Backward(grad)
+	dx := make([]float64, len(grad))
+	for i := range grad {
+		dx[i] = grad[i] + dBody[i]
+	}
+	return dx
+}
+
+// Params implements Module.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+// NumParams counts the learnable scalars of a module.
+func NumParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.W)
+	}
+	return n
+}

@@ -1,0 +1,332 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericalGrad estimates dLoss/dW[i] by central differences.
+func numericalGrad(m Module, x, y []float64, p *Param, i int) float64 {
+	const h = 1e-6
+	orig := p.W[i]
+	eval := func(w float64) float64 {
+		p.W[i] = w
+		pred := m.Forward(x)
+		grad := make([]float64, len(pred))
+		return MSELoss(pred, y, grad)
+	}
+	plus := eval(orig + h)
+	minus := eval(orig - h)
+	p.W[i] = orig
+	return (plus - minus) / (2 * h)
+}
+
+// checkGradients verifies analytic vs numerical gradients for a module.
+func checkGradients(t *testing.T, m Module, in, out int, rng *rand.Rand) {
+	t.Helper()
+	x := make([]float64, in)
+	y := make([]float64, out)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	pred := m.Forward(x)
+	grad := make([]float64, len(pred))
+	MSELoss(pred, y, grad)
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	m.Backward(grad)
+
+	for _, p := range m.Params() {
+		// Spot-check a handful of indices per parameter.
+		for trial := 0; trial < 5; trial++ {
+			i := rng.Intn(len(p.W))
+			want := numericalGrad(m, x, y, p, i)
+			got := p.G[i]
+			if math.Abs(got-want) > 1e-5*(1+math.Abs(want)) {
+				t.Errorf("%s[%d]: analytic %g vs numerical %g", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checkGradients(t, NewDense(7, 5, rng), 7, 5, rng)
+}
+
+func TestConv1DGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checkGradients(t, NewConv1D(3, 4, 3, 10, rng), 30, 40, rng)
+}
+
+func TestResMLPGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewResMLP(6, 16, 2, 7, rng)
+	checkGradients(t, m, 6, 2, rng)
+}
+
+func TestResCNNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewResUnitCNN(4, 8, 2, 12, 2, 3, rng)
+	checkGradients(t, m, 4*12, 2*12, rng)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := &ReLU{}
+	y := r.Forward([]float64{-1, 0, 2.5})
+	if y[0] != 0 || y[1] != 0 || y[2] != 2.5 {
+		t.Fatalf("relu forward: %v", y)
+	}
+	dx := r.Backward([]float64{1, 1, 1})
+	if dx[0] != 0 || dx[1] != 0 || dx[2] != 1 {
+		t.Fatalf("relu backward: %v", dx)
+	}
+}
+
+func TestResidualIdentityAtZeroBody(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDense(4, 4, rng)
+	for i := range d.Weight.W {
+		d.Weight.W[i] = 0
+	}
+	r := &Residual{Body: d}
+	x := []float64{1, -2, 3, 0.5}
+	y := r.Forward(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("residual with zero body not identity: %v", y)
+		}
+	}
+}
+
+func TestCNNArchitectureShapeAndDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	levels := 30
+	m := NewResUnitCNN(7, 32, 2, levels, 5, 3, rng)
+	// 11 deep (kernel>1) conv layers: input + 5 units x 2; the kernel-1
+	// output projection is a channel mixer, not a deep layer.
+	convs := 0
+	var count func(mod Module)
+	count = func(mod Module) {
+		switch v := mod.(type) {
+		case *Sequential:
+			for _, l := range v.Layers {
+				count(l)
+			}
+		case *Residual:
+			count(v.Body)
+		case *Conv1D:
+			if v.K > 1 {
+				convs++
+			}
+		}
+	}
+	count(m)
+	if convs != 11 {
+		t.Errorf("conv layers = %d, want 11 (the paper's 11-layer CNN)", convs)
+	}
+	// Parameter count near half a million (paper: ~0.5M at width 40).
+	m2 := NewResUnitCNN(7, 100, 2, levels, 5, 3, rng)
+	n := NumParams(m2)
+	if n < 250_000 || n > 750_000 {
+		t.Errorf("parameter count %d not near half a million", n)
+	}
+	// Shape check.
+	out := m.Forward(make([]float64, 7*levels))
+	if len(out) != 2*levels {
+		t.Errorf("output length %d, want %d", len(out), 2*levels)
+	}
+}
+
+func TestMLPDepth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewResMLP(9, 64, 2, 7, rng)
+	dense := 0
+	var count func(mod Module)
+	count = func(mod Module) {
+		switch v := mod.(type) {
+		case *Sequential:
+			for _, l := range v.Layers {
+				count(l)
+			}
+		case *Residual:
+			count(v.Body)
+		case *Dense:
+			dense++
+		}
+	}
+	count(m)
+	if dense != 7 {
+		t.Errorf("dense layers = %d, want 7", dense)
+	}
+}
+
+func TestTrainingLearnsLinearMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewResMLP(3, 16, 2, 4, rng)
+	data := &Dataset{}
+	for i := 0; i < 256; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y := []float64{0.5*x[0] - x[1], 0.3 * x[2]}
+		data.Add(x, y)
+	}
+	opt := NewAdam(3e-3)
+	order := rng.Perm(data.Len())
+	first := Evaluate(m, data)
+	for epoch := 0; epoch < 60; epoch++ {
+		TrainEpoch(m, opt, data, order, 32)
+	}
+	last := Evaluate(m, data)
+	if last > first/20 {
+		t.Errorf("training did not converge: %g -> %g", first, last)
+	}
+}
+
+func TestTrainingLearnsNonlinearColumnFunction(t *testing.T) {
+	// CNN learns a vertical-stencil nonlinear map, the shape of the
+	// Q1/Q2 problem.
+	rng := rand.New(rand.NewSource(9))
+	const levels = 8
+	m := NewResUnitCNN(1, 8, 1, levels, 2, 3, rng)
+	data := &Dataset{}
+	for i := 0; i < 200; i++ {
+		x := make([]float64, levels)
+		for k := range x {
+			x[k] = rng.NormFloat64()
+		}
+		y := make([]float64, levels)
+		for k := 1; k < levels-1; k++ {
+			y[k] = math.Tanh(x[k-1] - x[k+1])
+		}
+		data.Add(x, y)
+	}
+	opt := NewAdam(2e-3)
+	order := rng.Perm(data.Len())
+	first := Evaluate(m, data)
+	for epoch := 0; epoch < 80; epoch++ {
+		TrainEpoch(m, opt, data, order, 25)
+	}
+	last := Evaluate(m, data)
+	if last > first/5 {
+		t.Errorf("CNN training did not converge: %g -> %g", first, last)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m1 := NewResMLP(4, 8, 2, 4, rng)
+	m2 := NewResMLP(4, 8, 2, 4, rand.New(rand.NewSource(99)))
+
+	var buf bytes.Buffer
+	if err := Save(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, m2); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.4, 2, 0.7}
+	y1 := m1.Forward(x)
+	y2 := m2.Forward(x)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("loaded model differs: %v vs %v", y1, y2)
+		}
+	}
+}
+
+func TestLoadRejectsWrongShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m1 := NewResMLP(4, 8, 2, 4, rng)
+	m2 := NewResMLP(5, 8, 2, 4, rng)
+	var buf bytes.Buffer
+	if err := Save(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(&buf, m2); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestMSELossProperties(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e100 || math.Abs(b) > 1e100 {
+			return true
+		}
+		grad := make([]float64, 1)
+		loss := MSELoss([]float64{a}, []float64{b}, grad)
+		return loss >= 0 && math.Abs(grad[0]-(a-b)) < 1e-12*(1+math.Abs(a-b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdamReducesLossMonotonicallyOnQuadratic(t *testing.T) {
+	// One-parameter sanity: minimize (w-3)^2 via the module machinery.
+	rng := rand.New(rand.NewSource(12))
+	d := NewDense(1, 1, rng)
+	d.Weight.W[0] = -1
+	d.Bias.W[0] = 0
+	opt := NewAdam(0.05)
+	x := []float64{1}
+	y := []float64{3}
+	prev := math.Inf(1)
+	for i := 0; i < 300; i++ {
+		pred := d.Forward(x)
+		grad := make([]float64, 1)
+		loss := MSELoss(pred, y, grad)
+		d.Backward(grad)
+		opt.Step(d.Params(), 1)
+		if i > 250 && loss > prev+1e-9 && loss > 1e-6 {
+			t.Fatalf("loss rising late in optimization: %g -> %g", prev, loss)
+		}
+		prev = loss
+	}
+	if prev > 1e-4 {
+		t.Errorf("final loss %g", prev)
+	}
+}
+
+func TestDenseShapePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	d := NewDense(3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong input length accepted")
+		}
+	}()
+	d.Forward([]float64{1, 2})
+}
+
+func TestConv1DEvenKernelPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	defer func() {
+		if recover() == nil {
+			t.Error("even kernel accepted")
+		}
+	}()
+	NewConv1D(1, 1, 2, 4, rng)
+}
+
+func TestNumParamsCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	d := NewDense(3, 2, rng)
+	if NumParams(d) != 3*2+2 {
+		t.Errorf("NumParams = %d", NumParams(d))
+	}
+}
+
+func TestDatasetLen(t *testing.T) {
+	var d Dataset
+	d.Add([]float64{1}, []float64{2})
+	if d.Len() != 1 {
+		t.Error("dataset length")
+	}
+}

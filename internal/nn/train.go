@@ -1,0 +1,105 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int // step counter
+}
+
+// NewAdam returns Adam with the conventional defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one update to every parameter from its accumulated
+// gradient (averaged over batchSize samples), then zeroes the gradients.
+func (a *Adam) Step(params []*Param, batchSize int) {
+	a.t++
+	inv := 1.0 / float64(batchSize)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		for i := range p.W {
+			g := p.G[i] * inv
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mh := p.m[i] / bc1
+			vh := p.v[i] / bc2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// MSELoss returns 0.5*mean((pred-target)^2) and writes dLoss/dPred into
+// grad (which must have the same length).
+func MSELoss(pred, target, grad []float64) float64 {
+	if len(pred) != len(target) || len(grad) != len(pred) {
+		panic("nn: MSELoss length mismatch")
+	}
+	var loss float64
+	inv := 1.0 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += 0.5 * d * d * inv
+		grad[i] = d * inv
+	}
+	return loss
+}
+
+// Dataset is a set of (input, target) sample pairs.
+type Dataset struct {
+	X [][]float64
+	Y [][]float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Add appends a sample (slices are retained, not copied).
+func (d *Dataset) Add(x, y []float64) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// TrainEpoch runs one epoch of minibatch SGD over the dataset in the
+// given index order and returns the mean sample loss.
+func TrainEpoch(m Module, opt *Adam, data *Dataset, order []int, batch int) float64 {
+	params := m.Params()
+	var total float64
+	n := 0
+	for start := 0; start < len(order); start += batch {
+		end := start + batch
+		if end > len(order) {
+			end = len(order)
+		}
+		for _, idx := range order[start:end] {
+			pred := m.Forward(data.X[idx])
+			grad := make([]float64, len(pred))
+			total += MSELoss(pred, data.Y[idx], grad)
+			m.Backward(grad)
+			n++
+		}
+		opt.Step(params, end-start)
+	}
+	return total / float64(n)
+}
+
+// Evaluate returns the mean MSE loss of the module over the dataset
+// without updating parameters.
+func Evaluate(m Module, data *Dataset) float64 {
+	var total float64
+	for i := range data.X {
+		pred := m.Forward(data.X[i])
+		grad := make([]float64, len(pred))
+		total += MSELoss(pred, data.Y[i], grad)
+	}
+	return total / float64(data.Len())
+}

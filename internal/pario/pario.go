@@ -1,0 +1,124 @@
+// Package pario implements the grouped parallel I/O strategy of §3.1.3:
+// with hundreds of thousands of MPI processes, letting every rank open
+// the filesystem collapses it, so ranks are organized into I/O groups;
+// members gather their owned data to a group leader, and only the
+// leaders stream framed records to storage.
+package pario
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"gristgo/internal/comm"
+)
+
+// GroupSize is the default number of ranks per I/O group.
+const GroupSize = 64
+
+// GroupOf returns the I/O group index of a rank.
+func GroupOf(rank, groupSize int) int { return rank / groupSize }
+
+// LeaderOf returns the leader rank of the group containing rank.
+func LeaderOf(rank, groupSize int) int { return rank / groupSize * groupSize }
+
+// NumGroups returns how many groups n ranks form.
+func NumGroups(n, groupSize int) int { return (n + groupSize - 1) / groupSize }
+
+// record framing: [globalIndex uint32][value float64], little-endian,
+// preceded by a per-leader header [magic uint32][count uint32].
+const magic = 0x47525354 // "GRST"
+
+// WriteOwned performs the grouped write of a distributed field: every
+// rank contributes (globalIndex, value) pairs for the cells it owns;
+// members send their pairs to the group leader with one message, and
+// leaders emit framed records to w. Only leaders may receive a non-nil
+// writer; non-leader ranks pass w == nil. The tag namespace must be
+// unique per call site.
+func WriteOwned(r *comm.Rank, groupSize int, owned []int32, values []float64, w io.Writer, tag int) error {
+	if len(owned) != len(values) {
+		return errors.New("pario: owned/values length mismatch")
+	}
+	leader := LeaderOf(r.ID(), groupSize)
+
+	// Pack local pairs as float64 pairs (index, value) for transport.
+	buf := make([]float64, 0, 2*len(owned))
+	for i, c := range owned {
+		buf = append(buf, float64(c), values[i])
+	}
+
+	if r.ID() != leader {
+		r.Send(leader, tag, buf)
+		return nil
+	}
+
+	if w == nil {
+		return errors.New("pario: leader rank needs a writer")
+	}
+	// Gather group members (they follow the leader in rank order).
+	groupEnd := leader + groupSize
+	if groupEnd > r.Size() {
+		groupEnd = r.Size()
+	}
+	all := [][]float64{buf}
+	for src := leader + 1; src < groupEnd; src++ {
+		all = append(all, r.Recv(src, tag))
+	}
+	count := 0
+	for _, b := range all {
+		count += len(b) / 2
+	}
+	head := make([]byte, 8)
+	binary.LittleEndian.PutUint32(head[0:], magic)
+	binary.LittleEndian.PutUint32(head[4:], uint32(count))
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	rec := make([]byte, 12)
+	for _, b := range all {
+		for i := 0; i+1 < len(b); i += 2 {
+			binary.LittleEndian.PutUint32(rec[0:], uint32(b[i]))
+			binary.LittleEndian.PutUint64(rec[4:], math.Float64bits(b[i+1]))
+			if _, err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadAll parses one or more leader streams and scatters the records
+// into a dense field of length n. Missing indices stay zero; duplicate
+// indices are an error.
+func ReadAll(n int, readers ...io.Reader) ([]float64, error) {
+	out := make([]float64, n)
+	seen := make([]bool, n)
+	for ri, rd := range readers {
+		head := make([]byte, 8)
+		if _, err := io.ReadFull(rd, head); err != nil {
+			return nil, fmt.Errorf("pario: reader %d header: %w", ri, err)
+		}
+		if binary.LittleEndian.Uint32(head[0:]) != magic {
+			return nil, fmt.Errorf("pario: reader %d bad magic", ri)
+		}
+		count := binary.LittleEndian.Uint32(head[4:])
+		rec := make([]byte, 12)
+		for i := uint32(0); i < count; i++ {
+			if _, err := io.ReadFull(rd, rec); err != nil {
+				return nil, fmt.Errorf("pario: reader %d record %d: %w", ri, i, err)
+			}
+			idx := binary.LittleEndian.Uint32(rec[0:])
+			if int(idx) >= n {
+				return nil, fmt.Errorf("pario: index %d out of range %d", idx, n)
+			}
+			if seen[idx] {
+				return nil, fmt.Errorf("pario: duplicate index %d", idx)
+			}
+			seen[idx] = true
+			out[idx] = math.Float64frombits(binary.LittleEndian.Uint64(rec[4:]))
+		}
+	}
+	return out, nil
+}

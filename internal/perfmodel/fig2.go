@@ -1,0 +1,47 @@
+package perfmodel
+
+import "gristgo/internal/precision"
+
+// Effort is one GSRM modeling effort of the paper's Fig. 2 landscape:
+// resolution vs simulation speed on a leading supercomputer.
+type Effort struct {
+	Model        string
+	Machine      string
+	Year         int
+	ResolutionKm float64
+	SYPD         float64
+	Note         string
+}
+
+// Fig2Literature returns the published efforts the paper plots in its
+// Fig. 2 survey (values from the paper's §2 narrative).
+func Fig2Literature() []Effort {
+	return []Effort{
+		{"E3SM dycore", "Summit", 2020, 3.0, 0.97, "dycore only"},
+		{"E3SM dycore", "Summit", 2020, 1.0, 0.049, "dycore only"},
+		{"SCREAM", "Frontier", 2023, 3.5, 1.26, "2023 Gordon Bell climate prize"},
+		{"CAM coupled", "Sunway (new)", 2023, 5.0, 1.0, "5km atm + 3km ocean"},
+		{"NICAM", "Fugaku", 2020, 3.5, 0.027, "512 nodes; 0.36 projected full"},
+		{"NICAM", "Fugaku", 2020, 14.0, 0.089, "512 nodes"},
+		{"ICON-Sapphire", "Levante", 2023, 1.25, 4.0 / 365, "4 SDPD, reduced physics"},
+		{"ICON-A", "JUWELS Booster", 2022, 5.0, 0.58, "256 nodes, GPU"},
+		{"COSMO (regional)", "Piz Daint", 2018, 1.0, 0.043, "near-global, 4888 GPUs"},
+		{"IFS hydrostatic", "Summit", 2020, 1.4, 0.3, "CPU, full machine"},
+		{"IFS nonhydrostatic", "Piz Daint", 2020, 1.4, 0.09, ""},
+		{"GRIST (CPU)", "EarthLab", 2022, 5.0, 0.07, "30,720 CPU cores"},
+	}
+}
+
+// Fig2Ours returns this work's points: the paper's headline 1.35 SYPD at
+// 3 km (G11S) and 0.5 SYPD at 1 km (G12) — regenerated here from the
+// calibrated machine model rather than hardcoded.
+func Fig2Ours(m *Machine) []Effort {
+	g11 := m.Predict(RunConfig{Level: 11, Layers: 30, NCG: 524288,
+		Scheme: Scheme{Mode: precision.Mixed, ML: true}, Steps: G11SSteps()})
+	g12 := m.Predict(RunConfig{Level: 12, Layers: 30, NCG: 524288,
+		Scheme: Scheme{Mode: precision.Mixed, ML: true}, Steps: G12Steps()})
+	return []Effort{
+		{"AI-enhanced GRIST (this work)", "Sunway (new)", 2025, 3.0, g11.SYPD, "G11S MIX-ML, 524288 CGs"},
+		{"AI-enhanced GRIST (this work)", "Sunway (new)", 2025, 1.0, g12.SYPD, "G12 MIX-ML, 524288 CGs"},
+	}
+}

@@ -1,0 +1,255 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+	"gristgo/internal/precision"
+)
+
+var mixML = Scheme{Mode: precision.Mixed, ML: true}
+var mixPHY = Scheme{Mode: precision.Mixed, ML: false}
+
+func TestSchemeLabels(t *testing.T) {
+	want := []string{"DP-PHY", "DP-ML", "MIX-PHY", "MIX-ML"}
+	for i, s := range AllSchemes() {
+		if s.Label() != want[i] {
+			t.Errorf("scheme %d = %q, want %q", i, s.Label(), want[i])
+		}
+	}
+}
+
+// TestPaperAnchors checks the two headline numbers of §4.8: 181 SDPD for
+// G12 and 491 SDPD for G11S at 524,288 processes under MIX-ML, and the
+// derived ~0.5 SYPD at 1 km.
+func TestPaperAnchors(t *testing.T) {
+	m := NewMachine()
+	g12 := m.Predict(RunConfig{Level: 12, Layers: 30, NCG: 524288, Scheme: mixML, Steps: G12Steps()})
+	if g12.SDPD < 160 || g12.SDPD > 200 {
+		t.Errorf("G12 MIX-ML SDPD = %.1f, paper reports 181", g12.SDPD)
+	}
+	if g12.SYPD < 0.42 || g12.SYPD > 0.58 {
+		t.Errorf("G12 SYPD = %.3f, paper reports ~0.5", g12.SYPD)
+	}
+	g11 := m.Predict(RunConfig{Level: 11, Layers: 30, NCG: 524288, Scheme: mixML, Steps: G11SSteps()})
+	if g11.SDPD < 440 || g11.SDPD > 560 {
+		t.Errorf("G11S MIX-ML SDPD = %.1f, paper reports 491", g11.SDPD)
+	}
+	// 3km headline: 1.35 SYPD.
+	if g11.SYPD < 1.15 || g11.SYPD > 1.6 {
+		t.Errorf("G11S SYPD = %.3f, paper reports 1.35", g11.SYPD)
+	}
+}
+
+// TestWeakScalingCommShare checks the §4.7 claim: the communication
+// share rises from 19% at 128 processes to 37% at 524,288.
+func TestWeakScalingCommShare(t *testing.T) {
+	m := NewMachine()
+	pts := m.WeakScaling(mixPHY)
+	first, last := pts[0].R.CommShare, pts[len(pts)-1].R.CommShare
+	if first < 0.13 || first > 0.25 {
+		t.Errorf("comm share at 128 CGs = %.1f%%, paper reports 19%%", 100*first)
+	}
+	if last < 0.31 || last > 0.47 {
+		t.Errorf("comm share at 524288 CGs = %.1f%%, paper reports 37%%", 100*last)
+	}
+	// Monotone growth.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].R.CommShare < pts[i-1].R.CommShare {
+			t.Errorf("comm share not monotone at %d CGs", pts[i].NCG)
+		}
+	}
+}
+
+// TestWeakScalingMLOutperformsConventional checks §4.7: MIX-ML
+// outperforms MIX-PHY at every weak-scaling point.
+func TestWeakScalingMLOutperformsConventional(t *testing.T) {
+	m := NewMachine()
+	ml := m.WeakScaling(mixML)
+	phy := m.WeakScaling(mixPHY)
+	for i := range ml {
+		if ml[i].R.SDPD <= phy[i].R.SDPD {
+			t.Errorf("NCG=%d: MIX-ML %.1f <= MIX-PHY %.1f", ml[i].NCG, ml[i].R.SDPD, phy[i].R.SDPD)
+		}
+	}
+}
+
+// TestWeakScalingKnee checks the §4.7 observation of a scalability drop
+// around 32,768 CGs from fat-tree oversubscription: efficiency loss per
+// step grows once the run spans many supernodes.
+func TestWeakScalingKnee(t *testing.T) {
+	m := NewMachine()
+	pts := m.WeakScaling(mixPHY)
+	// Efficiency decreasing throughout.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EffPct >= pts[i-1].EffPct {
+			t.Errorf("weak efficiency not decreasing at %d", pts[i].NCG)
+		}
+	}
+	// The drop from 8192 to 32768 exceeds the drop from 128 to 512
+	// (the oversubscription effect compounds at scale).
+	dEarly := pts[0].EffPct - pts[1].EffPct
+	var dKnee float64
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NCG == 32768 {
+			dKnee = pts[i-1].EffPct - pts[i].EffPct
+		}
+	}
+	if dKnee <= dEarly {
+		t.Errorf("no knee: drop at 32768 (%.1f) <= early drop (%.1f)", dKnee, dEarly)
+	}
+}
+
+// TestMixedPrecisionSpeedsUpAllGrids checks Table 3's point: MIX beats
+// DP for both physics suites.
+func TestMixedPrecisionSpeedsUpAllGrids(t *testing.T) {
+	m := NewMachine()
+	for _, ml := range []bool{false, true} {
+		dp := m.Predict(RunConfig{Level: 12, Layers: 30, NCG: 262144, Scheme: Scheme{precision.DP, ml}})
+		mx := m.Predict(RunConfig{Level: 12, Layers: 30, NCG: 262144, Scheme: Scheme{precision.Mixed, ml}})
+		if mx.SDPD <= dp.SDPD {
+			t.Errorf("ml=%v: MIX %.1f <= DP %.1f", ml, mx.SDPD, dp.SDPD)
+		}
+	}
+}
+
+// TestG12StrongScalingDeclines checks §4.8: G12 strong-scaling
+// efficiency decreases continuously.
+func TestG12StrongScalingDeclines(t *testing.T) {
+	m := NewMachine()
+	for _, s := range AllSchemes() {
+		pts := m.StrongScaling(12, 30, G12Steps(), s)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].EffPct > pts[i-1].EffPct+1e-9 {
+				t.Errorf("%s: efficiency rose at %d CGs", s.Label(), pts[i].NCG)
+			}
+		}
+		// But speed itself still improves with more processes.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].R.SDPD <= pts[i-1].R.SDPD {
+				t.Errorf("%s: SDPD fell at %d CGs", s.Label(), pts[i].NCG)
+			}
+		}
+	}
+}
+
+// TestG11SLargeScaleIncrement checks §4.8: G11S keeps gaining speed to
+// the full machine, with a cache-capacity increment at 524,288 where the
+// per-CPE working set drops far below the LDCache.
+func TestG11SLargeScaleIncrement(t *testing.T) {
+	m := NewMachine()
+	pts := m.StrongScaling(11, 30, G11SSteps(), mixML)
+	last := pts[len(pts)-1]
+	prev := pts[len(pts)-2]
+	if last.R.SDPD <= prev.R.SDPD {
+		t.Errorf("no increment at 524288: %.1f <= %.1f", last.R.SDPD, prev.R.SDPD)
+	}
+	// The capacity bonus shows in the hit ratio at the last point.
+	if last.R.CacheHit <= prev.R.CacheHit {
+		t.Errorf("no cache-capacity recovery at 524288: %.4f <= %.4f", last.R.CacheHit, prev.R.CacheHit)
+	}
+}
+
+func TestCacheHitModelShape(t *testing.T) {
+	m := NewMachine()
+	// Huge domains: working set far exceeds LDCache -> lower hit.
+	big := m.cacheHit(1e6, 30)
+	mid := m.cacheHit(5120, 30)
+	if big >= mid {
+		t.Errorf("hit(1M cells)=%.4f >= hit(5120)=%.4f", big, mid)
+	}
+	// Bounded.
+	for _, cells := range []float64{10, 100, 1000, 1e5, 1e7} {
+		h := m.cacheHit(cells, 30)
+		if h < 0.5 || h > 0.998 {
+			t.Errorf("hit(%g) = %v out of range", cells, h)
+		}
+	}
+}
+
+func TestWeakScalingPointMapping(t *testing.T) {
+	cases := map[int]int{128: 6, 512: 7, 2048: 8, 8192: 9, 32768: 10, 131072: 11, 524288: 12}
+	for ncg, lvl := range cases {
+		if got := WeakScalingPoint(ncg); got != lvl {
+			t.Errorf("WeakScalingPoint(%d) = %d, want %d", ncg, got, lvl)
+		}
+	}
+}
+
+func TestFig2Dataset(t *testing.T) {
+	lit := Fig2Literature()
+	if len(lit) < 10 {
+		t.Errorf("only %d literature points", len(lit))
+	}
+	for _, e := range lit {
+		if e.SYPD <= 0 || e.ResolutionKm <= 0 {
+			t.Errorf("bad entry: %+v", e)
+		}
+	}
+	ours := Fig2Ours(NewMachine())
+	if len(ours) != 2 {
+		t.Fatalf("ours = %d points", len(ours))
+	}
+	// This work must beat every published full-model point at <= 1.5 km.
+	for _, o := range ours {
+		if o.ResolutionKm <= 1.5 {
+			for _, l := range lit {
+				if l.ResolutionKm <= 1.5 && l.SYPD >= o.SYPD {
+					t.Errorf("literature %s at %.1f km (%.3f SYPD) beats ours (%.3f)",
+						l.Model, l.ResolutionKm, l.SYPD, o.SYPD)
+				}
+			}
+		}
+	}
+}
+
+func TestPredictConsistency(t *testing.T) {
+	m := NewMachine()
+	r := m.Predict(RunConfig{Level: 10, Layers: 30, NCG: 8192, Scheme: mixML})
+	if math.Abs(r.CompSec+r.CommSec-r.DaySec) > 1e-9*r.DaySec {
+		t.Error("comp + comm != day")
+	}
+	if math.Abs(r.SDPD*r.DaySec-86400) > 1e-6*86400 {
+		t.Error("SDPD inconsistent with DaySec")
+	}
+	if math.Abs(r.SYPD*365-r.SDPD) > 1e-9*r.SDPD {
+		t.Error("SYPD inconsistent with SDPD")
+	}
+}
+
+// TestProjectOneSYPD: the paper reaches ~0.5 SYPD at 1 km, so one SYPD
+// should require roughly doubling the end-to-end software-path speed.
+func TestProjectOneSYPD(t *testing.T) {
+	m := NewMachine()
+	f := m.ProjectOneSYPD()
+	if f < 1.5 || f > 4 {
+		t.Errorf("required software-path speedup for 1 SYPD = %.2f, expected ~2x", f)
+	}
+	// The solver must not have mutated the calibrated machine.
+	fresh := NewMachine()
+	if m.DynElemDP != fresh.DynElemDP || m.SpawnSec != fresh.SpawnSec || m.MsgLatBase != fresh.MsgLatBase {
+		t.Error("projection mutated machine constants")
+	}
+}
+
+// TestHaloFormulaMatchesPartitioner cross-validates the perf model's
+// surface/volume halo estimate against the real partitioner on a real
+// mesh: the analytic haloCells() must be within a factor of two of the
+// measured mean halo for practical subdomain sizes.
+func TestHaloFormulaMatchesPartitioner(t *testing.T) {
+	m := mesh.New(5) // 10242 cells
+	for _, nparts := range []int{8, 32, 64} {
+		d := partition.Decompose(m, nparts, 4)
+		var mean float64
+		for p := 0; p < nparts; p++ {
+			mean += float64(len(d.Halo[p]))
+		}
+		mean /= float64(nparts)
+		pred := haloCells(float64(m.NCells) / float64(nparts))
+		if pred < mean/2 || pred > mean*2 {
+			t.Errorf("nparts=%d: predicted halo %.0f vs measured %.0f", nparts, pred, mean)
+		}
+	}
+}

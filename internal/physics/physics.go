@@ -1,0 +1,171 @@
+// Package physics implements the conventional physics suite of the model
+// (Fig. 3 of the paper, right side): radiation with an RRTMG-style
+// spectral band loop, a mass-flux/adjustment convection scheme, bulk
+// cloud microphysics, boundary-layer vertical diffusion, a surface layer
+// and a slab land model (the Noah-MP substitute).
+//
+// The package also defines the physics-dynamics coupling contract shared
+// with the ML physics suite (package mlphysics): a Scheme consumes the
+// column Input (U, V, T, Q, P, tskin, coszr — §3.2.4) and produces the
+// total physical tendencies Q1/Q2 plus the radiation diagnostics gsw/glw
+// and surface precipitation.
+package physics
+
+import "math"
+
+// Thermodynamic constants shared with the dynamical core.
+const (
+	Rd     = 287.04
+	Cp     = 1004.64
+	Lv     = 2.501e6 // latent heat of vaporization, J/kg
+	Sigma  = 5.67e-8 // Stefan-Boltzmann
+	Solar  = 1361.0  // solar constant, W/m^2
+	Albedo = 0.3     // bulk planetary surface albedo
+	Eps    = 0.622   // Rd/Rv
+)
+
+// Input is the physics-dynamics coupling state handed to a Scheme:
+// column-major arrays [c*NLev+k] with level 0 at the model top, plus
+// per-cell surface scalars.
+type Input struct {
+	NCol, NLev int
+
+	T   []float64 // temperature, K
+	Qv  []float64 // water vapor mixing ratio, kg/kg
+	P   []float64 // mid-layer pressure, Pa
+	Dpi []float64 // layer dry-mass thickness, Pa
+	U   []float64 // zonal wind at cells, m/s
+	V   []float64 // meridional wind at cells, m/s
+
+	Tskin []float64 // surface skin temperature, K
+	CosZ  []float64 // cosine of the solar zenith angle
+	Land  []float64 // land fraction (0..1), affects Bowen ratio
+}
+
+// NewInput allocates an Input for ncol columns of nlev layers.
+func NewInput(ncol, nlev int) *Input {
+	n := ncol * nlev
+	return &Input{
+		NCol: ncol, NLev: nlev,
+		T: make([]float64, n), Qv: make([]float64, n),
+		P: make([]float64, n), Dpi: make([]float64, n),
+		U: make([]float64, n), V: make([]float64, n),
+		Tskin: make([]float64, ncol), CosZ: make([]float64, ncol),
+		Land: make([]float64, ncol),
+	}
+}
+
+// Output carries the physics results back across the coupling interface:
+// the total apparent heat source Q1 (K/s) and apparent moisture sink Q2
+// (expressed as a moistening rate dq/dt, kg/kg/s), the surface radiation
+// diagnostics for the land model, and the surface precipitation rate.
+type Output struct {
+	Q1     []float64 // temperature tendency, K/s
+	Q2     []float64 // moisture tendency, kg/kg/s
+	Cond   []float64 // condensate production rate, kg/kg/s (vapor -> cloud)
+	Gsw    []float64 // surface downward shortwave, W/m^2
+	Glw    []float64 // surface downward longwave, W/m^2
+	Precip []float64 // surface precipitation rate, mm/day
+}
+
+// NewOutput allocates an Output matching an Input's shape.
+func NewOutput(ncol, nlev int) *Output {
+	return &Output{
+		Q1:     make([]float64, ncol*nlev),
+		Q2:     make([]float64, ncol*nlev),
+		Cond:   make([]float64, ncol*nlev),
+		Gsw:    make([]float64, ncol),
+		Glw:    make([]float64, ncol),
+		Precip: make([]float64, ncol),
+	}
+}
+
+// Reset zeroes an Output for reuse.
+func (o *Output) Reset() {
+	for i := range o.Q1 {
+		o.Q1[i] = 0
+		o.Q2[i] = 0
+		o.Cond[i] = 0
+	}
+	for c := range o.Gsw {
+		o.Gsw[c] = 0
+		o.Glw[c] = 0
+		o.Precip[c] = 0
+	}
+}
+
+// Scheme is the physics suite contract shared by the conventional and
+// ML-based suites.
+type Scheme interface {
+	// Compute evaluates the suite over dt and fills out.
+	Compute(in *Input, out *Output, dt float64)
+	// Name identifies the suite ("Conventional" or "ML-physics").
+	Name() string
+}
+
+// SatVaporPressure returns the saturation vapor pressure over water
+// (Tetens formula), Pa.
+func SatVaporPressure(tK float64) float64 {
+	tc := tK - 273.15
+	return 610.78 * math.Exp(17.27*tc/(tc+237.3))
+}
+
+// SatMixingRatio returns the saturation mixing ratio at (T, p).
+func SatMixingRatio(tK, p float64) float64 {
+	es := SatVaporPressure(tK)
+	if es > 0.5*p {
+		es = 0.5 * p
+	}
+	return Eps * es / (p - es)
+}
+
+// Conventional is the conventional parameterization suite.
+type Conventional struct {
+	rad  *Radiation
+	conv *Convection
+	mic  *Microphysics
+	pbl  *BoundaryLayer
+	sfc  *Surface
+}
+
+// NewConventional builds the conventional suite with default parameters.
+func NewConventional(nlev int) *Conventional {
+	return &Conventional{
+		rad:  NewRadiation(nlev),
+		conv: NewConvection(),
+		mic:  NewMicrophysics(),
+		pbl:  NewBoundaryLayer(),
+		sfc:  NewSurface(),
+	}
+}
+
+// Name implements Scheme.
+func (s *Conventional) Name() string { return "Conventional" }
+
+// Compute runs the process chain: radiation -> surface fluxes -> PBL
+// diffusion -> convection -> large-scale microphysics, accumulating all
+// temperature and moisture tendencies into Q1/Q2.
+func (s *Conventional) Compute(in *Input, out *Output, dt float64) {
+	out.Reset()
+	s.rad.Compute(in, out)
+	s.sfc.Compute(in, out, dt)
+	s.pbl.Compute(in, out, dt)
+	s.conv.Compute(in, out, dt)
+	s.mic.Compute(in, out, dt)
+}
+
+// Radiation returns the radiation sub-scheme (used by the ML training
+// pipeline, which learns the radiation diagnostics separately).
+func (s *Conventional) Radiation() *Radiation { return s.rad }
+
+// Null is the no-op physics suite: it produces zero tendencies, giving a
+// dynamics-only model. The residual-method training pipeline uses it to
+// isolate the resolved dynamical tendency (§3.2.2), and Table 3 ablations
+// use it for dycore-only timing.
+type Null struct{}
+
+// Name implements Scheme.
+func (Null) Name() string { return "None" }
+
+// Compute implements Scheme: all tendencies zero.
+func (Null) Compute(in *Input, out *Output, dt float64) { out.Reset() }

@@ -1,0 +1,269 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// tropicalColumn fills column c of in with a moist tropical-ish sounding.
+func tropicalColumn(in *Input, c int, tSfc, rh float64) {
+	nlev := in.NLev
+	const psfc, ptop = 1.0e5, 225.0
+	dpi := (psfc - ptop) / float64(nlev)
+	for k := 0; k < nlev; k++ {
+		i := c*nlev + k
+		p := ptop + (float64(k)+0.5)*dpi
+		in.P[i] = p
+		in.Dpi[i] = dpi
+		// Linear-in-log-p temperature profile; relative humidity decays
+		// with height like the real tropics (so theta_e decreases with
+		// height in moist columns — conditional instability).
+		in.T[i] = tSfc - 60*math.Log(psfc/p)/math.Log(psfc/ptop)
+		sig := p / psfc
+		in.Qv[i] = rh * sig * sig * sig * SatMixingRatio(in.T[i], p)
+	}
+	in.Tskin[c] = tSfc + 1
+	in.CosZ[c] = 0.5
+	in.Land[c] = 1
+}
+
+func TestSaturationVaporPressure(t *testing.T) {
+	// Anchor points: ~611 Pa at 0C, ~2340 Pa at 20C, ~7400 Pa at 40C.
+	cases := []struct{ tK, want, tol float64 }{
+		{273.15, 611, 5},
+		{293.15, 2339, 60},
+		{313.15, 7375, 250},
+	}
+	for _, c := range cases {
+		if got := SatVaporPressure(c.tK); math.Abs(got-c.want) > c.tol {
+			t.Errorf("es(%v) = %v, want ~%v", c.tK, got, c.want)
+		}
+	}
+}
+
+func TestSatMixingRatioMonotone(t *testing.T) {
+	f := func(t1, t2 float64) bool {
+		// Map to a sane range.
+		a := 200 + math.Mod(math.Abs(t1), 120)
+		b := 200 + math.Mod(math.Abs(t2), 120)
+		if a > b {
+			a, b = b, a
+		}
+		const p = 9e4
+		return SatMixingRatio(a, p) <= SatMixingRatio(b, p)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadiationEnergyDirections(t *testing.T) {
+	nlev := 10
+	in := NewInput(2, nlev)
+	tropicalColumn(in, 0, 300, 0.7)
+	tropicalColumn(in, 1, 300, 0.7)
+	in.CosZ[1] = 0 // night column
+	out := NewOutput(2, nlev)
+	rad := NewRadiation(nlev)
+	rad.Compute(in, out)
+
+	if out.Gsw[0] <= 0 {
+		t.Error("day column has no surface shortwave")
+	}
+	if out.Gsw[1] != 0 {
+		t.Errorf("night column gets shortwave %v", out.Gsw[1])
+	}
+	if out.Glw[0] <= 0 || out.Glw[1] <= 0 {
+		t.Error("downward longwave missing")
+	}
+	// Surface SW must be below TOA insolation.
+	if out.Gsw[0] >= Solar*in.CosZ[0] {
+		t.Errorf("gsw %v exceeds TOA %v", out.Gsw[0], Solar*in.CosZ[0])
+	}
+	// Clear-sky longwave cooling: column-mean LW Q1 of the night column
+	// should be negative (radiative cooling).
+	var mean float64
+	for k := 0; k < nlev; k++ {
+		mean += out.Q1[1*nlev+k]
+	}
+	if mean/float64(nlev) >= 0 {
+		t.Errorf("night column does not cool radiatively: mean Q1 = %g", mean/float64(nlev))
+	}
+}
+
+func TestRadiationMoreVaporMoreGreenhouse(t *testing.T) {
+	nlev := 10
+	in := NewInput(2, nlev)
+	tropicalColumn(in, 0, 300, 0.2)
+	tropicalColumn(in, 1, 300, 0.9)
+	out := NewOutput(2, nlev)
+	NewRadiation(nlev).Compute(in, out)
+	if out.Glw[1] <= out.Glw[0] {
+		t.Errorf("moist column glw %v <= dry column %v", out.Glw[1], out.Glw[0])
+	}
+}
+
+func TestConvectionDriesAndWarms(t *testing.T) {
+	nlev := 10
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 305, 0.95)
+	out := NewOutput(1, nlev)
+	NewConvection().Compute(in, out, 600)
+
+	if out.Precip[0] <= 0 {
+		t.Fatal("unstable moist column did not precipitate")
+	}
+	var q1, q2 float64
+	for k := nlev / 2; k < nlev; k++ {
+		q1 += out.Q1[k]
+		q2 += out.Q2[k]
+	}
+	if q1 <= 0 {
+		t.Errorf("no convective heating: %g", q1)
+	}
+	if q2 >= 0 {
+		t.Errorf("no convective drying: %g", q2)
+	}
+}
+
+func TestConvectionSkipsStableDryColumn(t *testing.T) {
+	nlev := 10
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 280, 0.3)
+	out := NewOutput(1, nlev)
+	NewConvection().Compute(in, out, 600)
+	if out.Precip[0] != 0 {
+		t.Errorf("stable dry column precipitated: %v", out.Precip[0])
+	}
+}
+
+func TestMicrophysicsCondensesSupersaturation(t *testing.T) {
+	nlev := 6
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 295, 0.8)
+	// Force supersaturation at one level.
+	k := 3
+	in.Qv[k] = 1.3 * SatMixingRatio(in.T[k], in.P[k])
+	out := NewOutput(1, nlev)
+	dt := 600.0
+	NewMicrophysics().Compute(in, out, dt)
+
+	if out.Cond[k] <= 0 {
+		t.Fatal("no condensate production from supersaturated layer")
+	}
+	if out.Q1[k] <= 0 {
+		t.Error("no latent heating at the condensing level")
+	}
+	if out.Q2[k] >= 0 {
+		t.Error("no drying at the condensing level")
+	}
+	// Removing all tendency moisture must not overshoot below saturation
+	// by more than the 1/(1+gamma) correction implies.
+	qAfter := in.Qv[k] + out.Q2[k]*dt
+	if qAfter < 0.9*SatMixingRatio(in.T[k], in.P[k]) {
+		t.Errorf("condensation overshoot: q after = %g", qAfter)
+	}
+}
+
+func TestPBLMixesGradientsDown(t *testing.T) {
+	nlev := 10
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 300, 0.5)
+	// Sharpen a moisture contrast near the surface.
+	in.Qv[nlev-1] = 0.020
+	in.Qv[nlev-2] = 0.004
+	out := NewOutput(1, nlev)
+	NewBoundaryLayer().Compute(in, out, 600)
+	if out.Q2[nlev-1] >= 0 {
+		t.Error("moist lowest layer should dry by mixing")
+	}
+	if out.Q2[nlev-2] <= 0 {
+		t.Error("dry layer above should moisten by mixing")
+	}
+	// Mixing conserves column moisture: sum(dq*dpi) ~ 0.
+	var sum float64
+	for k := 0; k < nlev; k++ {
+		sum += out.Q2[k] * in.Dpi[k]
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("PBL moisture not conserved: %g", sum)
+	}
+}
+
+func TestSurfaceFluxesWarmColdAir(t *testing.T) {
+	nlev := 8
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 290, 0.5)
+	in.Tskin[0] = 300 // warm ground under cooler air
+	out := NewOutput(1, nlev)
+	NewSurface().Compute(in, out, 600)
+	if out.Q1[nlev-1] <= 0 {
+		t.Error("warm surface should heat the lowest layer")
+	}
+	if out.Q2[nlev-1] <= 0 {
+		t.Error("evaporation should moisten the lowest layer")
+	}
+}
+
+func TestSkinTemperatureRelaxesTowardEquilibrium(t *testing.T) {
+	nlev := 8
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 300, 0.6)
+	in.Tskin[0] = 240 // very cold surface under warm air + sun
+	out := NewOutput(1, nlev)
+	suite := NewConventional(nlev)
+	t0 := in.Tskin[0]
+	for i := 0; i < 20; i++ {
+		suite.Compute(in, out, 600)
+	}
+	if in.Tskin[0] <= t0 {
+		t.Errorf("cold sunlit surface did not warm: %v -> %v", t0, in.Tskin[0])
+	}
+	if in.Tskin[0] > 400 {
+		t.Errorf("runaway skin temperature: %v", in.Tskin[0])
+	}
+}
+
+func TestConventionalSuiteProducesBalancedColumnBudget(t *testing.T) {
+	// Column moisture removed by Q2 (convection + microphysics) must be
+	// accounted for: convective rain leaves immediately through Precip,
+	// large-scale condensation enters the condensate chain through Cond.
+	nlev := 12
+	in := NewInput(1, nlev)
+	tropicalColumn(in, 0, 304, 0.97)
+	out := NewOutput(1, nlev)
+	dt := 600.0
+	conv := NewConvection()
+	mic := NewMicrophysics()
+	conv.Compute(in, out, dt)
+	mic.Compute(in, out, dt)
+
+	var colDrying, colCond float64 // kg/m^2/s
+	for k := 0; k < nlev; k++ {
+		colDrying += -out.Q2[k] * in.Dpi[k] / 9.80616
+		colCond += out.Cond[k] * in.Dpi[k] / 9.80616
+	}
+	precipKgMS := out.Precip[0] / 86400
+	if math.Abs(colDrying-(precipKgMS+colCond)) > 1e-9*(1+math.Abs(precipKgMS)) {
+		t.Errorf("drying %g != precip %g + condensate %g", colDrying, precipKgMS, colCond)
+	}
+}
+
+func TestSchemeInterface(t *testing.T) {
+	var s Scheme = NewConventional(8)
+	if s.Name() != "Conventional" {
+		t.Errorf("name = %q", s.Name())
+	}
+	in := NewInput(3, 8)
+	for c := 0; c < 3; c++ {
+		tropicalColumn(in, c, 298+float64(c), 0.8)
+	}
+	out := NewOutput(3, 8)
+	s.Compute(in, out, 600)
+	for i, q := range out.Q1 {
+		if math.IsNaN(q) {
+			t.Fatalf("NaN Q1 at %d", i)
+		}
+	}
+}

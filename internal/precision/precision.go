@@ -1,0 +1,105 @@
+// Package precision provides the mixed-precision machinery of §3.4: a
+// switchable working precision for the precision-insensitive terms of the
+// dynamical core (the paper's custom Fortran kind "ns"), the relative L2
+// deviation metric used to gauge precision loss, and the ps/vor
+// sensitivity harness with its 5% acceptance threshold.
+package precision
+
+import "math"
+
+// Real is the switchable solver precision: instantiating a kernel with
+// float32 reproduces the paper's lowered-precision ("ns") build, float64
+// the reference build. Precision-sensitive terms (pressure gradient,
+// gravity, accumulated mass fluxes) stay float64 regardless.
+type Real interface {
+	~float32 | ~float64
+}
+
+// Mode names a dynamical-core precision configuration (Table 3).
+type Mode int
+
+const (
+	// DP runs the entire dynamical core in double precision.
+	DP Mode = iota
+	// Mixed demotes precision-insensitive terms to single precision
+	// while keeping pressure-gradient/gravity terms and accumulated mass
+	// fluxes in double precision.
+	Mixed
+)
+
+func (m Mode) String() string {
+	if m == Mixed {
+		return "MIX"
+	}
+	return "DP"
+}
+
+// WordBytes returns the dominant word size moved by memory-bound kernels
+// under the mode: 8 for DP, 4 for Mixed.
+func (m Mode) WordBytes() int {
+	if m == Mixed {
+		return 4
+	}
+	return 8
+}
+
+// ErrorThreshold is the paper's acceptance threshold for the relative L2
+// deviation of the mixed-precision dynamical core from the
+// double-precision gold standard (§3.4.1).
+const ErrorThreshold = 0.05
+
+// RelL2 returns the relative L2 norm of (got - want):
+// ||got-want||_2 / ||want||_2. A zero reference with a nonzero deviation
+// returns +Inf; two zero fields return 0.
+func RelL2(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic("precision: RelL2 length mismatch")
+	}
+	var num, den float64
+	for i := range want {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(num / den)
+}
+
+// Deviation reports the ps/vor observation-point deviations of a
+// candidate run against the double-precision gold standard (§3.4.1):
+// surface pressure tracks the mass field, relative vorticity the
+// regional dynamics.
+type Deviation struct {
+	Ps  float64 // relative L2 of surface pressure
+	Vor float64 // relative L2 of relative vorticity
+}
+
+// Acceptable reports whether both observation points are within the 5%
+// threshold.
+func (d Deviation) Acceptable() bool {
+	return d.Ps <= ErrorThreshold && d.Vor <= ErrorThreshold
+}
+
+// Measure computes the Deviation of candidate (ps, vor) fields against
+// the reference.
+func Measure(psGot, psWant, vorGot, vorWant []float64) Deviation {
+	return Deviation{Ps: RelL2(psGot, psWant), Vor: RelL2(vorGot, vorWant)}
+}
+
+// Round32 converts a float64 through float32, modelling the storage
+// rounding a demoted variable undergoes.
+func Round32(x float64) float64 { return float64(float32(x)) }
+
+// Round32Slice rounds a whole field through float32 in place, as happens
+// when the solver converts initialization output to its working
+// precision (§3.4.3).
+func Round32Slice(xs []float64) {
+	for i, x := range xs {
+		xs[i] = float64(float32(x))
+	}
+}

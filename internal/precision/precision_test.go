@@ -1,0 +1,105 @@
+package precision
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelL2Basics(t *testing.T) {
+	if got := RelL2([]float64{1, 1}, []float64{1, 1}); got != 0 {
+		t.Errorf("identical fields: %v", got)
+	}
+	if got := RelL2([]float64{2, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-15 {
+		t.Errorf("got %v want 1", got)
+	}
+	if got := RelL2([]float64{1}, []float64{0}); !math.IsInf(got, 1) {
+		t.Errorf("zero reference: %v", got)
+	}
+	if got := RelL2([]float64{0}, []float64{0}); got != 0 {
+		t.Errorf("both zero: %v", got)
+	}
+}
+
+func TestRelL2ScaleInvariance(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Clamp magnitudes to avoid overflow in squares.
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		if b == 0 {
+			return true
+		}
+		got := []float64{a + b, 2 * b}
+		want := []float64{b, 2 * b}
+		r1 := RelL2(got, want)
+		// Scaling both fields by 7 must not change the relative norm.
+		got7 := []float64{7 * (a + b), 14 * b}
+		want7 := []float64{7 * b, 14 * b}
+		r2 := RelL2(got7, want7)
+		return math.Abs(r1-r2) <= 1e-12*(1+r1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviationThreshold(t *testing.T) {
+	d := Deviation{Ps: 0.049, Vor: 0.049}
+	if !d.Acceptable() {
+		t.Error("deviation under threshold rejected")
+	}
+	d = Deviation{Ps: 0.051, Vor: 0.01}
+	if d.Acceptable() {
+		t.Error("ps over threshold accepted")
+	}
+	d = Deviation{Ps: 0.01, Vor: 0.06}
+	if d.Acceptable() {
+		t.Error("vor over threshold accepted")
+	}
+}
+
+func TestModeWordBytes(t *testing.T) {
+	if DP.WordBytes() != 8 || Mixed.WordBytes() != 4 {
+		t.Error("word sizes wrong")
+	}
+	if DP.String() != "DP" || Mixed.String() != "MIX" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestRound32IntroducesBoundedError(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.Abs(x) > 1e30 || x == 0 {
+			return true
+		}
+		r := Round32(x)
+		// float32 has ~7 decimal digits: relative error < 2^-23 ~ 1.2e-7.
+		return math.Abs(r-x)/math.Abs(x) < 1.2e-7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRound32SliceMatchesScalar(t *testing.T) {
+	xs := []float64{1.0000001, math.Pi, -2.718281828459045, 1e-20}
+	ys := append([]float64(nil), xs...)
+	Round32Slice(ys)
+	for i := range xs {
+		if ys[i] != Round32(xs[i]) {
+			t.Errorf("index %d: %v != %v", i, ys[i], Round32(xs[i]))
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	ps := []float64{1000, 1010}
+	vor := []float64{1e-5, -2e-5}
+	d := Measure(ps, ps, vor, vor)
+	if d.Ps != 0 || d.Vor != 0 {
+		t.Errorf("self-measure nonzero: %+v", d)
+	}
+}

@@ -1,0 +1,93 @@
+package sunway
+
+// DMA models the per-CPE direct-memory-access engine used by omnicopy
+// (§3.3.2): bulk transfers between main memory and the LDM bypass the
+// LDCache, paying a setup latency plus streaming bandwidth, after which
+// accesses hit the LDM at register-like cost.
+const (
+	dmaSetupCycles = 400 // descriptor setup + engine start
+	// Streaming DMA reaches a high fraction of the DDR channel; the
+	// per-CPE share assumes concurrent transfers from the whole array.
+	dmaBytesPerCycle = 8.0 // per CPE when the channel is not saturated
+	ldmAccessCycles  = 1   // LDM scratch access after staging
+)
+
+// DMACycles returns the modeled cycle cost of staging n bytes into LDM.
+func DMACycles(bytes int) float64 {
+	return dmaSetupCycles + float64(bytes)/dmaBytesPerCycle
+}
+
+// StagedAccessCycles returns the total cost of staging an array slice of
+// the given size into LDM once and then accessing each element the given
+// number of times — the omnicopy strategy of §3.3.4.
+func StagedAccessCycles(bytes, accesses int) float64 {
+	return DMACycles(bytes) + float64(accesses*ldmAccessCycles)
+}
+
+// CachedAccessCycles returns the cost of the same accesses through the
+// LDCache at a given hit rate.
+func CachedAccessCycles(accesses int, hitRate float64) float64 {
+	h := float64(accesses) * hitRate
+	m := float64(accesses) - h
+	return h*cpeHitCycles + m*cpeMissCycles
+}
+
+// OmnicopyWins reports whether staging an array slice through DMA beats
+// reading it through a cache achieving the given hit rate. DMA streaming
+// beats demand-miss streaming almost always (that is why it exists); the
+// binding constraint is the 128 KB LDM scratch, handled by ChooseStaged.
+func OmnicopyWins(bytes, accesses int, cacheHitRate float64) bool {
+	return StagedAccessCycles(bytes, accesses) < CachedAccessCycles(accesses, cacheHitRate)
+}
+
+// StagedArray describes one candidate array slice for LDM staging.
+type StagedArray struct {
+	Name     string
+	Bytes    int // per-CPE slice size
+	Accesses int // element accesses per kernel invocation
+}
+
+// ChooseStaged implements the §3.3.4 procedure: given the kernel's
+// arrays and the LDM scratch budget, stage the most access-intensive
+// arrays into LDM until either the scratch is full or the number left
+// going through the LDCache no longer exceeds its associativity (the
+// thrashing condition of Fig. 6). Returns the names chosen, in order.
+func ChooseStaged(arrays []StagedArray, scratchBytes int) []string {
+	// Order by access density (accesses per byte), highest first —
+	// simple selection sort keeps this dependency-free and stable.
+	idx := make([]int, len(arrays))
+	for i := range idx {
+		idx[i] = i
+	}
+	density := func(a StagedArray) float64 {
+		if a.Bytes == 0 {
+			return 0
+		}
+		return float64(a.Accesses) / float64(a.Bytes)
+	}
+	for i := 0; i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if density(arrays[idx[j]]) > density(arrays[idx[best]]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+
+	var chosen []string
+	used := 0
+	remaining := len(arrays)
+	for _, i := range idx {
+		if remaining <= LDCacheWays {
+			break // cache can hold the rest without thrashing
+		}
+		if used+arrays[i].Bytes > scratchBytes {
+			continue
+		}
+		chosen = append(chosen, arrays[i].Name)
+		used += arrays[i].Bytes
+		remaining--
+	}
+	return chosen
+}

@@ -1,0 +1,180 @@
+package sunway
+
+// Ctx is the execution context a kernel body sees: loads and stores pass
+// through the memory model, arithmetic advances the cycle count. The
+// same body runs on the MPE (serial, weak memory) or on a CPE (LDCache +
+// shared DRAM bandwidth), which is what makes the Fig. 9 comparisons
+// mechanistic rather than curve-fit.
+type Ctx interface {
+	// Load returns element i of the array, charging the memory model.
+	Load(a *Array, i int) float64
+	// Store writes element i of the array, charging the memory model.
+	Store(a *Array, i int, v float64)
+	// Flop charges n ordinary floating-point operations.
+	Flop(n int)
+	// Div charges n divisions (or square roots) at the word size of the
+	// kernel's working precision.
+	Div(n int, word int)
+	// Elem charges n elementary-function evaluations (exp, log, pow).
+	Elem(n int, word int)
+}
+
+// mpeCtx executes on the management processing element.
+type mpeCtx struct {
+	cycles uint64
+	flops  uint64
+	bytes  uint64
+}
+
+func (m *mpeCtx) Load(a *Array, i int) float64 {
+	m.cycles += mpeMemCycles
+	m.bytes += uint64(a.Word)
+	return a.Data[i]
+}
+
+func (m *mpeCtx) Store(a *Array, i int, v float64) {
+	m.cycles += mpeMemCycles
+	m.bytes += uint64(a.Word)
+	a.Data[i] = v
+}
+
+func (m *mpeCtx) Flop(n int) {
+	m.cycles += uint64(n * flopCycles)
+	m.flops += uint64(n)
+}
+
+// Div on the MPE: the paper notes mixed precision yields no significant
+// speedup on the MPE side (§4.6) — its divider costs the same either way.
+func (m *mpeCtx) Div(n int, word int) {
+	m.cycles += uint64(n * mpeDivCycles)
+	m.flops += uint64(n)
+}
+
+func (m *mpeCtx) Elem(n int, word int) {
+	m.cycles += uint64(n * mpeElemCycles)
+	m.flops += uint64(n * 8) // an elementary call is ~8 flops of useful work
+}
+
+// cpeCtx executes on one computing processing element.
+type cpeCtx struct {
+	cache  LDCache
+	cycles uint64
+	flops  uint64
+	bytes  uint64 // DRAM traffic from misses
+}
+
+func (c *cpeCtx) touch(a *Array, i int) {
+	if c.cache.Access(a.addr(i)) {
+		c.cycles += cpeHitCycles
+	} else {
+		c.cycles += cpeMissCycles
+		c.bytes += CacheLineBytes
+	}
+}
+
+func (c *cpeCtx) Load(a *Array, i int) float64 {
+	c.touch(a, i)
+	return a.Data[i]
+}
+
+func (c *cpeCtx) Store(a *Array, i int, v float64) {
+	c.touch(a, i)
+	a.Data[i] = v
+}
+
+func (c *cpeCtx) Flop(n int) {
+	c.cycles += uint64(n * flopCycles)
+	c.flops += uint64(n)
+}
+
+func (c *cpeCtx) Div(n int, word int) {
+	cost := divCyclesFP64
+	if word == FP32 {
+		cost = divCyclesFP32
+	}
+	c.cycles += uint64(n * cost)
+	c.flops += uint64(n)
+}
+
+func (c *cpeCtx) Elem(n int, word int) {
+	cost := elemCyclesFP64
+	if word == FP32 {
+		cost = elemCyclesFP32
+	}
+	c.cycles += uint64(n * cost)
+	c.flops += uint64(n * 8)
+}
+
+// KernelBody is one iteration of a parallel loop: it receives the
+// context and the iteration index.
+type KernelBody func(ctx Ctx, iter int)
+
+// RunMPE executes iterations [0, n) serially on the MPE and returns the
+// modeled statistics — the MPE-DP baseline of Fig. 9.
+func RunMPE(n int, body KernelBody) Stats {
+	ctx := &mpeCtx{}
+	for i := 0; i < n; i++ {
+		body(ctx, i)
+	}
+	return Stats{
+		Cycles:    ctx.cycles,
+		Flops:     ctx.flops,
+		BytesDRAM: ctx.bytes,
+		Seconds:   float64(ctx.cycles) / ClockHz,
+	}
+}
+
+// RunCPEs executes iterations [0, n) across the 64 CPEs of one core
+// group with static block distribution (the "!$omp do" schedule of the
+// SWGOMP example in Fig. 4). The modeled wall time is the maximum of the
+// slowest CPE's critical path and the shared-DRAM bandwidth bound, plus
+// the job-server spawn overhead.
+func RunCPEs(n int, body KernelBody) Stats {
+	var total Stats
+	chunk := (n + CPEsPerCG - 1) / CPEsPerCG
+	var maxCycles uint64
+	for cpe := 0; cpe < CPEsPerCG; cpe++ {
+		lo := cpe * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		ctx := &cpeCtx{}
+		for i := lo; i < hi; i++ {
+			body(ctx, i)
+		}
+		if ctx.cycles > maxCycles {
+			maxCycles = ctx.cycles
+		}
+		total.Flops += ctx.flops
+		total.BytesDRAM += ctx.bytes
+		total.Hits += ctx.cache.Hits
+		total.Misses += ctx.cache.Misses
+	}
+	// Spawn overhead: MPE -> team head, team head -> 63 members.
+	overhead := uint64(spawnTeamCycles + (CPEsPerCG-1)*spawnChildCycles)
+	total.Cycles = maxCycles + overhead
+
+	critical := float64(total.Cycles) / ClockHz
+	bandwidth := float64(total.BytesDRAM) / MemBandwidthBytesPerSec
+	if bandwidth > critical {
+		total.Seconds = bandwidth
+	} else {
+		total.Seconds = critical
+	}
+	return total
+}
+
+// AchievedFlops returns the fraction of the core group's peak FLOP rate
+// a kernel achieved — the metric behind the paper's RRTMG (6%) vs ML
+// radiation (74-84%) comparison in §4.7. Peak: 64 CPEs x 8 flops/cycle.
+func (s Stats) AchievedFlops() float64 {
+	if s.Seconds == 0 {
+		return 0
+	}
+	peak := float64(CPEsPerCG) * 8 * ClockHz
+	return float64(s.Flops) / s.Seconds / peak
+}

@@ -1,0 +1,191 @@
+// Package sunway models the SW26010P processor of the next-generation
+// Sunway supercomputer (§3.3, §4.1 of the paper) closely enough to
+// reproduce the mechanisms behind the paper's Fig. 9 kernel study:
+//
+//   - a core group (CG) holds one management processing element (MPE)
+//     and 64 computing processing elements (CPEs) in an 8x8 array;
+//   - each CPE has 256 KB of local device memory (LDM), half of which is
+//     configured as a 4-way set-associative cache (LDCache) with the
+//     other half available as user-programmable scratch;
+//   - each CG shares a DDR4 channel with 51.2 GB/s of bandwidth;
+//   - CPE kernels are bandwidth-sensitive: single-precision data halves
+//     the traffic, and the address-distributing pool allocator defeats
+//     LDCache set aliasing (cache thrashing) when a loop touches more
+//     arrays than the cache has ways (§3.3.3, Fig. 6).
+//
+// The model is trace-driven: kernels execute real Go code against Array
+// handles, and every load/store passes through the simulated LDCache
+// while arithmetic advances a per-CPE cycle counter. It is a
+// cycle-approximate performance model, not an ISA emulator.
+package sunway
+
+// Architecture constants of the SW26010P.
+const (
+	CGsPerNode     = 6
+	CPEsPerCG      = 64
+	LDMBytes       = 256 * 1024
+	LDCacheBytes   = 128 * 1024 // half the LDM configured as cache
+	LDCacheWays    = 4
+	CacheLineBytes = 256
+	CacheSets      = LDCacheBytes / LDCacheWays / CacheLineBytes
+
+	// Per-CG DDR4 channel: 16 GB at 51.2 GB/s.
+	MemBandwidthBytesPerSec = 51.2e9
+	ClockHz                 = 2.1e9
+
+	// Cost model (cycles). The MPE is modeled as a weak scalar core with
+	// high average memory access cost (no deep prefetching on indirect
+	// unstructured accesses); CPEs hit their LDCache in a few cycles and
+	// pay a long-latency DDR access per miss.
+	mpeMemCycles     = 6
+	mpeDivCycles     = 15 // MPE has a hardware divider; FP32 no faster (§4.6)
+	mpeElemCycles    = 40
+	cpeHitCycles     = 2
+	cpeMissCycles    = 180
+	flopCycles       = 1
+	divCyclesFP64    = 22 // CPE divisions are slow and halve in FP32 (§4.6)
+	divCyclesFP32    = 13
+	elemCyclesFP64   = 60 // exp/log/pow
+	elemCyclesFP32   = 35
+	spawnTeamCycles  = 2000 // MPE -> team head launch via the job server
+	spawnChildCycles = 200  // team head -> team member
+)
+
+// Word sizes.
+const (
+	FP32 = 4
+	FP64 = 8
+)
+
+// cacheLine is one LDCache line.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// LDCache is the 4-way group-associative cache of one CPE.
+type LDCache struct {
+	sets   [CacheSets][LDCacheWays]cacheLine
+	clock  uint64
+	Hits   uint64
+	Misses uint64
+}
+
+// Reset clears the cache contents and counters.
+func (c *LDCache) Reset() {
+	*c = LDCache{}
+}
+
+// Access touches the line containing addr and reports whether it hit.
+func (c *LDCache) Access(addr uint64) bool {
+	c.clock++
+	lineAddr := addr / CacheLineBytes
+	set := lineAddr % CacheSets
+	tag := lineAddr / CacheSets
+	ways := &c.sets[set]
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == tag {
+			ways[w].lru = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	// Miss: evict LRU.
+	victim := 0
+	for w := 1; w < LDCacheWays; w++ {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < ways[victim].lru {
+			victim = w
+		}
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, lru: c.clock}
+	c.Misses++
+	return false
+}
+
+// AccessRange touches every line in [addr, addr+size) and returns the
+// number of misses.
+func (c *LDCache) AccessRange(addr uint64, size int) int {
+	first := addr / CacheLineBytes
+	last := (addr + uint64(size) - 1) / CacheLineBytes
+	misses := 0
+	for l := first; l <= last; l++ {
+		if !c.Access(l * CacheLineBytes) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Array is a simulated main-memory array with a base address assigned by
+// an Allocator. Data is held as float64 regardless of the simulated
+// element width; Word selects the traffic cost.
+type Array struct {
+	Name string
+	Base uint64
+	Word int // FP32 or FP64
+	Data []float64
+}
+
+// At reads element i without touching the cache model (for verification).
+func (a *Array) At(i int) float64 { return a.Data[i] }
+
+// addr returns the simulated address of element i.
+func (a *Array) addr(i int) uint64 { return a.Base + uint64(i*a.Word) }
+
+// Allocator assigns simulated base addresses, optionally applying the
+// memory-address-distribution strategy of §3.3.3: without distribution,
+// arrays start cache-way aligned (the worst case the paper diagnoses —
+// same-index accesses to k arrays map to the same set and thrash a
+// 4-way cache when k > 4); with distribution, starting addresses are
+// staggered across sets so concurrent streams land in different lanes.
+type Allocator struct {
+	Distribute bool
+	next       uint64
+	count      int
+}
+
+// NewAllocator returns an allocator; distribute selects the
+// address-distributing pool strategy (the "DST" variants of Fig. 9).
+func NewAllocator(distribute bool) *Allocator {
+	// Base far from zero so address arithmetic stays positive.
+	return &Allocator{Distribute: distribute, next: 1 << 20}
+}
+
+// Alloc creates an array of n elements with the given word size.
+func (a *Allocator) Alloc(name string, n, word int) *Array {
+	size := uint64(n * word)
+	// Round the raw allocation to a cache-way stride so that without
+	// distribution every array begins at set 0 (maximal aliasing).
+	wayStride := uint64(LDCacheBytes / LDCacheWays)
+	base := (a.next + wayStride - 1) / wayStride * wayStride
+	if a.Distribute {
+		// Stagger successive arrays across the sets.
+		base += uint64(a.count%LDCacheWays*4+a.count%CacheSets) * CacheLineBytes
+	}
+	a.count++
+	a.next = base + size
+	return &Array{Name: name, Base: base, Word: word, Data: make([]float64, n)}
+}
+
+// Stats aggregates a kernel execution on one engine.
+type Stats struct {
+	Cycles       uint64  // critical-path cycles (max over CPEs, or MPE total)
+	Flops        uint64  // floating-point operations executed
+	BytesDRAM    uint64  // bytes moved between DRAM and the cores
+	Hits, Misses uint64  // LDCache statistics (CPE runs)
+	Seconds      float64 // modeled wall time
+}
+
+// HitRate returns the LDCache hit fraction.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}

@@ -1,0 +1,243 @@
+package sunway
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gristgo/internal/mesh"
+)
+
+func TestLDCacheBasics(t *testing.T) {
+	var c LDCache
+	// First touch misses, second hits.
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("warm access missed")
+	}
+	if !c.Access(0x1000 + CacheLineBytes - 1) {
+		t.Error("same-line access missed")
+	}
+	if c.Hits != 2 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLDCacheInvariantHitsPlusMisses(t *testing.T) {
+	f := func(seed int64) bool {
+		var c LDCache
+		n := uint64(0)
+		x := uint64(seed)
+		for i := 0; i < 2000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			c.Access(x % (1 << 24))
+			n++
+		}
+		return c.Hits+c.Misses == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLDCacheAssociativityThrashing(t *testing.T) {
+	// Access way-stride-aligned addresses: k streams alias to the same
+	// set. With k <= ways they all fit; with k > ways LRU thrashes.
+	wayStride := uint64(LDCacheBytes / LDCacheWays)
+
+	rate := func(streams int) float64 {
+		var c LDCache
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 512; i++ {
+				for s := 0; s < streams; s++ {
+					c.Access(uint64(s)*wayStride + uint64(i)) // same line per round
+				}
+			}
+		}
+		return float64(c.Hits) / float64(c.Hits+c.Misses)
+	}
+	if r := rate(4); r < 0.9 {
+		t.Errorf("4 aliased streams should fit a 4-way cache: hit rate %.3f", r)
+	}
+	if r := rate(8); r > 0.5 {
+		t.Errorf("8 aliased streams should thrash a 4-way cache: hit rate %.3f", r)
+	}
+}
+
+func TestAllocatorDistributionDefeatsAliasing(t *testing.T) {
+	// Eight same-index streams: without distribution they alias; with
+	// distribution they spread over sets and mostly hit after the cold
+	// pass.
+	measure := func(distribute bool) float64 {
+		al := NewAllocator(distribute)
+		arrays := make([]*Array, 8)
+		for i := range arrays {
+			arrays[i] = al.Alloc("a", 4096, FP64)
+		}
+		var c LDCache
+		for i := 0; i < 4096; i++ {
+			for _, a := range arrays {
+				c.Access(a.addr(i))
+			}
+		}
+		return float64(c.Hits) / float64(c.Hits+c.Misses)
+	}
+	plain := measure(false)
+	dst := measure(true)
+	if dst <= plain+0.2 {
+		t.Errorf("address distribution did not help: plain=%.3f dst=%.3f", plain, dst)
+	}
+	if plain > 0.3 {
+		t.Errorf("aliased layout unexpectedly cached well: %.3f", plain)
+	}
+}
+
+func TestMPECPEProduceSameResults(t *testing.T) {
+	m := mesh.New(3)
+	nlev := 8
+	for _, k := range Kernels() {
+		_, sumMPE := k.Run(Variant{OnCPE: false}, m, nlev)
+		_, sumCPE := k.Run(Variant{OnCPE: true}, m, nlev)
+		if math.Abs(sumMPE-sumCPE) > 1e-9*(1+math.Abs(sumMPE)) {
+			t.Errorf("%s: MPE %g vs CPE %g", k.Name, sumMPE, sumCPE)
+		}
+	}
+}
+
+func TestMixedPrecisionResultsWithinTolerance(t *testing.T) {
+	m := mesh.New(3)
+	nlev := 8
+	for _, k := range Kernels() {
+		if !k.HasMixed {
+			continue
+		}
+		_, dp := k.Run(Variant{OnCPE: true}, m, nlev)
+		_, mx := k.Run(Variant{OnCPE: true, Mixed: true}, m, nlev)
+		if rel := math.Abs(dp-mx) / (1 + math.Abs(dp)); rel > 1e-3 {
+			t.Errorf("%s: mixed checksum deviates %g", k.Name, rel)
+		}
+	}
+}
+
+func TestFig9SpeedupShape(t *testing.T) {
+	// The headline claims of Fig. 9 / the artifact appendix:
+	// 1. CPE variants beat MPE-DP by roughly 20-70x at the best variant.
+	// 2. Mixed precision helps bandwidth-bound CPE kernels.
+	// 3. calc_coriolis_term (no mixed precision, few arrays) benefits
+	//    least from MIX/DST.
+	m := mesh.New(4)
+	nlev := 16
+
+	best := map[string]float64{}
+	mixGain := map[string]float64{}
+	for _, k := range Kernels() {
+		base, _ := k.Run(Variant{OnCPE: false}, m, nlev)
+		var bestSpeedup float64
+		cpeDP, _ := k.Run(Variant{OnCPE: true, Distribute: true}, m, nlev)
+		cpeMX, _ := k.Run(Variant{OnCPE: true, Mixed: true, Distribute: true}, m, nlev)
+		for _, s := range []Stats{cpeDP, cpeMX} {
+			if sp := base.Seconds / s.Seconds; sp > bestSpeedup {
+				bestSpeedup = sp
+			}
+		}
+		best[k.Name] = bestSpeedup
+		mixGain[k.Name] = cpeDP.Seconds / cpeMX.Seconds
+	}
+
+	for name, sp := range best {
+		if sp < 18 || sp > 80 {
+			t.Errorf("%s: best CPE speedup %.1fx outside the paper's ~20-70x band", name, sp)
+		}
+	}
+	// Mixed precision must help the flagged kernels...
+	for _, name := range []string{"tracer_transport_hori_flux_limiter", "compute_rrr", "primal_normal_flux_edge"} {
+		if mixGain[name] < 1.2 {
+			t.Errorf("%s: mixed precision gain only %.2fx", name, mixGain[name])
+		}
+	}
+	// ...and calc_coriolis_term least of all.
+	for _, name := range []string{"tracer_transport_hori_flux_limiter", "compute_rrr", "primal_normal_flux_edge"} {
+		if mixGain["calc_coriolis_term"] > mixGain[name] {
+			t.Errorf("calc_coriolis_term gains more than %s (%.2f vs %.2f)",
+				name, mixGain["calc_coriolis_term"], mixGain[name])
+		}
+	}
+}
+
+func TestDSTHelpsManyArrayKernel(t *testing.T) {
+	m := mesh.New(4)
+	nlev := 16
+	var limiter Kernel
+	for _, k := range Kernels() {
+		if k.Name == "tracer_transport_hori_flux_limiter" {
+			limiter = k
+		}
+	}
+	plain, _ := limiter.Run(Variant{OnCPE: true}, m, nlev)
+	dst, _ := limiter.Run(Variant{OnCPE: true, Distribute: true}, m, nlev)
+	if dst.HitRate() <= plain.HitRate() {
+		t.Errorf("DST did not raise hit rate: %.3f vs %.3f", dst.HitRate(), plain.HitRate())
+	}
+	if dst.Seconds >= plain.Seconds {
+		t.Errorf("DST did not speed up the limiter: %.3g vs %.3g s", dst.Seconds, plain.Seconds)
+	}
+}
+
+func TestAchievedFlopsFractionSane(t *testing.T) {
+	m := mesh.New(3)
+	for _, k := range Kernels() {
+		s, _ := k.Run(Variant{OnCPE: true, Mixed: true, Distribute: true}, m, 8)
+		f := s.AchievedFlops()
+		if f <= 0 || f > 1 {
+			t.Errorf("%s: achieved flops fraction %v", k.Name, f)
+		}
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	s := Stats{Hits: 75, Misses: 25}
+	if s.HitRate() != 0.75 {
+		t.Errorf("hit rate %v", s.HitRate())
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty stats hit rate")
+	}
+}
+
+func TestVariantLabels(t *testing.T) {
+	cases := map[string]Variant{
+		"MPE-DP":      {},
+		"CPE-DP":      {OnCPE: true},
+		"CPE-DP+DST":  {OnCPE: true, Distribute: true},
+		"CPE-MIX":     {OnCPE: true, Mixed: true},
+		"CPE-MIX+DST": {OnCPE: true, Mixed: true, Distribute: true},
+	}
+	for want, v := range cases {
+		if v.Label() != want {
+			t.Errorf("label = %q, want %q", v.Label(), want)
+		}
+	}
+}
+
+func TestAccessRangeCountsLines(t *testing.T) {
+	var c LDCache
+	// 4 lines cold.
+	if m := c.AccessRange(0, 4*CacheLineBytes); m != 4 {
+		t.Errorf("misses = %d", m)
+	}
+	// Same range again: all warm.
+	if m := c.AccessRange(0, 4*CacheLineBytes); m != 0 {
+		t.Errorf("warm misses = %d", m)
+	}
+}
+
+func TestFP32ArrayRoundsOnFill(t *testing.T) {
+	al := NewAllocator(false)
+	a := al.Alloc("x", 4, FP32)
+	fill(a, func(i int) float64 { return 1.0000000001 })
+	if a.At(0) != float64(float32(1.0000000001)) {
+		t.Error("FP32 array did not round stored values")
+	}
+}

@@ -1,0 +1,258 @@
+// Package swgomp reproduces the programming model of the paper's SWGOMP
+// compatibility layer (§3.3): OpenMP-offload-style regions mapped onto
+// the 64 CPEs of a Sunway core group through a job server (Fig. 5).
+//
+//   - Target corresponds to "!$omp target": it launches a team-head CPE
+//     through the job server.
+//   - Team.ParallelDo corresponds to "!$omp parallel do": the team head
+//     spawns the team members, which execute loop chunks concurrently.
+//   - Team.Workshare corresponds to "!$omp workshare" for Fortran array
+//     operations (Fig. 4's kinetic_energy(:,:) = 0 example).
+//   - Omnicopy is the cross-platform memcpy replacement of §3.3.2: on
+//     the simulated Sunway side it stages data into the CPE's LDM
+//     scratch half via DMA; "on non-Sunway platforms [it] functions
+//     identically to memcpy".
+//
+// The runtime uses real goroutines as CPEs, so parallel regions actually
+// execute concurrently; the unified shared memory of the SW26010P
+// (§3.3) corresponds naturally to Go's shared address space.
+package swgomp
+
+import (
+	"fmt"
+	"sync"
+
+	"gristgo/internal/sunway"
+)
+
+// LDMScratchBytes is the user-programmable half of the 256 KB LDM (the
+// other half is the LDCache — §3.3.2).
+const LDMScratchBytes = sunway.LDMBytes / 2
+
+// job is one unit of work dispatched by the job server.
+type job struct {
+	run  func(cpeID int)
+	done *sync.WaitGroup
+}
+
+// Runtime is a simulated core group: a job server feeding 64 CPE
+// workers. New tasks may be submitted by the MPE or by another CPE
+// (team heads spawning team members), matching Fig. 5.
+type Runtime struct {
+	queues []chan job // one queue per CPE for targeted dispatch
+	wg     sync.WaitGroup
+	closed bool
+	mu     sync.Mutex
+
+	ldm []*LDM // per-CPE scratch
+}
+
+// New starts the job server with one worker goroutine per CPE (the
+// Athread-initialized job servers of §3.3.1).
+func New() *Runtime {
+	rt := &Runtime{
+		queues: make([]chan job, sunway.CPEsPerCG),
+		ldm:    make([]*LDM, sunway.CPEsPerCG),
+	}
+	for i := range rt.queues {
+		rt.queues[i] = make(chan job, 8)
+		rt.ldm[i] = &LDM{}
+		rt.wg.Add(1)
+		go func(id int) {
+			defer rt.wg.Done()
+			for j := range rt.queues[id] {
+				j.run(id)
+				j.done.Done()
+			}
+		}(i)
+	}
+	return rt
+}
+
+// Shutdown stops the workers. The runtime must not be used afterwards.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if !rt.closed {
+		rt.closed = true
+		for _, q := range rt.queues {
+			close(q)
+		}
+	}
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// submit dispatches a job to a specific CPE and returns a wait handle.
+func (rt *Runtime) submit(cpe int, run func(cpeID int)) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	rt.queues[cpe] <- job{run: run, done: &wg}
+	return &wg
+}
+
+// Team is the handle a target region body receives; it can distribute
+// parallel work to the team members.
+type Team struct {
+	rt   *Runtime
+	head int
+}
+
+// Head returns the team-head CPE id.
+func (t *Team) Head() int { return t.head }
+
+// Target runs body on a team-head CPE via the job server and blocks
+// until the region completes — the "!$omp target" entry point invoked
+// from the MPE.
+func (rt *Runtime) Target(body func(t *Team)) {
+	const headCPE = 0
+	rt.submit(headCPE, func(cpeID int) {
+		body(&Team{rt: rt, head: cpeID})
+	}).Wait()
+}
+
+// ParallelDo distributes iterations [0, n) over all CPEs with a static
+// schedule ("!$omp parallel do"). The team head spawns the other team
+// members through the job server and takes its own chunk, then waits.
+func (t *Team) ParallelDo(n int, body func(iter, cpeID int)) {
+	ncpe := sunway.CPEsPerCG
+	chunk := (n + ncpe - 1) / ncpe
+	var waits []*sync.WaitGroup
+	for cpe := 0; cpe < ncpe; cpe++ {
+		lo := cpe * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		if cpe == t.head {
+			continue // head runs its own chunk inline below
+		}
+		waits = append(waits, t.rt.submit(cpe, func(cpeID int) {
+			for i := lo; i < hi; i++ {
+				body(i, cpeID)
+			}
+		}))
+	}
+	// Head's chunk.
+	lo := t.head * chunk
+	hi := lo + chunk
+	if hi > n {
+		hi = n
+	}
+	for i := lo; i < hi; i++ {
+		body(i, t.head)
+	}
+	for _, w := range waits {
+		w.Wait()
+	}
+}
+
+// Workshare distributes an array assignment over the team
+// ("!$omp workshare" for Fortran array operations).
+func (t *Team) Workshare(dst []float64, value float64) {
+	t.ParallelDo(len(dst), func(i, _ int) {
+		dst[i] = value
+	})
+}
+
+// LDM is one CPE's user-programmable scratch half of the local device
+// memory. Allocations are stack-like (the paper's device-clause stack
+// and private variables, §3.3.2).
+type LDM struct {
+	used int
+	mu   sync.Mutex
+}
+
+// Alloc reserves n float64 slots in the LDM scratch and returns the
+// buffer. It panics when the 128 KB scratch would overflow — the model's
+// analog of an LDM allocation failure.
+func (l *LDM) Alloc(n int) []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bytes := n * 8
+	if l.used+bytes > LDMScratchBytes {
+		panic(fmt.Sprintf("swgomp: LDM scratch overflow (%d + %d > %d bytes)",
+			l.used, bytes, LDMScratchBytes))
+	}
+	l.used += bytes
+	return make([]float64, n)
+}
+
+// Free releases the most recent n float64 slots (stack discipline).
+func (l *LDM) Free(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.used -= n * 8
+	if l.used < 0 {
+		l.used = 0
+	}
+}
+
+// Used returns the currently allocated scratch bytes.
+func (l *LDM) Used() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// LDMOf returns CPE cpeID's scratch LDM.
+func (rt *Runtime) LDMOf(cpeID int) *LDM { return rt.ldm[cpeID] }
+
+// Omnicopy copies src into dst. In the simulated Sunway environment the
+// caller passes an LDM-allocated destination and the copy models a DMA
+// transfer; anywhere else it behaves exactly like memcpy (§3.3.2's
+// cross-platform contract). It returns the number of elements copied.
+func Omnicopy(dst, src []float64) int {
+	return copy(dst, src)
+}
+
+// OmnicopyToLDM stages a main-memory slice into a CPE's LDM scratch via
+// the modeled DMA engine and returns the LDM buffer. The caller should
+// Free the slots when the kernel finishes.
+func OmnicopyToLDM(l *LDM, src []float64) []float64 {
+	buf := l.Alloc(len(src))
+	Omnicopy(buf, src)
+	return buf
+}
+
+// ParallelReduceSum evaluates body(i) for i in [0, n) across the team
+// and returns the sum of all results — the OpenMP reduction(+) clause.
+// Each CPE accumulates a private partial (no false sharing), and the
+// team head combines them.
+func (t *Team) ParallelReduceSum(n int, body func(iter, cpeID int) float64) float64 {
+	ncpe := sunway.CPEsPerCG
+	partials := make([]float64, ncpe)
+	t.ParallelDo(n, func(i, cpeID int) {
+		partials[cpeID] += body(i, cpeID)
+	})
+	var sum float64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// ParallelReduceMax is the reduction(max) clause.
+func (t *Team) ParallelReduceMax(n int, body func(iter, cpeID int) float64) float64 {
+	ncpe := sunway.CPEsPerCG
+	partials := make([]float64, ncpe)
+	for i := range partials {
+		partials[i] = -maxFloat
+	}
+	t.ParallelDo(n, func(i, cpeID int) {
+		if v := body(i, cpeID); v > partials[cpeID] {
+			partials[cpeID] = v
+		}
+	})
+	best := -maxFloat
+	for _, p := range partials {
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e308

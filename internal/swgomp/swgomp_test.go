@@ -1,0 +1,227 @@
+package swgomp
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/sunway"
+)
+
+func TestTargetParallelDoComputesGradKE(t *testing.T) {
+	// The Fig. 4 example: compute the kinetic-energy gradient tendency
+	// on CPEs and compare against the serial MPE-style loop.
+	m := mesh.New(3)
+	nlev := 5
+	ke := make([]float64, m.NCells*nlev)
+	for i := range ke {
+		ke[i] = math.Sin(float64(i) * 0.17)
+	}
+	serial := make([]float64, m.NEdges*nlev)
+	for e := 0; e < m.NEdges; e++ {
+		c0, c1 := int(m.EdgeCell[e][0]), int(m.EdgeCell[e][1])
+		for k := 0; k < nlev; k++ {
+			serial[e*nlev+k] = -(ke[c1*nlev+k] - ke[c0*nlev+k]) / (6.371e6 * m.DcEdge[e])
+		}
+	}
+
+	rt := New()
+	defer rt.Shutdown()
+	par := make([]float64, m.NEdges*nlev)
+	rt.Target(func(team *Team) {
+		team.ParallelDo(m.NEdges, func(e, _ int) {
+			c0, c1 := int(m.EdgeCell[e][0]), int(m.EdgeCell[e][1])
+			for k := 0; k < nlev; k++ {
+				par[e*nlev+k] = -(ke[c1*nlev+k] - ke[c0*nlev+k]) / (6.371e6 * m.DcEdge[e])
+			}
+		})
+	})
+	for i := range serial {
+		if par[i] != serial[i] {
+			t.Fatalf("parallel result differs at %d: %v vs %v", i, par[i], serial[i])
+		}
+	}
+}
+
+func TestParallelDoUsesManyCPEs(t *testing.T) {
+	rt := New()
+	defer rt.Shutdown()
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	rt.Target(func(team *Team) {
+		team.ParallelDo(sunway.CPEsPerCG*4, func(_, cpeID int) {
+			mu.Lock()
+			seen[cpeID] = true
+			mu.Unlock()
+		})
+	})
+	if len(seen) < sunway.CPEsPerCG/2 {
+		t.Errorf("only %d CPEs participated", len(seen))
+	}
+}
+
+func TestParallelDoCoversAllIterationsOnce(t *testing.T) {
+	rt := New()
+	defer rt.Shutdown()
+	const n = 1000
+	counts := make([]int64, n)
+	rt.Target(func(team *Team) {
+		team.ParallelDo(n, func(i, _ int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestWorkshare(t *testing.T) {
+	rt := New()
+	defer rt.Shutdown()
+	x := make([]float64, 12345)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	rt.Target(func(team *Team) {
+		team.Workshare(x, 0) // kinetic_energy(:,:) = 0 from Fig. 4
+	})
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestNestedSpawnFromTeamHead(t *testing.T) {
+	// The job server allows a CPE (team head) to submit jobs to other
+	// CPEs — the two-level hierarchy of Fig. 5.
+	rt := New()
+	defer rt.Shutdown()
+	var ran atomic.Int64
+	rt.Target(func(team *Team) {
+		if team.Head() != 0 {
+			t.Errorf("head = %d", team.Head())
+		}
+		// Two nested parallel regions in sequence.
+		team.ParallelDo(100, func(i, _ int) { ran.Add(1) })
+		team.ParallelDo(50, func(i, _ int) { ran.Add(1) })
+	})
+	if ran.Load() != 150 {
+		t.Errorf("ran = %d", ran.Load())
+	}
+}
+
+func TestSequentialTargetsReuseWorkers(t *testing.T) {
+	rt := New()
+	defer rt.Shutdown()
+	total := 0
+	for round := 0; round < 5; round++ {
+		var c atomic.Int64
+		rt.Target(func(team *Team) {
+			team.ParallelDo(64, func(i, _ int) { c.Add(1) })
+		})
+		total += int(c.Load())
+	}
+	if total != 5*64 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestLDMAllocFreeAccounting(t *testing.T) {
+	l := &LDM{}
+	buf := l.Alloc(1024)
+	if len(buf) != 1024 || l.Used() != 8192 {
+		t.Fatalf("alloc: len=%d used=%d", len(buf), l.Used())
+	}
+	l.Free(1024)
+	if l.Used() != 0 {
+		t.Errorf("used = %d after free", l.Used())
+	}
+}
+
+func TestLDMOverflowPanics(t *testing.T) {
+	l := &LDM{}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on LDM overflow")
+		}
+	}()
+	l.Alloc(LDMScratchBytes/8 + 1)
+}
+
+func TestOmnicopySemantics(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	if n := Omnicopy(dst, src); n != 3 {
+		t.Fatalf("copied %d", n)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatal("omnicopy mismatch")
+		}
+	}
+	// LDM staging path.
+	l := &LDM{}
+	buf := OmnicopyToLDM(l, src)
+	if buf[2] != 3 || l.Used() != 24 {
+		t.Errorf("ldm staging: %v used=%d", buf, l.Used())
+	}
+}
+
+func TestOmnicopyEliminatesThrashingPattern(t *testing.T) {
+	// §3.3.4: for loops identified with cache thrashing, variables are
+	// copied onto the CPE stack with omnicopy until the thrashing is
+	// eliminated. Model: 8 aliased streams thrash a 4-way LDCache; after
+	// staging 5 of them into LDM, only 3 remain in the cache and hit.
+	al := sunway.NewAllocator(false)
+	arrays := make([]*sunway.Array, 8)
+	for i := range arrays {
+		arrays[i] = al.Alloc("s", 2048, sunway.FP64)
+	}
+	hitRate := func(nCached int) float64 {
+		var c sunway.LDCache
+		for i := 0; i < 2048; i++ {
+			for s := 0; s < nCached; s++ {
+				c.Access(arrays[s].Base + uint64(i*8))
+			}
+		}
+		return float64(c.Hits) / float64(c.Hits+c.Misses)
+	}
+	all := hitRate(8) // all through the cache: thrash
+	few := hitRate(3) // 5 staged to LDM, 3 through the cache
+	if few <= all+0.3 {
+		t.Errorf("staging did not eliminate thrashing: %.3f -> %.3f", all, few)
+	}
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	rt := New()
+	defer rt.Shutdown()
+	var got float64
+	rt.Target(func(team *Team) {
+		got = team.ParallelReduceSum(1000, func(i, _ int) float64 {
+			return float64(i)
+		})
+	})
+	if want := 999.0 * 1000 / 2; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestParallelReduceMax(t *testing.T) {
+	rt := New()
+	defer rt.Shutdown()
+	var got float64
+	rt.Target(func(team *Team) {
+		got = team.ParallelReduceMax(500, func(i, _ int) float64 {
+			return -math.Abs(float64(i - 250))
+		})
+	})
+	if got != 0 {
+		t.Errorf("max = %v, want 0 (at i=250)", got)
+	}
+}

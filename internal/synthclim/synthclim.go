@@ -1,0 +1,224 @@
+// Package synthclim generates the synthetic climate forcing and
+// verification data that substitute for the paper's proprietary inputs
+// (repro substitution, see DESIGN.md): ERA5-like initial fields,
+// prescribed SST / sea-ice boundary conditions, a land mask, the Table 1
+// training periods with their ENSO (Oceanic Niño Index) and MJO
+// (real-time multivariate index) characteristics, and the CMPA-like
+// observed-rainfall field used to score the Typhoon Doksuri case.
+package synthclim
+
+import (
+	"math"
+
+	"gristgo/internal/mesh"
+)
+
+// Period is one of the paper's Table 1 training windows.
+type Period struct {
+	Label     string
+	StartYear int
+	StartMon  int
+	StartDay  int
+	Days      int
+	ONI       float64 // Oceanic Niño Index
+	ENSOPhase string  // El Niño / neutral / La Niña
+	RMMMin    float64 // real-time multivariate MJO index range
+	RMMMax    float64
+}
+
+// Table1 returns the paper's four 20-day training periods covering the
+// four seasons and varying ENSO and MJO states.
+func Table1() []Period {
+	return []Period{
+		{Label: "1-20 January 1998", StartYear: 1998, StartMon: 1, StartDay: 1, Days: 20,
+			ONI: 2.2, ENSOPhase: "El Niño", RMMMin: 0.69, RMMMax: 1.98},
+		{Label: "1-20 April 2005", StartYear: 2005, StartMon: 4, StartDay: 1, Days: 20,
+			ONI: 0.4, ENSOPhase: "neutral", RMMMin: 2.72, RMMMax: 3.71},
+		{Label: "10-29 July 2015", StartYear: 2015, StartMon: 7, StartDay: 10, Days: 20,
+			ONI: -0.4, ENSOPhase: "neutral", RMMMin: 0.17, RMMMax: 1.05},
+		{Label: "1-20 October 1988", StartYear: 1988, StartMon: 10, StartDay: 1, Days: 20,
+			ONI: -1.5, ENSOPhase: "La Niña", RMMMin: 0.67, RMMMax: 2.98},
+	}
+}
+
+// TotalDays returns the summed length of the Table 1 periods (the
+// paper's 80 days).
+func TotalDays() int {
+	n := 0
+	for _, p := range Table1() {
+		n += p.Days
+	}
+	return n
+}
+
+// Climate evaluates the synthetic climatology: smooth, seasonally and
+// ENSO/MJO-modulated surface fields from which initial and boundary
+// conditions are drawn.
+type Climate struct {
+	ONI      float64 // ENSO state
+	RMM      float64 // MJO amplitude
+	MJOPhase float64 // MJO longitude phase, radians
+	Season   float64 // day-of-year angle, radians (0 = Jan 1)
+}
+
+// ForPeriod builds the climate state of a Table 1 period at the given
+// day offset (0-based) within the period.
+func ForPeriod(p Period, day int) Climate {
+	doy := dayOfYear(p.StartMon, p.StartDay) + day
+	rmm := p.RMMMin + (p.RMMMax-p.RMMMin)*float64(day)/float64(maxInt(p.Days-1, 1))
+	return Climate{
+		ONI:      p.ONI,
+		RMM:      rmm,
+		MJOPhase: 2 * math.Pi * float64(day) / 45.0, // ~45-day eastward cycle
+		Season:   2 * math.Pi * float64(doy) / 365.0,
+	}
+}
+
+func dayOfYear(mon, day int) int {
+	cum := [...]int{0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334}
+	return cum[mon-1] + day - 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SST returns the sea-surface temperature (K) at a location: a zonal
+// structure with seasonal tilt, an ENSO anomaly in the equatorial
+// Pacific, and an MJO moisture-convergence warm pool anomaly.
+func (cl Climate) SST(lat, lon float64) float64 {
+	base := 300.5 - 30*math.Pow(math.Sin(lat), 2)
+	seasonal := 2 * math.Sin(lat) * math.Cos(cl.Season-0.2) // hemispheric seasonality
+	// ENSO: Niño-3.4-like anomaly centered near (0, 190E).
+	dLon := angleDiff(lon, deg2rad(190))
+	enso := cl.ONI * math.Exp(-(lat*lat)/(0.12)) * math.Exp(-(dLon*dLon)/0.5)
+	// MJO: eastward-propagating equatorial anomaly.
+	mjo := 0.4 * cl.RMM * math.Cos(lon-cl.MJOPhase) * math.Exp(-(lat*lat)/0.08)
+	return base + seasonal + enso + mjo
+}
+
+// LandFraction returns a smooth synthetic land mask: a few continent
+// blobs in the northern and southern hemispheres.
+func LandFraction(lat, lon float64) float64 {
+	type blob struct{ lat, lon, rad float64 }
+	continents := []blob{
+		{deg2rad(45), deg2rad(100), 0.55},  // Eurasia
+		{deg2rad(45), deg2rad(-100), 0.40}, // North America
+		{deg2rad(-10), deg2rad(-60), 0.30}, // South America
+		{deg2rad(5), deg2rad(20), 0.40},    // Africa
+		{deg2rad(-25), deg2rad(135), 0.25}, // Australia
+	}
+	p := mesh.FromLatLon(lat, lon)
+	land := 0.0
+	for _, b := range continents {
+		d := mesh.ArcLength(p, mesh.FromLatLon(b.lat, b.lon))
+		land += math.Exp(-(d * d) / (b.rad * b.rad / 2))
+	}
+	if land > 1 {
+		land = 1
+	}
+	return land
+}
+
+// SurfaceTemperature returns an ERA5-like screen temperature: SST over
+// ocean, a land-modified value over continents.
+func (cl Climate) SurfaceTemperature(lat, lon float64) float64 {
+	sst := cl.SST(lat, lon)
+	land := LandFraction(lat, lon)
+	// Land is more extreme: colder winter poles, warmer summer interiors.
+	landT := sst + 4*math.Sin(lat)*math.Cos(cl.Season-0.2) - 3*math.Pow(math.Sin(lat), 2)
+	return (1-land)*sst + land*landT
+}
+
+// SurfaceHumidity returns the near-surface relative humidity, with an
+// ITCZ moisture band displaced seasonally and MJO modulation.
+func (cl Climate) SurfaceHumidity(lat, lon float64) float64 {
+	itczLat := deg2rad(8) * math.Cos(cl.Season-0.2)
+	band := math.Exp(-math.Pow((lat-itczLat)/deg2rad(14), 2))
+	mjo := 0.06 * cl.RMM * math.Cos(lon-cl.MJOPhase) * math.Exp(-(lat*lat)/0.08)
+	rh := 0.55 + 0.3*band + mjo
+	if rh > 0.98 {
+		rh = 0.98
+	}
+	if rh < 0.2 {
+		rh = 0.2
+	}
+	return rh
+}
+
+// SeaIce returns the sea-ice concentration (0..1), a polar cap keyed to
+// the season.
+func (cl Climate) SeaIce(lat float64) float64 {
+	edgeNorth := deg2rad(68 - 8*math.Cos(cl.Season-0.2))
+	edgeSouth := -deg2rad(62 + 6*math.Cos(cl.Season-0.2))
+	switch {
+	case lat > edgeNorth:
+		return clamp01((lat - edgeNorth) / deg2rad(8))
+	case lat < edgeSouth:
+		return clamp01((edgeSouth - lat) / deg2rad(8))
+	}
+	return 0
+}
+
+// ZonalWind returns an ERA5-like zonal-mean zonal wind (m/s) at a sigma
+// level (1 at surface, 0 at top): subtropical westerly jets with easterly
+// trades, strengthening aloft.
+func (cl Climate) ZonalWind(lat, sigma float64) float64 {
+	jet := 35 * math.Exp(-math.Pow((math.Abs(lat)-deg2rad(40))/deg2rad(15), 2))
+	trades := -6 * math.Exp(-math.Pow(lat/deg2rad(15), 2))
+	height := 1 - sigma // 0 at surface, 1 at top
+	return (jet*height + trades*(1-height)) * signNonzero(1.0)
+}
+
+func signNonzero(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func deg2rad(d float64) float64 { return d * math.Pi / 180 }
+
+func angleDiff(a, b float64) float64 {
+	d := math.Mod(a-b+3*math.Pi, 2*math.Pi) - math.Pi
+	return d
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Terrain returns the surface elevation (meters) of the synthetic
+// orography: smooth continental plateaus plus the Taihang-like ridge
+// west of the North China plain that pins the "23.7" extreme rainfall
+// (Fig. 7). Ridges are narrow, so finer meshes resolve steeper slopes.
+func Terrain(lat, lon float64) float64 {
+	land := LandFraction(lat, lon)
+	if land < 0.05 {
+		return 0
+	}
+	// Broad continental elevation.
+	h := 350 * land
+
+	// Taihang-like ridge: elongated NNE-SSW barrier near (38N, 113.5E).
+	ridgeLat, ridgeLon := deg2rad(38.5), deg2rad(113.5)
+	dLat := lat - ridgeLat
+	dLon := (lon - ridgeLon) * math.Cos(ridgeLat)
+	along := dLat*math.Cos(0.3) + dLon*math.Sin(0.3)
+	cross := -dLat*math.Sin(0.3) + dLon*math.Cos(0.3)
+	h += 1800 * math.Exp(-math.Pow(along/deg2rad(4.0), 2)-math.Pow(cross/deg2rad(1.1), 2))
+
+	// Tibetan-plateau-like bulk to the west.
+	dTP := mesh.ArcLength(mesh.FromLatLon(lat, lon), mesh.FromLatLon(deg2rad(33), deg2rad(88)))
+	h += 4200 * math.Exp(-math.Pow(dTP/deg2rad(14), 2))
+	return h
+}

@@ -1,0 +1,251 @@
+package synthclim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gristgo/internal/mesh"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	ps := Table1()
+	if len(ps) != 4 {
+		t.Fatalf("periods = %d", len(ps))
+	}
+	if TotalDays() != 80 {
+		t.Errorf("total days = %d, want 80", TotalDays())
+	}
+	if ps[0].ONI != 2.2 || ps[0].ENSOPhase != "El Niño" {
+		t.Errorf("period 1: %+v", ps[0])
+	}
+	if ps[3].ONI != -1.5 || ps[3].ENSOPhase != "La Niña" {
+		t.Errorf("period 4: %+v", ps[3])
+	}
+	// Seasons covered: Jan, Apr, Jul, Oct.
+	months := map[int]bool{}
+	for _, p := range ps {
+		months[p.StartMon] = true
+	}
+	for _, m := range []int{1, 4, 7, 10} {
+		if !months[m] {
+			t.Errorf("month %d missing", m)
+		}
+	}
+}
+
+func TestSSTPhysicallyPlausible(t *testing.T) {
+	f := func(latRaw, lonRaw float64) bool {
+		lat := math.Mod(math.Abs(latRaw), math.Pi/2)
+		lon := math.Mod(lonRaw, math.Pi)
+		for _, p := range Table1() {
+			cl := ForPeriod(p, 5)
+			sst := cl.SST(lat, lon)
+			if sst < 260 || sst > 310 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSTWarmerAtEquator(t *testing.T) {
+	cl := ForPeriod(Table1()[1], 0)
+	if cl.SST(0, 2) <= cl.SST(1.2, 2) {
+		t.Error("equator not warmer than high latitudes")
+	}
+}
+
+func TestENSOAnomalySign(t *testing.T) {
+	nino := ForPeriod(Table1()[0], 0) // ONI +2.2
+	nina := ForPeriod(Table1()[3], 0) // ONI -1.5
+	lon := 190 * math.Pi / 180        // Niño-3.4 region
+	base := Climate{ONI: 0, RMM: nino.RMM, MJOPhase: nino.MJOPhase, Season: nino.Season}
+	if nino.SST(0, lon) <= base.SST(0, lon) {
+		t.Error("El Niño does not warm the equatorial Pacific")
+	}
+	base.Season = nina.Season
+	base.RMM, base.MJOPhase = nina.RMM, nina.MJOPhase
+	if nina.SST(0, lon) >= base.SST(0, lon) {
+		t.Error("La Niña does not cool the equatorial Pacific")
+	}
+}
+
+func TestMJOPropagatesEast(t *testing.T) {
+	p := Table1()[1]
+	lon := 1.5
+	c0 := ForPeriod(p, 0)
+	// The phase longitude shifts east with time; the anomaly at a fixed
+	// longitude must change over days.
+	c5 := ForPeriod(p, 5)
+	if c0.MJOPhase >= c5.MJOPhase {
+		t.Error("MJO phase not advancing")
+	}
+	if math.Abs(c0.SurfaceHumidity(0, lon)-c5.SurfaceHumidity(0, lon)) < 1e-4 {
+		t.Error("MJO has no humidity signal")
+	}
+}
+
+func TestLandFractionRange(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		la := math.Mod(lat, math.Pi/2)
+		lo := math.Mod(lon, math.Pi)
+		l := LandFraction(la, lo)
+		return l >= 0 && l <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Eurasia is land, central Pacific is ocean.
+	if LandFraction(45*math.Pi/180, 100*math.Pi/180) < 0.5 {
+		t.Error("Eurasia not land")
+	}
+	if LandFraction(0, -160*math.Pi/180) > 0.2 {
+		t.Error("central Pacific not ocean")
+	}
+}
+
+func TestSeaIcePolarOnly(t *testing.T) {
+	cl := ForPeriod(Table1()[0], 0)
+	if cl.SeaIce(0) != 0 {
+		t.Error("sea ice at the equator")
+	}
+	if cl.SeaIce(85*math.Pi/180) <= 0.5 {
+		t.Error("no sea ice near the pole")
+	}
+}
+
+func TestHumidityITCZBand(t *testing.T) {
+	cl := ForPeriod(Table1()[2], 0) // July: ITCZ north of equator
+	itcz := cl.SurfaceHumidity(8*math.Pi/180, 0)
+	subtrop := cl.SurfaceHumidity(-30*math.Pi/180, 0)
+	if itcz <= subtrop {
+		t.Errorf("ITCZ humidity %v <= subtropics %v", itcz, subtrop)
+	}
+}
+
+func TestDoksuriObservedStructure(t *testing.T) {
+	d := NewDoksuriCase()
+	// Rainfall maximum near the North China core.
+	core := d.ObservedRainfall(d.RainLat, d.RainLon)
+	far := d.ObservedRainfall(d.RainLat, d.RainLon+0.3)
+	if core < 100 {
+		t.Errorf("extreme core only %v mm/day", core)
+	}
+	if core < 3*far {
+		t.Errorf("core %v not much larger than far field %v", core, far)
+	}
+	// Eyewall band near the storm.
+	eye := d.ObservedRainfall(d.StormLat+0.8*d.Rmax, d.StormLon)
+	if eye < 50 {
+		t.Errorf("eyewall rain only %v", eye)
+	}
+	// Nonnegative everywhere.
+	for lat := -1.4; lat < 1.4; lat += 0.2 {
+		for lon := -3.0; lon < 3.0; lon += 0.3 {
+			if d.ObservedRainfall(lat, lon) < 0 {
+				t.Fatalf("negative rainfall at (%v,%v)", lat, lon)
+			}
+		}
+	}
+}
+
+func TestRainfallOnMeshResolutionSensitivity(t *testing.T) {
+	// The coarse mesh must lose variance relative to the finer mesh —
+	// the mechanism behind Fig. 7's resolution sensitivity.
+	d := NewDoksuriCase()
+	coarse := mesh.New(4)
+	fine := mesh.New(5)
+	mask := RegionMask(fine, d.RainLat, d.RainLon, 0.25)
+	rc := d.RainfallOnMesh(coarse)
+	rf := d.RainfallOnMesh(fine)
+
+	peak := func(m *mesh.Mesh, r []float64, lat, lon float64) float64 {
+		center := mesh.FromLatLon(lat, lon)
+		best := 0.0
+		for c := 0; c < m.NCells; c++ {
+			if mesh.ArcLength(m.CellPos[c], center) < 0.15 && r[c] > best {
+				best = r[c]
+			}
+		}
+		return best
+	}
+	if pf, pc := peak(fine, rf, d.RainLat, d.RainLon), peak(coarse, rc, d.RainLat, d.RainLon); pf <= pc {
+		t.Errorf("fine mesh peak %v <= coarse peak %v", pf, pc)
+	}
+	_ = mask
+}
+
+func TestSpatialCorrelationProperties(t *testing.T) {
+	m := mesh.New(3)
+	a := make([]float64, m.NCells)
+	for c := range a {
+		a[c] = math.Sin(3 * m.CellLat[c])
+	}
+	// Perfect self-correlation.
+	if r := SpatialCorrelation(m, a, a, nil); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self-correlation = %v", r)
+	}
+	// Anti-correlation with the negative.
+	b := make([]float64, m.NCells)
+	for c := range b {
+		b[c] = -a[c]
+	}
+	if r := SpatialCorrelation(m, a, b, nil); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti-correlation = %v", r)
+	}
+}
+
+func TestZonalWindJetStructure(t *testing.T) {
+	cl := ForPeriod(Table1()[0], 0)
+	jet := cl.ZonalWind(40*math.Pi/180, 0.3)
+	eq := cl.ZonalWind(0, 0.9)
+	if jet < 10 {
+		t.Errorf("midlatitude jet too weak: %v", jet)
+	}
+	if eq > 0 {
+		t.Errorf("no easterly trades at the surface equator: %v", eq)
+	}
+}
+
+func TestTerrainStructure(t *testing.T) {
+	// Ocean is flat.
+	if h := Terrain(0, -160*math.Pi/180); h != 0 {
+		t.Errorf("mid-Pacific terrain %v", h)
+	}
+	// The Taihang-like ridge rises over its surroundings.
+	ridge := Terrain(38.5*math.Pi/180, 113.5*math.Pi/180)
+	plain := Terrain(38.5*math.Pi/180, 120.0*math.Pi/180)
+	if ridge < plain+800 {
+		t.Errorf("ridge %v not prominent over plain %v", ridge, plain)
+	}
+	// Tibetan-plateau-like bulk is the highest feature.
+	tp := Terrain(33*math.Pi/180, 88*math.Pi/180)
+	if tp < 3000 {
+		t.Errorf("plateau only %v m", tp)
+	}
+	// Terrain is nonnegative and bounded.
+	for lat := -1.5; lat <= 1.5; lat += 0.1 {
+		for lon := -3.1; lon <= 3.1; lon += 0.2 {
+			h := Terrain(lat, lon)
+			if h < 0 || h > 9000 {
+				t.Fatalf("terrain %v at (%v,%v)", h, lat, lon)
+			}
+		}
+	}
+}
+
+func TestTerrainContinuity(t *testing.T) {
+	// No cliffs: adjacent samples at ~20 km spacing differ by < 600 m.
+	const step = 0.003
+	for lat := 0.3; lat < 0.9; lat += step {
+		h1 := Terrain(lat, 2.0)
+		h2 := Terrain(lat+step, 2.0)
+		if math.Abs(h2-h1) > 600 {
+			t.Fatalf("terrain jump %v m at lat %v", h2-h1, lat)
+		}
+	}
+}
