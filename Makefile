@@ -1,0 +1,26 @@
+# Developer workflow for the gristgo reproduction. `make check` is the
+# tier-1 gate plus vet and the race-detector pass over the concurrent
+# packages (the inference engine and the ML physics suite).
+
+GO ?= go
+
+.PHONY: check build vet test race bench-ml
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/infer/... ./internal/mlphysics/...
+
+# Scalar vs batched-FP64 vs batched-FP32 inference throughput at the
+# G5-scale column count (see EXPERIMENTS.md for recorded numbers).
+bench-ml:
+	$(GO) test -run xxx -bench BenchmarkMLInference -benchtime 3x .

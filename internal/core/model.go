@@ -106,6 +106,11 @@ func NewModelOnMesh(cfg Config, scheme physics.Scheme, m *mesh.Mesh) *Model {
 	eng := dycore.New(m, cfg.NLev, cfg.Mode)
 	if cfg.HostWorkers != 0 {
 		eng.SetHostParallelism(cfg.HostWorkers)
+		// Physics suites with their own worker pools (the ML inference
+		// engine) share the host-parallelism knob.
+		if ws, ok := scheme.(interface{ SetWorkers(int) }); ok {
+			ws.SetWorkers(cfg.HostWorkers)
+		}
 	}
 	mod := &Model{
 		Cfg:    cfg,

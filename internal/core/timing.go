@@ -28,6 +28,26 @@ func (t *Timings) Add(name string, d time.Duration) {
 	t.calls[name]++
 }
 
+// AddCalls records d spread over n invocations of a component, for
+// components that report their own accumulated timings.
+func (t *Timings) AddCalls(name string, d time.Duration, n int) {
+	t.byName[name] += d
+	t.calls[name] += n
+}
+
+// Get returns the accumulated duration and call count for a component.
+func (t *Timings) Get(name string) (time.Duration, int) {
+	return t.byName[name], t.calls[name]
+}
+
+// ComponentTimer is implemented by model components that keep their own
+// fine-grained timing counters — notably the ML physics suite, whose
+// inference engines time each batched Forward (the measurement feeding
+// perfmodel's ML-suite cost). DrainTimings reports and resets them.
+type ComponentTimer interface {
+	DrainTimings(emit func(name string, d time.Duration, calls int))
+}
+
 // Time runs f and records its duration under name.
 func (t *Timings) Time(name string, f func()) {
 	start := time.Now()
@@ -94,6 +114,9 @@ func (mod *Model) StepPhysicsTimed(season float64, tm *Timings) {
 	tm.Time("physics_"+strings.ReplaceAll(mod.Physics.Name(), " ", "_"), func() {
 		mod.Physics.Compute(mod.In, mod.Out, dtPhy)
 	})
+	if ct, ok := mod.Physics.(ComponentTimer); ok {
+		ct.DrainTimings(tm.AddCalls)
+	}
 	tm.Time("coupling_output", func() { mod.applyPhysicsOutput(dtPhy) })
 
 	mod.stepCount++

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gristgo/internal/physics"
+	"gristgo/internal/precision"
+	"gristgo/internal/synthclim"
+)
+
+// timedScheme is a stub physics scheme with its own component timers, as
+// the ML suite's inference engines keep.
+type timedScheme struct {
+	nlev    int
+	workers int
+	drained int
+}
+
+func (s *timedScheme) Name() string { return "stub timed" }
+
+func (s *timedScheme) Compute(in *physics.Input, out *physics.Output, dt float64) {
+	out.Reset()
+}
+
+func (s *timedScheme) SetWorkers(n int) { s.workers = n }
+
+func (s *timedScheme) DrainTimings(emit func(name string, d time.Duration, calls int)) {
+	s.drained++
+	emit("stub_infer", 3*time.Millisecond, 2)
+}
+
+// TestStepPhysicsTimedDrainsComponentTimers: schemes implementing
+// ComponentTimer get their counters folded into the step's Timings.
+func TestStepPhysicsTimedDrainsComponentTimers(t *testing.T) {
+	sch := &timedScheme{nlev: 4}
+	cfg := Config{GridLevel: 3, NLev: 4, Mode: precision.DP}
+	mod := NewModelOnMesh(cfg, sch, sharedMesh3)
+	mod.InitializeClimate(synthclim.ForPeriod(synthclim.Table1()[2], 0))
+
+	tm := NewTimings()
+	mod.StepPhysicsTimed(0, tm)
+	if sch.drained != 1 {
+		t.Fatalf("DrainTimings called %d times, want 1", sch.drained)
+	}
+	d, calls := tm.Get("stub_infer")
+	if d != 3*time.Millisecond || calls != 2 {
+		t.Errorf("stub_infer = (%v, %d), want (3ms, 2)", d, calls)
+	}
+	if !strings.Contains(tm.Report(), "stub_infer") {
+		t.Error("report omits drained component")
+	}
+}
+
+// TestHostWorkersReachScheme: core.Config.HostWorkers must propagate to
+// physics schemes carrying their own worker pool.
+func TestHostWorkersReachScheme(t *testing.T) {
+	sch := &timedScheme{nlev: 4}
+	cfg := Config{GridLevel: 3, NLev: 4, Mode: precision.DP, HostWorkers: 4}
+	NewModelOnMesh(cfg, sch, sharedMesh3)
+	if sch.workers != 4 {
+		t.Errorf("scheme workers = %d, want 4", sch.workers)
+	}
+}
+
+// TestAddCalls: the multi-invocation accumulator sums like repeated Add.
+func TestAddCalls(t *testing.T) {
+	tm := NewTimings()
+	tm.AddCalls("x", 5*time.Millisecond, 3)
+	tm.AddCalls("x", time.Millisecond, 1)
+	d, calls := tm.Get("x")
+	if d != 6*time.Millisecond || calls != 4 {
+		t.Errorf("got (%v, %d), want (6ms, 4)", d, calls)
+	}
+}

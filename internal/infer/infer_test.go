@@ -1,0 +1,317 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gristgo/internal/nn"
+	"gristgo/internal/precision"
+)
+
+// randSpec builds a normalizer spec with nonzero stds and a sprinkle of
+// dead features, as mlphysics produces.
+func randSpec(dim int, rng *rand.Rand) *NormSpec {
+	s := &NormSpec{
+		Mean: make([]float64, dim),
+		Std:  make([]float64, dim),
+		Dead: make([]bool, dim),
+	}
+	for i := 0; i < dim; i++ {
+		s.Mean[i] = rng.NormFloat64()
+		s.Std[i] = 0.2 + rng.Float64()
+		if rng.Intn(8) == 0 {
+			s.Dead[i] = true
+			s.Std[i] = 1
+		}
+	}
+	return s
+}
+
+// scalarReference reproduces the oracle path for one column: normalizer
+// apply with the ±clip envelope, nn.Module.Forward, the raw-output
+// clamp, and the normalizer inversion — exactly what
+// mlphysics.Suite.Compute does per column.
+func scalarReference(m nn.Module, opt Options, x []float64) []float64 {
+	z := append([]float64(nil), x...)
+	if opt.In != nil {
+		for i, v := range x {
+			if opt.In.Dead[i] {
+				z[i] = 0
+				continue
+			}
+			zi := (v - opt.In.Mean[i]) / opt.In.Std[i]
+			if opt.InClip > 0 {
+				if zi > opt.InClip {
+					zi = opt.InClip
+				} else if zi < -opt.InClip {
+					zi = -opt.InClip
+				}
+			}
+			z[i] = zi
+		}
+	}
+	raw := m.Forward(z)
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if opt.OutClamp > 0 {
+			if v > opt.OutClamp {
+				v = opt.OutClamp
+			} else if v < -opt.OutClamp {
+				v = -opt.OutClamp
+			}
+		}
+		if opt.Out != nil {
+			if opt.Out.Dead[i] {
+				out[i] = opt.Out.Mean[i]
+				continue
+			}
+			v = v*opt.Out.Std[i] + opt.Out.Mean[i]
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// checkBitwise runs ncol random columns through the engine (with the
+// given worker count) and demands bit-identical agreement with the
+// scalar reference on every output.
+func checkBitwise(t *testing.T, m nn.Module, opt Options, inDim int, ncol, workers int, rng *rand.Rand) bool {
+	t.Helper()
+	plan, err := Compile[float64](m, opt)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	eng := NewEngine(plan, workers)
+	src := make([]float64, ncol*plan.InDim)
+	for i := range src {
+		src[i] = 3 * rng.NormFloat64()
+	}
+	dst := make([]float64, ncol*plan.OutDim)
+	eng.Forward(dst, src, ncol)
+	for c := 0; c < ncol; c++ {
+		want := scalarReference(m, opt, src[c*plan.InDim:(c+1)*plan.InDim])
+		got := dst[c*plan.OutDim : (c+1)*plan.OutDim]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("col %d out %d: engine %v != scalar %v", c, i, got[i], want[i])
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestFP64PlanBitwiseParityCNN: property-based check that the FP64 plan
+// reproduces nn.Forward bit-for-bit on random ResUnit-CNN configs.
+func TestFP64PlanBitwiseParityCNN(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inCh := 1 + rng.Intn(4)
+		hidden := 1 + rng.Intn(9)
+		outCh := 1 + rng.Intn(3)
+		levels := 1 + rng.Intn(14)
+		units := rng.Intn(3)
+		kernel := 1 + 2*rng.Intn(3)
+		m := nn.NewResUnitCNN(inCh, hidden, outCh, levels, units, kernel, rng)
+		// Random biases: the init zeroes them, which under-exercises the
+		// bias-first accumulation order.
+		for _, p := range m.Params() {
+			for i := range p.W {
+				if p.W[i] == 0 {
+					p.W[i] = 0.1 * rng.NormFloat64()
+				}
+			}
+		}
+		opt := Options{
+			In: randSpec(inCh*levels, rng), InClip: 5,
+			Out: randSpec(outCh*levels, rng), OutClamp: 6,
+		}
+		return checkBitwise(t, m, opt, inCh*levels, 1+rng.Intn(40), 1+rng.Intn(4), rng)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFP64PlanBitwiseParityMLP: same property for random residual MLPs,
+// without fused normalizers on some runs.
+func TestFP64PlanBitwiseParityMLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := 1 + rng.Intn(12)
+		hidden := 1 + rng.Intn(24)
+		out := 1 + rng.Intn(4)
+		layers := 3 + rng.Intn(5)
+		m := nn.NewResMLP(in, hidden, out, layers, rng)
+		for _, p := range m.Params() {
+			for i := range p.W {
+				if p.W[i] == 0 {
+					p.W[i] = 0.1 * rng.NormFloat64()
+				}
+			}
+		}
+		var opt Options
+		if rng.Intn(2) == 0 {
+			opt = Options{In: randSpec(in, rng), InClip: 5, Out: randSpec(out, rng)}
+		}
+		return checkBitwise(t, m, opt, in, 1+rng.Intn(50), 1+rng.Intn(5), rng)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFP32PlanCloseToFP64 quantizes a network to FP32 and checks the
+// relative-L2 deviation from the FP64 plan stays far inside the 5%
+// dycore acceptance threshold on smooth random inputs.
+func TestFP32PlanCloseToFP64(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := nn.NewResUnitCNN(3, 8, 2, 12, 3, 3, rng)
+	opt := Options{In: randSpec(36, rng), InClip: 5, Out: randSpec(24, rng), OutClamp: 6}
+	p64 := MustCompile[float64](m, opt)
+	p32 := MustCompile[float32](m, opt)
+	e64 := NewEngine(p64, 1)
+	e32 := NewEngine(p32, 2)
+	const ncol = 64
+	src := make([]float64, ncol*p64.InDim)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	d64 := make([]float64, ncol*p64.OutDim)
+	d32 := make([]float64, ncol*p64.OutDim)
+	e64.Forward(d64, src, ncol)
+	e32.Forward(d32, src, ncol)
+	if dev := precision.RelL2(d32, d64); dev > precision.ErrorThreshold {
+		t.Errorf("FP32 plan deviates %g > %g", dev, precision.ErrorThreshold)
+	}
+	// And it must actually be a different (quantized) computation.
+	same := true
+	for i := range d64 {
+		if d32[i] != d64[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("FP32 plan is bitwise identical to FP64 — quantization not happening")
+	}
+}
+
+// TestConcurrentForwardRaceClean drives one engine from many goroutines
+// with internal worker sharding enabled; run under -race this validates
+// the arena pool and stats locking.
+func TestConcurrentForwardRaceClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := nn.NewResUnitCNN(2, 6, 2, 10, 2, 3, rng)
+	opt := Options{In: randSpec(20, rng), InClip: 5, Out: randSpec(20, rng), OutClamp: 6}
+	eng := NewEngine(MustCompile[float64](m, opt), 4)
+	const ncol = 50
+	src := make([]float64, ncol*eng.Plan().InDim)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, ncol*eng.Plan().OutDim)
+	eng.Forward(ref, src, ncol)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, ncol*eng.Plan().OutDim)
+			for it := 0; it < 5; it++ {
+				eng.Forward(dst, src, ncol)
+			}
+			for i := range ref {
+				if dst[i] != ref[i] {
+					t.Errorf("concurrent run diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := eng.DrainStats()
+	if st.Calls != 31 || st.Columns != 31*ncol {
+		t.Errorf("stats = %+v, want 31 calls / %d columns", st, 31*ncol)
+	}
+	if st.Elapsed <= 0 {
+		t.Error("no elapsed time recorded")
+	}
+	if again := eng.DrainStats(); again.Calls != 0 {
+		t.Errorf("drain did not reset: %+v", again)
+	}
+}
+
+// TestCompileRejectsUnsupported covers the compile-time error paths.
+func TestCompileRejectsUnsupported(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Compile[float64](&nn.Sequential{Layers: []nn.Module{&nn.ReLU{}}}, Options{}); err == nil {
+		t.Error("ReLU-first plan accepted without a width")
+	}
+	type alien struct{ nn.Module }
+	if _, err := Compile[float64](&nn.Sequential{Layers: []nn.Module{alien{}}}, Options{}); err == nil {
+		t.Error("unsupported module accepted")
+	}
+	// Width mismatch between normalizer and first layer.
+	d := nn.NewDense(4, 2, rng)
+	if _, err := Compile[float64](&nn.Sequential{Layers: []nn.Module{d}},
+		Options{In: randSpec(5, rng)}); err == nil {
+		t.Error("input-normalizer width mismatch accepted")
+	}
+	if _, err := Compile[float64](&nn.Sequential{Layers: []nn.Module{d}},
+		Options{Out: randSpec(5, rng)}); err == nil {
+		t.Error("output-normalizer width mismatch accepted")
+	}
+	// Residual whose body changes width.
+	bad := &nn.Sequential{Layers: []nn.Module{
+		nn.NewDense(4, 4, rng),
+		&nn.Residual{Body: nn.NewDense(4, 3, rng)},
+	}}
+	if _, err := Compile[float64](bad, Options{}); err == nil {
+		t.Error("width-changing residual body accepted")
+	}
+}
+
+// TestForwardValidatesShapes covers the runtime panics.
+func TestForwardValidatesShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	eng := NewEngine(MustCompile[float64](nn.NewDense(3, 2, rng), Options{}), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("short src accepted")
+		}
+	}()
+	eng.Forward(make([]float64, 4), make([]float64, 5), 2)
+}
+
+// TestEmptyBatchIsNoop: ncol = 0 must not touch buffers or stats' column
+// count.
+func TestEmptyBatchIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	eng := NewEngine(MustCompile[float64](nn.NewDense(3, 2, rng), Options{}), 2)
+	eng.Forward(nil, nil, 0)
+	if st := eng.DrainStats(); st.Calls != 0 || st.Columns != 0 {
+		t.Errorf("empty batch recorded stats: %+v", st)
+	}
+}
+
+// TestQuantizationError sanity-checks toT rounding behaviour.
+func TestQuantizationError(t *testing.T) {
+	xs := []float64{1.0000000001, math.Pi, -2.5}
+	q := toT[float32](xs)
+	for i, x := range xs {
+		if math.Abs(float64(q[i])-x) > 1e-6*math.Abs(x) {
+			t.Errorf("quantized %v -> %v", x, q[i])
+		}
+	}
+	exact := toT[float64](xs)
+	for i, x := range xs {
+		if exact[i] != x {
+			t.Errorf("float64 copy changed %v", x)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package mlphysics
 
 import (
+	"time"
+
 	"gristgo/internal/coarse"
 	"gristgo/internal/physics"
+	"gristgo/internal/precision"
 )
 
 // Ensemble averages the outputs of several independently trained ML
@@ -33,6 +36,34 @@ func (e *Ensemble) Name() string { return "ML-physics-ensemble" }
 
 // NLev returns the members' layer count.
 func (e *Ensemble) NLev() int { return e.Members[0].NLev }
+
+// SetWorkers propagates the inference worker-pool width to every member.
+func (e *Ensemble) SetWorkers(n int) {
+	for _, m := range e.Members {
+		m.SetWorkers(n)
+	}
+}
+
+// SetPrecision propagates the inference precision mode to every member.
+func (e *Ensemble) SetPrecision(mode precision.Mode) {
+	for _, m := range e.Members {
+		m.SetPrecision(mode)
+	}
+}
+
+// SetScalarOracle propagates the scalar-oracle switch to every member.
+func (e *Ensemble) SetScalarOracle(on bool) {
+	for _, m := range e.Members {
+		m.SetScalarOracle(on)
+	}
+}
+
+// DrainTimings drains every member's inference timings through emit.
+func (e *Ensemble) DrainTimings(emit func(name string, d time.Duration, calls int)) {
+	for _, m := range e.Members {
+		m.DrainTimings(emit)
+	}
+}
 
 // Compute implements physics.Scheme by averaging member outputs. The
 // members' own surface-slab updates are suppressed (they would each

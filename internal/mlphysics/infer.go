@@ -1,0 +1,160 @@
+package mlphysics
+
+// Batched inference path: Suite.Compute routes its columns through the
+// internal/infer engine (plan compilation, im2col + blocked GEMM, arena
+// buffers, worker sharding) instead of the per-column nn.Forward loop.
+// The scalar loop survives as the parity oracle behind SetScalarOracle.
+
+import (
+	"time"
+
+	"gristgo/internal/infer"
+	"gristgo/internal/physics"
+	"gristgo/internal/precision"
+)
+
+// engineState holds a Suite's compiled inference engines and the batched
+// I/O matrices. Engines compile lazily on the first batched Compute so
+// that freshly trained or loaded suites pay nothing until used, and the
+// FP32 pair is only built when mixed precision is requested.
+type engineState struct {
+	workers int
+	mode    precision.Mode
+	scalar  bool
+
+	tend64, rad64 *infer.Engine[float64]
+	tend32, rad32 *infer.Engine[float32]
+
+	xT, yT []float64 // tendency batch: NCol x (5*nlev) in, NCol x (2*nlev) out
+	xR, yR []float64 // radiation batch: NCol x (2*nlev+2) in, NCol x 3 out
+}
+
+// SetWorkers sets the inference worker-pool width (0 or 1 serial,
+// negative = GOMAXPROCS), the mlphysics end of core.Config.HostWorkers.
+func (s *Suite) SetWorkers(n int) {
+	s.inf.workers = n
+	for _, e := range []*infer.Engine[float64]{s.inf.tend64, s.inf.rad64} {
+		if e != nil {
+			e.SetWorkers(n)
+		}
+	}
+	for _, e := range []*infer.Engine[float32]{s.inf.tend32, s.inf.rad32} {
+		if e != nil {
+			e.SetWorkers(n)
+		}
+	}
+}
+
+// SetPrecision selects the inference plan: precision.DP runs the FP64
+// plan (bit-identical to the scalar oracle), precision.Mixed runs the
+// FP32 plan with weights quantized once at compile time (§3.4 applied to
+// the NN stack; validated by relative-L2 under the 5% threshold).
+func (s *Suite) SetPrecision(m precision.Mode) { s.inf.mode = m }
+
+// SetScalarOracle routes Compute through the per-column nn.Forward
+// reference path (true) or the batched engine (false, the default).
+func (s *Suite) SetScalarOracle(on bool) { s.inf.scalar = on }
+
+// normSpec adapts a Normalizer to the infer package (which cannot import
+// mlphysics) as plain statistic slices.
+func normSpec(nm *Normalizer) *infer.NormSpec {
+	return &infer.NormSpec{Mean: nm.Mean, Std: nm.Std, Dead: nm.Dead}
+}
+
+// ensureEngines compiles the plans for the active precision mode and
+// sizes the batch matrices for ncol columns.
+func (s *Suite) ensureEngines(ncol int) {
+	nlev := s.NLev
+	tendOpt := infer.Options{
+		In: normSpec(s.TendIn), InClip: inputClip,
+		Out: normSpec(s.TendOut), OutClamp: maxOutSigma,
+	}
+	// No OutClamp here: the scalar oracle only clamps the tendency CNN's
+	// raw outputs, and the plans must match it bit for bit.
+	radOpt := infer.Options{
+		In: normSpec(s.RadIn), InClip: inputClip,
+		Out: normSpec(s.RadOut),
+	}
+	if s.inf.mode == precision.Mixed {
+		if s.inf.tend32 == nil {
+			s.inf.tend32 = infer.NewEngine(infer.MustCompile[float32](s.Tend, tendOpt), s.inf.workers)
+			s.inf.rad32 = infer.NewEngine(infer.MustCompile[float32](s.Rad, radOpt), s.inf.workers)
+		}
+	} else if s.inf.tend64 == nil {
+		s.inf.tend64 = infer.NewEngine(infer.MustCompile[float64](s.Tend, tendOpt), s.inf.workers)
+		s.inf.rad64 = infer.NewEngine(infer.MustCompile[float64](s.Rad, radOpt), s.inf.workers)
+	}
+	if n := ncol * TendencyChannels * nlev; len(s.inf.xT) < n {
+		s.inf.xT = make([]float64, n)
+	}
+	if n := ncol * TendencyOutputs * nlev; len(s.inf.yT) < n {
+		s.inf.yT = make([]float64, n)
+	}
+	if n := ncol * (2*nlev + 2); len(s.inf.xR) < n {
+		s.inf.xR = make([]float64, n)
+	}
+	if n := ncol * RadiationOutputs; len(s.inf.yR) < n {
+		s.inf.yR = make([]float64, n)
+	}
+}
+
+// computeBatched fills the batch matrices from the physics input, runs
+// both engines over all columns at once, and applies the identical
+// per-column postprocessing (vapor guard, radiation clamps) as the
+// scalar oracle.
+func (s *Suite) computeBatched(in *physics.Input, out *physics.Output, dt float64) {
+	nlev := s.NLev
+	ncol := in.NCol
+	if ncol == 0 {
+		return
+	}
+	s.ensureEngines(ncol)
+
+	tin := TendencyChannels * nlev
+	rin := 2*nlev + 2
+	for c := 0; c < ncol; c++ {
+		tendencyInputInto(s.inf.xT[c*tin:(c+1)*tin], in, c, nlev)
+		radiationInputInto(s.inf.xR[c*rin:(c+1)*rin], in, c, nlev)
+	}
+	if s.inf.mode == precision.Mixed {
+		s.inf.tend32.Forward(s.inf.yT, s.inf.xT, ncol)
+		s.inf.rad32.Forward(s.inf.yR, s.inf.xR, ncol)
+	} else {
+		s.inf.tend64.Forward(s.inf.yT, s.inf.xT, ncol)
+		s.inf.rad64.Forward(s.inf.yR, s.inf.xR, ncol)
+	}
+
+	tout := TendencyOutputs * nlev
+	for c := 0; c < ncol; c++ {
+		s.applyTendencies(in, out, s.inf.yT[c*tout:(c+1)*tout], c, dt)
+		s.applyRadiation(in, out, s.inf.yR[c*RadiationOutputs:(c+1)*RadiationOutputs], c)
+	}
+}
+
+// DrainTimings reports and resets the engines' accumulated inference
+// timings via emit (component name, wall time, call count). core's
+// timing report collects these through its ComponentTimer interface, and
+// perfmodel.MLEffFromThroughput turns the same numbers into a measured
+// ML-suite efficiency.
+func (s *Suite) DrainTimings(emit func(name string, d time.Duration, calls int)) {
+	drain64 := func(name string, e *infer.Engine[float64]) {
+		if e == nil {
+			return
+		}
+		if st := e.DrainStats(); st.Calls > 0 {
+			emit(name, st.Elapsed, st.Calls)
+		}
+	}
+	drain32 := func(name string, e *infer.Engine[float32]) {
+		if e == nil {
+			return
+		}
+		if st := e.DrainStats(); st.Calls > 0 {
+			emit(name, st.Elapsed, st.Calls)
+		}
+	}
+	drain64("ml_tendency_infer", s.inf.tend64)
+	drain64("ml_radiation_infer", s.inf.rad64)
+	drain32("ml_tendency_infer_fp32", s.inf.tend32)
+	drain32("ml_radiation_infer_fp32", s.inf.rad32)
+}

@@ -29,6 +29,9 @@ const TendencyChannels = 5
 // TendencyOutputs are the CNN output channels: Q1 and Q2.
 const TendencyOutputs = 2
 
+// RadiationOutputs are the diagnostic-MLP targets: gsw, glw, precip.
+const RadiationOutputs = 3
+
 // maxOutSigma caps network outputs at +/-6 standard deviations of the
 // training targets (§3.2.3 stability engineering): the coupled model
 // must never receive tendencies outside the envelope the residual data
@@ -94,39 +97,61 @@ func NewNormalizer(rows [][]float64) *Normalizer {
 	return nm
 }
 
+// inputClip bounds normalized inputs at +/-5 standard deviations
+// (§3.2.3 stability engineering): out-of-distribution inputs possible
+// during coupled integration must not drive the networks into
+// extrapolation regimes.
+const inputClip = 5.0
+
 // Apply returns the normalized copy of x, clipped to +/-5 standard
-// deviations: out-of-distribution inputs (possible during coupled
-// integration) must not drive the networks into extrapolation regimes —
-// part of the stability engineering of §3.2.3.
+// deviations.
 func (nm *Normalizer) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
+	nm.ApplyInto(out, x)
+	return out
+}
+
+// ApplyInto normalizes x into dst (len(dst) must equal len(x)) without
+// allocating — the steady-state path of the per-column oracle.
+func (nm *Normalizer) ApplyInto(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("mlphysics: ApplyInto length mismatch")
+	}
 	for i, v := range x {
 		if nm.Dead[i] {
-			continue // stays 0
+			dst[i] = 0
+			continue
 		}
 		z := (v - nm.Mean[i]) / nm.Std[i]
-		if z > 5 {
-			z = 5
-		} else if z < -5 {
-			z = -5
+		if z > inputClip {
+			z = inputClip
+		} else if z < -inputClip {
+			z = -inputClip
 		}
-		out[i] = z
+		dst[i] = z
 	}
-	return out
 }
 
 // Invert maps a normalized vector back to physical units; dead features
 // return their training mean regardless of the network output.
 func (nm *Normalizer) Invert(x []float64) []float64 {
 	out := make([]float64, len(x))
+	nm.InvertInto(out, x)
+	return out
+}
+
+// InvertInto is the allocation-free Invert (len(dst) must equal len(x)).
+func (nm *Normalizer) InvertInto(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("mlphysics: InvertInto length mismatch")
+	}
 	for i, v := range x {
 		if nm.Dead[i] {
-			out[i] = nm.Mean[i]
+			dst[i] = nm.Mean[i]
 			continue
 		}
-		out[i] = v*nm.Std[i] + nm.Mean[i]
+		dst[i] = v*nm.Std[i] + nm.Mean[i]
 	}
-	return out
 }
 
 // Suite is the trained ML physics suite.
@@ -139,15 +164,39 @@ type Suite struct {
 	TendIn  *Normalizer // over 5*nlev channel-major features
 	TendOut *Normalizer // over 2*nlev targets
 	RadIn   *Normalizer // over 2*nlev + 2 features
-	RadOut  *Normalizer // over 2 targets
+	RadOut  *Normalizer // over RadiationOutputs targets
+
+	// inf carries the batched inference-engine state (infer.go); orc
+	// carries the scalar oracle's reusable scratch buffers.
+	inf engineState
+	orc oracleScratch
 }
 
 // Name implements physics.Scheme.
 func (s *Suite) Name() string { return "ML-physics" }
 
-// tendencyInput builds the channel-major CNN input for column c of in.
-func tendencyInput(in *physics.Input, c, nlev int) []float64 {
-	x := make([]float64, TendencyChannels*nlev)
+// oracleScratch holds the scalar reference path's per-column buffers so
+// steady-state oracle inference stays allocation-free outside nn itself.
+type oracleScratch struct {
+	tendIn, tendZ, pred []float64
+	radIn, radZ, radOut []float64
+}
+
+func (o *oracleScratch) ensure(nlev int) {
+	if len(o.tendIn) == TendencyChannels*nlev {
+		return
+	}
+	o.tendIn = make([]float64, TendencyChannels*nlev)
+	o.tendZ = make([]float64, TendencyChannels*nlev)
+	o.pred = make([]float64, TendencyOutputs*nlev)
+	o.radIn = make([]float64, 2*nlev+2)
+	o.radZ = make([]float64, 2*nlev+2)
+	o.radOut = make([]float64, RadiationOutputs)
+}
+
+// tendencyInputInto fills x with the channel-major CNN input for column
+// c of in (x must hold TendencyChannels*nlev values).
+func tendencyInputInto(x []float64, in *physics.Input, c, nlev int) {
 	base := c * nlev
 	for k := 0; k < nlev; k++ {
 		x[0*nlev+k] = in.U[base+k]
@@ -156,13 +205,11 @@ func tendencyInput(in *physics.Input, c, nlev int) []float64 {
 		x[3*nlev+k] = in.Qv[base+k]
 		x[4*nlev+k] = in.P[base+k]
 	}
-	return x
 }
 
-// radiationInput builds the diagnostic-MLP input: T and Q columns plus
-// tskin and coszr (§3.2.3).
-func radiationInput(in *physics.Input, c, nlev int) []float64 {
-	x := make([]float64, 2*nlev+2)
+// radiationInputInto fills x with the diagnostic-MLP input: T and Q
+// columns plus tskin and coszr (§3.2.3).
+func radiationInputInto(x []float64, in *physics.Input, c, nlev int) {
 	base := c * nlev
 	for k := 0; k < nlev; k++ {
 		x[k] = in.T[base+k]
@@ -170,58 +217,21 @@ func radiationInput(in *physics.Input, c, nlev int) []float64 {
 	}
 	x[2*nlev] = in.Tskin[c]
 	x[2*nlev+1] = in.CosZ[c]
-	return x
 }
 
-// Compute implements physics.Scheme: per column, the tendency CNN emits
-// Q1/Q2, the radiation MLP emits gsw/glw, and the conventional
-// diagnostic module closes the surface water budget (precipitation =
-// column-integrated apparent drying, floored at zero).
+// Compute implements physics.Scheme: the tendency CNN emits Q1/Q2, the
+// radiation MLP emits gsw/glw, and the conventional diagnostic module
+// closes the surface water budget. By default the columns run batched
+// through the internal/infer engine (FP64 or FP32 per SetPrecision,
+// sharded across SetWorkers goroutines); SetScalarOracle(true) routes
+// through the per-column nn.Forward reference path instead, which the
+// engine's FP64 plan matches bit for bit.
 func (s *Suite) Compute(in *physics.Input, out *physics.Output, dt float64) {
 	out.Reset()
-	nlev := s.NLev
-	for c := 0; c < in.NCol; c++ {
-		x := s.TendIn.Apply(tendencyInput(in, c, nlev))
-		raw := s.Tend.Forward(x)
-		for i, v := range raw {
-			raw[i] = clampAbs(v, maxOutSigma)
-		}
-		pred := s.TendOut.Invert(raw)
-		base := c * nlev
-		var rain float64
-		for k := 0; k < nlev; k++ {
-			q1 := pred[k]
-			q2 := pred[nlev+k]
-			// Physical guard rails: do not dry below zero vapor.
-			if in.Qv[base+k]+q2*dt < 0 {
-				q2 = -in.Qv[base+k] / dt
-			}
-			out.Q1[base+k] = q1
-			out.Q2[base+k] = q2
-			rain += -q2 * in.Dpi[base+k]
-		}
-		_ = rain
-
-		// The diagnostic module (7-layer residual MLP) returns the
-		// surface radiation for the land model plus the precipitation
-		// rate (the apparent moisture sink alone would be net of
-		// surface evaporation).
-		r := s.RadOut.Invert(s.Rad.Forward(s.RadIn.Apply(radiationInput(in, c, nlev))))
-		gsw, glw := r[0], r[1]
-		if p := r[2]; p > 0 {
-			out.Precip[c] = p
-		}
-		if gsw < 0 {
-			gsw = 0
-		}
-		if in.CosZ[c] <= 0 {
-			gsw = 0 // no insolation at night, regardless of the net
-		}
-		if glw < 0 {
-			glw = 0
-		}
-		out.Gsw[c] = gsw
-		out.Glw[c] = glw
+	if s.inf.scalar {
+		s.computeScalar(in, out, dt)
+	} else {
+		s.computeBatched(in, out, dt)
 	}
 	// The land surface stays prognostic: reuse the conventional surface
 	// scheme's slab update with the ML radiation diagnostics (the
@@ -229,6 +239,68 @@ func (s *Suite) Compute(in *physics.Input, out *physics.Output, dt float64) {
 	// model and surface layer scheme).
 	sfc := physics.NewSurface()
 	sfc.Compute(in, out, dt)
+}
+
+// computeScalar is the per-column reference path (the parity oracle for
+// the batched engine): normalize, nn.Forward, clamp, invert, guard.
+func (s *Suite) computeScalar(in *physics.Input, out *physics.Output, dt float64) {
+	nlev := s.NLev
+	s.orc.ensure(nlev)
+	for c := 0; c < in.NCol; c++ {
+		tendencyInputInto(s.orc.tendIn, in, c, nlev)
+		s.TendIn.ApplyInto(s.orc.tendZ, s.orc.tendIn)
+		raw := s.Tend.Forward(s.orc.tendZ)
+		for i, v := range raw {
+			raw[i] = clampAbs(v, maxOutSigma)
+		}
+		s.TendOut.InvertInto(s.orc.pred, raw)
+		s.applyTendencies(in, out, s.orc.pred, c, dt)
+
+		// The diagnostic module (7-layer residual MLP) returns the
+		// surface radiation for the land model plus the precipitation
+		// rate (the apparent moisture sink alone would be net of
+		// surface evaporation).
+		radiationInputInto(s.orc.radIn, in, c, nlev)
+		s.RadIn.ApplyInto(s.orc.radZ, s.orc.radIn)
+		s.RadOut.InvertInto(s.orc.radOut, s.Rad.Forward(s.orc.radZ))
+		s.applyRadiation(in, out, s.orc.radOut, c)
+	}
+}
+
+// applyTendencies writes one column's inverted CNN outputs into Q1/Q2
+// with the physical guard rails (do not dry below zero vapor).
+func (s *Suite) applyTendencies(in *physics.Input, out *physics.Output, pred []float64, c int, dt float64) {
+	nlev := s.NLev
+	base := c * nlev
+	for k := 0; k < nlev; k++ {
+		q1 := pred[k]
+		q2 := pred[nlev+k]
+		if in.Qv[base+k]+q2*dt < 0 {
+			q2 = -in.Qv[base+k] / dt
+		}
+		out.Q1[base+k] = q1
+		out.Q2[base+k] = q2
+	}
+}
+
+// applyRadiation writes one column's diagnostic-MLP outputs (gsw, glw,
+// precip) with the physical guards of §3.2.3.
+func (s *Suite) applyRadiation(in *physics.Input, out *physics.Output, r []float64, c int) {
+	gsw, glw := r[0], r[1]
+	if p := r[2]; p > 0 {
+		out.Precip[c] = p
+	}
+	if gsw < 0 {
+		gsw = 0
+	}
+	if in.CosZ[c] <= 0 {
+		gsw = 0 // no insolation at night, regardless of the net
+	}
+	if glw < 0 {
+		glw = 0
+	}
+	out.Gsw[c] = gsw
+	out.Glw[c] = glw
 }
 
 // TrainConfig sets the training hyperparameters.

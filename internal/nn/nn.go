@@ -135,7 +135,7 @@ type Conv1D struct {
 // NewConv1D constructs the layer; K must be odd (same padding).
 func NewConv1D(inCh, outCh, k, l int, rng *rand.Rand) *Conv1D {
 	if k%2 == 0 {
-		panic("nn: Conv1D kernel must be odd")
+		panic(fmt.Sprintf("nn: Conv1D kernel must be odd, got K=%d", k))
 	}
 	c := &Conv1D{
 		InCh: inCh, OutCh: outCh, K: k, L: l,

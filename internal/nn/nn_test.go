@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -308,11 +309,51 @@ func TestDenseShapePanics(t *testing.T) {
 func TestConv1DEvenKernelPanics(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	defer func() {
-		if recover() == nil {
-			t.Error("even kernel accepted")
+		r := recover()
+		if r == nil {
+			t.Fatal("even kernel accepted")
+		}
+		// The message must name the offending kernel width.
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "K=2") {
+			t.Errorf("panic message %v does not name K=2", r)
 		}
 	}()
 	NewConv1D(1, 1, 2, 4, rng)
+}
+
+// TestConv1DEvenLengthGradients: gradient/forward consistency with an
+// even column length, where the same-padding window straddles the
+// boundary asymmetrically relative to the midpoint.
+func TestConv1DEvenLengthGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, l := range []int{2, 4, 8} {
+		checkGradients(t, NewConv1D(2, 3, 3, l, rng), 2*l, 3*l, rng)
+		checkGradients(t, NewConv1D(1, 2, 5, l, rng), l, 2*l, rng)
+	}
+}
+
+// TestConv1DBoundaryForward hand-computes the same-padded convolution at
+// the first and last positions of an even-length input, where the kernel
+// hangs over the edge and the out-of-range taps must contribute nothing.
+func TestConv1DBoundaryForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	const l = 4
+	c := NewConv1D(1, 1, 3, l, rng)
+	c.Weight.W = []float64{0.5, -1.0, 2.0} // taps at q-1, q, q+1
+	c.Bias.W = []float64{0.25}
+	x := []float64{1, 2, 3, 4}
+	y := c.Forward(x)
+	want := []float64{
+		0.25 + /* left pad */ -1.0*1 + 2.0*2, // p=0: q=-1 dropped
+		0.25 + 0.5*1 - 1.0*2 + 2.0*3,
+		0.25 + 0.5*2 - 1.0*3 + 2.0*4,
+		0.25 + 0.5*3 - 1.0*4, // p=3: q=4 dropped
+	}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-15 {
+			t.Errorf("p=%d: got %g want %g", i, y[i], want[i])
+		}
+	}
 }
 
 func TestNumParamsCounts(t *testing.T) {

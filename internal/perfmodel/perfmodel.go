@@ -140,9 +140,35 @@ const (
 	allArrays = 60
 )
 
-// cnnFlopsPerColumn returns the tendency-CNN cost of one column at the
+// MLEffFromThroughput converts a measured tendency-CNN inference
+// throughput (columns per second on hardware with the given peak FLOP
+// rate) into the achieved-peak fraction the performance model uses as
+// MLEff — closing the loop from the infer engine's DrainStats timings
+// (columns / elapsed) to the §4.7 efficiency constant.
+func MLEffFromThroughput(colsPerSec float64, layers int, hwPeakFlops float64) float64 {
+	if colsPerSec <= 0 || hwPeakFlops <= 0 {
+		return 0
+	}
+	return colsPerSec * CNNFlopsPerColumn(layers) / hwPeakFlops
+}
+
+// SetMLEfficiency overrides the ML-suite achieved-peak fraction with a
+// measured value, clamped to (0, 1]. Values outside the paper's 74-84%
+// band are accepted — the point of measurement is to replace the
+// constant — but non-positive or >1 fractions are rejected as
+// measurement errors and leave the calibrated default in place.
+func (m *Machine) SetMLEfficiency(eff float64) {
+	if eff <= 0 || eff > 1 {
+		return
+	}
+	m.MLEff = eff
+}
+
+// CNNFlopsPerColumn returns the tendency-CNN cost of one column at the
 // paper-scale architecture (hidden width 100, kernel 3, 5 ResUnits).
-func cnnFlopsPerColumn(layers int) float64 {
+// Exported so measured inference throughput can be converted into an
+// achieved peak fraction (see MLEffFromThroughput).
+func CNNFlopsPerColumn(layers int) float64 {
 	const hidden, kernel = 100.0, 3.0
 	perLevel := 2 * (5*hidden*kernel + 10*hidden*hidden*kernel + hidden*2)
 	return float64(layers) * perLevel
@@ -256,7 +282,7 @@ func (m *Machine) Predict(rc RunConfig) Result {
 
 	var phyStep, radStep float64
 	if rc.Scheme.ML {
-		phyStep = cellsPerCG*cnnFlopsPerColumn(layers)/(m.MLEff*peakFlops)*imb +
+		phyStep = cellsPerCG*CNNFlopsPerColumn(layers)/(m.MLEff*peakFlops)*imb +
 			2*m.SpawnSec
 		radStep = cellsPerCG*mlRadFlopsPerColumn(layers)/(m.MLEff*peakFlops)*imb +
 			m.SpawnSec

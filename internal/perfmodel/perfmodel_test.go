@@ -253,3 +253,41 @@ func TestHaloFormulaMatchesPartitioner(t *testing.T) {
 		}
 	}
 }
+
+// TestMLEffFromThroughput: the round trip through the FLOP model must
+// recover the efficiency that produced a given throughput, and bad
+// measurements must be rejected.
+func TestMLEffFromThroughput(t *testing.T) {
+	const layers = 30
+	// A column rate that corresponds to exactly 79% of some peak.
+	peak := 1e12
+	cols := 0.79 * peak / CNNFlopsPerColumn(layers)
+	if eff := MLEffFromThroughput(cols, layers, peak); math.Abs(eff-0.79) > 1e-12 {
+		t.Errorf("recovered eff %g, want 0.79", eff)
+	}
+	if MLEffFromThroughput(0, layers, peak) != 0 || MLEffFromThroughput(cols, layers, 0) != 0 {
+		t.Error("degenerate inputs not rejected")
+	}
+}
+
+// TestSetMLEfficiency: measured values replace the calibrated constant;
+// garbage is ignored; the prediction responds in the right direction.
+func TestSetMLEfficiency(t *testing.T) {
+	m := NewMachine()
+	rc := RunConfig{Level: 9, Layers: 30, NCG: 2048,
+		Scheme: Scheme{Mode: precision.Mixed, ML: true}}
+	base := m.Predict(rc).SDPD
+	m.SetMLEfficiency(-1)
+	m.SetMLEfficiency(0)
+	m.SetMLEfficiency(1.5)
+	if m.MLEff != NewMachine().MLEff {
+		t.Errorf("invalid efficiency accepted: %g", m.MLEff)
+	}
+	m.SetMLEfficiency(0.40)
+	if m.MLEff != 0.40 {
+		t.Errorf("MLEff = %g, want 0.40", m.MLEff)
+	}
+	if slower := m.Predict(rc).SDPD; slower >= base {
+		t.Errorf("halving ML efficiency did not slow the model: %g vs %g", slower, base)
+	}
+}
