@@ -1,10 +1,10 @@
 # Developer workflow for the gristgo reproduction. `make check` is the
-# tier-1 gate plus vet and the race-detector pass over the concurrent
-# packages (the inference engine and the ML physics suite).
+# tier-1 gate plus vet and a race-detector pass over the whole module
+# (the SPMD runtime, exchange layer and drivers are all concurrent).
 
 GO ?= go
 
-.PHONY: check build vet test race bench-ml
+.PHONY: check build vet test race bench-ml bench-halo
 
 check: build vet test race
 
@@ -17,10 +17,18 @@ vet:
 test:
 	$(GO) test ./...
 
+# -short skips the minutes-long model-integration tests, which the
+# race detector's ~15x slowdown would push past the test timeout; the
+# plain `test` target still runs them.
 race:
-	$(GO) test -race ./internal/infer/... ./internal/mlphysics/...
+	$(GO) test -race -short ./...
 
 # Scalar vs batched-FP64 vs batched-FP32 inference throughput at the
 # G5-scale column count (see EXPERIMENTS.md for recorded numbers).
 bench-ml:
 	$(GO) test -run xxx -bench BenchmarkMLInference -benchtime 3x .
+
+# Blocking vs overlapped halo rounds, FP64 vs mixed wire precision (see
+# EXPERIMENTS.md for recorded numbers).
+bench-halo:
+	$(GO) test -run xxx -bench BenchmarkHaloExchange ./internal/comm/

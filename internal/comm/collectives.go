@@ -13,10 +13,9 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 			if dst == root {
 				continue
 			}
-			// Copy per destination: receivers own their slice.
-			buf := make([]float64, len(data))
-			copy(buf, data)
-			r.Send(dst, tag, buf)
+			// Send copies into a transport-owned buffer; receivers own
+			// the slice Recv returns.
+			r.Send(dst, tag, data)
 		}
 		return data
 	}
@@ -28,9 +27,7 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 func (r *Rank) Gather(root int, data []float64) [][]float64 {
 	const tag = -7802
 	if r.id != root {
-		buf := make([]float64, len(data))
-		copy(buf, data)
-		r.Send(root, tag, buf)
+		r.Send(root, tag, data)
 		return nil
 	}
 	out := make([][]float64, r.w.n)
@@ -80,9 +77,7 @@ func (r *Rank) Scatter(root int, parts [][]float64) []float64 {
 			if dst == root {
 				continue
 			}
-			buf := make([]float64, len(parts[dst]))
-			copy(buf, parts[dst])
-			r.Send(dst, tag, buf)
+			r.Send(dst, tag, parts[dst])
 		}
 		return parts[root]
 	}

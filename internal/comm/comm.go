@@ -4,23 +4,35 @@
 // paper's parallelization facilitation layer — halo exchange in which all
 // registered variables are gathered through a linked list and exchanged
 // with a single call per peer (§3.1.3).
+//
+// The transport moves raw bytes: word size is a property of the packer
+// (the halo layer ships FP32 payloads for precision-insensitive fields
+// under the Mixed mode), not of the channel. Payload buffers are owned
+// by the transport — a send copies the caller's data into a recycled
+// per-channel buffer, so callers may reuse their pack buffers
+// immediately — and recycled buffers make the steady state of a
+// repeated exchange allocation-free.
 package comm
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sync"
 )
 
-// message is a tagged payload between two ranks.
+// message is a tagged payload between two ranks. data is transport-owned
+// and returns to the channel's free list once the receiver copies it out.
 type message struct {
 	tag  int
-	data []float64
+	data []byte
 }
 
 // World is a communicator connecting n SPMD ranks.
 type World struct {
 	n     int
 	boxes [][]chan message // boxes[to][from]
+	free  [][]chan []byte  // recycled payload buffers per (to, from)
 
 	barrier *barrier
 
@@ -33,15 +45,41 @@ type World struct {
 
 // NewWorld creates a communicator for n ranks.
 func NewWorld(n int) *World {
-	w := &World{n: n, boxes: make([][]chan message, n), barrier: newBarrier(n)}
+	w := &World{n: n, boxes: make([][]chan message, n), free: make([][]chan []byte, n), barrier: newBarrier(n)}
 	for to := 0; to < n; to++ {
 		w.boxes[to] = make([]chan message, n)
+		w.free[to] = make([]chan []byte, n)
 		for from := 0; from < n; from++ {
 			w.boxes[to][from] = make(chan message, 16)
+			w.free[to][from] = make(chan []byte, 16)
 		}
 	}
 	w.reduceC = sync.NewCond(&w.reduceMu)
 	return w
+}
+
+// getBuf returns a transport-owned buffer of length n for the (to, from)
+// channel, recycling a previously delivered one when possible. Message
+// sizes on a channel are stable across exchange rounds, so the steady
+// state allocates nothing.
+func (w *World) getBuf(to, from, n int) []byte {
+	select {
+	case buf := <-w.free[to][from]:
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	default:
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a delivered buffer to its channel's free list (dropped
+// if the list is full).
+func (w *World) putBuf(to, from int, buf []byte) {
+	select {
+	case w.free[to][from] <- buf:
+	default:
+	}
 }
 
 // Size returns the number of ranks.
@@ -74,21 +112,88 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.w.n }
 
-// Send delivers data to the destination rank under the given tag. The
-// slice is handed over; the caller must not modify it afterwards.
-func (r *Rank) Send(to, tag int, data []float64) {
-	r.w.boxes[to][r.id] <- message{tag: tag, data: data}
+// Request is the handle of a nonblocking operation. Sends complete at
+// post time (the payload is copied into a transport-owned buffer);
+// receives complete in Wait, which drains the channel and copies the
+// payload into the destination buffer.
+type Request struct {
+	rank    *Rank
+	from    int
+	tag     int
+	dst     []byte
+	pending bool
 }
 
-// Recv receives the next message from the source rank and checks its tag.
-// Our exchange protocols are deterministic, so a tag mismatch is a
-// program error and panics.
+// ISend posts data to the destination rank under the given tag. The
+// payload is copied into a transport-owned buffer before the call
+// returns, so the caller keeps ownership of data and may overwrite it
+// immediately (no aliasing with in-flight messages). The returned
+// request is already complete.
+func (r *Rank) ISend(to, tag int, data []byte) Request {
+	buf := r.w.getBuf(to, r.id, len(data))
+	copy(buf, data)
+	r.w.boxes[to][r.id] <- message{tag: tag, data: buf}
+	return Request{}
+}
+
+// IRecv posts a receive of the next message from the source rank into
+// dst. The matching message may arrive (and sit buffered in the channel)
+// while the caller computes; Wait completes the transfer. dst must be
+// exactly the message length.
+func (r *Rank) IRecv(from, tag int, dst []byte) Request {
+	return Request{rank: r, from: from, tag: tag, dst: dst, pending: true}
+}
+
+// Wait completes the request. Our exchange protocols are deterministic,
+// so a tag or size mismatch is a program error and panics.
+func (q *Request) Wait() {
+	if !q.pending {
+		return
+	}
+	r := q.rank
+	m := <-r.w.boxes[r.id][q.from]
+	if m.tag != q.tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.id, q.tag, q.from, m.tag))
+	}
+	if len(m.data) != len(q.dst) {
+		panic(fmt.Sprintf("comm: rank %d expected %d bytes from %d, got %d", r.id, len(q.dst), q.from, len(m.data)))
+	}
+	copy(q.dst, m.data)
+	r.w.putBuf(r.id, q.from, m.data)
+	q.pending = false
+}
+
+// WaitAll completes every request in the slice.
+func (r *Rank) WaitAll(reqs []Request) {
+	for i := range reqs {
+		reqs[i].Wait()
+	}
+}
+
+// Send delivers float64 data to the destination rank under the given
+// tag. The data is copied into a transport-owned buffer; the caller
+// keeps ownership of the slice.
+func (r *Rank) Send(to, tag int, data []float64) {
+	buf := r.w.getBuf(to, r.id, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	r.w.boxes[to][r.id] <- message{tag: tag, data: buf}
+}
+
+// Recv receives the next message from the source rank, checks its tag,
+// and returns a fresh float64 decode of the payload.
 func (r *Rank) Recv(from, tag int) []float64 {
 	m := <-r.w.boxes[r.id][from]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.id, tag, from, m.tag))
 	}
-	return m.data
+	out := make([]float64, len(m.data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(m.data[8*i:]))
+	}
+	r.w.putBuf(r.id, from, m.data)
+	return out
 }
 
 // Barrier blocks until every rank has entered it.

@@ -7,6 +7,7 @@ import (
 
 	"gristgo/internal/mesh"
 	"gristgo/internal/partition"
+	"gristgo/internal/precision"
 )
 
 func TestSendRecv(t *testing.T) {
@@ -150,25 +151,147 @@ func TestHaloExchangeRepeatedRounds(t *testing.T) {
 	})
 }
 
+// TestBytesPerExchange checks the reported per-round byte count honors
+// each field's wire word size and equals the bytes actually enqueued.
 func TestBytesPerExchange(t *testing.T) {
 	m := mesh.New(3)
 	d := partition.Decompose(m, 2, 1)
 	Run(2, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		h := NewHaloExchanger(dom, r)
-		f := dom.NewField("a", 4)
-		h.Register(f)
+		sens := dom.NewField("a", 4)
+		insens := dom.NewField("b", 3)
+		h.Register(sens)
+		h.RegisterInsensitive(insens)
 		var sendCells int64
 		for pi := range dom.PeerRanks {
 			sendCells += int64(len(dom.SendIdx[pi]))
 		}
-		if got, want := h.BytesPerExchange(8), sendCells*4*8; got != want {
-			t.Errorf("BytesPerExchange=%d want %d", got, want)
+		wantDP := sendCells * (4*8 + 3*8)
+		if got := h.BytesPerExchange(); got != wantDP {
+			t.Errorf("BytesPerExchange=%d want %d", got, wantDP)
 		}
-		if got, want := h.BytesPerExchange(4), sendCells*4*4; got != want {
-			t.Errorf("BytesPerExchange fp32=%d want %d", got, want)
+		h.Exchange()
+		if got := h.Stats().BytesSent; got != wantDP {
+			t.Errorf("enqueued %d bytes, reported %d", got, wantDP)
+		}
+
+		// Under Mixed the insensitive field travels FP32.
+		h.SetMode(precision.Mixed)
+		wantMixed := sendCells * (4*8 + 3*4)
+		if got := h.BytesPerExchange(); got != wantMixed {
+			t.Errorf("Mixed BytesPerExchange=%d want %d", got, wantMixed)
+		}
+		h.Exchange()
+		if got := h.Stats().BytesSent - wantDP; got != wantMixed {
+			t.Errorf("Mixed round enqueued %d bytes, reported %d", got, wantMixed)
 		}
 	})
+}
+
+// TestSendCopiesData: Send must copy the payload into a transport-owned
+// buffer, so a caller overwriting its slice right after Send cannot
+// corrupt the in-flight message.
+func TestSendCopiesData(t *testing.T) {
+	Run(2, func(r *Rank) {
+		if r.ID() == 0 {
+			buf := []float64{1, 2, 3}
+			r.Send(1, 5, buf)
+			buf[0], buf[1], buf[2] = -9, -9, -9
+			r.Barrier()
+			return
+		}
+		r.Barrier() // receive only after the sender scribbled over its slice
+		got := r.Recv(0, 5)
+		for i, want := range []float64{1, 2, 3} {
+			if got[i] != want {
+				t.Errorf("got[%d]=%v want %v (in-flight message aliased sender's buffer)", i, got[i], want)
+			}
+		}
+	})
+}
+
+// TestStartSealsPayload: the outbound payload of a round is snapshotted
+// at Start, so overlapped compute overwriting the registered arrays
+// before Finish cannot change what peers receive — the property that
+// makes Start/interior/Finish bit-identical to a blocking Exchange.
+func TestStartSealsPayload(t *testing.T) {
+	m := mesh.New(3)
+	nparts := 4
+	d := partition.Decompose(m, nparts, 3)
+	Run(nparts, func(r *Rank) {
+		dom := NewDomain(m, d, r.ID())
+		f := dom.NewField("q", 2)
+		h := NewHaloExchanger(dom, r)
+		h.Register(f)
+		for round := 0; round < 5; round++ {
+			for i, c := range dom.Owned {
+				for lev := 0; lev < 2; lev++ {
+					f.Set(lev, int32(i), float64(c)*100+float64(round)*10+float64(lev))
+				}
+			}
+			h.Start()
+			// Overlapped "compute": scribble over every owned value while
+			// the round is in flight.
+			for i := range dom.Owned {
+				f.Set(0, int32(i), -1)
+				f.Set(1, int32(i), -1)
+			}
+			h.Finish()
+			for i, c := range dom.Halo {
+				li := int32(len(dom.Owned) + i)
+				for lev := 0; lev < 2; lev++ {
+					want := float64(c)*100 + float64(round)*10 + float64(lev)
+					if got := f.At(lev, li); got != want {
+						t.Fatalf("rank %d round %d: halo cell %d lev %d = %v, want %v",
+							r.ID(), round, c, lev, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestHaloExchangeSteadyStateAllocFree: after warmup, a full exchange
+// round performs zero heap allocations on every rank (AllocsPerRun
+// counts mallocs process-wide, so the peer rank's round is measured
+// too).
+func TestHaloExchangeSteadyStateAllocFree(t *testing.T) {
+	m := mesh.New(3)
+	d := partition.Decompose(m, 2, 1)
+	w := NewWorld(2)
+	start := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		r := &Rank{id: 1, w: w}
+		dom := NewDomain(m, d, 1)
+		f := dom.NewField("x", 3)
+		h := NewHaloExchanger(dom, r)
+		h.Register(f)
+		for range start {
+			h.Exchange()
+			done <- struct{}{}
+		}
+	}()
+	r := &Rank{id: 0, w: w}
+	dom := NewDomain(m, d, 0)
+	f := dom.NewField("x", 3)
+	h := NewHaloExchanger(dom, r)
+	h.Register(f)
+	round := func() {
+		start <- struct{}{}
+		h.Exchange()
+		<-done
+	}
+	// Warm up: build layouts and populate the transport free lists.
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	avg := testing.AllocsPerRun(20, round)
+	close(start)
+	if avg != 0 {
+		t.Errorf("steady-state exchange allocates %.1f objects/round, want 0", avg)
+	}
 }
 
 // TestDistributedSumMatchesSerial computes a global integral two ways.

@@ -1,10 +1,14 @@
 package comm
 
 import (
+	"encoding/binary"
+	"math"
 	"sort"
+	"time"
 
 	"gristgo/internal/mesh"
 	"gristgo/internal/partition"
+	"gristgo/internal/precision"
 )
 
 // Domain is one rank's view of a decomposed mesh: the owned cells, the
@@ -70,8 +74,10 @@ func NewDomain(m *mesh.Mesh, d *partition.Decomposition, p int) *Domain {
 	return dom
 }
 
-// Field is a per-cell, per-level variable stored level-major:
-// Data[lev*NLocal + localCell]. NLev==1 gives a surface field.
+// Field is a per-cell, per-level variable stored cell-major:
+// Data[localCell*NLev + lev], so one cell's column is a contiguous
+// block — the layout the exchange packer moves. NLev==1 gives a surface
+// field.
 type Field struct {
 	Name string
 	NLev int
@@ -85,47 +91,146 @@ func (d *Domain) NewField(name string, nlev int) *Field {
 }
 
 // At returns the value at (level, local cell).
-func (f *Field) At(lev int, cell int32) float64 { return f.Data[lev*f.dom.NLocal+int(cell)] }
+func (f *Field) At(lev int, cell int32) float64 { return f.Data[int(cell)*f.NLev+lev] }
 
 // Set stores the value at (level, local cell).
-func (f *Field) Set(lev int, cell int32, v float64) { f.Data[lev*f.dom.NLocal+int(cell)] = v }
+func (f *Field) Set(lev int, cell int32, v float64) { f.Data[int(cell)*f.NLev+lev] = v }
 
 // varNode is one entry of the exchange list. The paper gathers the
 // variables to exchange in a linked list so that a single communication
-// call moves all of them (§3.1.3); we mirror that structure.
+// call moves all of them (§3.1.3); we mirror that structure. Each node
+// names the backing array, the per-entity stride, the index set its
+// entities come from, and whether the variable is precision-sensitive
+// (sensitive variables travel FP64 under every mode; insensitive ones
+// travel FP32 under precision.Mixed — §3.4).
 type varNode struct {
-	field *Field
-	next  *varNode
+	name      string
+	data      []float64
+	stride    int
+	set       int
+	sensitive bool
+	next      *varNode
+}
+
+// indexSet is one family of exchanged entities (e.g. cells, edges): the
+// per-peer entity indices to pack and unpack, aligned with the
+// exchanger's peer order. Indices address entity blocks
+// data[idx*stride : (idx+1)*stride] of every field registered on the
+// set.
+type indexSet struct {
+	send [][]int32
+	recv [][]int32
+}
+
+// ExchangeStats reports the measured activity of an exchanger: completed
+// rounds, bytes enqueued to peers, and time spent waiting for inbound
+// messages in Finish — the inputs to the measured communication
+// fraction of the performance model.
+type ExchangeStats struct {
+	Rounds    int
+	BytesSent int64
+	Wait      time.Duration
 }
 
 // HaloExchanger aggregates registered fields and exchanges all of their
-// halos with one message per peer.
+// halos with one message per peer. Message layouts (per-peer offsets,
+// word sizes, total bytes) are precomputed when registration settles,
+// and pack/unpack run through persistent per-peer buffers, so a steady
+// exchange round performs zero heap allocations.
+//
+// Exchange is the blocking round. The split Start/Finish pair overlaps
+// communication with computation: Start packs a snapshot of the
+// registered fields and posts all sends and receives; the caller then
+// computes anything that does not read halo entities; Finish completes
+// the receives and unpacks. Start/interior/Finish is bit-identical to
+// the blocking Exchange because the outbound payload is sealed at Start.
 type HaloExchanger struct {
-	dom  *Domain
-	rank *Rank
-	head *varNode // linked list of registered variables
-	tag  int
+	rank  *Rank
+	mode  precision.Mode
+	peers []int
+	sets  []indexSet
+	head  *varNode // linked list of registered variables
+	tag   int
+
+	built     bool
+	sendBytes []int64 // per peer
+	recvBytes []int64
+	sendBuf   [][]byte
+	recvBuf   [][]byte
+	recvReqs  []Request
+	inFlight  bool
+
+	stats ExchangeStats
+}
+
+// NewExchanger creates an exchanger bound to a rank with an explicit
+// peer list (sorted order must match across ranks) and precision mode.
+// Index sets and fields are added with AddIndexSet and RegisterSlice.
+func NewExchanger(r *Rank, mode precision.Mode, peers []int) *HaloExchanger {
+	return &HaloExchanger{rank: r, mode: mode, peers: peers, tag: 100}
 }
 
 // NewHaloExchanger creates an exchanger for the domain bound to an MPI
-// rank.
+// rank, with the domain's cell halo as index set 0 (DP mode; see
+// SetMode).
 func NewHaloExchanger(dom *Domain, r *Rank) *HaloExchanger {
-	return &HaloExchanger{dom: dom, rank: r, tag: 100}
+	h := NewExchanger(r, precision.DP, dom.PeerRanks)
+	h.AddIndexSet(dom.SendIdx, dom.RecvIdx)
+	return h
 }
 
-// Register appends a field to the exchange list. Registration order must
-// match across ranks (SPMD).
-func (h *HaloExchanger) Register(f *Field) {
-	node := &varNode{field: f}
+// SetMode switches the payload precision mode: under precision.Mixed,
+// insensitive fields travel FP32.
+func (h *HaloExchanger) SetMode(mode precision.Mode) {
+	h.mode = mode
+	h.built = false
+}
+
+// AddIndexSet registers a family of exchanged entities and returns its
+// id for RegisterSlice. send and recv hold one index list per peer, in
+// the exchanger's peer order; a nil list means no traffic with that
+// peer for this set.
+func (h *HaloExchanger) AddIndexSet(send, recv [][]int32) int {
+	if len(send) != len(h.peers) || len(recv) != len(h.peers) {
+		panic("comm: index set lists must align with the peer list")
+	}
+	h.sets = append(h.sets, indexSet{send: send, recv: recv})
+	h.built = false
+	return len(h.sets) - 1
+}
+
+// RegisterSlice appends a raw entity-major array to the exchange list:
+// data holds stride values per entity, indexed by the given set's
+// entity ids. Sensitive variables always travel FP64; insensitive ones
+// travel FP32 under precision.Mixed. Registration order must match
+// across ranks (SPMD).
+func (h *HaloExchanger) RegisterSlice(name string, data []float64, stride, set int, sensitive bool) {
+	if set < 0 || set >= len(h.sets) {
+		panic("comm: RegisterSlice on unknown index set")
+	}
+	node := &varNode{name: name, data: data, stride: stride, set: set, sensitive: sensitive}
 	if h.head == nil {
 		h.head = node
-		return
+	} else {
+		cur := h.head
+		for cur.next != nil {
+			cur = cur.next
+		}
+		cur.next = node
 	}
-	cur := h.head
-	for cur.next != nil {
-		cur = cur.next
-	}
-	cur.next = node
+	h.built = false
+}
+
+// Register appends a field to the exchange list as precision-sensitive
+// (always FP64 on the wire).
+func (h *HaloExchanger) Register(f *Field) {
+	h.RegisterSlice(f.Name, f.Data, f.NLev, 0, true)
+}
+
+// RegisterInsensitive appends a field that travels FP32 under the Mixed
+// mode.
+func (h *HaloExchanger) RegisterInsensitive(f *Field) {
+	h.RegisterSlice(f.Name, f.Data, f.NLev, 0, false)
 }
 
 // NumRegistered returns the number of fields on the exchange list.
@@ -137,59 +242,173 @@ func (h *HaloExchanger) NumRegistered() int {
 	return n
 }
 
-// Exchange updates the halo region of every registered field, packing all
-// variables and levels into a single message per peer.
-func (h *HaloExchanger) Exchange() {
-	dom := h.dom
-	tag := h.tag
-	h.tag++ // unique tag per exchange round
-
-	// Pack and send to each peer.
-	for pi, q := range dom.PeerRanks {
-		send := dom.SendIdx[pi]
-		var buf []float64
-		for cur := h.head; cur != nil; cur = cur.next {
-			f := cur.field
-			for lev := 0; lev < f.NLev; lev++ {
-				base := lev * dom.NLocal
-				for _, li := range send {
-					buf = append(buf, f.Data[base+int(li)])
-				}
-			}
-		}
-		h.rank.Send(q, tag, buf)
+// wordBytes returns the wire word size of a registered variable under
+// the exchanger's mode.
+func (h *HaloExchanger) wordBytes(n *varNode) int {
+	if n.sensitive || h.mode != precision.Mixed {
+		return 8
 	}
-	// Receive and unpack.
-	for pi, q := range dom.PeerRanks {
-		recv := dom.RecvIdx[pi]
-		buf := h.rank.Recv(q, tag)
-		pos := 0
+	return 4
+}
+
+// build precomputes the per-peer message layout and sizes the
+// persistent buffers. Runs once per registration change.
+func (h *HaloExchanger) build() {
+	np := len(h.peers)
+	h.sendBytes = make([]int64, np)
+	h.recvBytes = make([]int64, np)
+	for pi := range h.peers {
+		var sb, rb int64
 		for cur := h.head; cur != nil; cur = cur.next {
-			f := cur.field
-			for lev := 0; lev < f.NLev; lev++ {
-				base := lev * dom.NLocal
-				for _, li := range recv {
-					f.Data[base+int(li)] = buf[pos]
-					pos++
+			wb := int64(h.wordBytes(cur)) * int64(cur.stride)
+			sb += wb * int64(len(h.sets[cur.set].send[pi]))
+			rb += wb * int64(len(h.sets[cur.set].recv[pi]))
+		}
+		h.sendBytes[pi] = sb
+		h.recvBytes[pi] = rb
+	}
+	h.sendBuf = make([][]byte, np)
+	h.recvBuf = make([][]byte, np)
+	for pi := range h.peers {
+		h.sendBuf[pi] = make([]byte, h.sendBytes[pi])
+		h.recvBuf[pi] = make([]byte, h.recvBytes[pi])
+	}
+	h.recvReqs = make([]Request, np)
+	h.built = true
+}
+
+// pack serializes every registered variable's send entities for peer pi
+// into the persistent send buffer.
+func (h *HaloExchanger) pack(pi int) []byte {
+	buf := h.sendBuf[pi]
+	off := 0
+	for cur := h.head; cur != nil; cur = cur.next {
+		idx := h.sets[cur.set].send[pi]
+		stride := cur.stride
+		if h.wordBytes(cur) == 8 {
+			for _, e := range idx {
+				base := int(e) * stride
+				for k := 0; k < stride; k++ {
+					binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(cur.data[base+k]))
+					off += 8
+				}
+			}
+		} else {
+			for _, e := range idx {
+				base := int(e) * stride
+				for k := 0; k < stride; k++ {
+					binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(cur.data[base+k])))
+					off += 4
 				}
 			}
 		}
-		if pos != len(buf) {
-			panic("comm: halo exchange size mismatch")
+	}
+	if off != len(buf) {
+		panic("comm: halo pack size mismatch")
+	}
+	return buf
+}
+
+// unpack deserializes peer pi's message into the registered variables'
+// receive entities.
+func (h *HaloExchanger) unpack(pi int) {
+	buf := h.recvBuf[pi]
+	off := 0
+	for cur := h.head; cur != nil; cur = cur.next {
+		idx := h.sets[cur.set].recv[pi]
+		stride := cur.stride
+		if h.wordBytes(cur) == 8 {
+			for _, e := range idx {
+				base := int(e) * stride
+				for k := 0; k < stride; k++ {
+					cur.data[base+k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+					off += 8
+				}
+			}
+		} else {
+			for _, e := range idx {
+				base := int(e) * stride
+				for k := 0; k < stride; k++ {
+					cur.data[base+k] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+					off += 4
+				}
+			}
 		}
+	}
+	if off != len(buf) {
+		panic("comm: halo unpack size mismatch")
 	}
 }
 
-// BytesPerExchange returns the number of bytes this rank sends in one
-// Exchange call at the given word size — the input to the communication
-// performance model.
-func (h *HaloExchanger) BytesPerExchange(wordBytes int) int64 {
-	var words int64
-	for pi := range h.dom.PeerRanks {
-		n := int64(len(h.dom.SendIdx[pi]))
-		for cur := h.head; cur != nil; cur = cur.next {
-			words += n * int64(cur.field.NLev)
-		}
+// Start begins an exchange round: packs a snapshot of every registered
+// variable and posts one send and one receive per peer. The caller may
+// overwrite registered arrays freely until Finish, which completes the
+// receives and unpacks into the halo entities.
+func (h *HaloExchanger) Start() {
+	if h.inFlight {
+		panic("comm: HaloExchanger.Start while a round is in flight")
 	}
-	return words * int64(wordBytes)
+	if !h.built {
+		h.build()
+	}
+	tag := h.tag
+	h.tag++ // unique tag per exchange round
+	for pi, q := range h.peers {
+		h.rank.ISend(q, tag, h.pack(pi))
+		h.stats.BytesSent += h.sendBytes[pi]
+	}
+	for pi, q := range h.peers {
+		h.recvReqs[pi] = h.rank.IRecv(q, tag, h.recvBuf[pi])
+	}
+	h.inFlight = true
+}
+
+// Finish completes the round begun by Start: waits for every peer's
+// message and unpacks the halo entities.
+func (h *HaloExchanger) Finish() {
+	if !h.inFlight {
+		panic("comm: HaloExchanger.Finish without Start")
+	}
+	t0 := time.Now()
+	h.rank.WaitAll(h.recvReqs)
+	h.stats.Wait += time.Since(t0)
+	for pi := range h.peers {
+		h.unpack(pi)
+	}
+	h.inFlight = false
+	h.stats.Rounds++
+}
+
+// Exchange performs one blocking round: Start immediately followed by
+// Finish.
+func (h *HaloExchanger) Exchange() {
+	h.Start()
+	h.Finish()
+}
+
+// BytesPerExchange returns the number of bytes this rank sends in one
+// exchange round, honoring each field's wire word size under the
+// current mode — the input to the communication performance model and
+// exactly the byte count enqueued by Start.
+func (h *HaloExchanger) BytesPerExchange() int64 {
+	if !h.built {
+		h.build()
+	}
+	var total int64
+	for pi := range h.peers {
+		total += h.sendBytes[pi]
+	}
+	return total
+}
+
+// Stats returns the accumulated exchange statistics.
+func (h *HaloExchanger) Stats() ExchangeStats { return h.stats }
+
+// DrainTimings reports the accumulated wait time under "halo_wait" and
+// resets the counters (the core.ComponentTimer contract).
+func (h *HaloExchanger) DrainTimings(emit func(name string, d time.Duration, calls int)) {
+	if h.stats.Rounds > 0 {
+		emit("halo_wait", h.stats.Wait, h.stats.Rounds)
+	}
+	h.stats = ExchangeStats{}
 }

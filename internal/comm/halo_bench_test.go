@@ -1,0 +1,87 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+	"gristgo/internal/precision"
+)
+
+var (
+	benchMeshOnce sync.Once
+	benchMesh     *mesh.Mesh
+	benchDecomp   *partition.Decomposition
+	benchSink     float64
+)
+
+// runHaloBench drives b.N exchange rounds between two ranks, each round
+// carrying a dycore-like variable set (one sensitive interface field,
+// four insensitive layer fields, 30 levels) plus a fixed slab of
+// "interior" compute. The overlap variant hides the round behind that
+// compute via Start/Finish; the blocking variant runs them back to back.
+func runHaloBench(b *testing.B, mode precision.Mode, overlap bool) {
+	benchMeshOnce.Do(func() {
+		benchMesh = mesh.New(4)
+		benchDecomp = partition.Decompose(benchMesh, 2, 1)
+	})
+	w := NewWorld(2)
+	var wg sync.WaitGroup
+	body := func(id int) {
+		defer wg.Done()
+		r := &Rank{id: id, w: w}
+		dom := NewDomain(benchMesh, benchDecomp, id)
+		h := NewHaloExchanger(dom, r)
+		const nlev = 30
+		sens := dom.NewField("phi", nlev+1)
+		h.Register(sens)
+		for _, name := range []string{"mass", "theta", "w", "u"} {
+			h.RegisterInsensitive(dom.NewField(name, nlev))
+		}
+		h.SetMode(mode)
+		interior := func() float64 {
+			var s float64
+			for i := range sens.Data {
+				s += sens.Data[i]*1.0000001 + float64(i%7)
+			}
+			return s
+		}
+		if id == 0 {
+			b.SetBytes(h.BytesPerExchange())
+			b.ResetTimer()
+		}
+		var sink float64
+		for n := 0; n < b.N; n++ {
+			if overlap {
+				h.Start()
+				sink += interior()
+				h.Finish()
+			} else {
+				h.Exchange()
+				sink += interior()
+			}
+		}
+		benchSink = sink
+	}
+	wg.Add(2)
+	go body(1)
+	body(0)
+	wg.Wait()
+}
+
+func BenchmarkHaloExchange(b *testing.B) {
+	cases := []struct {
+		name    string
+		mode    precision.Mode
+		overlap bool
+	}{
+		{"blocking/fp64", precision.DP, false},
+		{"overlap/fp64", precision.DP, true},
+		{"blocking/mixed", precision.Mixed, false},
+		{"overlap/mixed", precision.Mixed, true},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) { runHaloBench(b, bc.mode, bc.overlap) })
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"gristgo/internal/comm"
@@ -112,45 +113,26 @@ func (pl *ModelPlan) tracerPeers(p int) []int {
 	return peers
 }
 
-// exchangeTracers refreshes tracer values + tracer mass (rings 1-3) and
-// the averaged mass flux (ghost edges) before a tracer step.
-func (pl *ModelPlan) exchangeTracers(r *comm.Rank, f *tracer.Field, flux []float64, tag int) {
+// newTracerExchanger builds the unified exchanger of the tracer
+// transport: tracer mass and mixing ratios over the rings-1-3 cell halo,
+// plus the averaged mass flux over the compute-region ghost edges. The
+// accumulated mass flux is the one tracer-equation term that must stay
+// FP64 under every mode (§3.4.2); tracer values travel FP32 under
+// precision.Mixed. flux must be the caller's persistent buffer — the
+// registration captures the slice.
+func newTracerExchanger(pl *ModelPlan, r *comm.Rank, f *tracer.Field, flux []float64, mode precision.Mode) *comm.HaloExchanger {
 	p := r.ID()
-	nlev := f.NLev
 	peers := pl.tracerPeers(p)
-	for _, q := range peers {
-		var buf []float64
-		for _, c := range pl.qSend[p][q] {
-			base := int(c) * nlev
-			buf = append(buf, f.Mass[base:base+nlev]...)
-			for t := range f.Q {
-				buf = append(buf, f.Q[t][base:base+nlev]...)
-			}
-		}
-		for _, e := range pl.fluxSend[p][q] {
-			base := int(e) * nlev
-			buf = append(buf, flux[base:base+nlev]...)
-		}
-		r.Send(q, tag, buf)
+	ex := comm.NewExchanger(r, mode, peers)
+	cellSet := ex.AddIndexSet(peerLists(pl.qSend[p], peers), peerLists(pl.qRecv[p], peers))
+	edgeSet := ex.AddIndexSet(peerLists(pl.fluxSend[p], peers), peerLists(pl.fluxRecv[p], peers))
+	nlev := f.NLev
+	ex.RegisterSlice("tracer_mass", f.Mass, nlev, cellSet, false)
+	for t := range f.Q {
+		ex.RegisterSlice(fmt.Sprintf("q%d", t), f.Q[t], nlev, cellSet, false)
 	}
-	for _, q := range peers {
-		buf := r.Recv(q, tag)
-		pos := 0
-		for _, c := range pl.qRecv[p][q] {
-			base := int(c) * nlev
-			pos += copy(f.Mass[base:base+nlev], buf[pos:])
-			for t := range f.Q {
-				pos += copy(f.Q[t][base:base+nlev], buf[pos:])
-			}
-		}
-		for _, e := range pl.fluxRecv[p][q] {
-			base := int(e) * nlev
-			pos += copy(flux[base:base+nlev], buf[pos:])
-		}
-		if pos != len(buf) {
-			panic("core: tracer exchange size mismatch")
-		}
-	}
+	ex.RegisterSlice("mass_flux_avg", flux, nlev, edgeSet, true)
+	return ex
 }
 
 // RunDistributedModel integrates dynamics plus tracer transport across
@@ -173,13 +155,14 @@ func RunDistributedModel(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 		field := tracer.NewField(m, nlev, eng.State().DryMass)
 		initFn(eng.State(), field)
 
-		ex := &exchanger{pl: pl.DistPlan, rank: r, state: eng.State(), peers: pl.peersOf(p), tag: 1000}
+		ex := newStateExchanger(pl.DistPlan, r, eng.State(), mode)
 		eng.SetOwned(&dycore.OwnedSets{
 			TendCells: pl.TendCells[p],
 			DiagCells: pl.DiagCells[p],
 			FluxEdges: pl.FluxEdges[p],
 			UEdges:    pl.UEdges[p],
-			Hook:      ex.exchange,
+			Start:     ex.Start,
+			Finish:    ex.Finish,
 		})
 		trans.SetOwned(&tracer.OwnedSets{
 			Cells:  pl.TracCells[p],
@@ -187,7 +170,11 @@ func RunDistributedModel(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 			Edges:  pl.TracEdges[p],
 		})
 
-		tracTag := 5_000_000
+		// avg is persistent: the tracer exchanger's registration captures
+		// it, and a stable buffer keeps the steady state allocation-free.
+		avg := make([]float64, len(eng.MassFluxAccum()))
+		tex := newTracerExchanger(pl, r, field, avg, mode)
+
 		for it := 0; it < nTrac; it++ {
 			eng.ResetMassFluxAccum()
 			for id := 0; id < nDyn; id++ {
@@ -195,57 +182,56 @@ func RunDistributedModel(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 			}
 			acc := eng.MassFluxAccum()
 			n := float64(eng.AccumSteps())
-			avg := make([]float64, len(acc))
 			for i, a := range acc {
 				avg[i] = a / n
 			}
-			pl.exchangeTracers(r, field, avg, tracTag)
-			tracTag++
+			tex.Exchange()
 			trans.Step(field, avg, float64(nDyn)*dtDyn)
 		}
 
 		// Gather owned regions to rank 0.
-		const gatherTag = 9_500_000
+		parts := r.Gather(0, packOwnedModel(eng.State(), field, pl, p))
 		if p == 0 {
-			mergeOwned(finalS, eng.State(), pl.DistPlan, 0)
-			mergeTracers(finalT, field, pl.TendCells[0], nlev)
-			for q := 1; q < nparts; q++ {
-				buf := r.Recv(q, gatherTag)
-				pos := 0
-				for _, c := range pl.TendCells[q] {
-					base := int(c) * nlev
-					pos += copy(finalT.Mass[base:base+nlev], buf[pos:])
-					for t := range finalT.Q {
-						pos += copy(finalT.Q[t][base:base+nlev], buf[pos:])
-					}
-					pos += copy(finalS.DryMass[base:base+nlev], buf[pos:])
-					pos += copy(finalS.ThetaM[base:base+nlev], buf[pos:])
-				}
+			for q, buf := range parts {
+				unpackOwnedModel(finalS, finalT, pl, q, buf)
 			}
-		} else {
-			var buf []float64
-			for _, c := range pl.TendCells[p] {
-				base := int(c) * nlev
-				buf = append(buf, field.Mass[base:base+nlev]...)
-				for t := range field.Q {
-					buf = append(buf, field.Q[t][base:base+nlev]...)
-				}
-				buf = append(buf, eng.State().DryMass[base:base+nlev]...)
-				buf = append(buf, eng.State().ThetaM[base:base+nlev]...)
-			}
-			r.Send(0, gatherTag, buf)
 		}
 	})
 	return finalS, finalT
 }
 
-// mergeTracers copies the owned tracer columns of src into dst.
-func mergeTracers(dst, src *tracer.Field, cells []int32, nlev int) {
-	for _, c := range cells {
+// packOwnedModel serializes rank p's owned tracer columns and prognostic
+// thermodynamic state into one flat buffer.
+func packOwnedModel(s *dycore.State, f *tracer.Field, pl *ModelPlan, p int) []float64 {
+	nlev := pl.NLev
+	buf := make([]float64, 0, len(pl.TendCells[p])*(len(f.Q)+3)*nlev)
+	for _, c := range pl.TendCells[p] {
 		base := int(c) * nlev
-		copy(dst.Mass[base:base+nlev], src.Mass[base:base+nlev])
-		for t := range dst.Q {
-			copy(dst.Q[t][base:base+nlev], src.Q[t][base:base+nlev])
+		buf = append(buf, f.Mass[base:base+nlev]...)
+		for t := range f.Q {
+			buf = append(buf, f.Q[t][base:base+nlev]...)
 		}
+		buf = append(buf, s.DryMass[base:base+nlev]...)
+		buf = append(buf, s.ThetaM[base:base+nlev]...)
+	}
+	return buf
+}
+
+// unpackOwnedModel writes rank p's packed region into the merged state
+// and tracer field.
+func unpackOwnedModel(dst *dycore.State, dt *tracer.Field, pl *ModelPlan, p int, buf []float64) {
+	nlev := pl.NLev
+	pos := 0
+	for _, c := range pl.TendCells[p] {
+		base := int(c) * nlev
+		pos += copy(dt.Mass[base:base+nlev], buf[pos:])
+		for t := range dt.Q {
+			pos += copy(dt.Q[t][base:base+nlev], buf[pos:])
+		}
+		pos += copy(dst.DryMass[base:base+nlev], buf[pos:])
+		pos += copy(dst.ThetaM[base:base+nlev], buf[pos:])
+	}
+	if pos != len(buf) {
+		panic("core: model gather size mismatch")
 	}
 }

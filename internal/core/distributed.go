@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"time"
 
 	"gristgo/internal/comm"
 	"gristgo/internal/dycore"
@@ -140,149 +142,183 @@ func (pl *DistPlan) peersOf(p int) []int {
 	return peers
 }
 
-// exchanger performs the per-stage halo refresh for one rank.
-type exchanger struct {
-	pl    *DistPlan
-	rank  *comm.Rank
-	state *dycore.State
-	peers []int
-	tag   int
+// peerLists converts a per-peer map of entity lists into per-position
+// lists aligned with the sorted peer order (nil where a peer exchanges
+// nothing for this set).
+func peerLists(m map[int][]int32, peers []int) [][]int32 {
+	out := make([][]int32, len(peers))
+	for i, q := range peers {
+		out[i] = m[q]
+	}
+	return out
 }
 
-// exchange refreshes halo cells (DryMass, ThetaM, W, Phi) and ghost
-// edges (U) from their owners, one message per peer (the linked-list
-// aggregation of §3.1.3 applied to the distributed dycore).
-func (ex *exchanger) exchange() {
-	pl := ex.pl
-	p := ex.rank.ID()
+// newStateExchanger builds the unified halo exchanger of the dynamics
+// state: one message per peer carries the cell halo (DryMass, ThetaM, W,
+// Phi) and the ghost edges (U) — the linked-list aggregation of §3.1.3.
+// Sensitivity follows §3.4.2: Phi feeds the FP64 pressure-gradient
+// force and stays double on the wire; the advective state and winds
+// travel FP32 under precision.Mixed.
+func newStateExchanger(pl *DistPlan, r *comm.Rank, s *dycore.State, mode precision.Mode) *comm.HaloExchanger {
+	p := r.ID()
+	peers := pl.peersOf(p)
+	ex := comm.NewExchanger(r, mode, peers)
+	cellSet := ex.AddIndexSet(peerLists(pl.cellSend[p], peers), peerLists(pl.cellRecv[p], peers))
+	edgeSet := ex.AddIndexSet(peerLists(pl.edgeSend[p], peers), peerLists(pl.edgeRecv[p], peers))
 	nlev := pl.NLev
 	ni := nlev + 1
-	s := ex.state
-	tag := ex.tag
-	ex.tag++
+	ex.RegisterSlice("dry_mass", s.DryMass, nlev, cellSet, false)
+	ex.RegisterSlice("theta_m", s.ThetaM, nlev, cellSet, false)
+	ex.RegisterSlice("w", s.W, ni, cellSet, false)
+	ex.RegisterSlice("phi", s.Phi, ni, cellSet, true)
+	ex.RegisterSlice("u", s.U, nlev, edgeSet, false)
+	return ex
+}
 
-	for _, q := range ex.peers {
-		var buf []float64
-		for _, c := range pl.cellSend[p][q] {
-			base := int(c) * nlev
-			ibase := int(c) * ni
-			buf = append(buf, s.DryMass[base:base+nlev]...)
-			buf = append(buf, s.ThetaM[base:base+nlev]...)
-			buf = append(buf, s.W[ibase:ibase+ni]...)
-			buf = append(buf, s.Phi[ibase:ibase+ni]...)
-		}
-		for _, e := range pl.edgeSend[p][q] {
-			base := int(e) * nlev
-			buf = append(buf, s.U[base:base+nlev]...)
-		}
-		ex.rank.Send(q, tag, buf)
-	}
-	for _, q := range ex.peers {
-		buf := ex.rank.Recv(q, tag)
-		pos := 0
-		for _, c := range pl.cellRecv[p][q] {
-			base := int(c) * nlev
-			ibase := int(c) * ni
-			pos += copy(s.DryMass[base:base+nlev], buf[pos:])
-			pos += copy(s.ThetaM[base:base+nlev], buf[pos:])
-			pos += copy(s.W[ibase:ibase+ni], buf[pos:])
-			pos += copy(s.Phi[ibase:ibase+ni], buf[pos:])
-		}
-		for _, e := range pl.edgeRecv[p][q] {
-			base := int(e) * nlev
-			pos += copy(s.U[base:base+nlev], buf[pos:])
-		}
-		if pos != len(buf) {
-			panic("core: distributed exchange size mismatch")
-		}
-	}
+// distOpts selects driver variants shared by the public entry points.
+type distOpts struct {
+	blocking bool                // force blocking rounds (no overlap)
+	tim      *Timings            // drain per-rank halo wait times
+	stats    *comm.ExchangeStats // aggregate rounds/bytes/wait
 }
 
 // RunDistributedDynamics integrates the dry dynamics for the given number
 // of steps across nparts ranks (goroutines), each owning one domain of
-// the decomposition, with halo exchanges after every internal stage. The
-// initial state is produced by initFn on every rank identically; the
-// merged final state is returned. The result matches a serial run of the
-// same configuration to rounding.
+// the decomposition, with halo exchanges after every internal stage
+// overlapped with interior compute. The initial state is produced by
+// initFn on every rank identically; the merged final state is returned.
+// The result matches a serial run of the same configuration to rounding.
 func RunDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 	initFn func(*dycore.State), steps int, dt float64) *dycore.State {
+	return runDistributedDynamics(m, nlev, nparts, mode, initFn, steps, dt, distOpts{})
+}
+
+// RunDistributedDynamicsTimed is RunDistributedDynamics with measured
+// communication accounting: every rank's dynamics wall time accumulates
+// under "dynamics" and its exchanger wait under "halo_wait" in tm, and
+// the aggregate exchange statistics are returned. MeasuredCommShare(tm)
+// turns the two counters into the measured communication fraction that
+// replaces the modeled one in perfmodel.
+func RunDistributedDynamicsTimed(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64, tm *Timings) (*dycore.State, comm.ExchangeStats) {
+	var st comm.ExchangeStats
+	s := runDistributedDynamics(m, nlev, nparts, mode, initFn, steps, dt, distOpts{tim: tm, stats: &st})
+	return s, st
+}
+
+// MeasuredCommShare returns the measured communication fraction of a
+// timed distributed run: summed halo wait over summed dynamics wall time
+// across ranks.
+func MeasuredCommShare(tm *Timings) float64 {
+	wait, _ := tm.Get("halo_wait")
+	total, _ := tm.Get("dynamics")
+	if total <= 0 {
+		return 0
+	}
+	return float64(wait) / float64(total)
+}
+
+func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64, opt distOpts) *dycore.State {
 
 	pl := NewDistPlan(m, nlev, nparts, 12345)
 	final := dycore.NewState(m, nlev)
+	var mu sync.Mutex
 
 	comm.Run(nparts, func(r *comm.Rank) {
 		p := r.ID()
 		eng := dycore.New(m, nlev, mode)
 		initFn(eng.State())
-		ex := &exchanger{pl: pl, rank: r, state: eng.State(), peers: pl.peersOf(p), tag: 1000}
-		eng.SetOwned(&dycore.OwnedSets{
+		ex := newStateExchanger(pl, r, eng.State(), mode)
+		o := &dycore.OwnedSets{
 			TendCells: pl.TendCells[p],
 			DiagCells: pl.DiagCells[p],
 			FluxEdges: pl.FluxEdges[p],
 			UEdges:    pl.UEdges[p],
-			Hook:      ex.exchange,
-		})
+		}
+		if opt.blocking {
+			o.Start = ex.Exchange
+		} else {
+			o.Start, o.Finish = ex.Start, ex.Finish
+		}
+		eng.SetOwned(o)
+		t0 := time.Now()
 		for i := 0; i < steps; i++ {
 			eng.Step(dt)
 		}
+		wall := time.Since(t0)
 
-		// Gather owned regions to rank 0.
-		const gatherTag = 9_000_000
-		s := eng.State()
-		ni := nlev + 1
-		if p == 0 {
-			// Copy own region.
-			mergeOwned(final, s, pl, 0)
-			for q := 1; q < nparts; q++ {
-				buf := r.Recv(q, gatherTag)
-				pos := 0
-				for _, c := range pl.TendCells[q] {
-					base := int(c) * nlev
-					ibase := int(c) * ni
-					pos += copy(final.DryMass[base:base+nlev], buf[pos:])
-					pos += copy(final.ThetaM[base:base+nlev], buf[pos:])
-					pos += copy(final.W[ibase:ibase+ni], buf[pos:])
-					pos += copy(final.Phi[ibase:ibase+ni], buf[pos:])
-				}
-				for _, e := range pl.UEdges[q] {
-					base := int(e) * nlev
-					pos += copy(final.U[base:base+nlev], buf[pos:])
-				}
+		if opt.stats != nil || opt.tim != nil {
+			mu.Lock()
+			if opt.stats != nil {
+				st := ex.Stats()
+				opt.stats.Rounds += st.Rounds
+				opt.stats.BytesSent += st.BytesSent
+				opt.stats.Wait += st.Wait
 			}
-		} else {
-			var buf []float64
-			for _, c := range pl.TendCells[p] {
-				base := int(c) * nlev
-				ibase := int(c) * ni
-				buf = append(buf, s.DryMass[base:base+nlev]...)
-				buf = append(buf, s.ThetaM[base:base+nlev]...)
-				buf = append(buf, s.W[ibase:ibase+ni]...)
-				buf = append(buf, s.Phi[ibase:ibase+ni]...)
+			if opt.tim != nil {
+				opt.tim.Add("dynamics", wall)
+				ex.DrainTimings(opt.tim.AddCalls)
 			}
-			for _, e := range pl.UEdges[p] {
-				base := int(e) * nlev
-				buf = append(buf, s.U[base:base+nlev]...)
-			}
-			r.Send(0, gatherTag, buf)
+			mu.Unlock()
 		}
+
+		gatherState(r, final, eng.State(), pl)
 	})
 	return final
 }
 
-// mergeOwned copies rank p's owned region from src into dst.
-func mergeOwned(dst, src *dycore.State, pl *DistPlan, p int) {
+// gatherState collects every rank's owned region into dst on rank 0 via
+// the Gather collective (ranks other than 0 leave dst untouched).
+func gatherState(r *comm.Rank, dst, src *dycore.State, pl *DistPlan) {
+	parts := r.Gather(0, packOwnedState(src, pl, r.ID()))
+	if r.ID() != 0 {
+		return
+	}
+	for q, buf := range parts {
+		unpackOwnedState(dst, pl, q, buf)
+	}
+}
+
+// packOwnedState serializes rank p's owned prognostic region (cells:
+// DryMass, ThetaM, W, Phi; edges: U) into one flat buffer.
+func packOwnedState(s *dycore.State, pl *DistPlan, p int) []float64 {
 	nlev := pl.NLev
 	ni := nlev + 1
+	buf := make([]float64, 0, len(pl.TendCells[p])*2*(nlev+ni)+len(pl.UEdges[p])*nlev)
 	for _, c := range pl.TendCells[p] {
 		base := int(c) * nlev
 		ibase := int(c) * ni
-		copy(dst.DryMass[base:base+nlev], src.DryMass[base:base+nlev])
-		copy(dst.ThetaM[base:base+nlev], src.ThetaM[base:base+nlev])
-		copy(dst.W[ibase:ibase+ni], src.W[ibase:ibase+ni])
-		copy(dst.Phi[ibase:ibase+ni], src.Phi[ibase:ibase+ni])
+		buf = append(buf, s.DryMass[base:base+nlev]...)
+		buf = append(buf, s.ThetaM[base:base+nlev]...)
+		buf = append(buf, s.W[ibase:ibase+ni]...)
+		buf = append(buf, s.Phi[ibase:ibase+ni]...)
 	}
 	for _, e := range pl.UEdges[p] {
 		base := int(e) * nlev
-		copy(dst.U[base:base+nlev], src.U[base:base+nlev])
+		buf = append(buf, s.U[base:base+nlev]...)
+	}
+	return buf
+}
+
+// unpackOwnedState writes rank p's packed region into dst.
+func unpackOwnedState(dst *dycore.State, pl *DistPlan, p int, buf []float64) {
+	nlev := pl.NLev
+	ni := nlev + 1
+	pos := 0
+	for _, c := range pl.TendCells[p] {
+		base := int(c) * nlev
+		ibase := int(c) * ni
+		pos += copy(dst.DryMass[base:base+nlev], buf[pos:])
+		pos += copy(dst.ThetaM[base:base+nlev], buf[pos:])
+		pos += copy(dst.W[ibase:ibase+ni], buf[pos:])
+		pos += copy(dst.Phi[ibase:ibase+ni], buf[pos:])
+	}
+	for _, e := range pl.UEdges[p] {
+		base := int(e) * nlev
+		pos += copy(dst.U[base:base+nlev], buf[pos:])
+	}
+	if pos != len(buf) {
+		panic("core: distributed gather size mismatch")
 	}
 }

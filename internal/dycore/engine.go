@@ -37,8 +37,9 @@ type Engine interface {
 	ApplyHeating(q1 []float64, dt float64)
 	// SetOwned restricts computation to the given entity sets for
 	// distributed runs (nil resets to serial full-mesh operation). The
-	// Hook runs after every internal stage so the driver can refresh
-	// halos.
+	// Start/Finish hooks run around every internal stage boundary so
+	// the driver can refresh halos, overlapping interior compute with
+	// the in-flight exchange.
 	SetOwned(o *OwnedSets)
 	// SetHostParallelism runs the entity loops across n host workers
 	// (shared-memory OpenMP analog; 0/1 = serial, negative = all CPUs).
@@ -53,14 +54,23 @@ type Engine interface {
 // additionally include the one-ring halo, where diagnostic quantities
 // (density, pressure, kinetic energy) must be valid; FluxEdges are the
 // edges of owned cells, where mass fluxes are formed; UEdges are the
-// owned edges whose normal velocity this rank advances. Hook is invoked
-// after each internal stage so the caller can exchange halos.
+// owned edges whose normal velocity this rank advances.
+//
+// Start and Finish bracket the halo refresh at each stage boundary:
+// Start must snapshot the just-updated owned values and post the
+// exchange (it may equally perform the whole blocking round), Finish
+// completes a round posted by Start (nil when Start blocks). The engine
+// runs Start → interior compute → Finish → boundary compute, with the
+// interior/boundary partition derived from the entity sets and the mesh
+// one-ring, so an overlap-capable exchange layer hides the round-trip
+// behind the interior work.
 type OwnedSets struct {
 	TendCells []int32
 	DiagCells []int32
 	FluxEdges []int32
 	UEdges    []int32
-	Hook      func()
+	Start     func()
+	Finish    func()
 }
 
 // New creates an Engine over the mesh with nlev layers in the given
@@ -84,8 +94,11 @@ type engine[T precision.Real] struct {
 	s    *State
 	mode precision.Mode
 
-	// Active sets for distributed runs; nil means every entity.
+	// Active sets for distributed runs; nil means every entity. split
+	// is the derived interior/boundary partition of the stage loops
+	// (nil when no entity sets are configured).
 	owned *OwnedSets
+	split *splitSets
 
 	// Host worker count for shared-memory parallel loops (<=1: serial).
 	workers int
@@ -179,7 +192,13 @@ func (e *engine[T]) ResetMassFluxAccum() {
 	e.accumSteps = 0
 }
 
-func (e *engine[T]) SetOwned(o *OwnedSets) { e.owned = o }
+func (e *engine[T]) SetOwned(o *OwnedSets) {
+	e.owned = o
+	e.split = nil
+	if o != nil && len(o.DiagCells) > 0 {
+		e.split = buildSplit(e.s.M, o)
+	}
+}
 
 // EnableHyperdiffusion switches the background del^2 closure to a
 // scale-selective del^4 hyperdiffusion (the higher-order dissipation
@@ -198,9 +217,15 @@ func (e *engine[T]) EnableHyperdiffusion() {
 	e.lapU = make([]float64, m.NEdges*e.s.NLev)
 }
 
-func (e *engine[T]) hookStage() {
-	if e.owned != nil && e.owned.Hook != nil {
-		e.owned.Hook()
+func (e *engine[T]) hookStart() {
+	if e.owned != nil && e.owned.Start != nil {
+		e.owned.Start()
+	}
+}
+
+func (e *engine[T]) hookFinish() {
+	if e.owned != nil && e.owned.Finish != nil {
+		e.owned.Finish()
 	}
 }
 
@@ -226,16 +251,6 @@ func (e *engine[T]) eachTendCell(f func(c int32)) {
 	e.iterateParallel(ids, e.s.M.NCells, f)
 }
 
-// eachDiagCell iterates over cells needing valid diagnostics (owned +
-// one-ring halo in distributed runs).
-func (e *engine[T]) eachDiagCell(f func(c int32)) {
-	var ids []int32
-	if e.owned != nil {
-		ids = e.owned.DiagCells
-	}
-	e.iterateParallel(ids, e.s.M.NCells, f)
-}
-
 // eachFluxEdge iterates over edges where mass fluxes are formed.
 func (e *engine[T]) eachFluxEdge(f func(ed int32)) {
 	var ids []int32
@@ -257,6 +272,14 @@ func (e *engine[T]) eachUEdge(f func(ed int32)) {
 // Step advances one HEVI timestep: Wicker-Skamarock RK3 for the
 // horizontal explicit terms, then the vertically-implicit acoustic
 // adjustment of (w, phi).
+//
+// Stage tendencies are evaluated right after the previous stage's state
+// update. With a split exchange layer the interior share runs while the
+// halo refresh is in flight (Start → interior → Finish → boundary) —
+// bit-identical to the blocking order, because Start seals its outbound
+// payload before the overlapped compute begins. The vertical solve is
+// column-local over owned cells and the mass-flux accumulation reads
+// only work arrays, so both also overlap with an in-flight exchange.
 func (e *engine[T]) Step(dt float64) {
 	s := e.s
 	if e.saveMass == nil {
@@ -268,8 +291,10 @@ func (e *engine[T]) Step(dt float64) {
 	copy(e.saveTheta, s.ThetaM)
 	copy(e.saveU, s.U)
 
-	for _, frac := range []float64{dt / 3, dt / 2, dt} {
-		e.computeTendencies()
+	fracs := [3]float64{dt / 3, dt / 2, dt}
+	e.computeTendencies(regionAll)
+	for si := 0; si < 3; si++ {
+		frac := fracs[si]
 		e.eachTendCell(func(c int32) {
 			for k := 0; k < s.NLev; k++ {
 				i := int(c)*s.NLev + k
@@ -283,9 +308,15 @@ func (e *engine[T]) Step(dt float64) {
 				s.U[i] = e.saveU[i] + frac*e.dU[i]
 			}
 		})
-		e.hookStage()
+		if si < 2 {
+			e.hookStart()
+			e.computeTendencies(regionInterior)
+			e.hookFinish()
+			e.computeTendencies(regionBoundary)
+		}
 	}
 
+	e.hookStart()
 	// Accumulate the final-stage mass flux in double precision for the
 	// tracer sub-cycling (§3.4.2: delta-pi*V must stay FP64).
 	e.eachFluxEdge(func(ed int32) {
@@ -297,36 +328,78 @@ func (e *engine[T]) Step(dt float64) {
 	e.accumSteps++
 
 	e.implicitVertical(dt)
-	e.hookStage()
+	e.hookFinish()
+	// Post-implicit refresh: ship the implicitly updated (w, phi).
+	e.hookStart()
+	e.hookFinish()
+}
+
+// region selects which share of the stage loops to run: everything, the
+// exchange-independent interior, or the exchange-dependent boundary.
+type region uint8
+
+const (
+	regionAll region = iota
+	regionInterior
+	regionBoundary
+)
+
+// stageSets resolves the entity id lists of each kernel for a region
+// (nil = every entity; an empty list = none). Without a split partition,
+// Interior is the whole domain and Boundary is empty.
+func (e *engine[T]) stageSets(reg region) (diag, flux, vert, vtan, tend, u []int32, run bool) {
+	if e.split == nil {
+		if reg == regionBoundary {
+			return nil, nil, nil, nil, nil, nil, false
+		}
+		if e.owned != nil {
+			o := e.owned
+			return o.DiagCells, o.FluxEdges, nil, nil, o.TendCells, o.UEdges, true
+		}
+		return nil, nil, nil, nil, nil, nil, true
+	}
+	sp := e.split
+	switch reg {
+	case regionInterior:
+		return sp.diagInt, sp.fluxInt, sp.vertInt, sp.vtanInt, sp.tendInt, sp.uInt, true
+	case regionBoundary:
+		return sp.diagBnd, sp.fluxBnd, sp.vertBnd, sp.vtanBnd, sp.tendBnd, sp.uBnd, true
+	default:
+		return sp.diagAll, sp.fluxAll, sp.vertAll, sp.vtanAll, sp.tendAll, sp.uAll, true
+	}
 }
 
 // computeTendencies evaluates the explicit horizontal tendencies of
-// delta-pi, Theta and u into dMass, dTheta, dU.
-func (e *engine[T]) computeTendencies() {
-	e.ComputeRRR()
-	e.PrimalNormalFluxEdge()
-	e.computeKineticEnergy()
-	e.computeVorticity()
-	e.tangentialParallel()
+// delta-pi, Theta and u into dMass, dTheta, dU over the given region.
+func (e *engine[T]) computeTendencies(reg region) {
+	diag, flux, vert, vtan, tend, u, run := e.stageSets(reg)
+	if !run {
+		return
+	}
+	e.computeRRR(diag)
+	e.primalNormalFluxEdge(flux)
+	e.computeKineticEnergy(diag)
+	e.computeVorticity(vert)
+	e.tangentialWinds(vtan)
 
 	if e.nu4 > 0 {
 		e.vectorLaplacian(e.lapU)
 	}
-	e.continuityAndThermo()
-	e.momentum()
+	e.continuityAndThermo(tend)
+	e.momentum(u)
 }
 
-// ComputeRRR diagnoses the reciprocal density (specific volume)
+// computeRRR diagnoses the reciprocal density (specific volume)
 // rrr = dphi/dpi per layer, the full nonhydrostatic pressure from the
 // equation of state, the Exner function, and the dry mid-layer pressure.
 // This is the paper's compute_rrr kernel: it touches many arrays and
 // carries pow/division work, and its rrr output is precision-insensitive
 // while pressure and Exner stay FP64.
-func (e *engine[T]) ComputeRRR() {
+func (e *engine[T]) computeRRR(ids []int32) {
 	s := e.s
 	nlev := s.NLev
 	kappa := Rd / Cp
-	e.eachDiagCell(func(c int32) {
+	e.iterateParallel(ids, s.M.NCells, func(c int32) {
 		pIface := PTop
 		for k := 0; k < nlev; k++ {
 			i := int(c)*nlev + k
@@ -344,16 +417,16 @@ func (e *engine[T]) ComputeRRR() {
 	})
 }
 
-// PrimalNormalFluxEdge reconstructs delta-pi and theta at edges and forms
+// primalNormalFluxEdge reconstructs delta-pi and theta at edges and forms
 // the horizontal mass flux delta-pi*u. The reconstruction blends a
 // positivity-friendly harmonic mean with an upwind value weighted by the
 // local Courant ratio — the division-heavy structure that makes this
 // kernel profit from single precision on CPEs (Fig. 9).
-func (e *engine[T]) PrimalNormalFluxEdge() {
+func (e *engine[T]) primalNormalFluxEdge(ids []int32) {
 	s := e.s
 	m := s.M
 	nlev := s.NLev
-	e.eachFluxEdge(func(ed int32) {
+	e.iterateParallel(ids, m.NEdges, func(ed int32) {
 		c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
 		uStar := T(10.0) // blending velocity scale, m/s
 		for k := 0; k < nlev; k++ {
@@ -388,11 +461,11 @@ func (e *engine[T]) PrimalNormalFluxEdge() {
 
 // computeKineticEnergy evaluates cell kinetic energy from the edge-normal
 // winds (MPAS/TRiSK form): KE_c = (1/A_c) sum_e (Dv*Dc/4) u_e^2.
-func (e *engine[T]) computeKineticEnergy() {
+func (e *engine[T]) computeKineticEnergy(ids []int32) {
 	s := e.s
 	m := s.M
 	nlev := s.NLev
-	e.eachDiagCell(func(c int32) {
+	e.iterateParallel(ids, m.NCells, func(c int32) {
 		inv := T(1.0 / m.CellArea[c])
 		for k := 0; k < nlev; k++ {
 			e.ke[int(c)*nlev+k] = 0
@@ -409,32 +482,30 @@ func (e *engine[T]) computeKineticEnergy() {
 }
 
 // computeVorticity evaluates relative vorticity at dual vertices.
-func (e *engine[T]) computeVorticity() {
+func (e *engine[T]) computeVorticity(ids []int32) {
 	s := e.s
 	m := s.M
 	nlev := s.NLev
-	e.parallelFor(m.NVerts, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			inv := T(1.0 / m.VertArea[v])
-			for k := 0; k < nlev; k++ {
-				var acc T
-				for j := 0; j < 3; j++ {
-					ed := m.VertEdge[v][j]
-					acc += T(m.VertEdgeSign[v][j]) * T(s.U[int(ed)*nlev+k]) * T(m.DcEdge[ed])
-				}
-				e.zeta[v*nlev+k] = acc * inv
+	e.iterateParallel(ids, m.NVerts, func(v int32) {
+		inv := T(1.0 / m.VertArea[v])
+		for k := 0; k < nlev; k++ {
+			var acc T
+			for j := 0; j < 3; j++ {
+				ed := m.VertEdge[v][j]
+				acc += T(m.VertEdgeSign[v][j]) * T(s.U[int(ed)*nlev+k]) * T(m.DcEdge[ed])
 			}
+			e.zeta[int(v)*nlev+k] = acc * inv
 		}
 	})
 }
 
 // continuityAndThermo forms the divergence tendencies of dry mass and
 // mass-weighted potential temperature from the edge fluxes.
-func (e *engine[T]) continuityAndThermo() {
+func (e *engine[T]) continuityAndThermo(ids []int32) {
 	s := e.s
 	m := s.M
 	nlev := s.NLev
-	e.eachTendCell(func(c int32) {
+	e.iterateParallel(ids, m.NCells, func(c int32) {
 		inv := 1.0 / m.CellArea[c]
 		for k := 0; k < nlev; k++ {
 			e.dMass[int(c)*nlev+k] = 0
@@ -505,12 +576,12 @@ func (e *engine[T]) lapOfField(u []float64, ed int32, k int) float64 {
 // Coriolis + vorticity flux (insensitive, T), kinetic-energy gradient
 // (insensitive, T), pressure-gradient force (sensitive, float64), and
 // scale-selective diffusion.
-func (e *engine[T]) momentum() {
+func (e *engine[T]) momentum(ids []int32) {
 	s := e.s
 	m := s.M
 	nlev := s.NLev
 
-	e.eachUEdge(func(ed int32) {
+	e.iterateParallel(ids, m.NEdges, func(ed int32) {
 		c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
 		v0, v1 := m.EdgeVert[ed][0], m.EdgeVert[ed][1]
 		invDc := 1.0 / m.DcEdge[ed]
@@ -621,7 +692,11 @@ func (e *engine[T]) VorticityAtLevel(k int) []float64 {
 func (e *engine[T]) ApplyHeating(q1 []float64, dt float64) {
 	s := e.s
 	nlev := s.NLev
-	e.ComputeRRR() // refresh Exner
+	var diag []int32
+	if e.owned != nil {
+		diag = e.owned.DiagCells
+	}
+	e.computeRRR(diag) // refresh Exner
 	e.eachTendCell(func(c int32) {
 		for k := 0; k < nlev; k++ {
 			i := int(c)*nlev + k

@@ -22,13 +22,20 @@ func tangentialVelocityLevels[T precision.Real](m *mesh.Mesh, dst []T, u []float
 	}
 }
 
-// tangentialParallel evaluates the TRiSK reconstruction over all edges,
-// chunked across the host workers when enabled.
-func (e *engine[T]) tangentialParallel() {
+// tangentialWinds evaluates the TRiSK reconstruction over the given
+// edges (nil = every edge, chunked across the host workers when
+// enabled).
+func (e *engine[T]) tangentialWinds(ids []int32) {
 	m := e.s.M
-	e.parallelFor(m.NEdges, func(lo, hi int) {
-		tangentialVelocityLevels(m, e.vtan, e.s.U, e.s.NLev, lo, hi)
-	})
+	if ids == nil {
+		e.parallelFor(m.NEdges, func(lo, hi int) {
+			tangentialVelocityLevels(m, e.vtan, e.s.U, e.s.NLev, lo, hi)
+		})
+		return
+	}
+	for _, ed := range ids {
+		tangentialVelocityLevels(m, e.vtan, e.s.U, e.s.NLev, int(ed), int(ed)+1)
+	}
 }
 
 // implicitVertical performs the vertically-implicit acoustic adjustment

@@ -47,6 +47,9 @@ func syntheticSamples(n, nlev int, seed int64) []*coarse.Sample {
 }
 
 func TestTrainAndPredict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training run (~30 s)")
+	}
 	nlev := 10
 	samples := syntheticSamples(300, nlev, 1)
 	train, test := coarse.Split(samples, 24, rand.New(rand.NewSource(2)))
@@ -68,6 +71,9 @@ func TestTrainAndPredict(t *testing.T) {
 }
 
 func TestSuiteImplementsSchemePhysically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full suite (~20 s)")
+	}
 	nlev := 8
 	samples := syntheticSamples(200, nlev, 3)
 	suite, _, _ := Train(samples, nil, nlev, DefaultTrainConfig())

@@ -76,6 +76,24 @@ type Result struct {
 	CacheHit  float64 // modeled LDCache hit ratio of the dyn kernels
 }
 
+// WithMeasuredCommShare replaces the modeled communication fraction with
+// a measured one (e.g. core.MeasuredCommShare from a timed distributed
+// run): the modeled compute time is kept and the day length rescaled so
+// that communication takes the given share of it. share must be in
+// [0, 1); values outside are clamped to the modeled result.
+func (r Result) WithMeasuredCommShare(share float64) Result {
+	if share < 0 || share >= 1 || r.CompSec <= 0 {
+		return r
+	}
+	day := r.CompSec / (1 - share)
+	r.DaySec = day
+	r.CommSec = day * share
+	r.CommShare = share
+	r.SDPD = 86400 / day
+	r.SYPD = 86400 / day / 365
+	return r
+}
+
 // Machine bundles the interconnect and calibrated cost constants.
 type Machine struct {
 	Net *netsim.Network

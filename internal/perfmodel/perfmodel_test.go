@@ -291,3 +291,38 @@ func TestSetMLEfficiency(t *testing.T) {
 		t.Errorf("halving ML efficiency did not slow the model: %g vs %g", slower, base)
 	}
 }
+
+// TestWithMeasuredCommShare: substituting a measured communication
+// fraction keeps the modeled compute time, rescales the day length so
+// communication takes exactly that share, and keeps SDPD/SYPD
+// consistent with it.
+func TestWithMeasuredCommShare(t *testing.T) {
+	m := NewMachine()
+	r := m.Predict(RunConfig{Level: 8, Layers: 30, NCG: 2048, Scheme: mixPHY})
+	for _, share := range []float64{0.05, 0.37, 0.6} {
+		adj := r.WithMeasuredCommShare(share)
+		if adj.CompSec != r.CompSec {
+			t.Errorf("share %v: compute time changed", share)
+		}
+		if math.Abs(adj.CommShare-share) > 1e-12 {
+			t.Errorf("share %v: CommShare=%v", share, adj.CommShare)
+		}
+		if math.Abs(adj.DaySec-(adj.CompSec+adj.CommSec)) > 1e-9*adj.DaySec {
+			t.Errorf("share %v: day != comp+comm", share)
+		}
+		if math.Abs(adj.SDPD-86400/adj.DaySec) > 1e-9*adj.SDPD {
+			t.Errorf("share %v: SDPD inconsistent", share)
+		}
+		if math.Abs(adj.SYPD-adj.SDPD/365) > 1e-12*adj.SYPD {
+			t.Errorf("share %v: SYPD inconsistent", share)
+		}
+	}
+	// A larger measured share must slow the model down.
+	if r.WithMeasuredCommShare(0.6).SDPD >= r.WithMeasuredCommShare(0.1).SDPD {
+		t.Error("higher comm share did not reduce SDPD")
+	}
+	// Out-of-range shares leave the result untouched.
+	if r.WithMeasuredCommShare(-0.1) != r || r.WithMeasuredCommShare(1.0) != r {
+		t.Error("out-of-range share modified the result")
+	}
+}
