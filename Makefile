@@ -1,18 +1,26 @@
 # Developer workflow for the gristgo reproduction. `make check` is the
-# tier-1 gate plus vet and a race-detector pass over the whole module
-# (the SPMD runtime, exchange layer and drivers are all concurrent).
+# tier-1 gate plus vet, the domain linters, and a race-detector pass over
+# the whole module (the SPMD runtime, exchange layer and drivers are all
+# concurrent).
 
 GO ?= go
 
-.PHONY: check build vet test race bench-ml bench-halo
+.PHONY: check build vet lint test race bench-ml bench-halo
 
-check: build vet test race
+check: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The domain analyzers (precisioncheck, hotpathalloc, sendownership,
+# stencilsafety — see DESIGN.md "Statically enforced invariants").
+# gristlint exits nonzero on any unsuppressed diagnostic, so `make check`
+# fails when a new finding appears.
+lint:
+	$(GO) run ./cmd/gristlint ./...
 
 test:
 	$(GO) test ./...

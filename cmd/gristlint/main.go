@@ -1,0 +1,100 @@
+// Command gristlint is the multichecker of the repo's domain analyzers:
+//
+//	precisioncheck  §3.4 mixed-precision discipline (Real kernels, FP64 pins)
+//	hotpathalloc    allocation-free //grist:hotpath steady state
+//	sendownership   no buffer reuse while a comm round owns it
+//	stencilsafety   adjacency-walking kernels registered against overlap.go
+//
+// Usage:
+//
+//	gristlint [-only name[,name]] [packages]
+//
+// Packages default to ./... resolved against the enclosing module.
+// Findings are suppressible per line with `//lint:ignore analyzer reason`
+// (the reason is mandatory). Exit status 1 when any diagnostic survives.
+//
+// The loader type-checks the module and its stdlib imports from source,
+// so gristlint needs no module cache, no network, and no go/packages —
+// see internal/lint for the framework.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gristgo/internal/lint"
+	"gristgo/internal/lint/hotpathalloc"
+	"gristgo/internal/lint/precisioncheck"
+	"gristgo/internal/lint/sendownership"
+	"gristgo/internal/lint/stencilsafety"
+)
+
+var analyzers = []*lint.Analyzer{
+	precisioncheck.Analyzer,
+	hotpathalloc.Analyzer,
+	sendownership.Analyzer,
+	stencilsafety.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := analyzers
+	if *only != "" {
+		names := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			names[strings.TrimSpace(n)] = true
+		}
+		active = nil
+		for _, a := range analyzers {
+			if names[a.Name] {
+				active = append(active, a)
+				delete(names, a.Name)
+			}
+		}
+		for n := range names {
+			fmt.Fprintf(os.Stderr, "gristlint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gristlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gristlint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gristlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := d.Position(loader.Fset())
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "gristlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

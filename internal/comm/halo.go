@@ -279,6 +279,8 @@ func (h *HaloExchanger) build() {
 
 // pack serializes every registered variable's send entities for peer pi
 // into the persistent send buffer.
+//
+//grist:hotpath
 func (h *HaloExchanger) pack(pi int) []byte {
 	buf := h.sendBuf[pi]
 	off := 0
@@ -311,6 +313,8 @@ func (h *HaloExchanger) pack(pi int) []byte {
 
 // unpack deserializes peer pi's message into the registered variables'
 // receive entities.
+//
+//grist:hotpath
 func (h *HaloExchanger) unpack(pi int) {
 	buf := h.recvBuf[pi]
 	off := 0
@@ -365,6 +369,8 @@ func (h *HaloExchanger) Start() {
 
 // Finish completes the round begun by Start: waits for every peer's
 // message and unpacks the halo entities.
+//
+//grist:hotpath
 func (h *HaloExchanger) Finish() {
 	if !h.inFlight {
 		panic("comm: HaloExchanger.Finish without Start")

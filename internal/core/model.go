@@ -81,9 +81,11 @@ type Model struct {
 
 	// RemapEvery triggers the conservative vertical remap after every N
 	// physics steps, restoring uniform-sigma layers of the vertically
-	// Lagrangian integration (0 disables).
+	// Lagrangian integration (0 disables). remapper holds the column
+	// scratch so the periodic remap stays allocation-free.
 	RemapEvery int
 	stepCount  int
+	remapper   *dycore.Remapper
 
 	// Accumulated diagnostics.
 	PrecipAccum []float64 // mm since last ResetDiagnostics
@@ -265,7 +267,10 @@ func (mod *Model) StepPhysics(season float64) {
 
 	mod.stepCount++
 	if mod.RemapEvery > 0 && mod.stepCount%mod.RemapEvery == 0 {
-		dycore.VerticalRemap(mod.Engine.State(), mod.Tracers)
+		if mod.remapper == nil {
+			mod.remapper = dycore.NewRemapper(mod.Engine.State().NLev)
+		}
+		mod.remapper.Run(mod.Engine.State(), mod.Tracers)
 	}
 }
 

@@ -128,7 +128,10 @@ func (mod *Model) StepPhysicsTimed(season float64, tm *Timings) {
 }
 
 // verticalRemapModel is split out so the timed and untimed paths share
-// one call site.
+// one call site (and one scratch-holding Remapper).
 func verticalRemapModel(mod *Model) {
-	dycore.VerticalRemap(mod.Engine.State(), mod.Tracers)
+	if mod.remapper == nil {
+		mod.remapper = dycore.NewRemapper(mod.Engine.State().NLev)
+	}
+	mod.remapper.Run(mod.Engine.State(), mod.Tracers)
 }

@@ -2,6 +2,7 @@ package dycore
 
 import (
 	"math"
+	"sync"
 
 	"gristgo/internal/mesh"
 	"gristgo/internal/precision"
@@ -131,6 +132,10 @@ type engine[T precision.Real] struct {
 	// allocation).
 	saveMass, saveTheta, saveU []float64
 
+	// implicitPool recycles the column-solve scratch of implicitVertical
+	// across goroutines and steps (constructor set in newEngine).
+	implicitPool sync.Pool
+
 	// Horizontal diffusion coefficients, scaled with mesh spacing at
 	// construction: nu is the del^2 background, nu4 the optional
 	// scale-selective del^4 (enabled by EnableHyperdiffusion).
@@ -165,7 +170,12 @@ func newEngine[T precision.Real](s *State, mode precision.Mode) *engine[T] {
 		dU:     make([]float64, m.NEdges*nlev),
 
 		massFluxAcc: make([]float64, m.NEdges*nlev),
+
+		saveMass:  make([]float64, m.NCells*nlev),
+		saveTheta: make([]float64, m.NCells*nlev),
+		saveU:     make([]float64, m.NEdges*nlev),
 	}
+	e.implicitPool.New = newImplicitScratch(nlev)
 	// Scale-selective damping: nu ~ dx^2 / tau with tau ~ 2h.
 	meanDx := meanEdgeLength(m)
 	e.nu = meanDx * meanDx / 7200.0
@@ -280,13 +290,10 @@ func (e *engine[T]) eachUEdge(f func(ed int32)) {
 // payload before the overlapped compute begins. The vertical solve is
 // column-local over owned cells and the mass-flux accumulation reads
 // only work arrays, so both also overlap with an in-flight exchange.
+//
+//grist:hotpath
 func (e *engine[T]) Step(dt float64) {
 	s := e.s
-	if e.saveMass == nil {
-		e.saveMass = make([]float64, len(s.DryMass))
-		e.saveTheta = make([]float64, len(s.ThetaM))
-		e.saveU = make([]float64, len(s.U))
-	}
 	copy(e.saveMass, s.DryMass)
 	copy(e.saveTheta, s.ThetaM)
 	copy(e.saveU, s.U)
@@ -395,6 +402,8 @@ func (e *engine[T]) computeTendencies(reg region) {
 // This is the paper's compute_rrr kernel: it touches many arrays and
 // carries pow/division work, and its rrr output is precision-insensitive
 // while pressure and Exner stay FP64.
+//
+//grist:hotpath
 func (e *engine[T]) computeRRR(ids []int32) {
 	s := e.s
 	nlev := s.NLev
@@ -422,6 +431,8 @@ func (e *engine[T]) computeRRR(ids []int32) {
 // positivity-friendly harmonic mean with an upwind value weighted by the
 // local Courant ratio — the division-heavy structure that makes this
 // kernel profit from single precision on CPEs (Fig. 9).
+//
+//grist:hotpath
 func (e *engine[T]) primalNormalFluxEdge(ids []int32) {
 	s := e.s
 	m := s.M
@@ -461,6 +472,8 @@ func (e *engine[T]) primalNormalFluxEdge(ids []int32) {
 
 // computeKineticEnergy evaluates cell kinetic energy from the edge-normal
 // winds (MPAS/TRiSK form): KE_c = (1/A_c) sum_e (Dv*Dc/4) u_e^2.
+//
+//grist:hotpath
 func (e *engine[T]) computeKineticEnergy(ids []int32) {
 	s := e.s
 	m := s.M
@@ -482,6 +495,8 @@ func (e *engine[T]) computeKineticEnergy(ids []int32) {
 }
 
 // computeVorticity evaluates relative vorticity at dual vertices.
+//
+//grist:hotpath
 func (e *engine[T]) computeVorticity(ids []int32) {
 	s := e.s
 	m := s.M
@@ -501,6 +516,8 @@ func (e *engine[T]) computeVorticity(ids []int32) {
 
 // continuityAndThermo forms the divergence tendencies of dry mass and
 // mass-weighted potential temperature from the edge fluxes.
+//
+//grist:hotpath
 func (e *engine[T]) continuityAndThermo(ids []int32) {
 	s := e.s
 	m := s.M
@@ -527,6 +544,8 @@ func (e *engine[T]) continuityAndThermo(ids []int32) {
 // normal winds into dst: L(u)_e = grad(div u)_e - curl(zeta)_e. The
 // divergence comes from divAt; the vorticity from the zeta work array
 // (assumed fresh from computeVorticity).
+//
+//grist:hotpath
 func (e *engine[T]) vectorLaplacian(dst []float64) {
 	s := e.s
 	m := s.M
@@ -546,36 +565,46 @@ func (e *engine[T]) vectorLaplacian(dst []float64) {
 }
 
 // lapOfField computes div/curl of an arbitrary edge field (for the
-// second application of the Laplacian in del^4).
+// second application of the Laplacian in del^4). The div/curl loops are
+// written out flat: this runs per (edge, level) inside momentum, and
+// per-call closures here would be heap traffic in the hottest loop of
+// the hyperdiffusion path.
+//
+//grist:hotpath
 func (e *engine[T]) lapOfField(u []float64, ed int32, k int) float64 {
-	s := e.s
-	m := s.M
-	nlev := s.NLev
+	m := e.s.M
+	nlev := e.s.NLev
 	c0, c1 := m.EdgeCell[ed][0], m.EdgeCell[ed][1]
 	v0, v1 := m.EdgeVert[ed][0], m.EdgeVert[ed][1]
-	divOf := func(c int32) float64 {
-		var acc float64
-		for kk := m.CellOff[c]; kk < m.CellOff[c+1]; kk++ {
-			ee := m.CellEdge[kk]
-			acc += float64(m.CellEdgeSign[kk]) * u[int(ee)*nlev+k] * m.DvEdge[ee]
-		}
-		return acc / m.CellArea[c]
+	var div0, div1 float64
+	for kk := m.CellOff[c0]; kk < m.CellOff[c0+1]; kk++ {
+		ee := m.CellEdge[kk]
+		div0 += float64(m.CellEdgeSign[kk]) * u[int(ee)*nlev+k] * m.DvEdge[ee]
 	}
-	curlOf := func(v int32) float64 {
-		var acc float64
-		for j := 0; j < 3; j++ {
-			ee := m.VertEdge[v][j]
-			acc += float64(m.VertEdgeSign[v][j]) * u[int(ee)*nlev+k] * m.DcEdge[ee]
-		}
-		return acc / m.VertArea[v]
+	div0 /= m.CellArea[c0]
+	for kk := m.CellOff[c1]; kk < m.CellOff[c1+1]; kk++ {
+		ee := m.CellEdge[kk]
+		div1 += float64(m.CellEdgeSign[kk]) * u[int(ee)*nlev+k] * m.DvEdge[ee]
 	}
-	return (divOf(c1)-divOf(c0))/m.DcEdge[ed] - (curlOf(v1)-curlOf(v0))/m.DvEdge[ed]
+	div1 /= m.CellArea[c1]
+	var curl0, curl1 float64
+	for j := 0; j < 3; j++ {
+		e0 := m.VertEdge[v0][j]
+		curl0 += float64(m.VertEdgeSign[v0][j]) * u[int(e0)*nlev+k] * m.DcEdge[e0]
+		e1 := m.VertEdge[v1][j]
+		curl1 += float64(m.VertEdgeSign[v1][j]) * u[int(e1)*nlev+k] * m.DcEdge[e1]
+	}
+	curl0 /= m.VertArea[v0]
+	curl1 /= m.VertArea[v1]
+	return (div1-div0)/m.DcEdge[ed] - (curl1-curl0)/m.DvEdge[ed]
 }
 
 // momentum assembles the edge-normal velocity tendency:
 // Coriolis + vorticity flux (insensitive, T), kinetic-energy gradient
 // (insensitive, T), pressure-gradient force (sensitive, float64), and
 // scale-selective diffusion.
+//
+//grist:hotpath
 func (e *engine[T]) momentum(ids []int32) {
 	s := e.s
 	m := s.M
@@ -656,6 +685,8 @@ func refPhi(pi float64) float64 {
 
 // divAt returns the velocity divergence at (cell, level) from the current
 // normal winds (used by the diffusion term).
+//
+//grist:hotpath
 func (e *engine[T]) divAt(c int32, k int) float64 {
 	s := e.s
 	m := s.M

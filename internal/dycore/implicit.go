@@ -2,7 +2,6 @@ package dycore
 
 import (
 	"math"
-	"sync"
 
 	"gristgo/internal/mesh"
 	"gristgo/internal/precision"
@@ -25,6 +24,8 @@ func tangentialVelocityLevels[T precision.Real](m *mesh.Mesh, dst []T, u []float
 // tangentialWinds evaluates the TRiSK reconstruction over the given
 // edges (nil = every edge, chunked across the host workers when
 // enabled).
+//
+//grist:hotpath
 func (e *engine[T]) tangentialWinds(ids []int32) {
 	m := e.s.M
 	if ids == nil {
@@ -35,6 +36,26 @@ func (e *engine[T]) tangentialWinds(ids []int32) {
 	}
 	for _, ed := range ids {
 		tangentialVelocityLevels(m, e.vtan, e.s.U, e.s.NLev, int(ed), int(ed)+1)
+	}
+}
+
+// implicitScratch is the per-goroutine workspace of the column solve;
+// the engine's implicitPool recycles instances so the steady state stays
+// allocation-free (the eight makes run once per worker, at pool misses).
+type implicitScratch struct {
+	p, a, dPi, diag, lower, upper, rhs, wNew []float64
+}
+
+// newImplicitScratch builds the pool constructor for nlev layers.
+func newImplicitScratch(nlev int) func() any {
+	ni := nlev + 1
+	return func() any {
+		return &implicitScratch{
+			p: make([]float64, nlev), a: make([]float64, nlev),
+			dPi: make([]float64, ni), diag: make([]float64, ni),
+			lower: make([]float64, ni), upper: make([]float64, ni),
+			rhs: make([]float64, ni), wNew: make([]float64, ni),
+		}
 	}
 }
 
@@ -52,6 +73,8 @@ func (e *engine[T]) tangentialWinds(ids []int32) {
 //
 // with rigid boundaries w_0 = w_K = 0. Substituting p' into the momentum
 // update yields a symmetric tridiagonal system in the interior w'.
+//
+//grist:hotpath
 func (e *engine[T]) implicitVertical(dt float64) {
 	s := e.s
 	nlev := s.NLev
@@ -60,23 +83,9 @@ func (e *engine[T]) implicitVertical(dt float64) {
 	}
 	ni := nlev + 1
 
-	// Per-goroutine scratch lives in scratchPool so the column solve can
-	// run in parallel.
-	type scratch struct {
-		p, a, dPi, diag, lower, upper, rhs, wNew []float64
-	}
-	pool := sync.Pool{New: func() any {
-		return &scratch{
-			p: make([]float64, nlev), a: make([]float64, nlev),
-			dPi: make([]float64, ni), diag: make([]float64, ni),
-			lower: make([]float64, ni), upper: make([]float64, ni),
-			rhs: make([]float64, ni), wNew: make([]float64, ni),
-		}
-	}}
-
 	e.eachTendCell(func(c int32) {
-		sc := pool.Get().(*scratch)
-		defer pool.Put(sc)
+		sc := e.implicitPool.Get().(*implicitScratch)
+		defer e.implicitPool.Put(sc)
 		p, a, dPi := sc.p, sc.a, sc.dPi
 		diag, lower, upper, rhs, wNew := sc.diag, sc.lower, sc.upper, sc.rhs, sc.wNew
 		base := int(c) * nlev

@@ -2,6 +2,34 @@ package dycore
 
 import "gristgo/internal/tracer"
 
+// Remapper performs the vertical remap with preallocated column scratch,
+// so the periodic remap inside the model step costs zero steady-state
+// allocations (guarded by TestRemapperRunAllocFree). Construct one per
+// (state, tracer) shape with NewRemapper and call Run each remap
+// interval; the one-shot VerticalRemap wrapper remains for callers that
+// remap rarely enough not to care.
+type Remapper struct {
+	srcEdges, dstEdges []float64
+	thetaNew, wNew     []float64
+	wMid               []float64
+	qNew               [tracer.NumSpecies][]float64
+}
+
+// NewRemapper allocates scratch for columns of nlev layers.
+func NewRemapper(nlev int) *Remapper {
+	r := &Remapper{
+		srcEdges: make([]float64, nlev+1),
+		dstEdges: make([]float64, nlev+1),
+		thetaNew: make([]float64, nlev),
+		wNew:     make([]float64, nlev),
+		wMid:     make([]float64, nlev),
+	}
+	for t := range r.qNew {
+		r.qNew[t] = make([]float64, nlev)
+	}
+	return r
+}
+
 // VerticalRemap restores the layer distribution of a vertically
 // Lagrangian integration: the HEVI solver holds dry mass in material
 // layers (no cross-layer transport), so long integrations gradually
@@ -17,17 +45,18 @@ import "gristgo/internal/tracer"
 // (the acoustic adjustment re-establishes any nonhydrostatic residual
 // within a few steps).
 func VerticalRemap(s *State, tracers *tracer.Field) {
+	NewRemapper(s.NLev).Run(s, tracers)
+}
+
+// Run remaps every column of s (and tracers, when non-nil) onto
+// uniform-sigma target layers. See VerticalRemap for the scheme.
+//
+//grist:hotpath
+func (r *Remapper) Run(s *State, tracers *tracer.Field) {
 	nlev := s.NLev
 	nc := s.M.NCells
-
-	srcEdges := make([]float64, nlev+1)
-	dstEdges := make([]float64, nlev+1)
-	thetaNew := make([]float64, nlev)
-	wNew := make([]float64, nlev)
-	var qNew [tracer.NumSpecies][]float64
-	for t := range qNew {
-		qNew[t] = make([]float64, nlev)
-	}
+	srcEdges, dstEdges := r.srcEdges, r.dstEdges
+	thetaNew, wNew, wMid := r.thetaNew, r.wNew, r.wMid
 
 	for c := 0; c < nc; c++ {
 		base := c * nlev
@@ -45,14 +74,13 @@ func VerticalRemap(s *State, tracers *tracer.Field) {
 
 		// Remap each mass-weighted quantity by overlap integration.
 		remapInto(srcEdges, dstEdges, s.ThetaM[base:base+nlev], s.DryMass[base:base+nlev], thetaNew)
-		wMid := make([]float64, nlev)
 		for k := 0; k < nlev; k++ {
 			wMid[k] = 0.5 * (s.W[c*(nlev+1)+k] + s.W[c*(nlev+1)+k+1]) * s.DryMass[base+k]
 		}
 		remapInto(srcEdges, dstEdges, wMid, s.DryMass[base:base+nlev], wNew)
 		if tracers != nil {
 			for t := range tracers.Q {
-				remapInto(srcEdges, dstEdges, tracers.Q[t][base:base+nlev], s.DryMass[base:base+nlev], qNew[t])
+				remapInto(srcEdges, dstEdges, tracers.Q[t][base:base+nlev], s.DryMass[base:base+nlev], r.qNew[t])
 			}
 		}
 
@@ -64,7 +92,7 @@ func VerticalRemap(s *State, tracers *tracer.Field) {
 			if tracers != nil {
 				tracers.Mass[base+k] = dpiNew
 				for t := range tracers.Q {
-					tracers.Q[t][base+k] = qNew[t][k]
+					tracers.Q[t][base+k] = r.qNew[t][k]
 				}
 			}
 		}

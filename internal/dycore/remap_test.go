@@ -183,3 +183,19 @@ func TestRemapIntoOverlapLogic(t *testing.T) {
 		}
 	}
 }
+
+func TestRemapperRunAllocFree(t *testing.T) {
+	m := testMesh(t, 1)
+	nlev := 8
+	s := NewState(m, nlev)
+	s.IsothermalRest(290)
+	tr := tracer.NewField(m, nlev, s.DryMass)
+	r := NewRemapper(nlev)
+	r.Run(s, tr) // warm up
+	allocs := testing.AllocsPerRun(10, func() {
+		r.Run(s, tr)
+	})
+	if allocs > 0 {
+		t.Errorf("Remapper.Run allocates %.1f times per call; want 0", allocs)
+	}
+}

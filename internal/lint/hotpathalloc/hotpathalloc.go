@@ -1,0 +1,260 @@
+// Package hotpathalloc enforces the allocation-free steady state of the
+// model's hot paths by construction. A function annotated
+//
+//	//grist:hotpath
+//
+// in its doc comment — the dycore step kernels, the inference engine's
+// execute path, the halo pack/unpack — must not contain heap-allocating
+// constructs, and neither may any same-package function it statically
+// calls: make/new, append, slice or map composite literals, &T{...},
+// fmt.* calls, goroutine launches, and closure creation.
+//
+// Two sanctioned idioms are carved out:
+//
+//   - Closures handed directly to the engine's loop drivers
+//     (iterateParallel and friends, below) are the repo's OpenMP-analog
+//     iteration idiom; the closure header is one O(1) allocation per
+//     kernel invocation while the closure BODY runs once per entity, so
+//     bodies are still checked, creations are not.
+//   - Anything inside the argument list of panic(...) is a cold path.
+//
+// Call-graph propagation is package-local and name-resolved; calls
+// through function values (e.g. OwnedSets.Start) and into other
+// packages are not followed — those boundaries are covered by the
+// testing.AllocsPerRun guards.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gristgo/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid heap-allocating constructs in //grist:hotpath functions and their package-local callees",
+	Run:  run,
+}
+
+// directive marks a hot-path function in its doc comment.
+const directive = "//grist:hotpath"
+
+// loopDrivers are the sanctioned per-entity iteration helpers: a closure
+// passed directly to one of these is not reported (its body still is).
+var loopDrivers = map[string]bool{
+	"iterate":             true,
+	"iterateParallel":     true,
+	"parallelFor":         true,
+	"eachTendCell":        true,
+	"eachFluxEdge":        true,
+	"eachUEdge":           true,
+	"eachCell":            true,
+	"eachEdge":            true,
+	"eachCommitCell":      true,
+	"eachCommitCellOrAll": true,
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.TypesInfo
+
+	// Index this package's function declarations by their object.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			if isAnnotated(fd) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Worklist: every function reachable from an annotated root through
+	// statically resolved same-package calls is hot.
+	checked := make(map[*ast.FuncDecl]bool)
+	work := append([]*ast.FuncDecl(nil), roots...)
+	for len(work) > 0 {
+		fd := work[0]
+		work = work[1:]
+		if checked[fd] {
+			continue
+		}
+		checked[fd] = true
+		callees := checkBody(pass, fd)
+		for _, obj := range callees {
+			if cd, ok := decls[obj]; ok && !checked[cd] {
+				work = append(work, cd)
+			}
+		}
+	}
+	return nil
+}
+
+func isAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// walker carries the traversal state through one hot function body.
+type walker struct {
+	pass    *lint.Pass
+	fn      string
+	callees []types.Object
+}
+
+// checkBody reports allocating constructs in fd's body and returns the
+// statically resolved callees to propagate into.
+func checkBody(pass *lint.Pass, fd *ast.FuncDecl) []types.Object {
+	w := &walker{pass: pass, fn: fd.Name.Name}
+	w.walk(fd.Body, false)
+	return w.callees
+}
+
+// walk visits n; inPanic marks subtrees inside panic(...) arguments.
+func (w *walker) walk(n ast.Node, inPanic bool) {
+	if n == nil {
+		return
+	}
+	info := w.pass.TypesInfo
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.GoStmt:
+			if !inPanic {
+				w.pass.Reportf(x.Pos(), "goroutine launch in hot path %s allocates; hoist concurrency into the loop drivers", w.fn)
+			}
+		case *ast.CallExpr:
+			return w.visitCall(x, inPanic)
+		case *ast.FuncLit:
+			if !inPanic {
+				w.pass.Reportf(x.Pos(), "closure created in hot path %s allocates per call; pass it to a loop driver or hoist it out of the steady state", w.fn)
+			}
+			// Body is traversed by the enclosing Inspect anyway.
+		case *ast.CompositeLit:
+			if inPanic {
+				return true
+			}
+			if tv, ok := info.Types[x]; ok {
+				switch types.Unalias(tv.Type).Underlying().(type) {
+				case *types.Slice:
+					w.pass.Reportf(x.Pos(), "slice literal in hot path %s heap-allocates; use a preallocated scratch buffer", w.fn)
+				case *types.Map:
+					w.pass.Reportf(x.Pos(), "map literal in hot path %s heap-allocates; use a preallocated structure", w.fn)
+				}
+			}
+		case *ast.UnaryExpr:
+			if !inPanic && x.Op.String() == "&" {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					w.pass.Reportf(x.Pos(), "&composite literal in hot path %s escapes to the heap; reuse a preallocated value", w.fn)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// visitCall classifies one call expression. Returns false when the
+// children were handled manually.
+func (w *walker) visitCall(call *ast.CallExpr, inPanic bool) bool {
+	info := w.pass.TypesInfo
+	name, obj := calleeName(info, call)
+
+	switch {
+	case obj == nil && name == "": // dynamic call through a value
+		return true
+	case isBuiltin(obj, "panic"):
+		// Cold path: walk arguments with the exemption set.
+		for _, a := range call.Args {
+			w.walk(a, true)
+		}
+		return false
+	case isBuiltin(obj, "make"):
+		if !inPanic {
+			w.pass.Reportf(call.Pos(), "make in hot path %s allocates per call; allocate at construction time", w.fn)
+		}
+	case isBuiltin(obj, "new"):
+		if !inPanic {
+			w.pass.Reportf(call.Pos(), "new in hot path %s allocates per call; allocate at construction time", w.fn)
+		}
+	case isBuiltin(obj, "append"):
+		if !inPanic {
+			w.pass.Reportf(call.Pos(), "append in hot path %s may grow its backing array; size buffers at construction time", w.fn)
+		}
+	case obj != nil && isFmtCall(obj):
+		if !inPanic {
+			w.pass.Reportf(call.Pos(), "fmt call in hot path %s allocates (boxing and buffers); restrict formatting to error paths", w.fn)
+		}
+	case loopDrivers[name]:
+		// Sanctioned iteration scaffolding: do not flag direct closure
+		// arguments and do not propagate into the driver, but do check
+		// the closure bodies (they run once per entity).
+		for _, a := range call.Args {
+			if fl, ok := a.(*ast.FuncLit); ok {
+				w.walk(fl.Body, inPanic)
+			} else {
+				w.walk(a, inPanic)
+			}
+		}
+		w.walk(call.Fun, inPanic)
+		return false
+	case obj != nil:
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg() == w.pass.Pkg {
+			w.callees = append(w.callees, obj)
+		}
+	}
+	return true
+}
+
+// calleeName resolves the called function's name and object, seeing
+// through selectors and generic instantiations.
+func calleeName(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+			fun = f.X
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name, info.Uses[f]
+	case *ast.SelectorExpr:
+		return f.Sel.Name, info.Uses[f.Sel]
+	}
+	return "", nil
+}
+
+func isBuiltin(obj types.Object, name string) bool {
+	b, ok := obj.(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isFmtCall(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt"
+}

@@ -1,0 +1,14 @@
+package hotpathalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/hotpathalloc"
+)
+
+func TestHotpathalloc(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "hotpathalloc")
+	analysistest.Run(t, hotpathalloc.Analyzer, dir, "example.com/fix/hotpathalloc")
+}

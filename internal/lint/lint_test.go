@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const ignoreSrc = `package p
+
+//lint:ignore foo pinned term feeds a declared-float32 wire format
+var a int
+
+//lint:ignore foo
+var b int
+
+var c int //lint:ignore foo,bar both checks audited against the overlap design
+
+//lint:ignore * scratch file, excluded from the invariants
+var d int
+`
+
+func parseIgnoreSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", ignoreSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// varPos returns the position of the i-th package-level var name.
+func varPos(f *ast.File, i int) token.Pos {
+	return f.Decls[i].(*ast.GenDecl).Specs[0].(*ast.ValueSpec).Names[0].Pos()
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	ig := collectIgnores(fset, []*ast.File{f})
+
+	if len(ig.malformed) != 1 {
+		t.Fatalf("malformed directives: got %d, want 1", len(ig.malformed))
+	}
+	if ig.malformed[0].Analyzer != "lint" {
+		t.Errorf("malformed directive reported under %q, want \"lint\"", ig.malformed[0].Analyzer)
+	}
+
+	cases := []struct {
+		name     string
+		declIdx  int
+		analyzer string
+		want     bool
+	}{
+		{"directive above covers next line", 0, "foo", true},
+		{"directive names only foo", 0, "bar", false},
+		{"missing reason suppresses nothing", 1, "foo", false},
+		{"end-of-line list, first name", 2, "foo", true},
+		{"end-of-line list, second name", 2, "bar", true},
+		{"end-of-line list, other analyzer", 2, "baz", false},
+		{"wildcard covers everything", 3, "anything", true},
+	}
+	for _, tc := range cases {
+		d := Diagnostic{Pos: varPos(f, tc.declIdx), Analyzer: tc.analyzer}
+		if got := ig.suppresses(fset, d); got != tc.want {
+			t.Errorf("%s: suppresses=%v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	diags, err := Run(nil, []*Analyzer{{Name: "x", Run: func(*Pass) error { return nil }}})
+	if err != nil || diags != nil {
+		t.Fatalf("Run(nil pkgs) = %v, %v; want nil, nil", diags, err)
+	}
+}

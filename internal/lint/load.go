@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis: syntax with comments, the types.Package, and full expression
+// type information.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without export data or network
+// access: module-local import paths resolve into the module tree, and
+// everything else resolves into GOROOT/src and is type-checked from
+// source (the same strategy as go/importer's "source" compiler). The
+// container image has no module cache, so this is the only loading
+// strategy that works offline — and the module has no third-party
+// dependencies, so it is also complete.
+//
+// Test files (_test.go) are not loaded: the invariants gristlint encodes
+// govern the model's steady-state code, and the ps/vor and AllocsPerRun
+// harnesses exercise their dynamic halves from the test side.
+type Loader struct {
+	fset    *token.FileSet
+	ctx     build.Context
+	modRoot string
+	modPath string
+
+	typed   map[string]*types.Package // every import path, incl. stdlib
+	pkgs    map[string]*Package       // packages loaded with syntax+info
+	loading map[string]bool           // cycle detection
+}
+
+// NewLoader creates a loader for the module whose go.mod is found in dir
+// or one of its parents.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Pure-Go loading: cgo-constrained files drop out and the stdlib's
+	// non-cgo fallbacks are selected, which type-check from source.
+	ctx.CgoEnabled = false
+	return &Loader{
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		modRoot: root,
+		modPath: modPath,
+		typed:   make(map[string]*types.Package),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot returns the directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// modulePath extracts the module path from the first `module` directive.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves patterns to module packages and type-checks them.
+// Supported patterns: "./..." (every package under the module root), a
+// module-relative directory like "./internal/dycore", or a full import
+// path within the module.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			walked, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range walked {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))
+			if rel == "." {
+				add(l.modPath)
+			} else {
+				add(l.modPath + "/" + rel)
+			}
+		default:
+			add(pat)
+		}
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.loadModulePackage(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (which may live
+// under a testdata tree, invisible to the go tool) under the synthetic
+// import path asPath. Imports inside the package resolve as usual, so
+// testdata fixtures may import module or stdlib packages.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(asPath, abs, true)
+}
+
+// walkModule enumerates the import paths of every Go package under the
+// module root, skipping hidden directories and testdata trees.
+func (l *Loader) walkModule() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.modRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.modRoot && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctx.ImportDir(p, 0); err != nil {
+			return nil // not a Go package
+		}
+		rel, err := filepath.Rel(l.modRoot, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.modPath)
+		} else {
+			out = append(out, l.modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// dirFor maps an import path to its source directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.modPath {
+		return l.modRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
+		return filepath.Join(l.modRoot, filepath.FromSlash(rest))
+	}
+	return filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+}
+
+func (l *Loader) inModule(path string) bool {
+	return path == l.modPath || strings.HasPrefix(path, l.modPath+"/")
+}
+
+// loadModulePackage loads a module package with full syntax and info.
+func (l *Loader) loadModulePackage(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.check(path, l.dirFor(path), true)
+}
+
+// Import implements types.Importer for dependency resolution during
+// type-checking. Module-local dependencies keep their syntax and info
+// (they are analysis targets too); everything else is types-only.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.typed[path]; ok {
+		return tp, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	pkg, err := l.check(path, l.dirFor(path), l.inModule(path))
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// ImportFrom implements types.ImporterFrom; the loader resolves by
+// import path alone (no vendoring).
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return l.Import(path)
+}
+
+// check parses and type-checks one package directory.
+func (l *Loader) check(path, dir string, withInfo bool) (*Package, error) {
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if withInfo {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", l.ctx.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	l.typed[path] = tpkg
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	if withInfo {
+		l.pkgs[path] = pkg
+	}
+	return pkg, nil
+}

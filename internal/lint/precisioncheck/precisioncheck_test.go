@@ -1,0 +1,21 @@
+package precisioncheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/precisioncheck"
+)
+
+func TestPrecisioncheck(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "precisioncheck")
+	analysistest.Run(t, precisioncheck.Analyzer, dir, "example.com/fix/precisioncheck")
+}
+
+// TestExemptPackage loads the same fixture under an exempt import path:
+// the rounding machinery itself is allowed to convert freely.
+func TestExemptPackage(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "precisioncheck")
+	analysistest.RunExpectNone(t, precisioncheck.Analyzer, dir, "example.com/internal/precision")
+}

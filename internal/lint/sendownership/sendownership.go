@@ -1,0 +1,254 @@
+// Package sendownership enforces the transport buffer-ownership rule of
+// the comm layer: a payload slice handed to Rank.ISend / Rank.Send is
+// transport-owned for the rest of the communication round, and a buffer
+// posted with Rank.IRecv belongs to the transport until its request
+// completes. Touching either from the caller before a synchronization
+// point is the aliasing hazard the halo layer's copy-on-send design
+// exists to prevent — and the hazard returns the moment anyone swaps the
+// in-process transport for a zero-copy one, so the discipline is
+// enforced statically rather than left to the transport du jour.
+//
+// The check is function-local and syntactic about aliasing: after a
+// statement that passes a trackable buffer expression (an identifier,
+// selector chain, or index expression) to ISend/Send/IRecv, any further
+// mention of that same expression in the following statements of the
+// enclosing block is reported, until a synchronization call (Wait,
+// WaitAll, Finish, Exchange, Barrier, Recv) is reached. Buffers that
+// only exist as call results (e.g. ISend(q, tag, pack(pi))) cannot be
+// misused by name and are not tracked.
+package sendownership
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gristgo/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "sendownership",
+	Doc:  "report use of a payload slice after handing it to comm Send/ISend/IRecv and before the round completes",
+	Run:  run,
+}
+
+// transferMethods maps the comm.Rank methods that transfer buffer
+// ownership to the index of the buffer argument.
+var transferMethods = map[string]int{
+	"ISend": 2, // (to, tag, data)
+	"Send":  2, // (to, tag, data)
+	"IRecv": 2, // (from, tag, dst)
+}
+
+// syncMethods end the transport's ownership window.
+var syncMethods = map[string]bool{
+	"Wait":     true,
+	"WaitAll":  true,
+	"Finish":   true,
+	"Exchange": true,
+	"Barrier":  true,
+	"Recv":     true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBlock(pass, body.List)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock scans one statement list in source order. For every
+// transfer found in the straight-line part of a statement, the remaining
+// statements of the same list are scanned for mentions of the
+// transferred buffer until a sync call shows up. Transfers inside nested
+// blocks (if/for/switch bodies) are scoped to their own block by the
+// recursion: a guard branch that sends and returns does not taint the
+// fall-through path.
+func checkBlock(pass *lint.Pass, stmts []ast.Stmt) {
+	for i, st := range stmts {
+		switch s := st.(type) {
+		case *ast.BlockStmt:
+			checkBlock(pass, s.List)
+		case *ast.IfStmt:
+			checkBlock(pass, s.Body.List)
+			switch el := s.Else.(type) {
+			case *ast.BlockStmt:
+				checkBlock(pass, el.List)
+			case *ast.IfStmt:
+				checkBlock(pass, []ast.Stmt{el})
+			}
+		case *ast.ForStmt:
+			checkBlock(pass, s.Body.List)
+		case *ast.RangeStmt:
+			checkBlock(pass, s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkBlock(pass, cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkBlock(pass, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkBlock(pass, cc.Body)
+				}
+			}
+		}
+
+		for _, tr := range transfersIn(pass, st) {
+			scanAfter(pass, stmts[i+1:], tr)
+		}
+	}
+}
+
+// transfer records one buffer handed to the transport.
+type transfer struct {
+	expr   string // printed form of the buffer expression
+	method string
+}
+
+// transfersIn finds ownership transfers in the straight-line part of a
+// single statement: nested blocks and function literals are skipped —
+// checkBlock's recursion gives each its own trailing-statement scan.
+func transfersIn(pass *lint.Pass, st ast.Stmt) []transfer {
+	var out []transfer
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := rankMethod(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		argIdx, isTransfer := transferMethods[name]
+		if !isTransfer || len(call.Args) <= argIdx {
+			return true
+		}
+		if s := trackable(call.Args[argIdx]); s != "" {
+			out = append(out, transfer{expr: s, method: name})
+		}
+		return true
+	})
+	return out
+}
+
+// scanAfter walks the trailing statements looking for mentions of the
+// transferred buffer, stopping at the first synchronization call.
+func scanAfter(pass *lint.Pass, stmts []ast.Stmt, tr transfer) {
+	done := false
+	for _, st := range stmts {
+		if done {
+			return
+		}
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			if done {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if name, ok := rankMethod(pass.TypesInfo, call); ok && syncMethods[name] {
+					done = true
+					return false
+				}
+			}
+			// Rebinding the whole variable releases the tracked buffer:
+			// the name no longer aliases the transport-owned memory.
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, r := range as.Rhs {
+					ast.Inspect(r, visit)
+				}
+				for _, l := range as.Lhs {
+					if trackable(l) == tr.expr {
+						done = true
+						return false
+					}
+					ast.Inspect(l, visit)
+				}
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok && trackable(e) == tr.expr {
+				pass.Reportf(n.Pos(),
+					"%s is transport-owned after %s; reading or writing it before the round completes races a zero-copy transport (synchronize with Wait/WaitAll/Finish first)",
+					tr.expr, tr.method)
+				done = true // one report per transfer is enough
+				return false
+			}
+			return true
+		}
+		ast.Inspect(st, visit)
+	}
+}
+
+// rankMethod reports whether call invokes a method on comm.Rank (or a
+// value of a type named Rank/HaloExchanger, so testdata fixtures work)
+// and returns the method name.
+func rankMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch named.Obj().Name() {
+	case "Rank", "HaloExchanger":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// trackable renders identifier/selector/index expressions to a stable
+// string; anything else returns "".
+func trackable(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := trackable(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := trackable(x.X)
+		idx := trackable(x.Index)
+		if base == "" || idx == "" {
+			return ""
+		}
+		return base + "[" + idx + "]"
+	case *ast.BasicLit:
+		return x.Value
+	}
+	return ""
+}

@@ -1,0 +1,14 @@
+package sendownership_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/sendownership"
+)
+
+func TestSendownership(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "sendownership")
+	analysistest.Run(t, sendownership.Analyzer, dir, "example.com/fix/sendownership")
+}

@@ -1,0 +1,194 @@
+// Package stencilsafety guards the overlapped halo exchange: a dycore
+// kernel that reads through mesh adjacency (neighbor/edge index slices)
+// computes a stencil, and during a Start → interior → Finish → boundary
+// round an unregistered stencil can read stale halo data without any
+// test noticing — the serial runs stay bit-identical. The taint
+// classification that partitions every kernel's iteration space lives in
+// dycore/overlap.go (splitSets); this analyzer forces the two to stay in
+// sync by requiring every adjacency-walking function to appear in the
+// package's stencilRegistry variable, whose entries name the taint class
+// (or exemption reason) the kernel was audited against.
+//
+// Mechanics: in any package that declares
+//
+//	var stencilRegistry = map[string]string{ "recv.func": "role", ... }
+//
+// (and in any package whose import path ends in internal/dycore, where
+// the registry is mandatory), every function whose body mentions a mesh
+// adjacency member — a selector like m.CellEdge, m.EdgeCell,
+// m.VertEdge, m.TrskEdge ... on a value of a type named Mesh — must
+// have its "recv.func" (methods) or "func" (functions) key registered.
+package stencilsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"gristgo/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "stencilsafety",
+	Doc:  "require every mesh-adjacency-walking dycore function to be registered in overlap.go's stencilRegistry",
+	Run:  run,
+}
+
+// registryVar is the package-level declaration the analyzer reads.
+const registryVar = "stencilRegistry"
+
+// adjacencyMembers are the mesh fields and methods that express
+// neighborhood structure; touching one makes a function a stencil.
+// Purely geometric per-entity fields (areas, lengths, latitudes) are
+// deliberately absent: reading them is halo-safe.
+var adjacencyMembers = map[string]bool{
+	"CellOff":   true,
+	"CellEdge":  true,
+	"CellCell":  true,
+	"CellEdges": true,
+	"EdgeCell":  true,
+	"EdgeVert":  true,
+	"VertEdge":  true,
+	"TrskOff":   true,
+	"TrskEdge":  true,
+}
+
+func run(pass *lint.Pass) error {
+	registry := findRegistry(pass)
+	if registry == nil {
+		if strings.HasSuffix(pass.Path, "internal/dycore") {
+			pass.Reportf(pass.Files[0].Package,
+				"package %s must declare %s (see overlap.go): it is the audit trail tying every adjacency-walking kernel to its splitSets taint class", pass.Path, registryVar)
+		}
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			member, pos := firstAdjacencyUse(pass.TypesInfo, fd.Body)
+			if member == "" {
+				continue
+			}
+			key := funcKey(fd)
+			if _, ok := registry[key]; !ok {
+				pass.Reportf(pos,
+					"%s walks mesh adjacency (%s) but is not registered in %s; classify it against the splitSets taint partition in overlap.go (or record why it is exempt) before it can run under an overlapped exchange",
+					key, member, registryVar)
+			}
+		}
+	}
+	return nil
+}
+
+// findRegistry locates `var stencilRegistry = map[string]string{...}`
+// and returns its keys.
+func findRegistry(pass *lint.Pass) map[string]bool {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != registryVar || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				keys := make(map[string]bool)
+				for _, el := range cl.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					lit, ok := kv.Key.(*ast.BasicLit)
+					if !ok {
+						continue
+					}
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						keys[s] = true
+					}
+				}
+				return keys
+			}
+		}
+	}
+	return nil
+}
+
+// firstAdjacencyUse returns the first adjacency member referenced on a
+// Mesh-typed value inside the body, with its position.
+func firstAdjacencyUse(info *types.Info, body *ast.BlockStmt) (string, token.Pos) {
+	member := ""
+	var pos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if member != "" {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !adjacencyMembers[sel.Sel.Name] {
+			return true
+		}
+		if !isMeshValue(info, sel.X) {
+			return true
+		}
+		member = sel.Sel.Name
+		pos = sel.Pos()
+		return false
+	})
+	return member, pos
+}
+
+// isMeshValue reports whether e's type is (a pointer to) a named type
+// called Mesh.
+func isMeshValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Name() == "Mesh"
+}
+
+// funcKey renders "recv.name" for methods, "name" for functions,
+// matching the stencilRegistry key convention.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+			continue
+		case *ast.IndexExpr: // generic receiver engine[T]
+			t = x.X
+			continue
+		case *ast.IndexListExpr:
+			t = x.X
+			continue
+		case *ast.ParenExpr:
+			t = x.X
+			continue
+		}
+		break
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

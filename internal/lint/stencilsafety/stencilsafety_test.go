@@ -1,0 +1,29 @@
+package stencilsafety_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/stencilsafety"
+)
+
+func TestStencilsafety(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "stencilsafety")
+	analysistest.Run(t, stencilsafety.Analyzer, dir, "example.com/fix/stencilsafety")
+}
+
+// TestMissingRegistryInDycore loads a registry-less fixture under an
+// import path ending in internal/dycore, where declaring the registry
+// is mandatory.
+func TestMissingRegistryInDycore(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "stencilsafety_noreg")
+	analysistest.Run(t, stencilsafety.Analyzer, dir, "example.com/internal/dycore")
+}
+
+// TestNoRegistryElsewhere: outside dycore, a package without a registry
+// opts out of the check entirely.
+func TestNoRegistryElsewhere(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "stencilsafety_noreg")
+	analysistest.RunExpectNone(t, stencilsafety.Analyzer, dir, "example.com/fix/noreg")
+}

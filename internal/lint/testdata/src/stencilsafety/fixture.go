@@ -1,0 +1,43 @@
+// Fixture for stencilsafety: a local Mesh with adjacency fields, a
+// stencilRegistry covering two functions, and two rogue stencils that
+// walk adjacency without being classified.
+package fixture
+
+type Mesh struct {
+	CellEdge [][]int
+	EdgeCell [][2]int
+	TrskOff  []int
+	Area     []float64
+}
+
+var stencilRegistry = map[string]string{
+	"engine.registered": "split:flux",
+	"freeRegistered":    "serial-diagnostic",
+}
+
+type engine struct{ m *Mesh }
+
+func (e *engine) registered(out []float64) {
+	for c := range e.m.CellEdge {
+		out[c] = float64(len(e.m.CellEdge[c]))
+	}
+}
+
+func (e *engine) rogue(out []float64) {
+	for c := range e.m.CellEdge { // want `not registered in stencilRegistry`
+		out[c] = 0
+	}
+}
+
+func freeRegistered(m *Mesh) int {
+	return len(m.EdgeCell)
+}
+
+func freeRogue(m *Mesh) int {
+	return len(m.TrskOff) // want `not registered in stencilRegistry`
+}
+
+// geomOnly reads only per-entity geometry: halo-safe, never flagged.
+func geomOnly(m *Mesh) float64 {
+	return m.Area[0]
+}

@@ -1,0 +1,8 @@
+// Fixture for stencilsafety's mandatory-registry rule: loaded under an
+// import path ending in internal/dycore, where the absence of a
+// stencilRegistry declaration is itself the finding.
+package fixture // want `must declare stencilRegistry`
+
+type Mesh struct{ CellEdge [][]int }
+
+func use(m *Mesh) int { return len(m.CellEdge) }

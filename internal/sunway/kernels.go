@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"gristgo/internal/mesh"
+	"gristgo/internal/precision"
 )
 
 // Variant selects one bar of the paper's Fig. 9: where the kernel runs,
@@ -74,7 +75,7 @@ func run(v Variant, n int, body KernelBody) Stats {
 // storeRounded models FP32 storage rounding for demoted arrays.
 func storeRounded(ctx Ctx, a *Array, i int, val float64) {
 	if a.Word == FP32 {
-		val = float64(float32(val))
+		val = precision.Round32(val)
 	}
 	ctx.Store(a, i, val)
 }
@@ -93,7 +94,7 @@ func fill(a *Array, f func(i int) float64) {
 	for i := range a.Data {
 		v := f(i)
 		if a.Word == FP32 {
-			v = float64(float32(v))
+			v = precision.Round32(v)
 		}
 		a.Data[i] = v
 	}
