@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench-ml bench-halo
+.PHONY: check build vet lint test race bench bench-ml bench-halo
 
 check: build vet lint test race
 
@@ -30,6 +30,13 @@ test:
 # plain `test` target still runs them.
 race:
 	$(GO) test -race -short ./...
+
+# The observability benchmark: a fully instrumented coupled run plus a
+# distributed dynamics leg, emitting BENCH_telemetry.json (step latency
+# percentiles, SYPD, comm share, load imbalance) and BENCH_trace.json
+# (Chrome trace_event, open at https://ui.perfetto.dev).
+bench:
+	$(GO) run ./cmd/gristbench -exp telemetry
 
 # Scalar vs batched-FP64 vs batched-FP32 inference throughput at the
 # G5-scale column count (see EXPERIMENTS.md for recorded numbers).

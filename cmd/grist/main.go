@@ -14,10 +14,12 @@ import (
 	"time"
 
 	"gristgo/internal/core"
+	"gristgo/internal/diag"
 	"gristgo/internal/mlphysics"
 	"gristgo/internal/physics"
 	"gristgo/internal/precision"
 	"gristgo/internal/synthclim"
+	"gristgo/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,9 @@ func main() {
 	remapEvery := flag.Int("remap", 0, "vertical remap every N physics steps (0 off)")
 	workers := flag.Int("workers", -1, "host threads for the dycore loops (-1 = all CPUs)")
 	output := flag.String("output", "", "write a GDF history file at the end")
+	telAddr := flag.String("telemetry.addr", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9090; :0 picks a free port)")
+	telHold := flag.Duration("telemetry.hold", 0, "keep the telemetry server up this long after the run finishes")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in Perfetto) at the end")
 	flag.Parse()
 
 	pm := precision.Mixed
@@ -107,10 +112,34 @@ func main() {
 	}
 	fmt.Printf("Running %d physics steps of %.0fs (%.1f simulated hours)\n", steps, dtPhy, *hours)
 
+	// Observability plane: one registry + flight recorder shared by the
+	// HTTP endpoints, the trace file and the timing table.
+	observing := *telAddr != "" || *traceOut != ""
+	var reg *telemetry.Registry
+	var rec *telemetry.Recorder
 	tm := core.NewTimings()
+	if observing {
+		reg = telemetry.NewRegistry()
+		rec = telemetry.NewRecorder(1 << 16)
+		tm = core.NewTimingsOn(reg)
+		mod.EnableTelemetry(reg, rec, func(ev diag.HealthEvent) {
+			fmt.Fprintln(os.Stderr, ev.String())
+		})
+	}
+	var srv interface{ Close() error }
+	if *telAddr != "" {
+		s, addr, err := telemetry.Serve(*telAddr, reg, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry:", err)
+			os.Exit(1)
+		}
+		srv = s
+		fmt.Printf("Telemetry on http://%s/ (/metrics, /trace, /debug/pprof)\n", addr)
+	}
+
 	start := time.Now()
 	for i := 0; i < steps; i++ {
-		if *timings {
+		if *timings || observing {
 			mod.StepPhysicsTimed(cl.Season, tm)
 		} else {
 			mod.StepPhysics(cl.Season)
@@ -137,6 +166,26 @@ func main() {
 		simDays, wall, simDays/(wall/86400))
 	if *timings {
 		fmt.Print(tm.Report())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("Wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if srv != nil {
+		if *telHold > 0 {
+			fmt.Printf("Holding telemetry server for %s...\n", *telHold)
+			time.Sleep(*telHold)
+		}
+		srv.Close()
 	}
 	if *output != "" {
 		f, err := os.Create(*output)

@@ -17,9 +17,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, all")
 	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
+	benchDir := flag.String("bench-out", ".", "directory for the telemetry experiment's BENCH_telemetry.json and BENCH_trace.json")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -56,6 +57,15 @@ func main() {
 		"fig9":  func() { printRows(experiments.RunFig9(4, 16).Rows()) },
 		"fig10": func() { printRows(experiments.Fig10Rows()) },
 		"fig11": func() { printRows(experiments.Fig11Rows()) },
+		"telemetry": func() {
+			res, err := experiments.WriteTelemetryBench(*benchDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "telemetry bench:", err)
+				os.Exit(1)
+			}
+			printRows(res.Rows())
+			fmt.Printf("Wrote BENCH_telemetry.json and BENCH_trace.json to %s\n", *benchDir)
+		},
 	}
 
 	if *exp == "all" {

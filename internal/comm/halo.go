@@ -4,11 +4,13 @@ import (
 	"encoding/binary"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"gristgo/internal/mesh"
 	"gristgo/internal/partition"
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // Domain is one rank's view of a decomposed mesh: the owned cells, the
@@ -160,7 +162,16 @@ type HaloExchanger struct {
 	recvReqs  []Request
 	inFlight  bool
 
-	stats ExchangeStats
+	// statsMu guards stats: the owning rank updates them from Start and
+	// Finish while a telemetry sampler may read or drain them from
+	// another goroutine.
+	statsMu sync.Mutex
+	stats   ExchangeStats
+
+	// Optional flight recorder: when set, Start/Finish emit pack, wait
+	// and unpack spans attributed to telRank.
+	rec     *telemetry.Recorder
+	telRank int32
 }
 
 // NewExchanger creates an exchanger bound to a rank with an explicit
@@ -184,6 +195,14 @@ func NewHaloExchanger(dom *Domain, r *Rank) *HaloExchanger {
 func (h *HaloExchanger) SetMode(mode precision.Mode) {
 	h.mode = mode
 	h.built = false
+}
+
+// SetTelemetry attaches a flight recorder: every subsequent round emits
+// halo_pack, halo_wait and halo_unpack spans attributed to rank. A nil
+// recorder detaches.
+func (h *HaloExchanger) SetTelemetry(rec *telemetry.Recorder, rank int32) {
+	h.rec = rec
+	h.telRank = rank
 }
 
 // AddIndexSet registers a family of exchanged entities and returns its
@@ -357,13 +376,19 @@ func (h *HaloExchanger) Start() {
 	}
 	tag := h.tag
 	h.tag++ // unique tag per exchange round
+	sp := h.rec.Begin("halo_pack", h.telRank)
+	var bytes int64
 	for pi, q := range h.peers {
 		h.rank.ISend(q, tag, h.pack(pi))
-		h.stats.BytesSent += h.sendBytes[pi]
+		bytes += h.sendBytes[pi]
 	}
 	for pi, q := range h.peers {
 		h.recvReqs[pi] = h.rank.IRecv(q, tag, h.recvBuf[pi])
 	}
+	sp.End()
+	h.statsMu.Lock()
+	h.stats.BytesSent += bytes
+	h.statsMu.Unlock()
 	h.inFlight = true
 }
 
@@ -375,14 +400,21 @@ func (h *HaloExchanger) Finish() {
 	if !h.inFlight {
 		panic("comm: HaloExchanger.Finish without Start")
 	}
+	wsp := h.rec.Begin("halo_wait", h.telRank)
 	t0 := time.Now()
 	h.rank.WaitAll(h.recvReqs)
-	h.stats.Wait += time.Since(t0)
+	wait := time.Since(t0)
+	wsp.End()
+	usp := h.rec.Begin("halo_unpack", h.telRank)
 	for pi := range h.peers {
 		h.unpack(pi)
 	}
+	usp.End()
 	h.inFlight = false
+	h.statsMu.Lock()
+	h.stats.Wait += wait
 	h.stats.Rounds++
+	h.statsMu.Unlock()
 }
 
 // Exchange performs one blocking round: Start immediately followed by
@@ -407,14 +439,33 @@ func (h *HaloExchanger) BytesPerExchange() int64 {
 	return total
 }
 
-// Stats returns the accumulated exchange statistics.
-func (h *HaloExchanger) Stats() ExchangeStats { return h.stats }
+// Stats returns a copy of the accumulated exchange statistics without
+// resetting them.
+func (h *HaloExchanger) Stats() ExchangeStats {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	return h.stats
+}
+
+// DrainStats atomically returns the accumulated statistics and resets
+// them. Read-then-reset is one critical section, so a sampler draining
+// periodically accounts every round and byte exactly once — no window
+// is lost between a Stats read and a separate reset.
+func (h *HaloExchanger) DrainStats() ExchangeStats {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	st := h.stats
+	h.stats = ExchangeStats{}
+	return st
+}
 
 // DrainTimings reports the accumulated wait time under "halo_wait" and
-// resets the counters (the core.ComponentTimer contract).
+// resets the counters (the core.ComponentTimer contract). Callers that
+// also need the byte and round counts should use DrainStats directly —
+// one drain yields every counter from the same atomic window.
 func (h *HaloExchanger) DrainTimings(emit func(name string, d time.Duration, calls int)) {
-	if h.stats.Rounds > 0 {
-		emit("halo_wait", h.stats.Wait, h.stats.Rounds)
+	st := h.DrainStats()
+	if st.Rounds > 0 {
+		emit("halo_wait", st.Wait, st.Rounds)
 	}
-	h.stats = ExchangeStats{}
 }

@@ -10,6 +10,7 @@ import (
 	"gristgo/internal/mesh"
 	"gristgo/internal/partition"
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // DistPlan is the precomputed exchange plan of a distributed dynamics
@@ -180,6 +181,8 @@ type distOpts struct {
 	blocking bool                // force blocking rounds (no overlap)
 	tim      *Timings            // drain per-rank halo wait times
 	stats    *comm.ExchangeStats // aggregate rounds/bytes/wait
+	reg      *telemetry.Registry // publish comm share / imbalance gauges
+	rec      *telemetry.Recorder // per-rank halo + dynamics spans
 }
 
 // RunDistributedDynamics integrates the dry dynamics for the given number
@@ -206,6 +209,21 @@ func RunDistributedDynamicsTimed(m *mesh.Mesh, nlev, nparts int, mode precision.
 	return s, st
 }
 
+// RunDistributedDynamicsObserved is the fully instrumented variant: in
+// addition to the Timed accounting it attributes per-rank halo and
+// dynamics spans to rec (rank = partition index) and publishes the
+// run-level gauges into reg — grist_comm_share (measured wait/compute
+// fraction), grist_load_imbalance (max/mean per-rank wall time) and
+// grist_halo_bytes_per_step. Either sink may be nil.
+func RunDistributedDynamicsObserved(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64, tm *Timings,
+	reg *telemetry.Registry, rec *telemetry.Recorder) (*dycore.State, comm.ExchangeStats) {
+	var st comm.ExchangeStats
+	s := runDistributedDynamics(m, nlev, nparts, mode, initFn, steps, dt,
+		distOpts{tim: tm, stats: &st, reg: reg, rec: rec})
+	return s, st
+}
+
 // MeasuredCommShare returns the measured communication fraction of a
 // timed distributed run: summed halo wait over summed dynamics wall time
 // across ranks.
@@ -224,12 +242,18 @@ func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 	pl := NewDistPlan(m, nlev, nparts, 12345)
 	final := dycore.NewState(m, nlev)
 	var mu sync.Mutex
+	rankWall := make([]time.Duration, nparts)
+	var agg comm.ExchangeStats
 
 	comm.Run(nparts, func(r *comm.Rank) {
 		p := r.ID()
 		eng := dycore.New(m, nlev, mode)
 		initFn(eng.State())
 		ex := newStateExchanger(pl, r, eng.State(), mode)
+		if opt.rec != nil {
+			ex.SetTelemetry(opt.rec, int32(p))
+			eng.SetTelemetry(opt.rec, int32(p))
+		}
 		o := &dycore.OwnedSets{
 			TendCells: pl.TendCells[p],
 			DiagCells: pl.DiagCells[p],
@@ -247,24 +271,47 @@ func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 			eng.Step(dt)
 		}
 		wall := time.Since(t0)
+		rankWall[p] = wall
 
-		if opt.stats != nil || opt.tim != nil {
+		if opt.stats != nil || opt.tim != nil || opt.reg != nil {
+			// One DrainStats yields the rank's whole window, so the
+			// aggregate stats and the timing counters describe the same
+			// rounds (a Stats read plus a separate reset could lose rounds
+			// completed in between).
+			st := ex.DrainStats()
 			mu.Lock()
-			if opt.stats != nil {
-				st := ex.Stats()
-				opt.stats.Rounds += st.Rounds
-				opt.stats.BytesSent += st.BytesSent
-				opt.stats.Wait += st.Wait
-			}
+			agg.Rounds += st.Rounds
+			agg.BytesSent += st.BytesSent
+			agg.Wait += st.Wait
 			if opt.tim != nil {
 				opt.tim.Add("dynamics", wall)
-				ex.DrainTimings(opt.tim.AddCalls)
+				if st.Rounds > 0 {
+					opt.tim.AddCalls("halo_wait", st.Wait, st.Rounds)
+				}
 			}
 			mu.Unlock()
 		}
 
 		gatherState(r, final, eng.State(), pl)
 	})
+	if opt.stats != nil {
+		opt.stats.Rounds += agg.Rounds
+		opt.stats.BytesSent += agg.BytesSent
+		opt.stats.Wait += agg.Wait
+	}
+	if opt.reg != nil {
+		var wallSum time.Duration
+		for _, w := range rankWall {
+			wallSum += w
+		}
+		if wallSum > 0 {
+			opt.reg.Gauge("grist_comm_share").Set(float64(agg.Wait) / float64(wallSum))
+		}
+		opt.reg.Gauge("grist_load_imbalance").Set(LoadImbalance(rankWall))
+		if steps > 0 {
+			opt.reg.Gauge("grist_halo_bytes_per_step").Set(float64(agg.BytesSent) / float64(steps))
+		}
+	}
 	return final
 }
 

@@ -91,6 +91,9 @@ type Model struct {
 	PrecipAccum []float64 // mm since last ResetDiagnostics
 	TimeSec     float64   // model time since initialization
 	precipTime  float64   // seconds accumulated into PrecipAccum
+
+	// Observability wiring installed by EnableTelemetry (nil: disabled).
+	tel *ModelTelemetry
 }
 
 // NewModel constructs a model on a freshly generated, BFS-reordered mesh.
@@ -244,6 +247,7 @@ func (mod *Model) EffectiveSteps() (nDyn, nTrac int, dtTrac, dtPhy float64) {
 func (mod *Model) StepPhysics(season float64) {
 	st := mod.Cfg.Steps
 	nDyn, nTrac, dtTrac, dtPhy := mod.EffectiveSteps()
+	sp, t0 := mod.tel.beginStep()
 
 	for it := 0; it < nTrac; it++ {
 		mod.Engine.ResetMassFluxAccum()
@@ -272,6 +276,7 @@ func (mod *Model) StepPhysics(season float64) {
 		}
 		mod.remapper.Run(mod.Engine.State(), mod.Tracers)
 	}
+	mod.tel.endStep(mod, sp, t0, dtPhy)
 }
 
 // computePhysicsInput fills the coupling Input (U, V, T, Q, P, tskin,

@@ -4,40 +4,89 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"gristgo/internal/dycore"
+	"gristgo/internal/telemetry"
 )
 
 // Timings accumulates wall time per model component, mirroring the
 // per-kernel timing log the GRIST artifact prints ("you can obtain the
 // runtime of this task and many kernels").
+//
+// It is a thin view over a telemetry.Registry: every component becomes a
+// pair of counters, grist_component_time_ns_total{component=...} and
+// grist_component_calls_total{component=...}, so anything accumulated
+// here is also visible on the /metrics endpoint. Timings is safe for
+// concurrent use — distributed runs drain per-rank exchanger stats into
+// one accumulator.
 type Timings struct {
-	byName map[string]time.Duration
-	calls  map[string]int
+	mu    sync.Mutex
+	reg   *telemetry.Registry
+	comps map[string]compCounters
 }
 
-// NewTimings returns an empty accumulator.
+type compCounters struct {
+	ns    *telemetry.Counter
+	calls *telemetry.Counter
+}
+
+// NewTimings returns an empty accumulator over a private registry.
 func NewTimings() *Timings {
-	return &Timings{byName: map[string]time.Duration{}, calls: map[string]int{}}
+	return NewTimingsOn(telemetry.NewRegistry())
+}
+
+// NewTimingsOn returns an accumulator publishing into an existing
+// registry, so component timings share the registry served over HTTP.
+func NewTimingsOn(reg *telemetry.Registry) *Timings {
+	return &Timings{reg: reg, comps: map[string]compCounters{}}
+}
+
+// Registry exposes the backing registry (for export alongside the other
+// model metrics).
+func (t *Timings) Registry() *telemetry.Registry { return t.reg }
+
+// handles resolves (creating on first use) the counter pair for a
+// component.
+func (t *Timings) handles(name string) compCounters {
+	t.mu.Lock()
+	h, ok := t.comps[name]
+	if !ok {
+		h = compCounters{
+			ns:    t.reg.Counter("grist_component_time_ns_total", "component", name),
+			calls: t.reg.Counter("grist_component_calls_total", "component", name),
+		}
+		t.comps[name] = h
+	}
+	t.mu.Unlock()
+	return h
 }
 
 // Add records one timed invocation of a component.
 func (t *Timings) Add(name string, d time.Duration) {
-	t.byName[name] += d
-	t.calls[name]++
+	h := t.handles(name)
+	h.ns.Add(d.Nanoseconds())
+	h.calls.Inc()
 }
 
 // AddCalls records d spread over n invocations of a component, for
 // components that report their own accumulated timings.
 func (t *Timings) AddCalls(name string, d time.Duration, n int) {
-	t.byName[name] += d
-	t.calls[name] += n
+	h := t.handles(name)
+	h.ns.Add(d.Nanoseconds())
+	h.calls.Add(int64(n))
 }
 
 // Get returns the accumulated duration and call count for a component.
 func (t *Timings) Get(name string) (time.Duration, int) {
-	return t.byName[name], t.calls[name]
+	t.mu.Lock()
+	h, ok := t.comps[name]
+	t.mu.Unlock()
+	if !ok {
+		return 0, 0
+	}
+	return time.Duration(h.ns.Value()), int(h.calls.Value())
 }
 
 // ComponentTimer is implemented by model components that keep their own
@@ -55,10 +104,26 @@ func (t *Timings) Time(name string, f func()) {
 	t.Add(name, time.Since(start))
 }
 
+// snapshot copies the component table (name -> duration, calls) under
+// the lock, so Total and Report render a consistent view.
+func (t *Timings) snapshot() (names []string, dur map[string]time.Duration, calls map[string]int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dur = make(map[string]time.Duration, len(t.comps))
+	calls = make(map[string]int, len(t.comps))
+	for n, h := range t.comps {
+		names = append(names, n)
+		dur[n] = time.Duration(h.ns.Value())
+		calls[n] = int(h.calls.Value())
+	}
+	return names, dur, calls
+}
+
 // Total returns the summed duration.
 func (t *Timings) Total() time.Duration {
+	_, dur, _ := t.snapshot()
 	var sum time.Duration
-	for _, d := range t.byName {
+	for _, d := range dur {
 		sum += d
 	}
 	return sum
@@ -67,20 +132,20 @@ func (t *Timings) Total() time.Duration {
 // Report renders a per-component table sorted by time share, in the
 // style of the model's log file.
 func (t *Timings) Report() string {
-	names := make([]string, 0, len(t.byName))
-	for n := range t.byName {
-		names = append(names, n)
+	names, dur, calls := t.snapshot()
+	sort.Slice(names, func(i, j int) bool { return dur[names[i]] > dur[names[j]] })
+	var total time.Duration
+	for _, d := range dur {
+		total += d
 	}
-	sort.Slice(names, func(i, j int) bool { return t.byName[names[i]] > t.byName[names[j]] })
-	total := t.Total()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-24s %12s %8s %8s\n", "component", "time", "calls", "share")
 	for _, n := range names {
 		share := 0.0
 		if total > 0 {
-			share = float64(t.byName[n]) / float64(total) * 100
+			share = float64(dur[n]) / float64(total) * 100
 		}
-		fmt.Fprintf(&b, "%-24s %12s %8d %7.1f%%\n", n, t.byName[n].Round(time.Microsecond), t.calls[n], share)
+		fmt.Fprintf(&b, "%-24s %12s %8d %7.1f%%\n", n, dur[n].Round(time.Microsecond), calls[n], share)
 	}
 	return b.String()
 }
@@ -90,6 +155,7 @@ func (t *Timings) Report() string {
 func (mod *Model) StepPhysicsTimed(season float64, tm *Timings) {
 	st := mod.Cfg.Steps
 	nDyn, nTrac, dtTrac, dtPhy := mod.EffectiveSteps()
+	sp, t0 := mod.tel.beginStep()
 
 	for it := 0; it < nTrac; it++ {
 		mod.Engine.ResetMassFluxAccum()
@@ -125,6 +191,7 @@ func (mod *Model) StepPhysicsTimed(season float64, tm *Timings) {
 			verticalRemapModel(mod)
 		})
 	}
+	mod.tel.endStep(mod, sp, t0, dtPhy)
 }
 
 // verticalRemapModel is split out so the timed and untimed paths share

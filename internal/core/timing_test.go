@@ -2,12 +2,14 @@ package core
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"gristgo/internal/physics"
 	"gristgo/internal/precision"
 	"gristgo/internal/synthclim"
+	"gristgo/internal/telemetry"
 )
 
 // timedScheme is a stub physics scheme with its own component timers, as
@@ -72,5 +74,58 @@ func TestAddCalls(t *testing.T) {
 	d, calls := tm.Get("x")
 	if d != 6*time.Millisecond || calls != 4 {
 		t.Errorf("got (%v, %d), want (6ms, 4)", d, calls)
+	}
+}
+
+// TestTimingsConcurrent: distributed runs drain per-rank stats into one
+// accumulator from many goroutines; Timings must be race-free under
+// concurrent Add/AddCalls/Get/Report (exercised by make race).
+func TestTimingsConcurrent(t *testing.T) {
+	tm := NewTimings()
+	var wg sync.WaitGroup
+	const workers, iters = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tm.Add("shared", time.Microsecond)
+				tm.AddCalls("halo_wait", time.Microsecond, 2)
+				tm.Get("shared")
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent reader
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			tm.Report()
+			tm.Total()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if d, calls := tm.Get("shared"); d != workers*iters*time.Microsecond || calls != workers*iters {
+		t.Errorf("shared = (%v, %d), want (%v, %d)", d, calls, workers*iters*time.Microsecond, workers*iters)
+	}
+	if _, calls := tm.Get("halo_wait"); calls != 2*workers*iters {
+		t.Errorf("halo_wait calls = %d, want %d", calls, 2*workers*iters)
+	}
+}
+
+// TestTimingsRegistryView: Timings is a view over a telemetry registry —
+// the component counters must be visible as metrics.
+func TestTimingsRegistryView(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	tm := NewTimingsOn(reg)
+	tm.Add("dynamics", 2*time.Millisecond)
+	if tm.Registry() != reg {
+		t.Fatal("Registry() does not return the backing registry")
+	}
+	if v := reg.Counter("grist_component_time_ns_total", "component", "dynamics").Value(); v != int64(2*time.Millisecond) {
+		t.Errorf("time counter = %d ns, want %d", v, int64(2*time.Millisecond))
+	}
+	if v := reg.Counter("grist_component_calls_total", "component", "dynamics").Value(); v != 1 {
+		t.Errorf("calls counter = %d, want 1", v)
 	}
 }

@@ -1,0 +1,267 @@
+package diag
+
+// Numerical-health sentinels: the continuous stability monitoring a
+// hybrid physics-AI model needs to be trusted for long simulations
+// (NeuralGCM and AERIS both stress this). A run that has gone bad — a
+// NaN seeded by an unstable column, a mass or energy budget walking
+// away, a mixed-precision configuration breaching the paper's §3.4
+// ps/vor acceptance gate — should trip a structured warning within a
+// step or two, not burn hours to a garbage history file.
+//
+// A HealthMonitor aggregates the sentinels, publishes their state into a
+// telemetry.Registry (gauges for the current values, a trip counter per
+// sentinel) and hands every trip to a caller-provided warn callback.
+// Sentinels are cheap enough to run every few physics steps.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
+)
+
+// HealthEvent is one structured sentinel trip.
+type HealthEvent struct {
+	Sentinel  string  // "nonfinite", "mass_budget", "energy_budget", "psvor"
+	Step      int64   // model step the observation belongs to
+	Value     float64 // the measured quantity (count, relative drift, deviation)
+	Threshold float64 // the limit it crossed
+	Detail    string  // human-readable context (field name, observation point)
+}
+
+// String renders the event the way drivers log it.
+func (e HealthEvent) String() string {
+	return fmt.Sprintf("HEALTH[%s] step=%d %s: %.4g exceeds %.4g",
+		e.Sentinel, e.Step, e.Detail, e.Value, e.Threshold)
+}
+
+// Default sentinel thresholds.
+const (
+	// DefaultMassTol is the relative dry-mass drift tolerance. The
+	// continuity equation and FCT transport conserve mass to rounding,
+	// so any drift beyond accumulated roundoff marks a defect.
+	DefaultMassTol = 1e-6
+	// DefaultEnergyTol is the relative total-energy drift tolerance.
+	// Physics legitimately injects and removes energy (radiation,
+	// surface fluxes), so the default is loose; adiabatic tests tighten
+	// it.
+	DefaultEnergyTol = 0.10
+)
+
+// HealthMonitor runs the sentinels and publishes their state. The zero
+// value is not usable; construct with NewHealthMonitor. A nil monitor is
+// disabled: every Observe/Check method is a no-op.
+type HealthMonitor struct {
+	mu   sync.Mutex
+	warn func(HealthEvent)
+
+	// Tolerances, settable before the first observation.
+	MassTol   float64
+	EnergyTol float64
+	PsVorTol  float64
+
+	massBase   float64
+	massSet    bool
+	energyBase float64
+	energySet  bool
+
+	// Rolling ps/vor deviation (EWMA over observations, alpha 0.3: the
+	// gate should react within a few samples but not flap on one).
+	psEWMA, vorEWMA float64
+	psvorPrimed     bool
+
+	// Recent trips, newest last (bounded).
+	trips []HealthEvent
+
+	// Published metrics.
+	nonfinite  *telemetry.Counter
+	tripsTotal map[string]*telemetry.Counter
+	massDrift  *telemetry.Gauge
+	enerDrift  *telemetry.Gauge
+	psDev      *telemetry.Gauge
+	vorDev     *telemetry.Gauge
+}
+
+// maxTrips bounds the retained trip history.
+const maxTrips = 64
+
+// psvorAlpha is the EWMA weight of the rolling deviation monitor.
+const psvorAlpha = 0.3
+
+// NewHealthMonitor builds a monitor publishing into reg (required) and
+// forwarding trips to warn (nil: trips are only counted and retained).
+func NewHealthMonitor(reg *telemetry.Registry, warn func(HealthEvent)) *HealthMonitor {
+	h := &HealthMonitor{
+		warn:      warn,
+		MassTol:   DefaultMassTol,
+		EnergyTol: DefaultEnergyTol,
+		PsVorTol:  precision.ErrorThreshold,
+
+		nonfinite: reg.Counter("grist_nonfinite_values_total"),
+		tripsTotal: map[string]*telemetry.Counter{
+			"nonfinite":     reg.Counter("grist_sentinel_trips_total", "sentinel", "nonfinite"),
+			"mass_budget":   reg.Counter("grist_sentinel_trips_total", "sentinel", "mass_budget"),
+			"energy_budget": reg.Counter("grist_sentinel_trips_total", "sentinel", "energy_budget"),
+			"psvor":         reg.Counter("grist_sentinel_trips_total", "sentinel", "psvor"),
+		},
+		massDrift: reg.Gauge("grist_mass_budget_drift"),
+		enerDrift: reg.Gauge("grist_energy_budget_drift"),
+		psDev:     reg.Gauge("grist_psvor_deviation", "point", "ps"),
+		vorDev:    reg.Gauge("grist_psvor_deviation", "point", "vor"),
+	}
+	return h
+}
+
+// trip records a sentinel firing: counter, retained history, callback.
+// Callers hold h.mu.
+func (h *HealthMonitor) trip(ev HealthEvent) {
+	h.tripsTotal[ev.Sentinel].Inc()
+	if len(h.trips) == maxTrips {
+		copy(h.trips, h.trips[1:])
+		h.trips = h.trips[:maxTrips-1]
+	}
+	h.trips = append(h.trips, ev)
+	if h.warn != nil {
+		h.warn(ev)
+	}
+}
+
+// Trips returns a copy of the retained trip history, oldest first.
+func (h *HealthMonitor) Trips() []HealthEvent {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]HealthEvent(nil), h.trips...)
+}
+
+// NonFiniteCount returns the number of NaN or Inf values in xs.
+func NonFiniteCount(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckFinite scans a named field for NaN/Inf and trips on any hit.
+// Returns the non-finite count.
+func (h *HealthMonitor) CheckFinite(step int64, name string, xs []float64) int {
+	if h == nil {
+		return 0
+	}
+	n := NonFiniteCount(xs)
+	if n == 0 {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nonfinite.Add(int64(n))
+	h.trip(HealthEvent{
+		Sentinel: "nonfinite", Step: step,
+		Value: float64(n), Threshold: 0,
+		Detail: fmt.Sprintf("field %s has %d non-finite values", name, n),
+	})
+	return n
+}
+
+// relDrift returns |x-base| / |base| (0 when base is 0 and x is 0,
+// +Inf when only base is 0).
+func relDrift(x, base float64) float64 {
+	if base == 0 {
+		if x == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(x-base) / math.Abs(base)
+}
+
+// ObserveMassBudget feeds the current global dry-mass integral. The
+// first observation becomes the conservation baseline; later ones trip
+// when the relative drift exceeds MassTol. Returns the drift.
+func (h *HealthMonitor) ObserveMassBudget(step int64, total float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.massSet {
+		h.massBase, h.massSet = total, true
+		h.massDrift.Set(0)
+		return 0
+	}
+	d := relDrift(total, h.massBase)
+	h.massDrift.Set(d)
+	if d > h.MassTol || math.IsNaN(total) {
+		h.trip(HealthEvent{
+			Sentinel: "mass_budget", Step: step,
+			Value: d, Threshold: h.MassTol,
+			Detail: fmt.Sprintf("global dry mass %.6e vs baseline %.6e", total, h.massBase),
+		})
+	}
+	return d
+}
+
+// ObserveEnergyBudget feeds the current total-energy integral; same
+// baseline-and-drift contract as ObserveMassBudget against EnergyTol.
+func (h *HealthMonitor) ObserveEnergyBudget(step int64, total float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.energySet {
+		h.energyBase, h.energySet = total, true
+		h.enerDrift.Set(0)
+		return 0
+	}
+	d := relDrift(total, h.energyBase)
+	h.enerDrift.Set(d)
+	if d > h.EnergyTol || math.IsNaN(total) {
+		h.trip(HealthEvent{
+			Sentinel: "energy_budget", Step: step,
+			Value: d, Threshold: h.EnergyTol,
+			Detail: fmt.Sprintf("total energy %.6e vs baseline %.6e", total, h.energyBase),
+		})
+	}
+	return d
+}
+
+// ObservePsVor feeds one sample of the paper's two mixed-precision
+// observation points (§3.4.1): candidate and reference surface pressure
+// and relative vorticity fields. The monitor keeps a rolling (EWMA)
+// relative-L2 deviation per point and trips when either rolling value
+// breaches PsVorTol — the same 5% gate the acceptance harness applies,
+// applied continuously so a drifting run is caught mid-flight. Returns
+// the instantaneous deviation.
+func (h *HealthMonitor) ObservePsVor(step int64, psGot, psWant, vorGot, vorWant []float64) precision.Deviation {
+	if h == nil {
+		return precision.Deviation{}
+	}
+	dev := precision.Measure(psGot, psWant, vorGot, vorWant)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.psvorPrimed {
+		h.psEWMA, h.vorEWMA = dev.Ps, dev.Vor
+		h.psvorPrimed = true
+	} else {
+		h.psEWMA += psvorAlpha * (dev.Ps - h.psEWMA)
+		h.vorEWMA += psvorAlpha * (dev.Vor - h.vorEWMA)
+	}
+	h.psDev.Set(h.psEWMA)
+	h.vorDev.Set(h.vorEWMA)
+	if h.psEWMA > h.PsVorTol || h.vorEWMA > h.PsVorTol {
+		h.trip(HealthEvent{
+			Sentinel: "psvor", Step: step,
+			Value: math.Max(h.psEWMA, h.vorEWMA), Threshold: h.PsVorTol,
+			Detail: fmt.Sprintf("rolling deviation ps=%.4f vor=%.4f (§3.4 gate)", h.psEWMA, h.vorEWMA),
+		})
+	}
+	return dev
+}

@@ -1,0 +1,177 @@
+package diag
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
+)
+
+func newTestMonitor() (*HealthMonitor, *telemetry.Registry, *[]HealthEvent) {
+	reg := telemetry.NewRegistry()
+	var got []HealthEvent
+	h := NewHealthMonitor(reg, func(ev HealthEvent) { got = append(got, ev) })
+	return h, reg, &got
+}
+
+// TestPsVorSentinelGate: the rolling ps/vor monitor must stay silent on
+// a clean run (deviations well under the 5% gate) and demonstrably fire
+// once an injected perturbation pushes the deviation past the gate —
+// the continuous version of the §3.4.1 acceptance harness.
+func TestPsVorSentinelGate(t *testing.T) {
+	h, reg, events := newTestMonitor()
+
+	n := 256
+	psRef := make([]float64, n)
+	vorRef := make([]float64, n)
+	ps := make([]float64, n)
+	vor := make([]float64, n)
+	for i := 0; i < n; i++ {
+		psRef[i] = 1.0e5 + 200*math.Sin(float64(i)/7)
+		vorRef[i] = 1e-5 * math.Cos(float64(i)/5)
+	}
+
+	// Clean phase: candidate within float32-rounding distance of the
+	// reference, far below the gate.
+	for step := int64(0); step < 20; step++ {
+		for i := range ps {
+			ps[i] = precision.Round32(psRef[i])
+			vor[i] = precision.Round32(vorRef[i])
+		}
+		dev := h.ObservePsVor(step, ps, psRef, vor, vorRef)
+		if !dev.Acceptable() {
+			t.Fatalf("clean sample at step %d outside gate: %+v", step, dev)
+		}
+	}
+	if len(*events) != 0 {
+		t.Fatalf("sentinel tripped on a clean run: %v", (*events)[0])
+	}
+
+	// Inject a perturbation exceeding the 5% gate on surface pressure.
+	for step := int64(20); step < 30; step++ {
+		for i := range ps {
+			ps[i] = psRef[i] * 1.2 // 20% relative error
+			vor[i] = vorRef[i]
+		}
+		h.ObservePsVor(step, ps, psRef, vor, vorRef)
+	}
+	if len(*events) == 0 {
+		t.Fatal("sentinel did not fire on a 20% ps perturbation")
+	}
+	ev := (*events)[0]
+	if ev.Sentinel != "psvor" || ev.Threshold != precision.ErrorThreshold {
+		t.Errorf("unexpected trip: %+v", ev)
+	}
+	// The rolling EWMA should take a couple of samples to cross, not
+	// fire on the very first perturbed observation... unless the jump is
+	// huge; with alpha 0.3 and a 0.2 deviation the first EWMA is 0.06 >
+	// 0.05, so it may fire at step 20 — assert only that it fired during
+	// the perturbed window with the right attribution.
+	if ev.Step < 20 {
+		t.Errorf("trip attributed to clean step %d", ev.Step)
+	}
+	if !strings.Contains(ev.String(), "psvor") {
+		t.Errorf("String() = %q", ev.String())
+	}
+
+	// Published metrics: trip counter and deviation gauges.
+	if v := reg.Counter("grist_sentinel_trips_total", "sentinel", "psvor").Value(); v == 0 {
+		t.Error("psvor trip counter not incremented")
+	}
+	if v := reg.Gauge("grist_psvor_deviation", "point", "ps").Value(); v <= precision.ErrorThreshold {
+		t.Errorf("ps deviation gauge = %g, want above the gate", v)
+	}
+}
+
+// TestMassBudgetSentinel: baseline on first observation, silent within
+// tolerance, trips beyond it.
+func TestMassBudgetSentinel(t *testing.T) {
+	h, reg, events := newTestMonitor()
+	if d := h.ObserveMassBudget(0, 5.0e18); d != 0 {
+		t.Errorf("baseline observation drift = %g", d)
+	}
+	h.ObserveMassBudget(1, 5.0e18*(1+1e-9)) // rounding-level wiggle
+	if len(*events) != 0 {
+		t.Fatal("mass sentinel tripped within tolerance")
+	}
+	d := h.ObserveMassBudget(2, 5.0e18*(1+1e-3))
+	if d < 0.9e-3 || d > 1.1e-3 {
+		t.Errorf("drift = %g, want ~1e-3", d)
+	}
+	if len(*events) != 1 || (*events)[0].Sentinel != "mass_budget" {
+		t.Fatalf("expected one mass_budget trip, got %v", *events)
+	}
+	if v := reg.Gauge("grist_mass_budget_drift").Value(); v != d {
+		t.Errorf("drift gauge = %g, want %g", v, d)
+	}
+}
+
+// TestEnergyBudgetSentinel: the loose default tolerates physics-driven
+// change; a blow-up trips.
+func TestEnergyBudgetSentinel(t *testing.T) {
+	h, _, events := newTestMonitor()
+	h.ObserveEnergyBudget(0, 1.0e23)
+	h.ObserveEnergyBudget(1, 1.05e23) // 5%: within the 10% default
+	if len(*events) != 0 {
+		t.Fatal("energy sentinel tripped within tolerance")
+	}
+	h.ObserveEnergyBudget(2, 1.5e23) // 50%: a blow-up
+	if len(*events) != 1 || (*events)[0].Sentinel != "energy_budget" {
+		t.Fatalf("expected one energy_budget trip, got %v", *events)
+	}
+}
+
+// TestCheckFinite: NaN/Inf scanning counts, trips and publishes.
+func TestCheckFinite(t *testing.T) {
+	h, reg, events := newTestMonitor()
+	clean := []float64{1, 2, 3}
+	if n := h.CheckFinite(0, "theta_m", clean); n != 0 || len(*events) != 0 {
+		t.Fatal("clean field tripped the nonfinite sentinel")
+	}
+	bad := []float64{1, math.NaN(), math.Inf(1), 4, math.Inf(-1)}
+	if n := h.CheckFinite(3, "w", bad); n != 3 {
+		t.Errorf("NonFinite = %d, want 3", n)
+	}
+	if len(*events) != 1 {
+		t.Fatalf("expected one trip, got %d", len(*events))
+	}
+	ev := (*events)[0]
+	if ev.Sentinel != "nonfinite" || ev.Step != 3 || !strings.Contains(ev.Detail, "w") {
+		t.Errorf("trip = %+v", ev)
+	}
+	if v := reg.Counter("grist_nonfinite_values_total").Value(); v != 3 {
+		t.Errorf("nonfinite counter = %d, want 3", v)
+	}
+}
+
+// TestNilMonitorDisabled: a nil monitor is a no-op so instrumented
+// drivers need no branches.
+func TestNilMonitorDisabled(t *testing.T) {
+	var h *HealthMonitor
+	h.CheckFinite(0, "x", []float64{math.NaN()})
+	h.ObserveMassBudget(0, 1)
+	h.ObserveEnergyBudget(0, 1)
+	h.ObservePsVor(0, nil, nil, nil, nil)
+	if h.Trips() != nil {
+		t.Error("nil monitor returned trips")
+	}
+}
+
+// TestTripHistoryBounded: the retained history must not grow without
+// bound on a persistently bad run.
+func TestTripHistoryBounded(t *testing.T) {
+	h, _, _ := newTestMonitor()
+	h.ObserveMassBudget(0, 1)
+	for i := int64(1); i <= 200; i++ {
+		h.ObserveMassBudget(i, 2) // 100% drift every step
+	}
+	trips := h.Trips()
+	if len(trips) != maxTrips {
+		t.Fatalf("retained %d trips, want %d", len(trips), maxTrips)
+	}
+	if trips[len(trips)-1].Step != 200 {
+		t.Errorf("newest trip step = %d, want 200", trips[len(trips)-1].Step)
+	}
+}

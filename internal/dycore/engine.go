@@ -6,6 +6,7 @@ import (
 
 	"gristgo/internal/mesh"
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // Engine integrates the nonhydrostatic equations. Two instantiations
@@ -48,6 +49,11 @@ type Engine interface {
 	// EnableHyperdiffusion replaces the del^2 closure with scale-
 	// selective del^4 (serial engines only).
 	EnableHyperdiffusion()
+	// SetTelemetry attaches a flight recorder: every Step emits a
+	// dyn_step span enclosing the stage phases (halo_start, interior,
+	// halo_finish, boundary, implicit_vertical), attributed to rank. A
+	// nil recorder detaches.
+	SetTelemetry(rec *telemetry.Recorder, rank int32)
 }
 
 // OwnedSets describes one rank's share of the mesh for distributed runs:
@@ -103,6 +109,10 @@ type engine[T precision.Real] struct {
 
 	// Host worker count for shared-memory parallel loops (<=1: serial).
 	workers int
+
+	// Optional flight recorder for Step phase spans (nil: disabled).
+	rec     *telemetry.Recorder
+	telRank int32
 
 	// Work arrays in switchable precision T (advective terms, kinetic
 	// energy, vorticity, tangential winds — the insensitive terms).
@@ -202,6 +212,11 @@ func (e *engine[T]) ResetMassFluxAccum() {
 	e.accumSteps = 0
 }
 
+func (e *engine[T]) SetTelemetry(rec *telemetry.Recorder, rank int32) {
+	e.rec = rec
+	e.telRank = rank
+}
+
 func (e *engine[T]) SetOwned(o *OwnedSets) {
 	e.owned = o
 	e.split = nil
@@ -293,6 +308,7 @@ func (e *engine[T]) eachUEdge(f func(ed int32)) {
 //
 //grist:hotpath
 func (e *engine[T]) Step(dt float64) {
+	stepSpan := e.rec.Begin("dyn_step", e.telRank)
 	s := e.s
 	copy(e.saveMass, s.DryMass)
 	copy(e.saveTheta, s.ThetaM)
@@ -316,14 +332,24 @@ func (e *engine[T]) Step(dt float64) {
 			}
 		})
 		if si < 2 {
+			sp := e.rec.Begin("halo_start", e.telRank)
 			e.hookStart()
+			sp.End()
+			sp = e.rec.Begin("interior", e.telRank)
 			e.computeTendencies(regionInterior)
+			sp.End()
+			sp = e.rec.Begin("halo_finish", e.telRank)
 			e.hookFinish()
+			sp.End()
+			sp = e.rec.Begin("boundary", e.telRank)
 			e.computeTendencies(regionBoundary)
+			sp.End()
 		}
 	}
 
+	sp := e.rec.Begin("halo_start", e.telRank)
 	e.hookStart()
+	sp.End()
 	// Accumulate the final-stage mass flux in double precision for the
 	// tracer sub-cycling (§3.4.2: delta-pi*V must stay FP64).
 	e.eachFluxEdge(func(ed int32) {
@@ -334,11 +360,16 @@ func (e *engine[T]) Step(dt float64) {
 	})
 	e.accumSteps++
 
+	sp = e.rec.Begin("implicit_vertical", e.telRank)
 	e.implicitVertical(dt)
+	sp.End()
+	sp = e.rec.Begin("halo_finish", e.telRank)
 	e.hookFinish()
+	sp.End()
 	// Post-implicit refresh: ship the implicitly updated (w, phi).
 	e.hookStart()
 	e.hookFinish()
+	stepSpan.End()
 }
 
 // region selects which share of the stage loops to run: everything, the

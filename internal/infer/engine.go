@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // blockCols is the number of columns a worker pushes through the plan at
@@ -58,6 +59,14 @@ type Engine[T precision.Real] struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Optional telemetry (guarded by mu): a flight-recorder span per
+	// Forward plus batch counters and the block-occupancy gauge.
+	rec      *telemetry.Recorder
+	telRank  int32
+	colsCtr  *telemetry.Counter
+	callsCtr *telemetry.Counter
+	occGauge *telemetry.Gauge
 }
 
 // NewEngine wraps a plan with a worker pool of the given width
@@ -85,6 +94,25 @@ func (e *Engine[T]) SetWorkers(n int) {
 	e.mu.Lock()
 	e.workers = n
 	e.mu.Unlock()
+}
+
+// SetTelemetry attaches observability to the engine: each Forward emits
+// an infer_forward span into rec (nil disables spans) and, when reg is
+// non-nil, maintains grist_infer_columns_total, grist_infer_calls_total
+// and the grist_infer_batch_occupancy gauge — the processed-columns
+// share of the blockCols-padded batch, a direct read on how well batch
+// sizes fill the GEMM blocks — all labeled model=name.
+func (e *Engine[T]) SetTelemetry(rec *telemetry.Recorder, reg *telemetry.Registry, name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec = rec
+	if reg == nil {
+		e.colsCtr, e.callsCtr, e.occGauge = nil, nil, nil
+		return
+	}
+	e.colsCtr = reg.Counter("grist_infer_columns_total", "model", name)
+	e.callsCtr = reg.Counter("grist_infer_calls_total", "model", name)
+	e.occGauge = reg.Gauge("grist_infer_batch_occupancy", "model", name)
 }
 
 // DrainStats returns the accumulated counters and resets them.
@@ -116,7 +144,10 @@ func (e *Engine[T]) Forward(dst, src []float64, ncol int) {
 
 	e.mu.Lock()
 	w := e.workers
+	rec, rank := e.rec, e.telRank
+	colsCtr, callsCtr, occGauge := e.colsCtr, e.callsCtr, e.occGauge
 	e.mu.Unlock()
+	sp := rec.Begin("infer_forward", rank)
 	if w > ncol {
 		w = ncol
 	}
@@ -141,6 +172,14 @@ func (e *Engine[T]) Forward(dst, src []float64, ncol int) {
 			}(lo, hi)
 		}
 		wg.Wait()
+	}
+
+	sp.End()
+	if callsCtr != nil {
+		callsCtr.Inc()
+		colsCtr.Add(int64(ncol))
+		padded := (ncol + blockCols - 1) / blockCols * blockCols
+		occGauge.Set(float64(ncol) / float64(padded))
 	}
 
 	d := time.Since(start)

@@ -9,6 +9,7 @@ import (
 
 	"gristgo/internal/nn"
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // randSpec builds a normalizer spec with nonzero stds and a sprinkle of
@@ -313,5 +314,43 @@ func TestQuantizationError(t *testing.T) {
 		if exact[i] != x {
 			t.Errorf("float64 copy changed %v", x)
 		}
+	}
+}
+
+// TestEngineTelemetry: a wired engine must emit one infer_forward span
+// per Forward, count columns/calls under its model label, and report the
+// batch occupancy of the last call (ncol over the padded block columns).
+func TestEngineTelemetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := nn.NewResMLP(6, 8, 4, 3, rng)
+	eng := NewEngine(MustCompile[float64](m, Options{}), 2)
+	rec := telemetry.NewRecorder(64)
+	reg := telemetry.NewRegistry()
+	eng.SetTelemetry(rec, reg, "tendency")
+
+	const ncol = blockCols + 3 // forces one partially filled block
+	src := make([]float64, ncol*6)
+	dst := make([]float64, ncol*4)
+	eng.Forward(dst, src, ncol)
+	eng.Forward(dst, src, ncol)
+
+	spans := 0
+	for _, ev := range rec.Snapshot() {
+		if ev.Name == "infer_forward" {
+			spans++
+		}
+	}
+	if spans != 2 {
+		t.Errorf("infer_forward spans = %d, want 2", spans)
+	}
+	if got := reg.Counter("grist_infer_calls_total", "model", "tendency").Value(); got != 2 {
+		t.Errorf("calls counter = %d, want 2", got)
+	}
+	if got := reg.Counter("grist_infer_columns_total", "model", "tendency").Value(); got != 2*ncol {
+		t.Errorf("columns counter = %d, want %d", got, 2*ncol)
+	}
+	want := float64(ncol) / float64(2*blockCols)
+	if got := reg.Gauge("grist_infer_batch_occupancy", "model", "tendency").Value(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("occupancy = %v, want %v", got, want)
 	}
 }

@@ -197,7 +197,11 @@ func (l *Loader) walkModule() ([]string, error) {
 	return out, err
 }
 
-// dirFor maps an import path to its source directory.
+// dirFor maps an import path to its source directory. Stdlib packages
+// import their golang.org/x/... dependencies through GOROOT's vendor
+// tree (e.g. net -> golang.org/x/net/dns/dnsmessage), so paths missing
+// from GOROOT/src fall back to GOROOT/src/vendor — the same resolution
+// the go tool applies inside std.
 func (l *Loader) dirFor(path string) string {
 	if path == l.modPath {
 		return l.modRoot
@@ -205,7 +209,18 @@ func (l *Loader) dirFor(path string) string {
 	if rest, ok := strings.CutPrefix(path, l.modPath+"/"); ok {
 		return filepath.Join(l.modRoot, filepath.FromSlash(rest))
 	}
-	return filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	d := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(d); err != nil {
+		if v := filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path)); dirExists(v) {
+			return v
+		}
+	}
+	return d
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
 }
 
 func (l *Loader) inModule(path string) bool {

@@ -11,6 +11,7 @@ import (
 	"gristgo/internal/infer"
 	"gristgo/internal/physics"
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // engineState holds a Suite's compiled inference engines and the batched
@@ -21,6 +22,10 @@ type engineState struct {
 	workers int
 	mode    precision.Mode
 	scalar  bool
+
+	// Telemetry passthrough, applied to engines as they are built.
+	rec *telemetry.Recorder
+	reg *telemetry.Registry
 
 	tend64, rad64 *infer.Engine[float64]
 	tend32, rad32 *infer.Engine[float32]
@@ -42,6 +47,27 @@ func (s *Suite) SetWorkers(n int) {
 		if e != nil {
 			e.SetWorkers(n)
 		}
+	}
+}
+
+// SetTelemetry attaches observability to the suite's inference engines
+// (spans into rec, batch metrics into reg — see infer.SetTelemetry).
+// Applies to engines already compiled and to any compiled later.
+func (s *Suite) SetTelemetry(rec *telemetry.Recorder, reg *telemetry.Registry) {
+	s.inf.rec, s.inf.reg = rec, reg
+	s.applyTelemetry()
+}
+
+// applyTelemetry pushes the stored telemetry sinks onto every existing
+// engine.
+func (s *Suite) applyTelemetry() {
+	if s.inf.tend64 != nil {
+		s.inf.tend64.SetTelemetry(s.inf.rec, s.inf.reg, "tendency")
+		s.inf.rad64.SetTelemetry(s.inf.rec, s.inf.reg, "radiation")
+	}
+	if s.inf.tend32 != nil {
+		s.inf.tend32.SetTelemetry(s.inf.rec, s.inf.reg, "tendency")
+		s.inf.rad32.SetTelemetry(s.inf.rec, s.inf.reg, "radiation")
 	}
 }
 
@@ -79,10 +105,12 @@ func (s *Suite) ensureEngines(ncol int) {
 		if s.inf.tend32 == nil {
 			s.inf.tend32 = infer.NewEngine(infer.MustCompile[float32](s.Tend, tendOpt), s.inf.workers)
 			s.inf.rad32 = infer.NewEngine(infer.MustCompile[float32](s.Rad, radOpt), s.inf.workers)
+			s.applyTelemetry()
 		}
 	} else if s.inf.tend64 == nil {
 		s.inf.tend64 = infer.NewEngine(infer.MustCompile[float64](s.Tend, tendOpt), s.inf.workers)
 		s.inf.rad64 = infer.NewEngine(infer.MustCompile[float64](s.Rad, radOpt), s.inf.workers)
+		s.applyTelemetry()
 	}
 	if n := ncol * TendencyChannels * nlev; len(s.inf.xT) < n {
 		s.inf.xT = make([]float64, n)

@@ -11,12 +11,35 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"gristgo/internal/comm"
+	"gristgo/internal/telemetry"
 )
 
 // GroupSize is the default number of ranks per I/O group.
 const GroupSize = 64
+
+// Package-level telemetry: grouped writes happen on many ranks at once,
+// so the sinks are shared and swapped atomically. A nil recorder/registry
+// disables the corresponding output.
+var (
+	telRec   atomic.Pointer[telemetry.Recorder]
+	bytesCtr atomic.Pointer[telemetry.Counter]
+)
+
+// SetTelemetry attaches observability to the package: every WriteOwned
+// emits a pario_write span attributed to the calling rank into rec and
+// accumulates the framed bytes leaders emit into reg's
+// grist_pario_bytes_total counter. Nil detaches either sink.
+func SetTelemetry(rec *telemetry.Recorder, reg *telemetry.Registry) {
+	telRec.Store(rec)
+	if reg == nil {
+		bytesCtr.Store(nil)
+		return
+	}
+	bytesCtr.Store(reg.Counter("grist_pario_bytes_total"))
+}
 
 // GroupOf returns the I/O group index of a rank.
 func GroupOf(rank, groupSize int) int { return rank / groupSize }
@@ -38,6 +61,8 @@ const magic = 0x47525354 // "GRST"
 // writer; non-leader ranks pass w == nil. The tag namespace must be
 // unique per call site.
 func WriteOwned(r *comm.Rank, groupSize int, owned []int32, values []float64, w io.Writer, tag int) error {
+	sp := telRec.Load().Begin("pario_write", int32(r.ID()))
+	defer sp.End()
 	if len(owned) != len(values) {
 		return errors.New("pario: owned/values length mismatch")
 	}
@@ -85,6 +110,9 @@ func WriteOwned(r *comm.Rank, groupSize int, owned []int32, values []float64, w 
 				return err
 			}
 		}
+	}
+	if c := bytesCtr.Load(); c != nil {
+		c.Add(int64(8 + 12*count))
 	}
 	return nil
 }

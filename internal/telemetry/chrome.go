@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChromeTrace writes the recorder's held spans as Chrome
+// trace_event JSON (the "X" complete-event form), loadable in
+// chrome://tracing and https://ui.perfetto.dev. Mapping:
+//
+//   - pid 0 is the model process; tid is the MPI rank, so each rank gets
+//     its own timeline row and nested spans (halo_start → interior →
+//     halo_finish → boundary, inference batches, remap) stack within it;
+//   - ts/dur are microseconds since the recorder epoch;
+//   - args.step is the model step the span was attributed to.
+//
+// Events are emitted in (start, longer-first) order, which the viewers
+// require for correct nesting of equal-start spans.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := r.Snapshot()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range evs {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		if _, err := fmt.Fprintf(w,
+			"%s\n{\"name\":%s,\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"step\":%d}}",
+			sep, strconv.Quote(ev.Name), ev.Rank, micros(ev.Start), micros(ev.Dur), ev.Step); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// micros renders nanoseconds as decimal microseconds with nanosecond
+// resolution preserved (integer math; no float wobble in goldens).
+func micros(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}

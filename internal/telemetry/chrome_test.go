@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildGoldenTrace records a deterministic nested step timeline on two
+// ranks with a fake nanosecond clock (each now() call advances 1000 ns,
+// i.e. 1 µs).
+func buildGoldenTrace() *Recorder {
+	r := NewRecorder(64)
+	fakeClock(r, 1000)
+	r.SetStep(7)
+	// Rank 0: outer step span enclosing the four phases.
+	step := r.Begin("dyn_step", 0) // t=1µs
+	hs := r.Begin("halo_start", 0) // t=2µs
+	hs.End()                       // t=3µs -> dur 1µs
+	in := r.Begin("interior", 0)   // t=4µs
+	in.End()                       // t=5µs
+	hf := r.Begin("halo_finish", 0)
+	hf.End()
+	bd := r.Begin("boundary", 0)
+	bd.End()
+	step.End() // closes at t=10µs -> dur 9µs
+	// Rank 1: one inference batch on its own timeline row.
+	r.SetStep(8)
+	inf := r.Begin("infer_forward", 1)
+	inf.End()
+	return r
+}
+
+const goldenTrace = `{"displayTimeUnit":"ms","traceEvents":[
+{"name":"dyn_step","ph":"X","pid":0,"tid":0,"ts":1.000,"dur":9.000,"args":{"step":7}},
+{"name":"halo_start","ph":"X","pid":0,"tid":0,"ts":2.000,"dur":1.000,"args":{"step":7}},
+{"name":"interior","ph":"X","pid":0,"tid":0,"ts":4.000,"dur":1.000,"args":{"step":7}},
+{"name":"halo_finish","ph":"X","pid":0,"tid":0,"ts":6.000,"dur":1.000,"args":{"step":7}},
+{"name":"boundary","ph":"X","pid":0,"tid":0,"ts":8.000,"dur":1.000,"args":{"step":7}},
+{"name":"infer_forward","ph":"X","pid":0,"tid":1,"ts":11.000,"dur":1.000,"args":{"step":8}}
+]}
+`
+
+// TestChromeTraceGolden: the exact trace_event serialization, including
+// the start-time ordering that makes nested spans render correctly.
+func TestChromeTraceGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != goldenTrace {
+		t.Errorf("chrome trace drifted.\n--- got ---\n%s--- want ---\n%s", got, goldenTrace)
+	}
+}
+
+// TestChromeTraceIsValidJSON: the export must parse as the trace_event
+// container shape ({"traceEvents": [...]}) with the required fields.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Step int64 `json:"step"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 {
+			t.Errorf("event %q: ph=%q dur=%g", ev.Name, ev.Ph, ev.Dur)
+		}
+	}
+	// The outer span must enclose the phases (nesting in the viewer).
+	outer := doc.TraceEvents[0]
+	inner := doc.TraceEvents[1]
+	if outer.Name != "dyn_step" || inner.Ts < outer.Ts ||
+		inner.Ts+inner.Dur > outer.Ts+outer.Dur {
+		t.Errorf("phase span [%g,%g] not nested in step span [%g,%g]",
+			inner.Ts, inner.Ts+inner.Dur, outer.Ts, outer.Ts+outer.Dur)
+	}
+}
+
+// TestEmptyTrace: an empty recorder still writes a valid document.
+func TestEmptyTrace(t *testing.T) {
+	r := NewRecorder(16)
+	var b strings.Builder
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+}

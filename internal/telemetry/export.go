@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// exportQuantiles are the percentile points published for every
+// histogram, in both exposition formats.
+var exportQuantiles = [...]float64{0.5, 0.9, 0.99}
+
+// formatFloat renders a float the way both exporters need it: shortest
+// round-trip representation, "0" for zero, no exponent surprises for
+// typical metric magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelsWith merges a pre-rendered label set with one extra pair (used
+// to add quantile="..." to histogram lines).
+func labelsWith(rendered, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(rendered, "}") + "," + extra + "}"
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format. Counters and gauges emit one sample; histograms
+// emit summary-style quantile samples plus _sum, _count and _ewma.
+// Output order is deterministic: metrics sort by (name, labels).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	ms := r.sorted()
+	lastName := ""
+	for _, m := range ms {
+		if m.name != lastName {
+			typ := m.kind.String()
+			if m.kind == kindHistogram {
+				typ = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+				return err
+			}
+			lastName = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatFloat(m.g.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			for _, q := range exportQuantiles {
+				ql := labelsWith(m.labels, "quantile", formatFloat(q))
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, ql, formatFloat(m.h.Quantile(q))); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatFloat(m.h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, m.h.Count()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_ewma%s %s\n", m.name, m.labels, formatFloat(m.h.EWMA())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes every registered metric as one deterministic JSON
+// object: {"counters":[...],"gauges":[...],"histograms":[...]}, each
+// entry carrying name, labels (the rendered Prometheus form) and value
+// fields. Hand-formatted so goldens are byte-stable across Go versions.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	ms := r.sorted()
+	var counters, gauges, hists []string
+	for _, m := range ms {
+		id := fmt.Sprintf("%q:%q", "name", m.name)
+		if m.labels != "" {
+			id += fmt.Sprintf(",%q:%q", "labels", m.labels)
+		}
+		switch m.kind {
+		case kindCounter:
+			counters = append(counters, fmt.Sprintf("{%s,\"value\":%d}", id, m.c.Value()))
+		case kindGauge:
+			gauges = append(gauges, fmt.Sprintf("{%s,\"value\":%s}", id, jsonFloat(m.g.Value())))
+		case kindHistogram:
+			h := m.h
+			entry := fmt.Sprintf("{%s,\"count\":%d,\"sum\":%s,\"mean\":%s,\"ewma\":%s",
+				id, h.Count(), jsonFloat(h.Sum()), jsonFloat(h.Mean()), jsonFloat(h.EWMA()))
+			for _, q := range exportQuantiles {
+				entry += fmt.Sprintf(",\"p%02.0f\":%s", q*100, jsonFloat(h.Quantile(q)))
+			}
+			hists = append(hists, entry+"}")
+		}
+	}
+	_, err := fmt.Fprintf(w, "{\"counters\":[%s],\"gauges\":[%s],\"histograms\":[%s]}\n",
+		strings.Join(counters, ","), strings.Join(gauges, ","), strings.Join(hists, ","))
+	return err
+}
+
+// jsonFloat renders a float as valid JSON (NaN and infinities, which
+// JSON cannot carry, become null).
+func jsonFloat(v float64) string {
+	s := formatFloat(v)
+	if strings.ContainsAny(s, "NI") { // NaN, +Inf, -Inf
+		return "null"
+	}
+	return s
+}

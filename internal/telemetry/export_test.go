@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildGoldenRegistry populates a registry with one of each instrument
+// kind, deterministically.
+func buildGoldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("grist_halo_bytes_total").Add(123456)
+	reg.Counter("grist_component_calls_total", "component", "dynamics").Add(42)
+	reg.Counter("grist_component_calls_total", "component", "halo_wait").Add(7)
+	reg.Gauge("grist_sypd").Set(0.5)
+	reg.Gauge("grist_comm_share").Set(0.125)
+	h := reg.Histogram("grist_step_latency_seconds")
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(0.25)
+	h.Observe(2)
+	return reg
+}
+
+// The golden Prometheus exposition. 0.25 sits in the [0.25, 0.5) bucket
+// (mid 0.375), 2 in [2, 4) (mid 3, clamped to the true max 2); p50/p90
+// land in the first, p99 in the second. EWMA after 0.25,0.25,0.25,2 with
+// alpha 0.1 is 0.42500000000000004 (exact IEEE double).
+const goldenPrometheus = `# TYPE grist_comm_share gauge
+grist_comm_share 0.125
+# TYPE grist_component_calls_total counter
+grist_component_calls_total{component="dynamics"} 42
+grist_component_calls_total{component="halo_wait"} 7
+# TYPE grist_halo_bytes_total counter
+grist_halo_bytes_total 123456
+# TYPE grist_step_latency_seconds summary
+grist_step_latency_seconds{quantile="0.5"} 0.375
+grist_step_latency_seconds{quantile="0.9"} 2
+grist_step_latency_seconds{quantile="0.99"} 2
+grist_step_latency_seconds_sum 2.75
+grist_step_latency_seconds_count 4
+grist_step_latency_seconds_ewma 0.42500000000000004
+# TYPE grist_sypd gauge
+grist_sypd 0.5
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != goldenPrometheus {
+		t.Errorf("Prometheus exposition drifted.\n--- got ---\n%s--- want ---\n%s", got, goldenPrometheus)
+	}
+}
+
+const goldenJSON = `{"counters":[{"name":"grist_component_calls_total","labels":"{component=\"dynamics\"}","value":42},{"name":"grist_component_calls_total","labels":"{component=\"halo_wait\"}","value":7},{"name":"grist_halo_bytes_total","value":123456}],"gauges":[{"name":"grist_comm_share","value":0.125},{"name":"grist_sypd","value":0.5}],"histograms":[{"name":"grist_step_latency_seconds","count":4,"sum":2.75,"mean":0.6875,"ewma":0.42500000000000004,"p50":0.375,"p90":2,"p99":2}]}
+`
+
+func TestJSONGolden(t *testing.T) {
+	var b strings.Builder
+	if err := buildGoldenRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != goldenJSON {
+		t.Errorf("JSON export drifted.\n--- got ---\n%s--- want ---\n%s", got, goldenJSON)
+	}
+}

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the telemetry HTTP plane:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/metrics.json   the same registry as JSON
+//	/trace          Chrome trace_event JSON of rec's current ring
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// reg and rec may each be nil; the corresponding endpoints then serve
+// 404.
+func NewMux(reg *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w)
+		})
+	}
+	if rec != nil {
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="grist-trace.json"`)
+			rec.WriteChromeTrace(w)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry plane on addr in a background goroutine and
+// returns the server and the bound address (useful with ":0"). The
+// caller owns shutdown: srv.Close() when the run ends.
+func Serve(addr string, reg *Registry, rec *Recorder) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, rec)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

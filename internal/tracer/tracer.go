@@ -12,6 +12,7 @@ package tracer
 import (
 	"gristgo/internal/mesh"
 	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
 )
 
 // Species indexes the six prognostic tracers.
@@ -89,6 +90,9 @@ type Transport interface {
 	// cells whose updated values are kept (owned), Edges the edges of
 	// the compute region.
 	SetOwned(o *OwnedSets)
+	// SetTelemetry attaches a flight recorder: each Step emits a
+	// tracer_step span attributed to rank (nil recorder detaches).
+	SetTelemetry(rec *telemetry.Recorder, rank int32)
 }
 
 // OwnedSets is the distributed work description of a Transport.
@@ -123,6 +127,10 @@ type transport[T precision.Real] struct {
 	rPlus   []T
 	rMinus  []T
 	newMass []float64 // updated delta-pi (double precision)
+
+	// Optional flight recorder for Step spans (nil: disabled).
+	rec     *telemetry.Recorder
+	telRank int32
 }
 
 func newTransport[T precision.Real](m *mesh.Mesh, nlev int, mode precision.Mode) *transport[T] {
@@ -144,6 +152,11 @@ func newTransport[T precision.Real](m *mesh.Mesh, nlev int, mode precision.Mode)
 func (tr *transport[T]) Mode() precision.Mode { return tr.mode }
 
 func (tr *transport[T]) SetOwned(o *OwnedSets) { tr.owned = o }
+
+func (tr *transport[T]) SetTelemetry(rec *telemetry.Recorder, rank int32) {
+	tr.rec = rec
+	tr.telRank = rank
+}
 
 // eachCell iterates the compute cells.
 func (tr *transport[T]) eachCell(f func(c int)) {
@@ -189,6 +202,7 @@ func (tr *transport[T]) eachEdge(f func(e int)) {
 //
 //grist:hotpath
 func (tr *transport[T]) Step(f *Field, massFlux []float64, dt float64) {
+	sp := tr.rec.Begin("tracer_step", tr.telRank)
 	m := tr.m
 	nlev := tr.nlev
 
@@ -213,6 +227,7 @@ func (tr *transport[T]) Step(f *Field, massFlux []float64, dt float64) {
 	tr.eachCommitCell(func(c int) {
 		copy(f.Mass[c*nlev:(c+1)*nlev], tr.newMass[c*nlev:(c+1)*nlev])
 	})
+	sp.End()
 }
 
 // advectSpecies performs one FCT-limited advection step of a species.
