@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ml bench-halo
+.PHONY: check build vet lint test race bench bench-ml bench-halo chaos
 
 check: build vet lint test race
 
@@ -47,3 +47,14 @@ bench-ml:
 # EXPERIMENTS.md for recorded numbers).
 bench-halo:
 	$(GO) test -run xxx -bench BenchmarkHaloExchange ./internal/comm/
+
+# The fault-injection suite under the race detector (deadline waits,
+# rollback-and-replay, sentinel-driven degradation), then the chaos
+# experiment, which writes CHAOS_recovery.json (recovery events,
+# injected faults, bitwise verdicts) and CHAOS_sentinels.json (health
+# sentinel trip history) for the CI artifact upload.
+chaos:
+	$(GO) test -race -count=1 \
+		-run 'Fault|Barrier|Deadline|Halo|Resilient|RankDeath|BitFlip|Sentinel|Shard|LatestCommitted|Fallback|NaNOutput|DegradeFor|Restart' \
+		./internal/comm/ ./internal/fault/ ./internal/core/ ./internal/mlphysics/
+	$(GO) run ./cmd/gristbench -exp chaos

@@ -15,6 +15,7 @@ import (
 
 	"gristgo/internal/core"
 	"gristgo/internal/diag"
+	"gristgo/internal/fault"
 	"gristgo/internal/mlphysics"
 	"gristgo/internal/physics"
 	"gristgo/internal/precision"
@@ -40,7 +41,14 @@ func main() {
 	telAddr := flag.String("telemetry.addr", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9090; :0 picks a free port)")
 	telHold := flag.Duration("telemetry.hold", 0, "keep the telemetry server up this long after the run finishes")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in Perfetto) at the end")
+	faultProf := flag.String("fault.profile", "", "inject faults: "+fault.Profiles()+" (mlnan corrupts one ML inference output; transport profiles need the distributed chaos harness, see gristbench -exp chaos)")
+	faultSeed := flag.Int64("fault.seed", 1, "fault-injection seed (deterministic per seed+profile)")
 	flag.Parse()
+
+	if _, err := fault.ParseProfile(*faultProf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	pm := precision.Mixed
 	if *mode == "dp" {
@@ -48,6 +56,7 @@ func main() {
 	}
 
 	var scheme physics.Scheme
+	var mlSuite *mlphysics.Suite
 	switch *phys {
 	case "conv":
 		scheme = physics.NewConventional(*layers)
@@ -73,7 +82,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "weights were trained for %d layers, run uses %d\n", suite.NLev, *layers)
 			os.Exit(2)
 		}
-		scheme = suite
+		scheme, mlSuite = suite, suite
 	default:
 		fmt.Fprintf(os.Stderr, "unknown physics %q\n", *phys)
 		os.Exit(2)
@@ -91,18 +100,20 @@ func main() {
 	}
 	mod.RemapEvery = *remapEvery
 	if *restartIn != "" {
-		f, err := os.Open(*restartIn)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		err = mod.ReadRestart(f)
-		f.Close()
-		if err != nil {
+		if err := mod.ReadRestartFile(*restartIn); err != nil {
 			fmt.Fprintln(os.Stderr, "restart:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("Resumed from %s at t=%.1fh\n", *restartIn, mod.TimeSec/3600)
+	}
+
+	if *faultProf == "mlnan" {
+		if mlSuite == nil {
+			fmt.Fprintln(os.Stderr, "-fault.profile mlnan requires -physics ml")
+			os.Exit(2)
+		}
+		mlSuite.SetOutputFault(fault.MLOutputFault(*faultSeed, 0))
+		fmt.Printf("Fault injection: mlnan (seed %d) — one inference batch will be corrupted\n", *faultSeed)
 	}
 
 	_, _, _, dtPhy := mod.EffectiveSteps()
@@ -164,6 +175,11 @@ func main() {
 	simDays := mod.TimeSec / 86400
 	fmt.Printf("Finished: %.2f simulated days in %.1fs wall -> %.2f SDPD on this host\n",
 		simDays, wall, simDays/(wall/86400))
+	if mlSuite != nil {
+		if n := mlSuite.FallbackCount(); n > 0 {
+			fmt.Printf("ML physics fell back to the scalar oracle on %d step(s) (grist_physics_fallback_total)\n", n)
+		}
+	}
 	if *timings {
 		fmt.Print(tm.Report())
 	}
@@ -201,17 +217,11 @@ func main() {
 		fmt.Printf("Wrote history to %s\n", *output)
 	}
 	if *restartOut != "" {
-		f, err := os.Create(*restartOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := mod.WriteRestart(f); err != nil {
+		if err := mod.WriteRestartFile(*restartOut); err != nil {
 			fmt.Fprintln(os.Stderr, "writing restart:", err)
 			os.Exit(1)
 		}
-		f.Close()
-		fmt.Printf("Wrote restart to %s\n", *restartOut)
+		fmt.Printf("Wrote restart to %s (atomic, CRC-framed)\n", *restartOut)
 	}
 }
 

@@ -17,10 +17,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, all")
 	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
-	benchDir := flag.String("bench-out", ".", "directory for the telemetry experiment's BENCH_telemetry.json and BENCH_trace.json")
+	benchDir := flag.String("bench-out", ".", "directory for the telemetry/chaos experiments' JSON artifacts")
+	faultSeed := flag.Int64("fault.seed", 7, "chaos experiment: fault-injection seed")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -65,6 +66,18 @@ func main() {
 			}
 			printRows(res.Rows())
 			fmt.Printf("Wrote BENCH_telemetry.json and BENCH_trace.json to %s\n", *benchDir)
+		},
+		"chaos": func() {
+			cfg := experiments.DefaultChaosConfig()
+			cfg.Seed = *faultSeed
+			cfg.Dir = *benchDir
+			res, err := experiments.WriteChaosConfig(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
+				os.Exit(1)
+			}
+			printRows(res.Rows())
+			fmt.Printf("Wrote CHAOS_recovery.json and CHAOS_sentinels.json to %s\n", *benchDir)
 		},
 	}
 

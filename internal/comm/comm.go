@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 )
 
 // message is a tagged payload between two ranks. data is transport-owned
@@ -34,6 +35,8 @@ type World struct {
 	boxes [][]chan message // boxes[to][from]
 	free  [][]chan []byte  // recycled payload buffers per (to, from)
 
+	inj Injector // nil outside fault-injection runs
+
 	barrier *barrier
 
 	reduceMu  sync.Mutex
@@ -41,6 +44,68 @@ type World struct {
 	reduceN   int
 	reduceGen int
 	reduceC   *sync.Cond
+}
+
+// Injector intercepts every delivery attempt of a World for seeded,
+// deterministic fault injection (see internal/fault). OnSend may mutate
+// data in place (bit-flip corruption), delay the sender (the returned
+// duration is slept before delivery, preserving per-channel FIFO order),
+// or drop the attempt. A dropped attempt models a lossy link, not a
+// guaranteed loss: the transport retries with bounded exponential
+// backoff and only discards the message after maxSendAttempts drops.
+// Implementations must be safe for concurrent use by all ranks.
+type Injector interface {
+	OnSend(from, to, tag, attempt int, data []byte) (drop bool, delay time.Duration)
+}
+
+// SetInjector installs (or, with nil, removes) the world's fault
+// injector. Call before the ranks start communicating; the delivery path
+// reads the field without synchronization.
+func (w *World) SetInjector(inj Injector) { w.inj = inj }
+
+// Delivery-retry policy for messages an injector reports as dropped:
+// the first redelivery waits retryBackoffBase and each further one
+// doubles it up to retryBackoffCap; after maxSendAttempts verdicts the
+// message is discarded for good.
+const (
+	maxSendAttempts  = 7
+	retryBackoffBase = 50 * time.Microsecond
+	retryBackoffCap  = 5 * time.Millisecond
+)
+
+// post delivers a transport-owned buffer to boxes[to][from], consulting
+// the injector when one is installed. The buffer of a message lost after
+// all retries is recycled. Blocking the sender in-line for delays and
+// retries keeps each (to, from) channel strictly FIFO, which the
+// tag-matched Wait protocol requires.
+func (w *World) post(to, from, tag int, buf []byte) {
+	if w.inj != nil && !w.admit(to, from, tag, buf) {
+		w.putBuf(to, from, buf)
+		return
+	}
+	w.boxes[to][from] <- message{tag: tag, data: buf}
+}
+
+// admit runs the injector's verdicts for one message, sleeping through
+// injected delays and retry backoff. Returns false when every attempt
+// was dropped and the message is lost.
+func (w *World) admit(to, from, tag int, buf []byte) bool {
+	backoff := retryBackoffBase
+	for attempt := 0; attempt < maxSendAttempts; attempt++ {
+		drop, delay := w.inj.OnSend(from, to, tag, attempt, buf)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if !drop {
+			return true
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > retryBackoffCap {
+			backoff = retryBackoffCap
+		}
+	}
+	return false
 }
 
 // NewWorld creates a communicator for n ranks.
@@ -89,10 +154,17 @@ func (w *World) Size() int { return w.n }
 // Run executes body once per rank, concurrently, and waits for all ranks
 // to return.
 func Run(n int, body func(r *Rank)) {
-	w := NewWorld(n)
+	RunOn(NewWorld(n), body)
+}
+
+// RunOn executes body once per rank of an existing world, concurrently,
+// and waits for all ranks to return. Use it when the world needs
+// pre-run configuration (SetInjector) that must be in place before the
+// first message.
+func RunOn(w *World, body func(r *Rank)) {
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for id := 0; id < n; id++ {
+	wg.Add(w.n)
+	for id := 0; id < w.n; id++ {
 		go func(id int) {
 			defer wg.Done()
 			body(&Rank{id: id, w: w})
@@ -135,7 +207,7 @@ type Request struct {
 func (r *Rank) ISend(to, tag int, data []byte) Request {
 	buf := r.w.getBuf(to, r.id, len(data))
 	copy(buf, data)
-	r.w.boxes[to][r.id] <- message{tag: tag, data: buf}
+	r.w.post(to, r.id, tag, buf)
 	return Request{}
 }
 
@@ -154,7 +226,14 @@ func (q *Request) Wait() {
 		return
 	}
 	r := q.rank
-	m := <-r.w.boxes[r.id][q.from]
+	q.complete(<-r.w.boxes[r.id][q.from])
+}
+
+// complete validates a delivered message against the posted receive and
+// copies the payload out, returning the transport buffer to the free
+// list.
+func (q *Request) complete(m message) {
+	r := q.rank
 	if m.tag != q.tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", r.id, q.tag, q.from, m.tag))
 	}
@@ -181,7 +260,7 @@ func (r *Rank) Send(to, tag int, data []float64) {
 	for i, v := range data {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 	}
-	r.w.boxes[to][r.id] <- message{tag: tag, data: buf}
+	r.w.post(to, r.id, tag, buf)
 }
 
 // Recv receives the next message from the source rank, checks its tag,
@@ -200,37 +279,87 @@ func (r *Rank) Recv(from, tag int) []float64 {
 }
 
 // Barrier blocks until every rank has entered it.
-func (r *Rank) Barrier() { r.w.barrier.await() }
+func (r *Rank) Barrier() { r.w.barrier.await(r.id, 0) }
 
-// barrier is a reusable n-party barrier.
+// BarrierTimeout enters the barrier but gives up after d, returning a
+// *TimeoutError naming the ranks that had arrived and the ranks still
+// missing — the diagnostic a hung collective needs instead of a
+// deadlocked binary. A nil return means the barrier completed normally.
+func (r *Rank) BarrierTimeout(d time.Duration) error {
+	if err := r.w.barrier.await(r.id, d); err != nil {
+		return err // typed-nil guard: only wrap a real timeout in the interface
+	}
+	return nil
+}
+
+// barrier is a reusable n-party barrier that tracks which ranks have
+// arrived in the current generation, so a timed-out waiter can report
+// exactly who is missing.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
+	mu      sync.Mutex
+	n       int
+	count   int
+	arrived []bool
+	done    chan struct{} // closed when the current generation completes
 }
 
 func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
+	return &barrier{n: n, arrived: make([]bool, n), done: make(chan struct{})}
 }
 
-func (b *barrier) await() {
+// await enters the barrier as rank id. With d <= 0 it blocks until the
+// generation completes; otherwise it gives up after d and returns a
+// timeout error snapshotting the arrival set. A rank that timed out has
+// still arrived: if the stragglers eventually show up the generation
+// completes without it.
+func (b *barrier) await(id int, d time.Duration) *TimeoutError {
 	b.mu.Lock()
-	gen := b.gen
+	b.arrived[id] = true
 	b.count++
 	if b.count == b.n {
 		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
+		for i := range b.arrived {
+			b.arrived[i] = false
+		}
+		close(b.done)
+		b.done = make(chan struct{})
+		b.mu.Unlock()
+		return nil
+	}
+	done := b.done
+	b.mu.Unlock()
+	if d <= 0 {
+		<-done
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-t.C:
+	}
+	// Timed out: re-check under the lock (the generation may have
+	// completed while the timer fired) and snapshot the arrival set.
+	select {
+	case <-done:
+		return nil
+	default:
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if done != b.done {
+		return nil // generation completed between the timer and the lock
+	}
+	err := &TimeoutError{Op: "barrier", Rank: id, Wait: d}
+	for i, a := range b.arrived {
+		if a {
+			err.Arrived = append(err.Arrived, i)
+		} else {
+			err.Missing = append(err.Missing, i)
 		}
 	}
-	b.mu.Unlock()
+	return err
 }
 
 // AllReduceSum sums x element-wise across all ranks; every rank receives

@@ -162,6 +162,12 @@ type HaloExchanger struct {
 	recvReqs  []Request
 	inFlight  bool
 
+	// Deadline-bounded Finish (see SetDeadline): the reusable timer and
+	// the timeout escalation hook.
+	deadline  time.Duration
+	dlTimer   *time.Timer
+	onTimeout func()
+
 	// statsMu guards stats: the owning rank updates them from Start and
 	// Finish while a telemetry sampler may read or drain them from
 	// another goroutine.
@@ -402,7 +408,11 @@ func (h *HaloExchanger) Finish() {
 	}
 	wsp := h.rec.Begin("halo_wait", h.telRank)
 	t0 := time.Now()
-	h.rank.WaitAll(h.recvReqs)
+	if h.deadline > 0 {
+		h.waitAllDeadline()
+	} else {
+		h.rank.WaitAll(h.recvReqs)
+	}
 	wait := time.Since(t0)
 	wsp.End()
 	usp := h.rec.Begin("halo_unpack", h.telRank)

@@ -1,0 +1,309 @@
+package core
+
+// Distributed sharded checkpointing. Every rank of a resilient run
+// periodically serializes its region of the dynamics state into a
+// per-rank shard file — versioned header, raw FP64 payload, CRC32-IEEE
+// trailer, written atomically (temp + rename) — and the ranks
+// rendezvous on a checkpoint epoch: only after every shard of an epoch
+// is durable does rank 0 commit the epoch manifest. Recovery scans
+// manifests newest-first and resumes from the first epoch whose shards
+// all verify, so a crash at any point (mid-shard, mid-epoch, mid-
+// manifest) leaves either the previous committed epoch or a complete
+// new one, never a torn mixture.
+//
+// A shard stores the rank's owned cells AND halo mirrors (DiagCells),
+// plus its owned and ghost edges: the dycore step reads halo values
+// before its first exchange of a step, so resuming bitwise requires the
+// mirrors exactly as they were, not just the owned region.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"gristgo/internal/dycore"
+)
+
+const (
+	shardMagic   = "GRSHARD\x01"
+	shardVersion = 1
+)
+
+// atomicWriteFile streams write into a temp file in path's directory,
+// syncs it, and renames it over path — the canonical crash-safe
+// replace. On any error the temp file is removed and path is untouched.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ShardStore reads and writes the checkpoint shards of one distributed
+// plan under a directory. Methods are safe for concurrent use by
+// different ranks (each rank touches only its own shard files).
+type ShardStore struct {
+	dir string
+	pl  *DistPlan
+
+	// shardEdges[p]: the U columns rank p's kernels read — owned edges
+	// plus ghost (received) edges — sorted for a stable file layout.
+	shardEdges [][]int32
+}
+
+// NewShardStore creates (if needed) the checkpoint directory and
+// precomputes each rank's shard layout from the plan.
+func NewShardStore(dir string, pl *DistPlan) (*ShardStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
+	}
+	st := &ShardStore{dir: dir, pl: pl, shardEdges: make([][]int32, pl.NParts)}
+	for p := 0; p < pl.NParts; p++ {
+		edges := append([]int32(nil), pl.UEdges[p]...)
+		for _, ghost := range pl.edgeRecv[p] {
+			edges = append(edges, ghost...)
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		st.shardEdges[p] = edges
+	}
+	return st, nil
+}
+
+// Dir returns the checkpoint directory.
+func (st *ShardStore) Dir() string { return st.dir }
+
+func (st *ShardStore) shardPath(epoch, rank int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("shard-e%06d-r%04d.grist", epoch, rank))
+}
+
+func (st *ShardStore) manifestPath(epoch int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("epoch-%06d.json", epoch))
+}
+
+// shardHeader is the fixed-size preamble of a shard file, after the
+// 8-byte magic: six little-endian uint32 fields.
+type shardHeader struct {
+	version, rank, epoch, step, ncells, nedges uint32
+}
+
+// WriteShard atomically writes rank's region of the state after `step`
+// completed steps as epoch's shard.
+func (st *ShardStore) WriteShard(epoch, rank, step int, s *dycore.State) error {
+	pl := st.pl
+	nlev := pl.NLev
+	ni := nlev + 1
+	cells := pl.DiagCells[rank]
+	edges := st.shardEdges[rank]
+	return atomicWriteFile(st.shardPath(epoch, rank), func(w io.Writer) error {
+		crc := crc32.NewIEEE()
+		mw := io.MultiWriter(w, crc)
+		hdr := make([]byte, len(shardMagic)+6*4)
+		copy(hdr, shardMagic)
+		for i, v := range []uint32{shardVersion, uint32(rank), uint32(epoch), uint32(step), uint32(len(cells)), uint32(len(edges))} {
+			binary.LittleEndian.PutUint32(hdr[len(shardMagic)+4*i:], v)
+		}
+		if _, err := mw.Write(hdr); err != nil {
+			return err
+		}
+		// Payload: per cell DryMass|ThetaM (nlev each) then W|Phi (nlev+1
+		// each), then per edge U (nlev) — raw FP64 bits, bitwise-exact.
+		buf := make([]byte, 8*(2*nlev+2*ni))
+		for _, c := range cells {
+			off := 0
+			base, ibase := int(c)*nlev, int(c)*ni
+			for k := 0; k < nlev; k++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s.DryMass[base+k]))
+				off += 8
+			}
+			for k := 0; k < nlev; k++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s.ThetaM[base+k]))
+				off += 8
+			}
+			for k := 0; k < ni; k++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s.W[ibase+k]))
+				off += 8
+			}
+			for k := 0; k < ni; k++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s.Phi[ibase+k]))
+				off += 8
+			}
+			if _, err := mw.Write(buf[:off]); err != nil {
+				return err
+			}
+		}
+		for _, e := range edges {
+			base := int(e) * nlev
+			for k := 0; k < nlev; k++ {
+				binary.LittleEndian.PutUint64(buf[8*k:], math.Float64bits(s.U[base+k]))
+			}
+			if _, err := mw.Write(buf[:8*nlev]); err != nil {
+				return err
+			}
+		}
+		var trailer [4]byte
+		binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+		_, err := w.Write(trailer[:])
+		return err
+	})
+}
+
+// loadShard reads and fully verifies one shard file, returning the raw
+// payload (after the header, before the trailer) and the parsed header.
+func (st *ShardStore) loadShard(epoch, rank int) (shardHeader, []byte, error) {
+	var h shardHeader
+	path := st.shardPath(epoch, rank)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return h, nil, err
+	}
+	hdrLen := len(shardMagic) + 6*4
+	if len(raw) < hdrLen+4 {
+		return h, nil, fmt.Errorf("core: shard %s truncated (%d bytes)", filepath.Base(path), len(raw))
+	}
+	if string(raw[:len(shardMagic)]) != shardMagic {
+		return h, nil, fmt.Errorf("core: %s is not a shard file (bad magic)", filepath.Base(path))
+	}
+	fields := [6]*uint32{&h.version, &h.rank, &h.epoch, &h.step, &h.ncells, &h.nedges}
+	for i, f := range fields {
+		*f = binary.LittleEndian.Uint32(raw[len(shardMagic)+4*i:])
+	}
+	if h.version != shardVersion {
+		return h, nil, fmt.Errorf("core: shard %s has format version %d (this build reads %d)", filepath.Base(path), h.version, shardVersion)
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return h, nil, fmt.Errorf("core: shard %s corrupt: CRC32 %08x, trailer says %08x", filepath.Base(path), got, want)
+	}
+	pl := st.pl
+	nlev := pl.NLev
+	ni := nlev + 1
+	if int(h.rank) != rank || int(h.epoch) != epoch ||
+		int(h.ncells) != len(pl.DiagCells[rank]) || int(h.nedges) != len(st.shardEdges[rank]) {
+		return h, nil, fmt.Errorf("core: shard %s does not match the plan (rank %d epoch %d, %d cells, %d edges)",
+			filepath.Base(path), h.rank, h.epoch, h.ncells, h.nedges)
+	}
+	wantPayload := 8 * (int(h.ncells)*(2*nlev+2*ni) + int(h.nedges)*nlev)
+	payload := body[hdrLen:]
+	if len(payload) != wantPayload {
+		return h, nil, fmt.Errorf("core: shard %s payload is %d bytes, want %d", filepath.Base(path), len(payload), wantPayload)
+	}
+	return h, payload, nil
+}
+
+// ReadShard restores rank's region of epoch's shard into s and returns
+// the step count the shard was taken at.
+func (st *ShardStore) ReadShard(epoch, rank int, s *dycore.State) (int, error) {
+	h, payload, err := st.loadShard(epoch, rank)
+	if err != nil {
+		return 0, err
+	}
+	pl := st.pl
+	nlev := pl.NLev
+	ni := nlev + 1
+	off := 0
+	get := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+		return v
+	}
+	for _, c := range pl.DiagCells[rank] {
+		base, ibase := int(c)*nlev, int(c)*ni
+		for k := 0; k < nlev; k++ {
+			s.DryMass[base+k] = get()
+		}
+		for k := 0; k < nlev; k++ {
+			s.ThetaM[base+k] = get()
+		}
+		for k := 0; k < ni; k++ {
+			s.W[ibase+k] = get()
+		}
+		for k := 0; k < ni; k++ {
+			s.Phi[ibase+k] = get()
+		}
+	}
+	for _, e := range st.shardEdges[rank] {
+		base := int(e) * nlev
+		for k := 0; k < nlev; k++ {
+			s.U[base+k] = get()
+		}
+	}
+	return int(h.step), nil
+}
+
+// epochManifest is the commit record of a checkpoint epoch, written by
+// rank 0 only after every rank's shard is durable.
+type epochManifest struct {
+	Epoch  int `json:"epoch"`
+	Step   int `json:"step"`
+	NParts int `json:"nparts"`
+}
+
+// Commit atomically writes epoch's manifest, marking it recoverable.
+func (st *ShardStore) Commit(epoch, step int) error {
+	m := epochManifest{Epoch: epoch, Step: step, NParts: st.pl.NParts}
+	return atomicWriteFile(st.manifestPath(epoch), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&m)
+	})
+}
+
+// LatestCommitted returns the newest committed epoch whose every shard
+// verifies (header, CRC, plan match), with the step it was taken at.
+// ok is false when no usable epoch exists — recovery then replays from
+// the initial state.
+func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
+	names, err := filepath.Glob(filepath.Join(st.dir, "epoch-*.json"))
+	if err != nil || len(names) == 0 {
+		return 0, 0, false
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var m epochManifest
+		if json.Unmarshal(raw, &m) != nil || m.NParts != st.pl.NParts {
+			continue
+		}
+		usable := true
+		for p := 0; p < m.NParts; p++ {
+			h, _, err := st.loadShard(m.Epoch, p)
+			if err != nil || int(h.step) != m.Step {
+				usable = false
+				break
+			}
+		}
+		if usable {
+			return m.Epoch, m.Step, true
+		}
+	}
+	return 0, 0, false
+}

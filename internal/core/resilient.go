@@ -1,0 +1,342 @@
+package core
+
+// The resilient distributed runner: RunDistributedDynamics plus failure
+// detection and rollback-and-replay recovery. Every blocking wait is
+// deadline-bounded (halo Finish panics with the rank dump, collectives
+// are preceded by BarrierTimeout), so a dead or stalled rank surfaces
+// as a typed failure within about one step instead of a hang; every
+// CheckpointEvery steps the ranks write CRC-protected shards and
+// rendezvous on a committed epoch; and when a leg fails — rank death,
+// halo timeout, sentinel trip — the run rolls back to the latest
+// committed epoch and replays. Replay is bitwise-faithful: shards store
+// the full owned+halo region each rank's kernels read, and one-shot
+// injected faults (internal/fault) stay spent across legs.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"gristgo/internal/comm"
+	"gristgo/internal/diag"
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
+)
+
+// StepGate lets a fault plan veto a rank's next step: PermitStep
+// returning false makes the rank exit before step (0-based, global),
+// simulating a node death. Peers detect the death through halo and
+// barrier deadlines.
+type StepGate interface {
+	PermitStep(rank, step int) bool
+}
+
+// ResilienceOpts configures RunDistributedDynamicsResilient. The zero
+// value disables fault injection and sentinels and uses the defaults
+// noted per field.
+type ResilienceOpts struct {
+	Mode precision.Mode
+
+	// Injector is installed on each leg's world (nil: no fault
+	// injection). If it also implements StepGate it can kill ranks.
+	Injector comm.Injector
+
+	// CheckpointEvery writes a shard epoch every N steps (default 0: no
+	// checkpoints, recovery replays from the initial state). Dir is the
+	// shard directory, required when CheckpointEvery > 0.
+	CheckpointEvery int
+	Dir             string
+
+	// HaloTimeout bounds every halo Finish; SyncTimeout bounds the
+	// barrier rendezvous around collectives and commits (default: both
+	// 2s — generous against scheduler noise, instant against a real
+	// death, and irrelevant on the failure-free path). Choose them well
+	// above one step's compute time: a rank that is merely slow must
+	// never straddle the deadline, only a dead one.
+	HaloTimeout time.Duration
+	SyncTimeout time.Duration
+
+	// MaxRecoveries bounds rollback attempts (default 3). A fault that
+	// replays deterministically into the same failure gives up here.
+	MaxRecoveries int
+
+	// Monitor enables the in-loop sentinel checks (nil: disabled): every
+	// HealthEvery steps (default 1) the ranks agree on the global dry
+	// mass and their local NaN/Inf counts, and a trip aborts the leg for
+	// rollback. Keep HealthEvery <= CheckpointEvery so no corrupt state
+	// is ever committed.
+	Monitor     *diag.HealthMonitor
+	HealthEvery int
+
+	// Reg receives the recovery metrics: grist_recovery_total,
+	// grist_rank_failures_total, grist_checkpoint_epochs_total.
+	Reg *telemetry.Registry
+}
+
+// RankFailure describes one rank's death during a leg.
+type RankFailure struct {
+	Rank   int    `json:"rank"`
+	Kind   string `json:"kind"` // "killed", "timeout", "sentinel", "panic"
+	Reason string `json:"reason"`
+}
+
+// RecoveryEvent records one rollback: the failures that triggered it
+// and where the replay resumed.
+type RecoveryEvent struct {
+	Attempt     int           `json:"attempt"` // the leg that failed (0-based)
+	Failures    []RankFailure `json:"failures"`
+	ResumeEpoch int           `json:"resume_epoch"` // -1: from initial state
+	ResumeStep  int           `json:"resume_step"`
+}
+
+// RecoveryReport summarizes a resilient run's recovery activity.
+type RecoveryReport struct {
+	Attempts   int             `json:"attempts"` // legs run, including the successful one
+	Recoveries int             `json:"recoveries"`
+	Events     []RecoveryEvent `json:"events,omitempty"`
+}
+
+// Abort panic values raised inside a leg, classified by the recover.
+type rankKilled struct{ step int }
+type sentinelAbort struct{ step int }
+
+func (k rankKilled) String() string    { return fmt.Sprintf("killed before step %d", k.step) }
+func (a sentinelAbort) String() string { return fmt.Sprintf("sentinel trip at step %d", a.step) }
+
+// RunDistributedDynamicsResilient integrates the dry dynamics like
+// RunDistributedDynamics but survives rank death, message loss and
+// numerical corruption: failures detected through deadlines and
+// sentinels roll the run back to the latest committed checkpoint epoch
+// and replay. Returns the merged final state (bitwise identical to an
+// undisturbed run when every injected fault is transient) and the
+// recovery report; the error is non-nil when MaxRecoveries consecutive
+// legs failed.
+func RunDistributedDynamicsResilient(m *mesh.Mesh, nlev, nparts int,
+	initFn func(*dycore.State), steps int, dt float64, opts ResilienceOpts) (*dycore.State, *RecoveryReport, error) {
+
+	if opts.HaloTimeout <= 0 {
+		opts.HaloTimeout = 2 * time.Second
+	}
+	if opts.SyncTimeout <= 0 {
+		opts.SyncTimeout = 2 * time.Second
+	}
+	if opts.MaxRecoveries == 0 {
+		opts.MaxRecoveries = 3
+	}
+	if opts.HealthEvery <= 0 {
+		opts.HealthEvery = 1
+	}
+
+	pl := NewDistPlan(m, nlev, nparts, 12345)
+	var store *ShardStore
+	if opts.CheckpointEvery > 0 {
+		if opts.Dir == "" {
+			return nil, nil, fmt.Errorf("core: ResilienceOpts.Dir is required when CheckpointEvery > 0")
+		}
+		var err error
+		store, err = NewShardStore(opts.Dir, pl)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	rep := &RecoveryReport{}
+	for attempt := 0; ; attempt++ {
+		resumeEpoch, resumeStep := -1, 0
+		if store != nil {
+			if e, s0, ok := store.LatestCommitted(); ok {
+				resumeEpoch, resumeStep = e, s0
+			}
+		}
+		if attempt > 0 {
+			rep.Events[len(rep.Events)-1].ResumeEpoch = resumeEpoch
+			rep.Events[len(rep.Events)-1].ResumeStep = resumeStep
+			rep.Recoveries++
+			if opts.Reg != nil {
+				opts.Reg.Counter("grist_recovery_total").Inc()
+			}
+		}
+		rep.Attempts++
+		final, fails := runResilientLeg(m, pl, store, nlev, nparts, initFn, steps, dt, resumeEpoch, resumeStep, opts)
+		if len(fails) == 0 {
+			return final, rep, nil
+		}
+		if opts.Reg != nil {
+			opts.Reg.Counter("grist_rank_failures_total").Add(int64(len(fails)))
+		}
+		rep.Events = append(rep.Events, RecoveryEvent{Attempt: attempt, Failures: fails, ResumeEpoch: -1})
+		if rep.Recoveries >= opts.MaxRecoveries {
+			return nil, rep, fmt.Errorf("core: resilient run failed after %d recoveries: rank %d (%s): %s",
+				rep.Recoveries, fails[0].Rank, fails[0].Kind, fails[0].Reason)
+		}
+	}
+}
+
+// runResilientLeg runs one attempt on a fresh world: resume from the
+// given epoch (or the initial state), step to completion with gated
+// steps, sentinel checks and checkpoint epochs, and gather the final
+// state. Returns the failures that aborted the leg (empty on success).
+func runResilientLeg(m *mesh.Mesh, pl *DistPlan, store *ShardStore, nlev, nparts int,
+	initFn func(*dycore.State), steps int, dt float64, resumeEpoch, resumeStep int,
+	opts ResilienceOpts) (*dycore.State, []RankFailure) {
+
+	w := comm.NewWorld(nparts)
+	if opts.Injector != nil {
+		w.SetInjector(opts.Injector)
+	}
+	gate, _ := opts.Injector.(StepGate)
+
+	final := dycore.NewState(m, nlev)
+	var mu sync.Mutex
+	var fails []RankFailure
+
+	comm.RunOn(w, func(r *comm.Rank) {
+		p := r.ID()
+		defer func() {
+			if e := recover(); e != nil {
+				f := RankFailure{Rank: p, Reason: fmt.Sprint(e)}
+				switch e.(type) {
+				case rankKilled:
+					f.Kind = "killed"
+				case sentinelAbort:
+					f.Kind = "sentinel"
+				case *comm.TimeoutError:
+					f.Kind = "timeout"
+				default:
+					f.Kind = "panic"
+				}
+				mu.Lock()
+				fails = append(fails, f)
+				mu.Unlock()
+			}
+		}()
+
+		eng := dycore.New(m, nlev, opts.Mode)
+		s := eng.State()
+		initFn(s)
+		if resumeEpoch >= 0 {
+			if _, err := store.ReadShard(resumeEpoch, p, s); err != nil {
+				panic(fmt.Sprintf("loading shard of epoch %d: %v", resumeEpoch, err))
+			}
+		}
+		ex := newStateExchanger(pl, r, s, opts.Mode)
+		ex.SetDeadline(opts.HaloTimeout)
+		o := &dycore.OwnedSets{
+			TendCells: pl.TendCells[p],
+			DiagCells: pl.DiagCells[p],
+			FluxEdges: pl.FluxEdges[p],
+			UEdges:    pl.UEdges[p],
+		}
+		o.Start, o.Finish = ex.Start, ex.Finish
+		eng.SetOwned(o)
+
+		// The mass-conservation baseline is the initial global mass,
+		// observed once per monitor lifetime (initFn writes the full
+		// identical state on every rank, so rank 0's serial integral is
+		// the global one). Resumed legs keep the original baseline.
+		if opts.Monitor != nil && p == 0 && resumeStep == 0 {
+			opts.Monitor.ObserveMassBudget(0, stateDryMass(s, m, nlev))
+		}
+
+		for i := resumeStep; i < steps; i++ {
+			if gate != nil && !gate.PermitStep(p, i) {
+				panic(rankKilled{step: i})
+			}
+			eng.Step(dt)
+			step := i + 1
+
+			if opts.Monitor != nil && step%opts.HealthEvery == 0 {
+				if err := r.BarrierTimeout(opts.SyncTimeout); err != nil {
+					panic(err)
+				}
+				// Two agreement rounds: first the global mass and the
+				// summed local NaN/Inf counts, then the verdict (rank 0
+				// owns the budget judgement), so every rank aborts — or
+				// none does — and nobody is left behind in a collective.
+				bad := float64(scanOwnedHealth(opts.Monitor, int64(step), s))
+				sums := r.AllReduceSum([]float64{ownedDryMass(s, pl, p, m), bad})
+				verdict := 0.0
+				if p == 0 {
+					drift := opts.Monitor.ObserveMassBudget(int64(step), sums[0])
+					if math.IsNaN(drift) || drift > opts.Monitor.MassTol {
+						verdict = 1
+					}
+				}
+				if sums[1] > 0 {
+					verdict = 1
+				}
+				if r.AllReduceSum([]float64{verdict})[0] > 0 {
+					panic(sentinelAbort{step: step})
+				}
+			}
+
+			if store != nil && step%opts.CheckpointEvery == 0 && step < steps {
+				epoch := step / opts.CheckpointEvery
+				if err := store.WriteShard(epoch, p, step, s); err != nil {
+					panic(fmt.Sprintf("writing shard of epoch %d: %v", epoch, err))
+				}
+				// Commit only after every shard of the epoch is durable.
+				if err := r.BarrierTimeout(opts.SyncTimeout); err != nil {
+					panic(err)
+				}
+				if p == 0 {
+					if err := store.Commit(epoch, step); err != nil {
+						panic(fmt.Sprintf("committing epoch %d: %v", epoch, err))
+					}
+					if opts.Reg != nil {
+						opts.Reg.Counter("grist_checkpoint_epochs_total").Inc()
+					}
+				}
+			}
+		}
+
+		// All ranks alive and done: safe to enter the blocking gather.
+		if err := r.BarrierTimeout(opts.SyncTimeout); err != nil {
+			panic(err)
+		}
+		gatherState(r, final, s, pl)
+	})
+	return final, fails
+}
+
+// scanOwnedHealth counts this rank's non-finite prognostic values,
+// recording trips through the shared monitor.
+func scanOwnedHealth(h *diag.HealthMonitor, step int64, s *dycore.State) int {
+	n := h.CheckFinite(step, "dry_mass", s.DryMass)
+	n += h.CheckFinite(step, "theta_m", s.ThetaM)
+	n += h.CheckFinite(step, "u", s.U)
+	n += h.CheckFinite(step, "w", s.W)
+	return n
+}
+
+// ownedDryMass integrates dry mass over rank p's owned cells; the
+// AllReduce of these partials is the global budget integral.
+func ownedDryMass(s *dycore.State, pl *DistPlan, p int, m *mesh.Mesh) float64 {
+	nlev := pl.NLev
+	var total float64
+	for _, c := range pl.TendCells[p] {
+		var col float64
+		base := int(c) * nlev
+		for k := 0; k < nlev; k++ {
+			col += s.DryMass[base+k]
+		}
+		total += col * m.CellArea[c]
+	}
+	return total
+}
+
+// stateDryMass integrates dry mass over the full mesh of one state.
+func stateDryMass(s *dycore.State, m *mesh.Mesh, nlev int) float64 {
+	var total float64
+	for c := 0; c < m.NCells; c++ {
+		var col float64
+		for k := 0; k < nlev; k++ {
+			col += s.DryMass[c*nlev+k]
+		}
+		total += col * m.CellArea[c]
+	}
+	return total
+}

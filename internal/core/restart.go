@@ -1,11 +1,26 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
 
 	"gristgo/internal/tracer"
+)
+
+// Restart stream framing: a magic + format-version header so a foreign
+// or stale file is rejected before gob sees it, and a CRC32-IEEE
+// trailer over everything before it so silent corruption (truncation,
+// bit rot, torn writes) surfaces as a precise error instead of a
+// half-restored state. Version history: 1 = bare gob (pre-resilience),
+// 2 = framed.
+const (
+	restartMagic   = "GRST"
+	restartVersion = 2
 )
 
 // restartRecord is the serialized model state. Mesh topology is not
@@ -27,7 +42,8 @@ type restartRecord struct {
 
 // WriteRestart serializes the full model state, so a run can resume
 // bit-for-bit (the restart-reproducibility requirement of long climate
-// integrations).
+// integrations). The stream is framed with the versioned header and
+// CRC32 trailer described above.
 func (mod *Model) WriteRestart(w io.Writer) error {
 	s := mod.Engine.State()
 	rec := restartRecord{
@@ -45,15 +61,52 @@ func (mod *Model) WriteRestart(w io.Writer) error {
 		StepCount:   mod.stepCount,
 	}
 	rec.Tracers = mod.Tracers.Q
-	return gob.NewEncoder(w).Encode(&rec)
+
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	var hdr [len(restartMagic) + 2]byte
+	copy(hdr[:], restartMagic)
+	binary.LittleEndian.PutUint16(hdr[len(restartMagic):], restartVersion)
+	if _, err := mw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("core: writing restart header: %w", err)
+	}
+	if err := gob.NewEncoder(mw).Encode(&rec); err != nil {
+		return fmt.Errorf("core: writing restart: %w", err)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("core: writing restart trailer: %w", err)
+	}
+	return nil
 }
 
-// ReadRestart restores a state written by WriteRestart into this model.
-// The grid level and layer count must match the model's configuration.
+// ReadRestart restores a state written by WriteRestart into this model,
+// verifying the header and checksum first. The grid level and layer
+// count must match the model's configuration.
 func (mod *Model) ReadRestart(r io.Reader) error {
-	var rec restartRecord
-	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+	raw, err := io.ReadAll(r)
+	if err != nil {
 		return fmt.Errorf("core: reading restart: %w", err)
+	}
+	const hdrLen = len(restartMagic) + 2
+	if len(raw) < hdrLen+4 {
+		return fmt.Errorf("core: restart file truncated (%d bytes, need at least %d)", len(raw), hdrLen+4)
+	}
+	if string(raw[:len(restartMagic)]) != restartMagic {
+		return fmt.Errorf("core: not a restart file (magic %q, want %q)", raw[:len(restartMagic)], restartMagic)
+	}
+	if v := binary.LittleEndian.Uint16(raw[len(restartMagic):hdrLen]); v != restartVersion {
+		return fmt.Errorf("core: unsupported restart format version %d (this build reads %d)", v, restartVersion)
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return fmt.Errorf("core: restart file corrupt: CRC32 %08x, trailer says %08x", got, want)
+	}
+	var rec restartRecord
+	if err := gob.NewDecoder(bytes.NewReader(body[hdrLen:])).Decode(&rec); err != nil {
+		return fmt.Errorf("core: decoding restart: %w", err)
 	}
 	if rec.GridLevel != mod.Cfg.GridLevel || rec.NLev != mod.Cfg.NLev {
 		return fmt.Errorf("core: restart is G%d/L%d, model is G%d/L%d",
@@ -79,4 +132,23 @@ func (mod *Model) ReadRestart(r io.Reader) error {
 	mod.stepCount = rec.StepCount
 	mod.TimeSec = rec.TimeSec
 	return nil
+}
+
+// WriteRestartFile writes the restart record to path atomically: the
+// framed stream lands in a temp file in the same directory and is
+// renamed into place, so a crash mid-write never leaves a truncated
+// file under the restart name.
+func (mod *Model) WriteRestartFile(path string) error {
+	return atomicWriteFile(path, mod.WriteRestart)
+}
+
+// ReadRestartFile restores the model from a restart file written by
+// WriteRestartFile (or any WriteRestart stream on disk).
+func (mod *Model) ReadRestartFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: opening restart: %w", err)
+	}
+	defer f.Close()
+	return mod.ReadRestart(f)
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -65,6 +66,94 @@ func TestRestartReproducibility(t *testing.T) {
 	cmp("PrecipAccum", ref.PrecipAccum, resumed.PrecipAccum)
 	if ref.TimeSec != resumed.TimeSec {
 		t.Fatalf("TimeSec differs: %v vs %v", ref.TimeSec, resumed.TimeSec)
+	}
+}
+
+// TestRestartRejectsCorruption: the framed restart format (magic +
+// version header, CRC32 trailer) must reject every flavor of damage
+// with a precise error rather than half-restoring a state.
+func TestRestartRejectsCorruption(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[0], 0)
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.Null{}, sharedMesh3)
+	mod.InitializeClimate(cl)
+	var buf bytes.Buffer
+	if err := mod.WriteRestart(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	read := func(raw []byte) error {
+		fresh := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.Null{}, sharedMesh3)
+		return fresh.ReadRestart(bytes.NewReader(raw))
+	}
+	expect := func(name string, raw []byte, wantSub string) {
+		t.Helper()
+		err := read(raw)
+		if err == nil {
+			t.Fatalf("%s: corrupt restart accepted", name)
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	if err := read(good); err != nil {
+		t.Fatalf("pristine restart rejected: %v", err)
+	}
+	expect("truncated", good[:5], "truncated")
+	expect("truncated-payload", good[:len(good)/2], "corrupt")
+	magic := append([]byte(nil), good...)
+	copy(magic, "GDFX")
+	expect("bad-magic", magic, "not a restart file")
+	ver := append([]byte(nil), good...)
+	ver[4] ^= 0xff // version bytes follow the 4-byte magic
+	expect("bad-version", ver, "version")
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x01
+	expect("bit-rot", flip, "CRC32")
+}
+
+// TestRestartFileAtomicRoundTrip: WriteRestartFile lands the framed
+// stream via temp+rename and ReadRestartFile restores it bitwise.
+func TestRestartFileAtomicRoundTrip(t *testing.T) {
+	cl := synthclim.ForPeriod(synthclim.Table1()[1], 0)
+	mk := func() *Model {
+		mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, physics.NewConventional(6), sharedMesh3)
+		mod.InitializeClimate(cl)
+		return mod
+	}
+	ref := mk()
+	ref.StepPhysics(cl.Season)
+	dir := t.TempDir()
+	path := dir + "/restart.grist"
+	if err := ref.WriteRestartFile(path); err != nil {
+		t.Fatal(err)
+	}
+	resumed := mk()
+	if err := resumed.ReadRestartFile(path); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := ref.Engine.State(), resumed.Engine.State()
+	for i := range sa.DryMass {
+		if sa.DryMass[i] != sb.DryMass[i] {
+			t.Fatalf("DryMass[%d] differs after file round-trip", i)
+		}
+	}
+	if ref.TimeSec != resumed.TimeSec {
+		t.Fatalf("TimeSec differs: %v vs %v", ref.TimeSec, resumed.TimeSec)
+	}
+	// No temp litter left behind by the atomic write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".restart") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+	if err := resumed.ReadRestartFile(path + ".missing"); err == nil {
+		t.Fatal("missing restart file accepted")
 	}
 }
 

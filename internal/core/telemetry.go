@@ -37,7 +37,18 @@ type ModelTelemetry struct {
 	simSeconds  *telemetry.Gauge
 	steps       *telemetry.Counter
 	stepNo      int64
+
+	// Graceful degradation: when the physics suite supports DegradeFor
+	// (the ML suite does), a sentinel trip benches its batched engine for
+	// the next step. lastTrips remembers the monitor's trip count at the
+	// previous scan so only new trips degrade.
+	degrade   Degradable
+	lastTrips int64
 }
+
+// Degradable is implemented by physics suites that can fall back to a
+// trusted slow path for a number of steps (mlphysics.Suite.DegradeFor).
+type Degradable interface{ DegradeFor(steps int) }
 
 // EnableTelemetry attaches observability to the model: engine, tracer
 // transport and (when supported) the physics suite report spans into
@@ -67,6 +78,9 @@ func (mod *Model) EnableTelemetry(reg *telemetry.Registry, rec *telemetry.Record
 		SetTelemetry(*telemetry.Recorder, *telemetry.Registry)
 	}); ok {
 		ts.SetTelemetry(rec, reg)
+	}
+	if d, ok := mod.Physics.(Degradable); ok {
+		tel.degrade = d
 	}
 	mod.tel = tel
 	return tel
@@ -127,6 +141,15 @@ func (tel *ModelTelemetry) scanHealth(mod *Model) {
 	h.CheckFinite(step, "w", s.W)
 	h.ObserveMassBudget(step, globalDryMass(mod))
 	h.ObserveEnergyBudget(step, s.TotalEnergy())
+	// New trips since the last scan bench the suspect fast path: the next
+	// physics step runs on the scalar oracle while the state recovers (or
+	// the sentinel keeps tripping and keeps it benched).
+	if trips := h.TotalTrips(); trips > tel.lastTrips {
+		if tel.degrade != nil {
+			tel.degrade.DegradeFor(1)
+		}
+		tel.lastTrips = trips
+	}
 }
 
 // globalDryMass integrates the dry-air mass over the sphere (Pa m^2,

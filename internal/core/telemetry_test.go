@@ -1,11 +1,13 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"time"
 
 	"gristgo/internal/diag"
 	"gristgo/internal/dycore"
+	"gristgo/internal/physics"
 	"gristgo/internal/precision"
 	"gristgo/internal/synthclim"
 	"gristgo/internal/telemetry"
@@ -129,6 +131,40 @@ func TestRunDistributedDynamicsObserved(t *testing.T) {
 		if names[want] == 0 {
 			t.Errorf("no %q spans in distributed run (got %v)", want, names)
 		}
+	}
+}
+
+// degradeStub is a physics scheme that records DegradeFor calls, so the
+// sentinel→degradation wiring can be tested without training a suite.
+type degradeStub struct {
+	physics.Null
+	benched []int
+}
+
+func (d *degradeStub) DegradeFor(n int) { d.benched = append(d.benched, n) }
+
+// TestSentinelTripDegradesPhysics: a health-sentinel trip must bench a
+// Degradable physics suite for the following step; clean steps must not.
+func TestSentinelTripDegradesPhysics(t *testing.T) {
+	stub := &degradeStub{}
+	mod := NewModelOnMesh(Config{GridLevel: 3, NLev: 6}, stub, sharedMesh3)
+	cl := synthclim.ForPeriod(synthclim.Table1()[2], 0)
+	mod.InitializeClimate(cl)
+	reg := telemetry.NewRegistry()
+	mod.EnableTelemetry(reg, nil, nil)
+
+	mod.StepPhysics(cl.Season)
+	if len(stub.benched) != 0 {
+		t.Fatalf("clean step degraded physics: %v", stub.benched)
+	}
+
+	mod.Engine.State().W[0] = math.NaN()
+	mod.StepPhysics(cl.Season)
+	if len(stub.benched) != 1 || stub.benched[0] != 1 {
+		t.Fatalf("sentinel trip did not bench physics for one step: %v", stub.benched)
+	}
+	if mod.tel.Health.TotalTrips() == 0 {
+		t.Fatal("no sentinel trip recorded despite NaN in state")
 	}
 }
 

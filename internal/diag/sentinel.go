@@ -72,8 +72,10 @@ type HealthMonitor struct {
 	psEWMA, vorEWMA float64
 	psvorPrimed     bool
 
-	// Recent trips, newest last (bounded).
-	trips []HealthEvent
+	// Recent trips, newest last (bounded), and the monotonic count of
+	// every trip ever recorded (not bounded by the history window).
+	trips     []HealthEvent
+	tripCount int64
 
 	// Published metrics.
 	nonfinite  *telemetry.Counter
@@ -117,6 +119,7 @@ func NewHealthMonitor(reg *telemetry.Registry, warn func(HealthEvent)) *HealthMo
 // trip records a sentinel firing: counter, retained history, callback.
 // Callers hold h.mu.
 func (h *HealthMonitor) trip(ev HealthEvent) {
+	h.tripCount++
 	h.tripsTotal[ev.Sentinel].Inc()
 	if len(h.trips) == maxTrips {
 		copy(h.trips, h.trips[1:])
@@ -126,6 +129,18 @@ func (h *HealthMonitor) trip(ev HealthEvent) {
 	if h.warn != nil {
 		h.warn(ev)
 	}
+}
+
+// TotalTrips returns the monotonic count of every sentinel trip ever
+// recorded, letting a caller detect "tripped since I last looked"
+// without diffing the bounded history.
+func (h *HealthMonitor) TotalTrips() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tripCount
 }
 
 // Trips returns a copy of the retained trip history, oldest first.

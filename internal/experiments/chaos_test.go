@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteChaos runs the full chaos experiment at CI scale and checks
+// the artifacts carry the acceptance evidence: bitwise recovery from
+// rank death and from a sentinel-tripping bit flip, and an ML fallback
+// with finite outputs.
+func TestWriteChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-leg fault-injection run")
+	}
+	dir := t.TempDir()
+	res, err := WriteChaos(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leg := range []ChaosLeg{res.RankDeath, res.BitFlip} {
+		if leg.Err != "" {
+			t.Errorf("%s leg failed: %s", leg.Profile, leg.Err)
+		}
+		if !leg.Bitwise {
+			t.Errorf("%s leg did not recover bitwise", leg.Profile)
+		}
+		if leg.Recoveries == 0 {
+			t.Errorf("%s leg recorded no recovery", leg.Profile)
+		}
+	}
+	if res.RecoveryTotal < 2 {
+		t.Errorf("grist_recovery_total = %d, want >= 2", res.RecoveryTotal)
+	}
+	if res.SentinelTrips == 0 {
+		t.Error("bit-flip leg tripped no sentinel")
+	}
+	if res.MLFallbacks == 0 || !res.MLOutputsFinite {
+		t.Errorf("ML leg: fallbacks=%d finite=%v", res.MLFallbacks, res.MLOutputsFinite)
+	}
+
+	var back ChaosResult
+	raw, err := os.ReadFile(filepath.Join(dir, "CHAOS_recovery.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.RecoveryTotal != res.RecoveryTotal {
+		t.Error("CHAOS_recovery.json does not round-trip")
+	}
+	var trips []SentinelTrip
+	raw, err = os.ReadFile(filepath.Join(dir, "CHAOS_sentinels.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &trips); err != nil {
+		t.Fatal(err)
+	}
+	if len(trips) == 0 {
+		t.Error("CHAOS_sentinels.json holds no trip history")
+	}
+	if len(res.Rows()) == 0 {
+		t.Error("no report rows")
+	}
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+)
+
+// Two plans with the same seed and profile must return identical
+// verdicts for identical message coordinates — determinism is what lets
+// chaos tests assert bitwise reproducibility.
+func TestPlanDeterministic(t *testing.T) {
+	prof, err := ParseProfile("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewPlan(42, prof)
+	b := NewPlan(42, prof)
+	buf := make([]byte, 64)
+	for tag := 100; tag < 120; tag++ {
+		for from := 0; from < 4; from++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				d1, w1 := a.OnSend(from, (from+1)%4, tag, attempt, buf)
+				d2, w2 := b.OnSend(from, (from+1)%4, tag, attempt, buf)
+				if d1 != d2 || w1 != w2 {
+					t.Fatalf("verdicts diverge at from=%d tag=%d attempt=%d: (%v,%v) vs (%v,%v)",
+						from, tag, attempt, d1, w1, d2, w2)
+				}
+			}
+		}
+	}
+}
+
+// A different seed must change the fault pattern (otherwise the "seed"
+// flag is a lie).
+func TestPlanSeedMatters(t *testing.T) {
+	prof, _ := ParseProfile("drop")
+	a := NewPlan(1, prof)
+	b := NewPlan(2, prof)
+	buf := make([]byte, 8)
+	diverged := false
+	for tag := 100; tag < 400 && !diverged; tag++ {
+		d1, _ := a.OnSend(0, 1, tag, 0, buf)
+		d2, _ := b.OnSend(0, 1, tag, 0, buf)
+		diverged = d1 != d2
+	}
+	if !diverged {
+		t.Fatal("seeds 1 and 2 produced identical drop patterns over 300 messages")
+	}
+}
+
+// Control-plane collectives (negative tags) must pass untouched under
+// every profile.
+func TestNegativeTagsExempt(t *testing.T) {
+	prof := Profile{DropProb: 1, DelayProb: 1, MaxDelay: time.Second, FlipProb: 1}
+	p := NewPlan(7, prof)
+	buf := []byte{1, 2, 3, 4}
+	orig := append([]byte(nil), buf...)
+	for attempt := 0; attempt < 3; attempt++ {
+		drop, delay := p.OnSend(0, 1, -7771, attempt, buf)
+		if drop || delay != 0 {
+			t.Fatalf("negative tag got drop=%v delay=%v", drop, delay)
+		}
+	}
+	for i := range buf {
+		if buf[i] != orig[i] {
+			t.Fatal("negative-tag payload was corrupted")
+		}
+	}
+}
+
+// Bit-flips must actually change the decoded FP32 value, and the
+// MaxFlips budget must hold across attempts and messages.
+func TestBitFlipCorruptsAndHonorsBudget(t *testing.T) {
+	p := NewPlan(3, Profile{FlipProb: 1, MaxFlips: 1, KillRank: -1})
+	buf := make([]byte, 4*16)
+	for w := 0; w < 16; w++ {
+		binary.LittleEndian.PutUint32(buf[4*w:], math.Float32bits(1.0))
+	}
+	p.OnSend(0, 1, 100, 0, buf)
+	changed := 0
+	for w := 0; w < 16; w++ {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*w:]))
+		if v != 1.0 {
+			changed++
+			if rel := math.Abs(float64(v) - 1.0); rel < 10 {
+				t.Fatalf("exponent-MSB flip changed 1.0 to %g — expected a numerically loud change", v)
+			}
+		}
+	}
+	if changed == 0 {
+		t.Fatal("FlipProb=1 corrupted no words")
+	}
+	if p.Flips() != 1 {
+		t.Fatalf("Flips() = %d, want 1", p.Flips())
+	}
+	// Budget spent: further messages pass clean.
+	clean := make([]byte, 4*16)
+	for w := 0; w < 16; w++ {
+		binary.LittleEndian.PutUint32(clean[4*w:], math.Float32bits(1.0))
+	}
+	p.OnSend(0, 1, 101, 0, clean)
+	for w := 0; w < 16; w++ {
+		if math.Float32frombits(binary.LittleEndian.Uint32(clean[4*w:])) != 1.0 {
+			t.Fatal("MaxFlips=1 budget not honored: second message corrupted")
+		}
+	}
+}
+
+// The rank kill fires exactly once: a recovery leg replaying the same
+// step must not re-kill the rank.
+func TestKillFiresOnce(t *testing.T) {
+	prof, _ := ParseProfile("rankdeath")
+	p := NewPlan(5, prof)
+	if p.PermitStep(0, prof.KillStep) != true {
+		t.Fatal("non-victim rank was killed")
+	}
+	if p.PermitStep(prof.KillRank, prof.KillStep-1) != true {
+		t.Fatal("victim killed before its step")
+	}
+	if p.PermitStep(prof.KillRank, prof.KillStep) != false {
+		t.Fatal("victim not killed at its step")
+	}
+	if p.PermitStep(prof.KillRank, prof.KillStep) != true {
+		t.Fatal("kill fired twice — replay would livelock")
+	}
+	ev, _ := p.Events()
+	kills := 0
+	for _, e := range ev {
+		if e.Kind == "kill" {
+			kills++
+		}
+	}
+	if kills != 1 {
+		t.Fatalf("recorded %d kill events, want 1", kills)
+	}
+}
+
+func TestParseProfileUnknown(t *testing.T) {
+	if _, err := ParseProfile("voltage-sag"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	for _, name := range []string{"off", "drop", "delay", "bitflip", "rankdeath", "chaos", "mlnan"} {
+		if _, err := ParseProfile(name); err != nil {
+			t.Fatalf("ParseProfile(%q): %v", name, err)
+		}
+	}
+}
+
+// MLOutputFault fires on exactly one call and writes NaN into the
+// tendency buffer.
+func TestMLOutputFault(t *testing.T) {
+	f := MLOutputFault(9, 3)
+	tend := make([]float64, 32)
+	rad := make([]float64, 8)
+	for call := 1; call <= 5; call++ {
+		for i := range tend {
+			tend[i] = 1
+		}
+		f(tend, rad)
+		nans := 0
+		for _, v := range tend {
+			if math.IsNaN(v) {
+				nans++
+			}
+		}
+		if call == 3 && nans == 0 {
+			t.Fatal("fault did not fire on its designated call")
+		}
+		if call != 3 && nans != 0 {
+			t.Fatalf("fault fired on call %d, want only call 3", call)
+		}
+	}
+}

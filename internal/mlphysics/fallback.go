@@ -1,0 +1,55 @@
+package mlphysics
+
+// Sentinel-driven graceful degradation (the resilience layer's answer
+// to a misbehaving accelerator): every batched Compute scans the raw
+// engine outputs for NaN/Inf before they touch the physics output, and
+// a poisoned batch is discarded and recomputed through the per-column
+// FP64 scalar oracle — the slow-but-trusted path. A health monitor
+// that trips (mass budget, non-finite prognostics) can additionally
+// force whole steps onto the oracle via DegradeFor. Both degradations
+// are counted in grist_physics_fallback_total{reason}, so a run that
+// quietly limps on conventional arithmetic is visible in telemetry
+// rather than just slow.
+
+import "math"
+
+// SetOutputFault installs a hook that may corrupt the raw batched
+// inference outputs (tendency and radiation batch matrices) before the
+// non-finite guard sees them. It exists for fault injection — see
+// fault.MLOutputFault — and is never set in production. A nil hook
+// removes it.
+func (s *Suite) SetOutputFault(f func(tend, rad []float64)) { s.inf.faultFn = f }
+
+// DegradeFor forces the next n Compute calls through the scalar FP64
+// oracle regardless of the configured engine path, counting each as a
+// "sentinel" fallback. Drivers call this when a health sentinel trips:
+// the suspect accelerator path is benched for a step while the trusted
+// path keeps the simulation moving.
+func (s *Suite) DegradeFor(n int) {
+	if n > s.inf.degradeLeft {
+		s.inf.degradeLeft = n
+	}
+}
+
+// FallbackCount returns how many Compute calls fell back to the scalar
+// oracle (for any reason) over the suite's lifetime.
+func (s *Suite) FallbackCount() int64 { return s.inf.fallbacks }
+
+// noteFallback counts one scalar-oracle fallback locally and, when a
+// registry is attached, in grist_physics_fallback_total{reason}.
+func (s *Suite) noteFallback(reason string) {
+	s.inf.fallbacks++
+	if s.inf.reg != nil {
+		s.inf.reg.Counter("grist_physics_fallback_total", "reason", reason).Inc()
+	}
+}
+
+// allFinite reports whether xs is free of NaN and Inf.
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

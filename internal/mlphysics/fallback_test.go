@@ -1,0 +1,109 @@
+package mlphysics
+
+import (
+	"math"
+	"testing"
+
+	"gristgo/internal/fault"
+	"gristgo/internal/physics"
+	"gristgo/internal/telemetry"
+)
+
+// outputFinite asserts no NaN/Inf in any field the dynamics consumes.
+func outputFinite(t *testing.T, out *physics.Output) {
+	t.Helper()
+	for name, xs := range map[string][]float64{
+		"Q1": out.Q1, "Q2": out.Q2, "Gsw": out.Gsw, "Glw": out.Glw, "Precip": out.Precip,
+	} {
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s[%d] = %v reached the physics output", name, i, v)
+			}
+		}
+	}
+}
+
+// TestNaNOutputFallsBackToScalar: an injected NaN in the raw batched
+// inference output must trigger the scalar-oracle fallback — the
+// corrupted batch never reaches the prognostic state, the step matches
+// the oracle bitwise, and the fallback is counted with reason
+// "nonfinite".
+func TestNaNOutputFallsBackToScalar(t *testing.T) {
+	nlev := 6
+	suite := trainedSuite(t, nlev, 41)
+	reg := telemetry.NewRegistry()
+	suite.SetTelemetry(nil, reg)
+	const ncol = 19
+	in := physInput(ncol, nlev)
+	tskin0 := append([]float64(nil), in.Tskin...)
+
+	ref := physics.NewOutput(ncol, nlev)
+	suite.SetScalarOracle(true)
+	suite.Compute(in, ref, 600)
+	suite.SetScalarOracle(false)
+
+	// Corrupt the second batched Compute call.
+	suite.SetOutputFault(fault.MLOutputFault(5, 2))
+	for call := 1; call <= 3; call++ {
+		copy(in.Tskin, tskin0)
+		got := physics.NewOutput(ncol, nlev)
+		suite.Compute(in, got, 600)
+		outputFinite(t, got)
+		for i := range ref.Q1 {
+			if got.Q1[i] != ref.Q1[i] || got.Q2[i] != ref.Q2[i] {
+				t.Fatalf("call %d: output diverges from oracle at %d", call, i)
+			}
+		}
+	}
+	if n := suite.FallbackCount(); n != 1 {
+		t.Fatalf("FallbackCount = %d, want 1 (only the corrupted call)", n)
+	}
+	if n := reg.Counter("grist_physics_fallback_total", "reason", "nonfinite").Value(); n != 1 {
+		t.Fatalf("grist_physics_fallback_total{reason=nonfinite} = %d, want 1", n)
+	}
+	suite.SetOutputFault(nil)
+}
+
+// TestDegradeForForcesScalar: DegradeFor(n) benches the batched engine
+// for exactly n Compute calls, each counted as a "sentinel" fallback.
+func TestDegradeForForcesScalar(t *testing.T) {
+	nlev := 6
+	suite := trainedSuite(t, nlev, 43)
+	reg := telemetry.NewRegistry()
+	suite.SetTelemetry(nil, reg)
+	const ncol = 7
+	in := physInput(ncol, nlev)
+	tskin0 := append([]float64(nil), in.Tskin...)
+
+	// Poison every batched call: if the degraded steps ever touched the
+	// engine, the fault hook would fire and the nonfinite counter would
+	// move.
+	suite.SetOutputFault(func(tend, rad []float64) { tend[0] = math.NaN() })
+
+	suite.DegradeFor(2)
+	for call := 0; call < 2; call++ {
+		copy(in.Tskin, tskin0)
+		out := physics.NewOutput(ncol, nlev)
+		suite.Compute(in, out, 600)
+		outputFinite(t, out)
+	}
+	if n := reg.Counter("grist_physics_fallback_total", "reason", "sentinel").Value(); n != 2 {
+		t.Fatalf("sentinel fallbacks = %d, want 2", n)
+	}
+	if n := reg.Counter("grist_physics_fallback_total", "reason", "nonfinite").Value(); n != 0 {
+		t.Fatalf("degraded steps ran the batched engine (%d nonfinite fallbacks)", n)
+	}
+
+	// Degradation expired: the next call runs batched again and hits the
+	// poisoned hook.
+	copy(in.Tskin, tskin0)
+	out := physics.NewOutput(ncol, nlev)
+	suite.Compute(in, out, 600)
+	outputFinite(t, out)
+	if n := reg.Counter("grist_physics_fallback_total", "reason", "nonfinite").Value(); n != 1 {
+		t.Fatalf("post-degradation call did not run batched (nonfinite = %d, want 1)", n)
+	}
+	if n := suite.FallbackCount(); n != 3 {
+		t.Fatalf("FallbackCount = %d, want 3", n)
+	}
+}

@@ -32,6 +32,13 @@ type engineState struct {
 
 	xT, yT []float64 // tendency batch: NCol x (5*nlev) in, NCol x (2*nlev) out
 	xR, yR []float64 // radiation batch: NCol x (2*nlev+2) in, NCol x 3 out
+
+	// Degradation state (fallback.go): an injected output corruption
+	// hook, the number of Compute calls still forced onto the scalar
+	// oracle, and the lifetime fallback count.
+	faultFn     func(tend, rad []float64)
+	degradeLeft int
+	fallbacks   int64
 }
 
 // SetWorkers sets the inference worker-pool width (0 or 1 serial,
@@ -129,12 +136,14 @@ func (s *Suite) ensureEngines(ncol int) {
 // computeBatched fills the batch matrices from the physics input, runs
 // both engines over all columns at once, and applies the identical
 // per-column postprocessing (vapor guard, radiation clamps) as the
-// scalar oracle.
-func (s *Suite) computeBatched(in *physics.Input, out *physics.Output, dt float64) {
+// scalar oracle. It reports whether the raw engine outputs were all
+// finite; on false nothing has been written to out and the caller must
+// recompute through the scalar oracle (fallback.go).
+func (s *Suite) computeBatched(in *physics.Input, out *physics.Output, dt float64) bool {
 	nlev := s.NLev
 	ncol := in.NCol
 	if ncol == 0 {
-		return
+		return true
 	}
 	s.ensureEngines(ncol)
 
@@ -153,10 +162,18 @@ func (s *Suite) computeBatched(in *physics.Input, out *physics.Output, dt float6
 	}
 
 	tout := TendencyOutputs * nlev
-	for c := 0; c < ncol; c++ {
-		s.applyTendencies(in, out, s.inf.yT[c*tout:(c+1)*tout], c, dt)
-		s.applyRadiation(in, out, s.inf.yR[c*RadiationOutputs:(c+1)*RadiationOutputs], c)
+	yT, yR := s.inf.yT[:ncol*tout], s.inf.yR[:ncol*RadiationOutputs]
+	if s.inf.faultFn != nil {
+		s.inf.faultFn(yT, yR)
 	}
+	if !allFinite(yT) || !allFinite(yR) {
+		return false
+	}
+	for c := 0; c < ncol; c++ {
+		s.applyTendencies(in, out, yT[c*tout:(c+1)*tout], c, dt)
+		s.applyRadiation(in, out, yR[c*RadiationOutputs:(c+1)*RadiationOutputs], c)
+	}
+	return true
 }
 
 // DrainTimings reports and resets the engines' accumulated inference

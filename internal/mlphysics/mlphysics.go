@@ -226,12 +226,24 @@ func radiationInputInto(x []float64, in *physics.Input, c, nlev int) {
 // sharded across SetWorkers goroutines); SetScalarOracle(true) routes
 // through the per-column nn.Forward reference path instead, which the
 // engine's FP64 plan matches bit for bit.
+//
+// The batched path is guarded: a NaN or Inf in the raw engine outputs
+// discards the batch and recomputes the step through the scalar oracle
+// (see fallback.go), so non-finite inference output never reaches the
+// prognostic state. DegradeFor routes whole steps the same way.
 func (s *Suite) Compute(in *physics.Input, out *physics.Output, dt float64) {
 	out.Reset()
-	if s.inf.scalar {
+	switch {
+	case s.inf.scalar:
 		s.computeScalar(in, out, dt)
-	} else {
-		s.computeBatched(in, out, dt)
+	case s.inf.degradeLeft > 0:
+		s.inf.degradeLeft--
+		s.noteFallback("sentinel")
+		s.computeScalar(in, out, dt)
+	case !s.computeBatched(in, out, dt):
+		out.Reset()
+		s.noteFallback("nonfinite")
+		s.computeScalar(in, out, dt)
 	}
 	// The land surface stays prognostic: reuse the conventional surface
 	// scheme's slab update with the ML radiation diagnostics (the
