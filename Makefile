@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ml bench-halo chaos
+.PHONY: check build vet lint test race bench bench-ml bench-halo chaos serve-smoke bench-serve
 
 check: build vet lint test race
 
@@ -58,3 +58,19 @@ chaos:
 		-run 'Fault|Barrier|Deadline|Halo|Resilient|RankDeath|BitFlip|Sentinel|Shard|LatestCommitted|Fallback|NaNOutput|DegradeFor|Restart' \
 		./internal/comm/ ./internal/fault/ ./internal/core/ ./internal/mlphysics/
 	$(GO) run ./cmd/gristbench -exp chaos
+
+# The serving-plane smoke: gristd self-generates a 3-epoch replay,
+# fires 10k queries at its own HTTP listener, and exits nonzero unless
+# the run had zero 5xx, cached p99 under the bound, and quota-throttled
+# tenants answered with 429 (never errors).
+serve-smoke:
+	$(GO) run ./cmd/gristd -addr :0 -level 3 -layers 6 \
+		-replay.epochs 3 -quota.rate 1000 -quota.burst 200 \
+		-smoke.queries 10000 -smoke.p99 50ms
+
+# The query-plane benchmark: a 1.2M-query in-process replay through the
+# full admission pipeline (quota -> queue -> tile cache -> coalescing),
+# emitting BENCH_serve.json (latency percentiles, hit rate, coalesce
+# ratio, status breakdown) for the CI artifact upload.
+bench-serve:
+	$(GO) run ./cmd/gristbench -exp serve

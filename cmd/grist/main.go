@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"gristgo/internal/mlphysics"
 	"gristgo/internal/physics"
 	"gristgo/internal/precision"
+	"gristgo/internal/serve"
 	"gristgo/internal/synthclim"
 	"gristgo/internal/telemetry"
 )
@@ -38,9 +41,12 @@ func main() {
 	remapEvery := flag.Int("remap", 0, "vertical remap every N physics steps (0 off)")
 	workers := flag.Int("workers", -1, "host threads for the dycore loops (-1 = all CPUs)")
 	output := flag.String("output", "", "write a GDF history file at the end")
-	telAddr := flag.String("telemetry.addr", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9090; :0 picks a free port)")
-	telHold := flag.Duration("telemetry.hold", 0, "keep the telemetry server up this long after the run finishes")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON file (open in Perfetto) at the end")
+	telAddr := flag.String("telemetry.addr", "", "serve the observability plane on this address (e.g. :9090; :0 picks a free port): /metrics and /metrics.json for scrapes, /trace for a live Chrome trace_event dump of the flight-recorder ring, /debug/pprof for profiles")
+	telHold := flag.Duration("telemetry.hold", 0, "keep the telemetry server (including /trace and /debug/pprof) up this long after the run finishes, so the final ring can still be scraped")
+	traceOut := flag.String("trace-out", "", "write the flight-recorder ring as Chrome trace_event JSON at the end (same payload as GET /trace; open in Perfetto)")
+	serveAddr := flag.String("serve.addr", "", "serve the forecast query plane (/v1/point /v1/region /v1/range /v1/epochs /healthz) over the live run on this address; snapshots publish every -serve.every steps")
+	serveExport := flag.String("serve.export", "", "export gristd-compatible snapshot epochs into this directory every -serve.every steps (watch it with gristd -data DIR -parts 1)")
+	serveEvery := flag.Int("serve.every", 4, "physics steps between snapshot publications/exports for -serve.addr and -serve.export")
 	faultProf := flag.String("fault.profile", "", "inject faults: "+fault.Profiles()+" (mlnan corrupts one ML inference output; transport profiles need the distributed chaos harness, see gristbench -exp chaos)")
 	faultSeed := flag.Int64("fault.seed", 1, "fault-injection seed (deterministic per seed+profile)")
 	flag.Parse()
@@ -148,12 +154,68 @@ func main() {
 		fmt.Printf("Telemetry on http://%s/ (/metrics, /trace, /debug/pprof)\n", addr)
 	}
 
+	// Serving-plane passthrough: -serve.addr answers queries over the
+	// live run in process; -serve.export writes gristd-compatible
+	// snapshot epochs (single-rank ShardStore wire format) for an
+	// out-of-process gristd to watch.
+	if *serveEvery < 1 {
+		*serveEvery = 1
+	}
+	var queryPlane *serve.Server
+	var querySrv *http.Server
+	if *serveAddr != "" {
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		queryPlane = serve.NewServer(mod.Mesh, serve.Config{}, reg)
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		querySrv = &http.Server{Handler: queryPlane.Mux()}
+		go querySrv.Serve(ln)
+		fmt.Printf("Query plane on http://%s/ (/v1/point /v1/region /v1/range /v1/epochs /healthz), publishing every %d steps\n",
+			ln.Addr(), *serveEvery)
+	}
+	var exportStore *core.ShardStore
+	if *serveExport != "" {
+		st, err := mod.NewSnapshotStore(*serveExport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve.export:", err)
+			os.Exit(1)
+		}
+		exportStore = st
+		fmt.Printf("Exporting snapshot epochs to %s every %d steps (gristd -data %s -parts 1 -layers %d)\n",
+			*serveExport, *serveEvery, *serveExport, *layers)
+	}
+	epoch := 0
+	publishSnapshot := func() {
+		if queryPlane != nil {
+			queryPlane.Publish(serve.SnapshotFromState(epoch, epoch**serveEvery, mod.Engine.State()))
+		}
+		if exportStore != nil {
+			if err := mod.ExportSnapshot(exportStore, epoch); err != nil {
+				fmt.Fprintln(os.Stderr, "serve.export:", err)
+				os.Exit(1)
+			}
+		}
+		epoch++
+	}
+	serving := queryPlane != nil || exportStore != nil
+	if serving {
+		publishSnapshot() // epoch 0: the initial state, queryable immediately
+	}
+
 	start := time.Now()
 	for i := 0; i < steps; i++ {
 		if *timings || observing {
 			mod.StepPhysicsTimed(cl.Season, tm)
 		} else {
 			mod.StepPhysics(cl.Season)
+		}
+		if serving && (i+1)%*serveEvery == 0 {
+			publishSnapshot()
 		}
 		if (i+1)%max(1, steps/10) == 0 {
 			ps := mod.Engine.State().SurfacePressure()
@@ -196,12 +258,17 @@ func main() {
 		f.Close()
 		fmt.Printf("Wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
 	}
-	if srv != nil {
+	if srv != nil || querySrv != nil {
 		if *telHold > 0 {
-			fmt.Printf("Holding telemetry server for %s...\n", *telHold)
+			fmt.Printf("Holding telemetry/query servers for %s...\n", *telHold)
 			time.Sleep(*telHold)
 		}
-		srv.Close()
+		if srv != nil {
+			srv.Close()
+		}
+		if querySrv != nil {
+			querySrv.Close()
+		}
 	}
 	if *output != "" {
 		f, err := os.Create(*output)

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, serve, all")
 	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
 	benchDir := flag.String("bench-out", ".", "directory for the telemetry/chaos experiments' JSON artifacts")
@@ -66,6 +66,15 @@ func main() {
 			}
 			printRows(res.Rows())
 			fmt.Printf("Wrote BENCH_telemetry.json and BENCH_trace.json to %s\n", *benchDir)
+		},
+		"serve": func() {
+			res, err := experiments.WriteServeBench(*benchDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve bench:", err)
+				os.Exit(1)
+			}
+			printRows(res.Rows())
+			fmt.Printf("Wrote BENCH_serve.json to %s\n", *benchDir)
 		},
 		"chaos": func() {
 			cfg := experiments.DefaultChaosConfig()

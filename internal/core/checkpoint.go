@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"gristgo/internal/dycore"
 )
@@ -77,6 +78,13 @@ type ShardStore struct {
 	// shardEdges[p]: the U columns rank p's kernels read — owned edges
 	// plus ghost (received) edges — sorted for a stable file layout.
 	shardEdges [][]int32
+
+	// verified memoizes epochs whose every shard has passed a full
+	// header+CRC verification (epoch -> step), so the serve poller's
+	// per-tick LatestCommitted is O(1) after the first scan instead of
+	// re-hashing every shard. WriteShard invalidates the written epoch.
+	verifiedMu sync.Mutex
+	verified   map[int]int
 }
 
 // NewShardStore creates (if needed) the checkpoint directory and
@@ -85,7 +93,7 @@ func NewShardStore(dir string, pl *DistPlan) (*ShardStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
 	}
-	st := &ShardStore{dir: dir, pl: pl, shardEdges: make([][]int32, pl.NParts)}
+	st := &ShardStore{dir: dir, pl: pl, shardEdges: make([][]int32, pl.NParts), verified: map[int]int{}}
 	for p := 0; p < pl.NParts; p++ {
 		edges := append([]int32(nil), pl.UEdges[p]...)
 		for _, ghost := range pl.edgeRecv[p] {
@@ -117,6 +125,11 @@ type shardHeader struct {
 // WriteShard atomically writes rank's region of the state after `step`
 // completed steps as epoch's shard.
 func (st *ShardStore) WriteShard(epoch, rank, step int, s *dycore.State) error {
+	// A rewrite (rollback-and-replay revisits epochs) invalidates any
+	// memoized verification of this epoch.
+	st.verifiedMu.Lock()
+	delete(st.verified, epoch)
+	st.verifiedMu.Unlock()
 	pl := st.pl
 	nlev := pl.NLev
 	ni := nlev + 1
@@ -223,6 +236,11 @@ func (st *ShardStore) loadShard(epoch, rank int) (shardHeader, []byte, error) {
 func (st *ShardStore) ReadShard(epoch, rank int, s *dycore.State) (int, error) {
 	h, payload, err := st.loadShard(epoch, rank)
 	if err != nil {
+		// A shard that no longer verifies retires any memoized
+		// verification of its epoch.
+		st.verifiedMu.Lock()
+		delete(st.verified, epoch)
+		st.verifiedMu.Unlock()
 		return 0, err
 	}
 	pl := st.pl
@@ -277,7 +295,10 @@ func (st *ShardStore) Commit(epoch, step int) error {
 // LatestCommitted returns the newest committed epoch whose every shard
 // verifies (header, CRC, plan match), with the step it was taken at.
 // ok is false when no usable epoch exists — recovery then replays from
-// the initial state.
+// the initial state. Full shard verification runs once per epoch: an
+// epoch that has already verified is served from the memo, so a poller
+// calling this every tick pays one manifest listing, not a re-hash of
+// every shard (WriteShard invalidates the memo for rewritten epochs).
 func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 	names, err := filepath.Glob(filepath.Join(st.dir, "epoch-*.json"))
 	if err != nil || len(names) == 0 {
@@ -293,6 +314,15 @@ func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 		if json.Unmarshal(raw, &m) != nil || m.NParts != st.pl.NParts {
 			continue
 		}
+		st.verifiedMu.Lock()
+		memoStep, memoized := st.verified[m.Epoch]
+		st.verifiedMu.Unlock()
+		if memoized {
+			if memoStep == m.Step {
+				return m.Epoch, m.Step, true
+			}
+			continue // manifest rewritten since verification
+		}
 		usable := true
 		for p := 0; p < m.NParts; p++ {
 			h, _, err := st.loadShard(m.Epoch, p)
@@ -302,6 +332,9 @@ func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 			}
 		}
 		if usable {
+			st.verifiedMu.Lock()
+			st.verified[m.Epoch] = m.Step
+			st.verifiedMu.Unlock()
 			return m.Epoch, m.Step, true
 		}
 	}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+	"gristgo/internal/serve"
+	"gristgo/internal/telemetry"
+)
+
+// ServeBenchConfig drives the query-plane benchmark: a multi-epoch
+// snapshot set served through the full HTTP admission pipeline
+// (quota -> queue -> engine -> tile cache) under a synthetic replay of
+// millions of point queries with a hotspot structure.
+type ServeBenchConfig struct {
+	GridLevel int
+	NLev      int
+	Epochs    int
+	Queries   int
+	Workers   int
+	Tiles     int
+	CacheFrac float64 // cache capacity as a fraction of the total key space
+	QuotaRate float64 // per-tenant queries/second (the greedy tenant must trip this)
+}
+
+// DefaultServeBenchConfig returns the reproduction-scale setup: a G4
+// mesh, three epochs, and a 1.2M-query replay with the tile cache
+// sized below the key space so eviction and coalescing both happen.
+func DefaultServeBenchConfig() ServeBenchConfig {
+	return ServeBenchConfig{
+		GridLevel: 4,
+		NLev:      8,
+		Epochs:    3,
+		Queries:   1_200_000,
+		Workers:   8,
+		Tiles:     48,
+		CacheFrac: 0.4,
+		QuotaRate: 30_000,
+	}
+}
+
+// ServeBenchResult is the JSON payload of BENCH_serve.json.
+type ServeBenchResult struct {
+	Cells  int `json:"cells"`
+	Epochs int `json:"epochs"`
+	Tiles  int `json:"tiles"`
+	Cache  int `json:"cache_tiles"`
+
+	serve.LoadReport
+}
+
+// RunServeBench builds the snapshots, stands up a serving plane, and
+// replays the workload in process.
+func RunServeBench(cfg ServeBenchConfig) ServeBenchResult {
+	m := mesh.New(cfg.GridLevel).ReorderBFS()
+	keySpace := cfg.Epochs * cfg.Tiles * serve.NumFields
+	cacheTiles := int(float64(keySpace) * cfg.CacheFrac)
+	if cacheTiles < 1 {
+		cacheTiles = 1
+	}
+	srv := serve.NewServer(m, serve.Config{
+		Tiles:      cfg.Tiles,
+		CacheTiles: cacheTiles,
+		Retain:     cfg.Epochs,
+		QuotaRate:  cfg.QuotaRate,
+		QuotaBurst: 256,
+	}, telemetry.NewRegistry())
+	for e := 0; e < cfg.Epochs; e++ {
+		s := benchState(m, cfg.NLev, e)
+		srv.Publish(serve.SnapshotFromState(e, e*10, s))
+	}
+	// Half the traffic comes from one greedy tenant, the rest is spread
+	// over 8 polite ones — only the greedy tenant should trip the quota.
+	rep := serve.RunLoadInProcess(srv.Mux(), srv.Engine, serve.LoadConfig{
+		Queries: cfg.Queries,
+		Workers: cfg.Workers,
+		Tenants: 8,
+		Greedy:  0.5,
+	})
+	return ServeBenchResult{
+		Cells:      m.NCells,
+		Epochs:     cfg.Epochs,
+		Tiles:      cfg.Tiles,
+		Cache:      cacheTiles,
+		LoadReport: rep,
+	}
+}
+
+// Rows renders the result for the console.
+func (r ServeBenchResult) Rows() []string {
+	rows := []string{fmt.Sprintf("cells=%d epochs=%d tiles=%d cache=%d tiles",
+		r.Cells, r.Epochs, r.Tiles, r.Cache)}
+	return append(rows, r.LoadReport.Rows()...)
+}
+
+// benchState builds one epoch's full-mesh state: a resting isothermal
+// atmosphere with a traveling warm anomaly and a solid-body wind, so
+// the served fields vary by epoch without running the dycore.
+func benchState(m *mesh.Mesh, nlev, epoch int) *dycore.State {
+	s := dycore.NewState(m, nlev)
+	s.IsothermalRest(290 + float64(epoch))
+	s.AddThermalBubble(0.3+0.2*float64(epoch), 1.0, 0.25, 5)
+	s.AddSolidBodyWind(15)
+	return s
+}
+
+// WriteServeBench runs the default benchmark and writes
+// BENCH_serve.json into dir.
+func WriteServeBench(dir string) (ServeBenchResult, error) {
+	res := RunServeBench(DefaultServeBenchConfig())
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return res, err
+	}
+	return res, os.WriteFile(filepath.Join(dir, "BENCH_serve.json"), append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A scaled-down serve benchmark must complete with zero 5xx, throttle
+// the greedy tenant, and emit a parseable BENCH_serve.json shape.
+func TestRunServeBenchSmall(t *testing.T) {
+	cfg := ServeBenchConfig{
+		GridLevel: 3,
+		NLev:      4,
+		Epochs:    2,
+		Queries:   30000,
+		Workers:   4,
+		Tiles:     16,
+		CacheFrac: 0.4,
+		QuotaRate: 500,
+	}
+	if testing.Short() {
+		cfg.Queries = 6000
+	}
+	res := RunServeBench(cfg)
+	if res.Queries != int64(cfg.Queries) {
+		t.Fatalf("fired %d queries, want %d", res.Queries, cfg.Queries)
+	}
+	if res.Server5xx != 0 {
+		t.Fatalf("benchmark produced %d server 5xx", res.Server5xx)
+	}
+	if res.Client4xx != 0 {
+		t.Fatalf("benchmark produced %d client 4xx", res.Client4xx)
+	}
+	if res.OK == 0 {
+		t.Fatal("no query succeeded")
+	}
+	if res.Quota429 == 0 {
+		t.Fatal("greedy tenant was never throttled")
+	}
+	if res.HitRate <= 0 {
+		t.Fatal("hit rate never moved")
+	}
+	if res.TileBuilds == 0 {
+		t.Fatal("no tile was built")
+	}
+	if res.P99Sec <= 0 || res.HitP99Sec <= 0 {
+		t.Fatal("latency percentiles empty")
+	}
+
+	// The artifact has the fields CI consumers read.
+	dir := t.TempDir()
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_serve.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	raw, _ := os.ReadFile(path)
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"latency_p50_s", "latency_p99_s", "cache_hit_rate", "coalesce_ratio", "server_5xx", "quota_429"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("BENCH_serve.json missing %q", key)
+		}
+	}
+}

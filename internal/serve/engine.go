@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"gristgo/internal/mesh"
+)
+
+// Error is a query-plane failure with its HTTP status. Engine methods
+// return *Error so the transport layer maps causes to codes without
+// string matching; everything here is a client error (4xx) — the
+// engine itself has no 5xx paths.
+type Error struct {
+	Code int    `json:"code"`
+	Msg  string `json:"error"`
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func badRequest(format string, args ...any) *Error {
+	return &Error{Code: 400, Msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) *Error {
+	return &Error{Code: 404, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Cache-status values reported per query (the X-Grist-Cache header).
+const (
+	CacheHit       = "hit"       // served from the tile cache
+	CacheCoalesced = "coalesced" // joined another request's build
+	CacheBuild     = "build"     // led a tile materialization
+)
+
+// Engine answers point, region and time-range queries over the
+// retained snapshots: locate -> tile -> cached value. All methods are
+// safe for arbitrary concurrency and never mutate snapshot state.
+type Engine struct {
+	store  *SnapshotStore
+	tiler  *Tiler
+	cache  *TileCache
+	flight *flightGroup
+
+	builds atomic.Int64
+}
+
+// NewEngine assembles an engine over store with ntiles spatial tiles
+// and a capTiles-entry cache.
+func NewEngine(m *mesh.Mesh, store *SnapshotStore, ntiles, capTiles int, seed int64) *Engine {
+	return &Engine{
+		store:  store,
+		tiler:  NewTiler(m, ntiles, seed),
+		cache:  NewTileCache(capTiles),
+		flight: newFlightGroup(),
+	}
+}
+
+// Store returns the engine's snapshot store (the publish side).
+func (e *Engine) Store() *SnapshotStore { return e.store }
+
+// Tiler returns the engine's tiler (shared, read-only).
+func (e *Engine) Tiler() *Tiler { return e.tiler }
+
+// tile returns the materialized tile for (snap.Epoch, tile, field),
+// from cache when possible, coalescing concurrent builds of the same
+// key into one.
+func (e *Engine) tile(snap *Snapshot, tile int32, field int) (*Tile, string) {
+	k := TileKey{Epoch: int32(snap.Epoch), Tile: tile, Field: uint8(field)}
+	if t := e.cache.Get(k); t != nil {
+		return t, CacheHit
+	}
+	for {
+		if c := e.flight.join(k); c != nil {
+			<-c.done
+			return c.tile, CacheCoalesced
+		}
+		c, leader := e.flight.lead(k)
+		if !leader {
+			<-c.done
+			return c.tile, CacheCoalesced
+		}
+		t := NewTile(k, snap, e.tiler.TileCells(tile))
+		e.builds.Add(1)
+		e.cache.Add(t)
+		e.flight.finish(k, c, t, nil)
+		return t, CacheBuild
+	}
+}
+
+// snapshotAt resolves an epoch argument: negative means latest.
+func (e *Engine) snapshotAt(epoch int) (*Snapshot, *Error) {
+	if epoch < 0 {
+		if s := e.store.Latest(); s != nil {
+			return s, nil
+		}
+		return nil, notFound("no snapshot published yet")
+	}
+	if s, ok := e.store.At(epoch); ok {
+		return s, nil
+	}
+	return nil, notFound("epoch %d is not retained (have %v)", epoch, e.store.Epochs())
+}
+
+// checkLatLon validates degree coordinates and converts to radians,
+// normalizing longitude into [-180, 180).
+func checkLatLon(latDeg, lonDeg float64) (lat, lon float64, err *Error) {
+	if math.IsNaN(latDeg) || latDeg < -90 || latDeg > 90 {
+		return 0, 0, badRequest("lat %v out of range [-90, 90]", latDeg)
+	}
+	if math.IsNaN(lonDeg) || lonDeg < -360 || lonDeg > 360 {
+		return 0, 0, badRequest("lon %v out of range [-360, 360]", lonDeg)
+	}
+	for lonDeg >= 180 {
+		lonDeg -= 360
+	}
+	for lonDeg < -180 {
+		lonDeg += 360
+	}
+	return latDeg * math.Pi / 180, lonDeg * math.Pi / 180, nil
+}
+
+// PointResult is one point query's answer: the value of one field at
+// the mesh cell nearest the query coordinates.
+type PointResult struct {
+	Epoch  int     `json:"epoch"`
+	Step   int     `json:"step"`
+	Field  string  `json:"field"`
+	Cell   int32   `json:"cell"`
+	LatDeg float64 `json:"lat_deg"` // cell-center coordinates
+	LonDeg float64 `json:"lon_deg"`
+	Value  float64 `json:"value"`
+}
+
+// Point answers a point query at degree coordinates; epoch < 0 means
+// the latest snapshot. The returned cache status is one of the
+// Cache* constants.
+func (e *Engine) Point(epoch int, field string, latDeg, lonDeg float64) (PointResult, string, *Error) {
+	f, ok := FieldID(field)
+	if !ok {
+		return PointResult{}, "", badRequest("unknown field %q (have %v)", field, FieldNames)
+	}
+	lat, lon, perr := checkLatLon(latDeg, lonDeg)
+	if perr != nil {
+		return PointResult{}, "", perr
+	}
+	snap, serr := e.snapshotAt(epoch)
+	if serr != nil {
+		return PointResult{}, "", serr
+	}
+	c := e.tiler.Locate(lat, lon)
+	t, status := e.tile(snap, e.tiler.TileOfCell(c), f)
+	m := e.tiler.m
+	return PointResult{
+		Epoch:  snap.Epoch,
+		Step:   snap.Step,
+		Field:  field,
+		Cell:   c,
+		LatDeg: m.CellLat[c] * 180 / math.Pi,
+		LonDeg: m.CellLon[c] * 180 / math.Pi,
+		Value:  t.Value(e.tiler.LocalIndex(c)),
+	}, status, nil
+}
+
+// RegionResult is one region query's answer: every cell inside the
+// bounding box (up to Limit), with its coordinates and value. All
+// slices are freshly allocated copies.
+type RegionResult struct {
+	Epoch     int       `json:"epoch"`
+	Step      int       `json:"step"`
+	Field     string    `json:"field"`
+	Cells     []int32   `json:"cells"`
+	LatDeg    []float64 `json:"lat_deg"`
+	LonDeg    []float64 `json:"lon_deg"`
+	Values    []float64 `json:"values"`
+	Truncated bool      `json:"truncated"`
+}
+
+// DefaultRegionLimit bounds a region response when the client does not
+// pass an explicit limit.
+const DefaultRegionLimit = 4096
+
+// Region answers a bounding-box query in degrees (minLon <= maxLon;
+// dateline-crossing boxes must be split by the client). The cache
+// status is CacheHit only when every touched tile was cached.
+func (e *Engine) Region(epoch int, field string, minLatDeg, maxLatDeg, minLonDeg, maxLonDeg float64, limit int) (RegionResult, string, *Error) {
+	f, ok := FieldID(field)
+	if !ok {
+		return RegionResult{}, "", badRequest("unknown field %q (have %v)", field, FieldNames)
+	}
+	if minLatDeg > maxLatDeg || minLonDeg > maxLonDeg {
+		return RegionResult{}, "", badRequest("empty box: min corner (%v, %v) beyond max corner (%v, %v)",
+			minLatDeg, minLonDeg, maxLatDeg, maxLonDeg)
+	}
+	lo, ll, perr := checkLatLon(minLatDeg, minLonDeg)
+	if perr != nil {
+		return RegionResult{}, "", perr
+	}
+	hi, hl, perr := checkLatLon(maxLatDeg, maxLonDeg)
+	if perr != nil {
+		return RegionResult{}, "", perr
+	}
+	if hl < ll || maxLonDeg >= 180 { // max lon normalized across the seam
+		hl = math.Pi
+	}
+	if limit <= 0 {
+		limit = DefaultRegionLimit
+	}
+	snap, serr := e.snapshotAt(epoch)
+	if serr != nil {
+		return RegionResult{}, "", serr
+	}
+	res := RegionResult{Epoch: snap.Epoch, Step: snap.Step, Field: field}
+	status := CacheHit
+	m := e.tiler.m
+	for tile := int32(0); tile < int32(e.tiler.NTiles); tile++ {
+		if !e.tiler.Overlaps(tile, lo, hi, ll, hl) {
+			continue
+		}
+		t, st := e.tile(snap, tile, f)
+		if st != CacheHit {
+			status = st
+		}
+		for i, c := range e.tiler.TileCells(tile) {
+			lat, lon := m.CellLat[c], m.CellLon[c]
+			if lat < lo || lat > hi || lon < ll || lon > hl {
+				continue
+			}
+			if len(res.Cells) >= limit {
+				res.Truncated = true
+				return res, status, nil
+			}
+			res.Cells = append(res.Cells, c)
+			res.LatDeg = append(res.LatDeg, lat*180/math.Pi)
+			res.LonDeg = append(res.LonDeg, lon*180/math.Pi)
+			res.Values = append(res.Values, t.Value(int32(i)))
+		}
+	}
+	return res, status, nil
+}
+
+// RangePoint is one epoch's sample of a time-range query.
+type RangePoint struct {
+	Epoch int     `json:"epoch"`
+	Step  int     `json:"step"`
+	Value float64 `json:"value"`
+}
+
+// RangeResult is one time-range query's answer: the field at one point
+// across every retained epoch within [from, to].
+type RangeResult struct {
+	Field  string       `json:"field"`
+	Cell   int32        `json:"cell"`
+	LatDeg float64      `json:"lat_deg"`
+	LonDeg float64      `json:"lon_deg"`
+	Series []RangePoint `json:"series"`
+}
+
+// Range answers a time-range query over epochs [from, to] (to < 0
+// means the newest retained epoch) at degree coordinates.
+func (e *Engine) Range(field string, latDeg, lonDeg float64, from, to int) (RangeResult, string, *Error) {
+	f, ok := FieldID(field)
+	if !ok {
+		return RangeResult{}, "", badRequest("unknown field %q (have %v)", field, FieldNames)
+	}
+	lat, lon, perr := checkLatLon(latDeg, lonDeg)
+	if perr != nil {
+		return RangeResult{}, "", perr
+	}
+	epochs := e.store.Epochs()
+	if len(epochs) == 0 {
+		return RangeResult{}, "", notFound("no snapshot published yet")
+	}
+	if to < 0 {
+		to = epochs[len(epochs)-1]
+	}
+	if from > to {
+		return RangeResult{}, "", badRequest("empty range: from %d > to %d", from, to)
+	}
+	c := e.tiler.Locate(lat, lon)
+	tile := e.tiler.TileOfCell(c)
+	local := e.tiler.LocalIndex(c)
+	m := e.tiler.m
+	res := RangeResult{
+		Field:  field,
+		Cell:   c,
+		LatDeg: m.CellLat[c] * 180 / math.Pi,
+		LonDeg: m.CellLon[c] * 180 / math.Pi,
+	}
+	status := CacheHit
+	for _, ep := range epochs {
+		if ep < from || ep > to {
+			continue
+		}
+		snap, ok := e.store.At(ep)
+		if !ok {
+			continue // evicted between Epochs() and At()
+		}
+		t, st := e.tile(snap, tile, f)
+		if st != CacheHit {
+			status = st
+		}
+		res.Series = append(res.Series, RangePoint{Epoch: snap.Epoch, Step: snap.Step, Value: t.Value(local)})
+	}
+	if len(res.Series) == 0 {
+		return RangeResult{}, "", notFound("no retained epoch in [%d, %d] (have %v)", from, to, epochs)
+	}
+	return res, status, nil
+}
+
+// EngineStats is a snapshot of the engine's cache and coalescing
+// counters.
+type EngineStats struct {
+	Hits      int64 `json:"tile_hits"`
+	Misses    int64 `json:"tile_misses"`
+	Builds    int64 `json:"tile_builds"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Cached    int   `json:"tiles_cached"`
+}
+
+// Stats returns the cumulative engine counters.
+func (e *Engine) Stats() EngineStats {
+	h, m, ev := e.cache.Stats()
+	return EngineStats{
+		Hits:      h,
+		Misses:    m,
+		Builds:    e.builds.Load(),
+		Coalesced: e.flight.Coalesced(),
+		Evictions: ev,
+		Cached:    e.cache.Len(),
+	}
+}
+
+// HitRate returns the cache hit fraction (0 when idle).
+func (s EngineStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// CoalesceRatio returns the fraction of cache misses that joined an
+// in-flight build instead of starting their own.
+func (s EngineStats) CoalesceRatio() float64 {
+	if s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Coalesced) / float64(s.Misses)
+}

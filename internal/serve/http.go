@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/telemetry"
+)
+
+// Config sizes one serving plane. The zero value of any field selects
+// the default noted on it.
+type Config struct {
+	Tiles      int     // spatial tiles over the mesh (default 48)
+	CacheTiles int     // tile-cache capacity in tiles (default 2x Tiles)
+	Retain     int     // snapshot epochs retained (default 8)
+	QueueDepth int     // max in-flight queries before 429 (default 256)
+	QuotaRate  float64 // per-tenant tokens/second (default 0: unlimited)
+	QuotaBurst float64 // per-tenant burst capacity (default 64)
+	Seed       int64   // tile decomposition seed (default 12345)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tiles <= 0 {
+		c.Tiles = 48
+	}
+	if c.CacheTiles <= 0 {
+		c.CacheTiles = 2 * c.Tiles
+	}
+	if c.Retain <= 0 {
+		c.Retain = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.QuotaBurst <= 0 {
+		c.QuotaBurst = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 12345
+	}
+	return c
+}
+
+// Server is the HTTP face of the query plane: engine + quotas +
+// bounded-queue backpressure + metrics. Every overload answer is a
+// 429 with Retry-After — the plane never turns pressure into 5xx.
+type Server struct {
+	Engine *Engine
+	Quotas *Quotas
+
+	queue chan struct{}
+	reg   *telemetry.Registry
+
+	// Metric handles resolved once at construction (hot paths must not
+	// take the registry lock per request).
+	latency     map[string]*telemetry.Histogram
+	hitLatency  *telemetry.Histogram
+	queueDepth  *telemetry.Gauge
+	queueReject *telemetry.Counter
+	quotaReject *telemetry.Counter
+	okCount     map[string]*telemetry.Counter
+	badCount    map[string]*telemetry.Counter
+}
+
+// queryKinds labels the served endpoints for metrics.
+var queryKinds = []string{"point", "region", "range", "epochs"}
+
+// NewServer assembles a serving plane over m, publishing its metrics
+// into reg (required — pass a fresh registry if nothing scrapes it).
+func NewServer(m *mesh.Mesh, cfg Config, reg *telemetry.Registry) *Server {
+	cfg = cfg.withDefaults()
+	store := NewSnapshotStore(cfg.Retain)
+	s := &Server{
+		Engine:      NewEngine(m, store, cfg.Tiles, cfg.CacheTiles, cfg.Seed),
+		Quotas:      NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
+		queue:       make(chan struct{}, cfg.QueueDepth),
+		reg:         reg,
+		latency:     map[string]*telemetry.Histogram{},
+		hitLatency:  reg.Histogram("grist_serve_latency_seconds", "cache", "hit"),
+		queueDepth:  reg.Gauge("grist_serve_queue_depth"),
+		queueReject: reg.Counter("grist_serve_rejected_total", "reason", "queue_full"),
+		quotaReject: reg.Counter("grist_serve_rejected_total", "reason", "quota"),
+		okCount:     map[string]*telemetry.Counter{},
+		badCount:    map[string]*telemetry.Counter{},
+	}
+	for _, kind := range queryKinds {
+		s.latency[kind] = reg.Histogram("grist_serve_latency_seconds", "kind", kind)
+		s.okCount[kind] = reg.Counter("grist_serve_requests_total", "kind", kind, "code", "2xx")
+		s.badCount[kind] = reg.Counter("grist_serve_requests_total", "kind", kind, "code", "4xx")
+	}
+	return s
+}
+
+// Publish installs a snapshot and updates the epoch gauge — the
+// producer-side entry point (poller or in-process model hook).
+func (s *Server) Publish(snap *Snapshot) {
+	s.Engine.Store().Publish(snap)
+	s.reg.Gauge("grist_serve_snapshot_epoch").Set(float64(snap.Epoch))
+	s.reg.Counter("grist_serve_snapshots_total").Inc()
+}
+
+// Register installs the query-plane endpoints onto mux (so gristd can
+// merge them with the telemetry plane's /metrics and /trace).
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/point", s.wrap("point", s.handlePoint))
+	mux.HandleFunc("/v1/region", s.wrap("region", s.handleRegion))
+	mux.HandleFunc("/v1/range", s.wrap("range", s.handleRange))
+	mux.HandleFunc("/v1/epochs", s.wrap("epochs", s.handleEpochs))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+}
+
+// Mux returns a fresh mux with just the query-plane endpoints.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// Tenant extracts the requesting tenant: the X-Grist-Tenant header,
+// else the tenant query parameter, else "anon".
+func Tenant(r *http.Request) string {
+	if t := r.Header.Get("X-Grist-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "anon"
+}
+
+// wrap applies the admission pipeline around a query handler: quota
+// check, bounded-queue admission, latency/result accounting, JSON
+// encoding. Handlers return (payload, cacheStatus, *Error).
+func (s *Server) wrap(kind string, fn func(*http.Request) (any, string, *Error)) http.HandlerFunc {
+	lat := s.latency[kind]
+	ok2xx, bad4xx := s.okCount[kind], s.badCount[kind]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.Quotas.Allow(Tenant(r)) {
+			s.quotaReject.Inc()
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Grist-Reject", "quota")
+			writeJSON(w, 429, &Error{Code: 429, Msg: "tenant quota exceeded"})
+			return
+		}
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			s.queueReject.Inc()
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Grist-Reject", "queue")
+			writeJSON(w, 429, &Error{Code: 429, Msg: "server queue full"})
+			return
+		}
+		s.queueDepth.Set(float64(len(s.queue)))
+		t0 := time.Now()
+		payload, status, qerr := fn(r)
+		dt := time.Since(t0).Seconds()
+		<-s.queue
+		lat.Observe(dt)
+		if qerr != nil {
+			bad4xx.Inc()
+			writeJSON(w, qerr.Code, qerr)
+			return
+		}
+		if status != "" {
+			w.Header().Set("X-Grist-Cache", status)
+			if status == CacheHit {
+				s.hitLatency.Observe(dt)
+			}
+		}
+		ok2xx.Inc()
+		writeJSON(w, 200, payload)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// floatArg parses a float query parameter; def is returned when the
+// parameter is absent.
+func floatArg(r *http.Request, name string, def float64) (float64, *Error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("parameter %s=%q is not a number", name, raw)
+	}
+	return v, nil
+}
+
+// intArg parses an integer query parameter with a default.
+func intArg(r *http.Request, name string, def int) (int, *Error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handlePoint(r *http.Request) (any, string, *Error) {
+	lat, err := floatArg(r, "lat", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	lon, err := floatArg(r, "lon", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	epoch, err := intArg(r, "epoch", -1)
+	if err != nil {
+		return nil, "", err
+	}
+	field := r.URL.Query().Get("field")
+	if field == "" {
+		field = "ps"
+	}
+	res, status, qerr := s.Engine.Point(epoch, field, lat, lon)
+	if qerr != nil {
+		return nil, "", qerr
+	}
+	return res, status, nil
+}
+
+func (s *Server) handleRegion(r *http.Request) (any, string, *Error) {
+	minLat, err := floatArg(r, "min_lat", -90)
+	if err != nil {
+		return nil, "", err
+	}
+	maxLat, err := floatArg(r, "max_lat", 90)
+	if err != nil {
+		return nil, "", err
+	}
+	minLon, err := floatArg(r, "min_lon", -180)
+	if err != nil {
+		return nil, "", err
+	}
+	maxLon, err := floatArg(r, "max_lon", 180)
+	if err != nil {
+		return nil, "", err
+	}
+	epoch, err := intArg(r, "epoch", -1)
+	if err != nil {
+		return nil, "", err
+	}
+	limit, err := intArg(r, "limit", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	field := r.URL.Query().Get("field")
+	if field == "" {
+		field = "ps"
+	}
+	res, status, qerr := s.Engine.Region(epoch, field, minLat, maxLat, minLon, maxLon, limit)
+	if qerr != nil {
+		return nil, "", qerr
+	}
+	return res, status, nil
+}
+
+func (s *Server) handleRange(r *http.Request) (any, string, *Error) {
+	lat, err := floatArg(r, "lat", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	lon, err := floatArg(r, "lon", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	from, err := intArg(r, "from", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	to, err := intArg(r, "to", -1)
+	if err != nil {
+		return nil, "", err
+	}
+	field := r.URL.Query().Get("field")
+	if field == "" {
+		field = "ps"
+	}
+	res, status, qerr := s.Engine.Range(field, lat, lon, from, to)
+	if qerr != nil {
+		return nil, "", qerr
+	}
+	return res, status, nil
+}
+
+// epochsResult lists the retained epochs and the served fields — the
+// discovery endpoint clients hit first.
+type epochsResult struct {
+	Epochs []int    `json:"epochs"`
+	Fields []string `json:"fields"`
+}
+
+func (s *Server) handleEpochs(r *http.Request) (any, string, *Error) {
+	return epochsResult{Epochs: s.Engine.Store().Epochs(), Fields: FieldNames[:]}, "", nil
+}
+
+// handleHealthz bypasses quotas and the queue: load balancers must see
+// liveness even under full backpressure. 200 once a snapshot exists,
+// 503 while warming up (the one intentional non-2xx/4xx code, excluded
+// from smoke accounting by probing until ready).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Engine.Store().Latest() == nil {
+		writeJSON(w, 503, map[string]string{"status": "warming", "reason": "no snapshot published yet"})
+		return
+	}
+	writeJSON(w, 200, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"testing"
+
+	"gristgo/internal/core"
+	"gristgo/internal/dycore"
+)
+
+// writeEpoch commits one single-rank epoch into st from a fresh state.
+func writeEpoch(t *testing.T, st *core.ShardStore, epoch, step int) *dycore.State {
+	t.Helper()
+	s := testState(st.Plan().NLev)
+	// Perturb so each epoch is distinguishable.
+	for i := range s.DryMass {
+		s.DryMass[i] *= 1 + 1e-6*float64(epoch)
+	}
+	if err := st.WriteShard(epoch, 0, step, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(epoch, step); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The poller bridges committed checkpoint epochs to published
+// snapshots: backfilling history on the first poll, then following
+// the head incrementally.
+func TestShardPollerFollowsCommits(t *testing.T) {
+	pl := core.NewDistPlan(testMesh, 3, 1, 12345)
+	st, err := core.NewShardStore(t.TempDir(), pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewSnapshotStore(4)
+	p := NewShardPoller(st, dst)
+	if p.Mesh() != testMesh {
+		t.Fatal("poller mesh is not the plan mesh")
+	}
+
+	// Nothing committed yet: a poll is a no-op, not an error.
+	if n, err := p.Poll(); err != nil || n != 0 {
+		t.Fatalf("empty poll = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// Three epochs committed before the first real poll: all published
+	// (the replay-directory case).
+	states := map[int]*dycore.State{}
+	for e := 0; e < 3; e++ {
+		states[e] = writeEpoch(t, st, e, e*10)
+	}
+	n, err := p.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("first poll published %d snapshots, want 3", n)
+	}
+	for e := 0; e < 3; e++ {
+		snap, ok := dst.At(e)
+		if !ok {
+			t.Fatalf("epoch %d not published", e)
+		}
+		if snap.Step != e*10 {
+			t.Fatalf("epoch %d published with step %d, want %d", e, snap.Step, e*10)
+		}
+		// The snapshot must reflect that epoch's state, not the head's.
+		want := SnapshotFromState(e, e*10, states[e])
+		if snap.Checksum() != want.Checksum() {
+			t.Fatalf("epoch %d snapshot diverges from its committed state", e)
+		}
+	}
+
+	// No news: no republish.
+	if n, err := p.Poll(); err != nil || n != 0 {
+		t.Fatalf("idle poll = (%d, %v), want (0, nil)", n, err)
+	}
+
+	// A new head is picked up incrementally.
+	writeEpoch(t, st, 3, 30)
+	if n, err := p.Poll(); err != nil || n != 1 {
+		t.Fatalf("incremental poll = (%d, %v), want (1, nil)", n, err)
+	}
+	if dst.Latest().Epoch != 3 {
+		t.Fatalf("Latest = %d, want 3", dst.Latest().Epoch)
+	}
+}

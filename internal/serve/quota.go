@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Quotas is a per-tenant token-bucket rate limiter: each tenant holds
+// up to Burst tokens, refilled at Rate tokens per second; a request
+// spends one. A tenant out of tokens is rejected (the transport turns
+// that into 429, never an error). Rate <= 0 disables limiting.
+type Quotas struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas returns a limiter granting rate tokens/second with the
+// given burst capacity per tenant.
+func NewQuotas(rate, burst float64) *Quotas {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Quotas{rate: rate, burst: burst, buckets: map[string]*bucket{}, now: time.Now}
+}
+
+// Allow spends one token of tenant's bucket, reporting whether the
+// request may proceed.
+func (q *Quotas) Allow(tenant string) bool {
+	if q.rate <= 0 {
+		return true
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tenants returns how many distinct tenants have been seen.
+func (q *Quotas) Tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

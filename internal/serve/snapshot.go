@@ -1,0 +1,241 @@
+// Package serve is the forecast-as-a-service query plane: it turns a
+// running (or replayed) model into a product surface that answers
+// point, region and time-range queries over HTTP at web scale.
+//
+// The pipeline is
+//
+//	model / ShardStore ──► SnapshotStore (immutable per-epoch fields)
+//	                          │
+//	                      Tiler (fixed spatial tiles over the mesh)
+//	                          │
+//	                      TileCache (LRU, keyed by epoch/tile/field)
+//	                          │            + singleflight coalescing
+//	                      Engine ──► HTTP API (/v1/point, /v1/region,
+//	                                 /v1/range) with per-tenant quotas
+//	                                 and bounded-queue backpressure
+//
+// Snapshots are derived once per epoch and never mutated afterwards;
+// every byte handed to a client is a copy, so no query handler can
+// write model state.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"gristgo/internal/core"
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+)
+
+// The served field set: 2D per-cell diagnostics derived from the
+// prognostic state at snapshot-build time. Indices are the compact
+// field ids used in tile cache keys.
+const (
+	FieldPS   = iota // surface pressure, Pa
+	FieldTSfc        // lowest-layer temperature, K
+	FieldUSfc        // lowest-layer eastward wind, m/s
+	FieldVSfc        // lowest-layer northward wind, m/s
+	FieldWMax        // column-max |vertical velocity|, m/s
+	NumFields
+)
+
+// FieldNames lists the served fields in id order (the wire names).
+var FieldNames = [NumFields]string{"ps", "t_sfc", "u_sfc", "v_sfc", "w_max"}
+
+// FieldID resolves a wire name to its field id.
+func FieldID(name string) (int, bool) {
+	for i, n := range FieldNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Snapshot is one immutable epoch of served fields over the full mesh.
+// The backing arrays are private and written only by the builder;
+// readers get values or copies, never the slices.
+type Snapshot struct {
+	Epoch int
+	Step  int
+	data  [NumFields][]float64 // per field: per-cell values
+}
+
+// Value returns field f at cell c.
+//
+//grist:hotpath
+func (s *Snapshot) Value(f int, c int32) float64 { return s.data[f][c] }
+
+// NCells returns the cell count the snapshot spans.
+func (s *Snapshot) NCells() int { return len(s.data[0]) }
+
+// Checksum folds every field into one FNV-style hash — the mutation
+// tests' witness that serving queries leaves snapshots untouched.
+func (s *Snapshot) Checksum() uint64 {
+	h := uint64(1469598103934665603)
+	for f := 0; f < NumFields; f++ {
+		for _, v := range s.data[f] {
+			h ^= math.Float64bits(v)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// SnapshotFromState derives the served fields from a full-mesh dynamics
+// state. Every value is computed into freshly owned arrays; the state
+// is only read.
+func SnapshotFromState(epoch, step int, s *dycore.State) *Snapshot {
+	m := s.M
+	nlev := s.NLev
+	snap := &Snapshot{Epoch: epoch, Step: step}
+	for f := 0; f < NumFields; f++ {
+		snap.data[f] = make([]float64, m.NCells)
+	}
+	uc, vc := core.CellWinds(m, s.U, nlev)
+	kSfc := nlev - 1
+	for c := 0; c < m.NCells; c++ {
+		base := c * nlev
+		var colMass float64
+		for k := 0; k < nlev; k++ {
+			colMass += s.DryMass[base+k]
+		}
+		ps := dycore.PTop + colMass
+		snap.data[FieldPS][c] = ps
+		dpi := s.DryMass[base+kSfc]
+		p := ps - 0.5*dpi
+		theta := s.ThetaM[base+kSfc] / dpi
+		snap.data[FieldTSfc][c] = theta * math.Pow(p/dycore.P0, dycore.Rd/dycore.Cp)
+		snap.data[FieldUSfc][c] = uc[base+kSfc]
+		snap.data[FieldVSfc][c] = vc[base+kSfc]
+		var wmax float64
+		ibase := c * (nlev + 1)
+		for k := 0; k <= nlev; k++ {
+			if w := math.Abs(s.W[ibase+k]); w > wmax {
+				wmax = w
+			}
+		}
+		snap.data[FieldWMax][c] = wmax
+	}
+	return snap
+}
+
+// SnapshotStore publishes immutable snapshots and retains a bounded
+// window of recent epochs for time-range queries. Safe for one
+// publisher and any number of concurrent readers.
+type SnapshotStore struct {
+	mu      sync.RWMutex
+	retain  int
+	byEpoch map[int]*Snapshot
+	epochs  []int // ascending
+}
+
+// NewSnapshotStore returns a store keeping the newest `retain` epochs
+// (minimum 1).
+func NewSnapshotStore(retain int) *SnapshotStore {
+	if retain < 1 {
+		retain = 1
+	}
+	return &SnapshotStore{retain: retain, byEpoch: map[int]*Snapshot{}}
+}
+
+// Publish installs snap, evicting the oldest epochs beyond the
+// retention window. Re-publishing an existing epoch replaces it.
+func (st *SnapshotStore) Publish(snap *Snapshot) {
+	st.mu.Lock()
+	if _, ok := st.byEpoch[snap.Epoch]; !ok {
+		st.epochs = append(st.epochs, snap.Epoch)
+		sort.Ints(st.epochs)
+	}
+	st.byEpoch[snap.Epoch] = snap
+	for len(st.epochs) > st.retain {
+		delete(st.byEpoch, st.epochs[0])
+		st.epochs = st.epochs[1:]
+	}
+	st.mu.Unlock()
+}
+
+// Latest returns the newest snapshot (nil while empty).
+func (st *SnapshotStore) Latest() *Snapshot {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if len(st.epochs) == 0 {
+		return nil
+	}
+	return st.byEpoch[st.epochs[len(st.epochs)-1]]
+}
+
+// At returns the snapshot of one epoch.
+func (st *SnapshotStore) At(epoch int) (*Snapshot, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.byEpoch[epoch]
+	return s, ok
+}
+
+// Epochs returns the retained epoch numbers, ascending (a copy).
+func (st *SnapshotStore) Epochs() []int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return append([]int(nil), st.epochs...)
+}
+
+// ShardPoller watches a core.ShardStore for newly committed checkpoint
+// epochs and publishes them as snapshots — the live bridge between a
+// resilient run (or a replay directory) and the serving plane. Not
+// safe for concurrent Poll calls; drive it from one goroutine.
+type ShardPoller struct {
+	src     *core.ShardStore
+	dst     *SnapshotStore
+	scratch *dycore.State
+	last    int // newest epoch published so far (-1: none)
+}
+
+// NewShardPoller builds a poller over src publishing into dst.
+func NewShardPoller(src *core.ShardStore, dst *SnapshotStore) *ShardPoller {
+	pl := src.Plan()
+	return &ShardPoller{
+		src:     src,
+		dst:     dst,
+		scratch: dycore.NewState(pl.Mesh, pl.NLev),
+		last:    -1,
+	}
+}
+
+// Poll checks for committed epochs newer than the last published one
+// and publishes each that still fully verifies. Epochs between the
+// last poll and the head are backfilled — on the first poll back to
+// the store's retention window — so range queries see the whole
+// sequence. Returns how many snapshots were published.
+func (p *ShardPoller) Poll() (int, error) {
+	head, _, ok := p.src.LatestCommitted()
+	if !ok || head <= p.last {
+		return 0, nil
+	}
+	published := 0
+	from := p.last + 1
+	if p.last < 0 {
+		if from = head - p.dst.retain + 1; from < 0 {
+			from = 0
+		}
+	}
+	for e := from; e <= head; e++ {
+		step, err := p.src.LoadEpochState(e, p.scratch)
+		if err != nil {
+			if e == head {
+				return published, fmt.Errorf("serve: loading committed epoch %d: %w", e, err)
+			}
+			continue // an intermediate epoch may have been torn by rollback
+		}
+		p.dst.Publish(SnapshotFromState(e, step, p.scratch))
+		published++
+	}
+	p.last = head
+	return published, nil
+}
+
+// Mesh returns the mesh the poller's plan spans.
+func (p *ShardPoller) Mesh() *mesh.Mesh { return p.src.Plan().Mesh }
