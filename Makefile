@@ -49,15 +49,19 @@ bench-halo:
 	$(GO) test -run xxx -bench BenchmarkHaloExchange ./internal/comm/
 
 # The fault-injection suite under the race detector (deadline waits,
-# rollback-and-replay, sentinel-driven degradation), then the chaos
-# experiment, which writes CHAOS_recovery.json (recovery events,
-# injected faults, bitwise verdicts) and CHAOS_sentinels.json (health
-# sentinel trip history) for the CI artifact upload.
+# rollback-and-replay, sentinel-driven degradation, elastic
+# shrink/grow membership), then the chaos experiment, which writes
+# CHAOS_recovery.json (recovery events, injected faults, bitwise
+# verdicts) and CHAOS_sentinels.json (health sentinel trip history),
+# and the elastic experiment, which writes CHAOS_elastic.json
+# (shrinkgrow membership timeline, repartition costs, bitwise/gate
+# verdicts, overlap-vs-blocking parity) for the CI artifact upload.
 chaos:
 	$(GO) test -race -count=1 \
-		-run 'Fault|Barrier|Deadline|Halo|Resilient|RankDeath|BitFlip|Sentinel|Shard|LatestCommitted|Fallback|NaNOutput|DegradeFor|Restart' \
-		./internal/comm/ ./internal/fault/ ./internal/core/ ./internal/mlphysics/
+		-run 'Fault|Barrier|Deadline|Halo|Resilient|RankDeath|BitFlip|Sentinel|Shard|LatestCommitted|Fallback|NaNOutput|DegradeFor|Restart|Elastic|Rebalanced|Redistribute|SwapLayout|SetOwned' \
+		./internal/comm/ ./internal/fault/ ./internal/core/ ./internal/mlphysics/ ./internal/dycore/
 	$(GO) run ./cmd/gristbench -exp chaos
+	$(GO) run ./cmd/gristbench -exp elastic
 
 # The serving-plane smoke: gristd self-generates a 3-epoch replay,
 # fires 10k queries at its own HTTP listener, and exits nonzero unless

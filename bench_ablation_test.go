@@ -103,7 +103,7 @@ func BenchmarkAblationHaloAggregation(b *testing.B) {
 	m := mesh.New(4)
 	const nparts = 4
 	const nvars = 8
-	d := partition.Decompose(m, nparts, 3)
+	d := partition.MustDecompose(m, nparts, 3)
 
 	run := func(aggregated bool) {
 		comm.Run(nparts, func(r *comm.Rank) {

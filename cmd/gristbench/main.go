@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, serve, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, elastic, serve, all")
 	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
 	benchDir := flag.String("bench-out", ".", "directory for the telemetry/chaos experiments' JSON artifacts")
@@ -87,6 +87,18 @@ func main() {
 			}
 			printRows(res.Rows())
 			fmt.Printf("Wrote CHAOS_recovery.json and CHAOS_sentinels.json to %s\n", *benchDir)
+		},
+		"elastic": func() {
+			cfg := experiments.DefaultElasticConfig()
+			cfg.Seed = *faultSeed
+			cfg.Dir = *benchDir
+			res, err := experiments.WriteElasticConfig(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "elastic:", err)
+				os.Exit(1)
+			}
+			printRows(res.Rows())
+			fmt.Printf("Wrote CHAOS_elastic.json to %s\n", *benchDir)
 		},
 	}
 

@@ -54,7 +54,11 @@ func main() {
 
 	if *parts > 1 {
 		fmt.Printf("Partitioning into %d domains (METIS-substitute multilevel k-way)...\n", *parts)
-		d := partition.Decompose(m, *parts, 1)
+		d, err := partition.Decompose(m, *parts, 1)
+		if err != nil {
+			fmt.Println("  ", err)
+			return
+		}
 		g := partition.FromMesh(m)
 		fmt.Printf("  edge cut: %d\n", g.EdgeCut(d.Part))
 		fmt.Printf("  imbalance: %.3f\n", g.Imbalance(d.Part, *parts))

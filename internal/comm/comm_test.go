@@ -66,7 +66,7 @@ func TestAllReduceMax(t *testing.T) {
 func TestHaloExchangeMirrorsOwners(t *testing.T) {
 	m := mesh.New(3)
 	nparts := 4
-	d := partition.Decompose(m, nparts, 3)
+	d := partition.MustDecompose(m, nparts, 3)
 	Run(nparts, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		f := dom.NewField("q", 3)
@@ -95,7 +95,7 @@ func TestHaloExchangeMirrorsOwners(t *testing.T) {
 func TestHaloExchangeMultipleVariablesOneCall(t *testing.T) {
 	m := mesh.New(3)
 	nparts := 3
-	d := partition.Decompose(m, nparts, 9)
+	d := partition.MustDecompose(m, nparts, 9)
 	Run(nparts, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		h := NewHaloExchanger(dom, r)
@@ -130,7 +130,7 @@ func TestHaloExchangeMultipleVariablesOneCall(t *testing.T) {
 func TestHaloExchangeRepeatedRounds(t *testing.T) {
 	m := mesh.New(3)
 	nparts := 4
-	d := partition.Decompose(m, nparts, 5)
+	d := partition.MustDecompose(m, nparts, 5)
 	Run(nparts, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		f := dom.NewField("x", 1)
@@ -155,7 +155,7 @@ func TestHaloExchangeRepeatedRounds(t *testing.T) {
 // each field's wire word size and equals the bytes actually enqueued.
 func TestBytesPerExchange(t *testing.T) {
 	m := mesh.New(3)
-	d := partition.Decompose(m, 2, 1)
+	d := partition.MustDecompose(m, 2, 1)
 	Run(2, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		h := NewHaloExchanger(dom, r)
@@ -218,7 +218,7 @@ func TestSendCopiesData(t *testing.T) {
 func TestStartSealsPayload(t *testing.T) {
 	m := mesh.New(3)
 	nparts := 4
-	d := partition.Decompose(m, nparts, 3)
+	d := partition.MustDecompose(m, nparts, 3)
 	Run(nparts, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		f := dom.NewField("q", 2)
@@ -258,7 +258,7 @@ func TestStartSealsPayload(t *testing.T) {
 // too).
 func TestHaloExchangeSteadyStateAllocFree(t *testing.T) {
 	m := mesh.New(3)
-	d := partition.Decompose(m, 2, 1)
+	d := partition.MustDecompose(m, 2, 1)
 	w := NewWorld(2)
 	start := make(chan struct{})
 	done := make(chan struct{})
@@ -302,7 +302,7 @@ func TestDistributedSumMatchesSerial(t *testing.T) {
 		serial += m.CellArea[c] * math.Sin(m.CellLat[c]+1)
 	}
 	nparts := 8
-	d := partition.Decompose(m, nparts, 17)
+	d := partition.MustDecompose(m, nparts, 17)
 	Run(nparts, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		var local float64

@@ -152,7 +152,7 @@ func TestHaloFinishDeadlinePanics(t *testing.T) {
 func haloRun(t *testing.T, nparts, nrounds int, inj Injector, deadline time.Duration) []float64 {
 	t.Helper()
 	m := mesh.New(3)
-	d := partition.Decompose(m, nparts, 3)
+	d := partition.MustDecompose(m, nparts, 3)
 	w := NewWorld(nparts)
 	if inj != nil {
 		w.SetInjector(inj)

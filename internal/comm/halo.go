@@ -124,6 +124,24 @@ type indexSet struct {
 	recv [][]int32
 }
 
+// IndexSet is the exported form of one exchanged entity family: per-peer
+// send and receive entity indices, aligned with the Layout's peer order.
+type IndexSet struct {
+	Send [][]int32
+	Recv [][]int32
+}
+
+// Layout is a complete halo-exchange layout — the peer list and every
+// index set — derived from one decomposition epoch. It is the swappable
+// decomposition handle of an elastic run: an exchanger built from a
+// Layout keeps its registered fields and statistics across SwapLayout,
+// and rebuilds per-peer byte plans (including the mixed wire-precision
+// word sizes) from the new layout on the next round.
+type Layout struct {
+	Peers []int
+	Sets  []IndexSet
+}
+
 // ExchangeStats reports the measured activity of an exchanger: completed
 // rounds, bytes enqueued to peers, and time spent waiting for inbound
 // messages in Finish — the inputs to the measured communication
@@ -187,13 +205,52 @@ func NewExchanger(r *Rank, mode precision.Mode, peers []int) *HaloExchanger {
 	return &HaloExchanger{rank: r, mode: mode, peers: peers, tag: 100}
 }
 
+// NewExchangerWithLayout creates an exchanger whose peers and index sets
+// come from a decomposition-derived Layout. The layout can later be
+// replaced wholesale with SwapLayout.
+func NewExchangerWithLayout(r *Rank, mode precision.Mode, l *Layout) *HaloExchanger {
+	h := NewExchanger(r, mode, l.Peers)
+	for _, s := range l.Sets {
+		h.AddIndexSet(s.Send, s.Recv)
+	}
+	return h
+}
+
 // NewHaloExchanger creates an exchanger for the domain bound to an MPI
 // rank, with the domain's cell halo as index set 0 (DP mode; see
 // SetMode).
 func NewHaloExchanger(dom *Domain, r *Rank) *HaloExchanger {
-	h := NewExchanger(r, precision.DP, dom.PeerRanks)
-	h.AddIndexSet(dom.SendIdx, dom.RecvIdx)
-	return h
+	return NewExchangerWithLayout(r, precision.DP, dom.Layout())
+}
+
+// Layout returns the domain's halo layout: the peer list and the cell
+// index set (set id 0).
+func (d *Domain) Layout() *Layout {
+	return &Layout{Peers: d.PeerRanks, Sets: []IndexSet{{Send: d.SendIdx, Recv: d.RecvIdx}}}
+}
+
+// SwapLayout rebinds the exchanger to a new decomposition epoch's layout:
+// new peers, new per-peer index sets, same registered fields. The set
+// count must match the layout the exchanger was built with (set ids are
+// baked into the registered fields), and no round may be in flight. Byte
+// plans, wire-precision word layouts and persistent buffers are rebuilt
+// lazily on the next Start; the round tag keeps counting monotonically
+// so pre- and post-swap rounds can never collide.
+func (h *HaloExchanger) SwapLayout(l *Layout) {
+	if h.inFlight {
+		panic("comm: SwapLayout while a round is in flight")
+	}
+	if len(l.Sets) != len(h.sets) {
+		panic("comm: SwapLayout set count does not match the registered layout")
+	}
+	h.peers = l.Peers
+	for i, s := range l.Sets {
+		if len(s.Send) != len(l.Peers) || len(s.Recv) != len(l.Peers) {
+			panic("comm: SwapLayout index set lists must align with the peer list")
+		}
+		h.sets[i] = indexSet{send: s.Send, recv: s.Recv}
+	}
+	h.built = false
 }
 
 // SetMode switches the payload precision mode: under precision.Mixed,

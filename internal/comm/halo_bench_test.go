@@ -24,7 +24,7 @@ var (
 func runHaloBench(b *testing.B, mode precision.Mode, overlap bool) {
 	benchMeshOnce.Do(func() {
 		benchMesh = mesh.New(4)
-		benchDecomp = partition.Decompose(benchMesh, 2, 1)
+		benchDecomp = partition.MustDecompose(benchMesh, 2, 1)
 	})
 	w := NewWorld(2)
 	var wg sync.WaitGroup

@@ -15,7 +15,7 @@ import (
 // round exactly once.
 func TestDrainStatsReturnsAndResets(t *testing.T) {
 	m := mesh.New(3)
-	d := partition.Decompose(m, 2, 1)
+	d := partition.MustDecompose(m, 2, 1)
 	Run(2, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		f := dom.NewField("x", 2)
@@ -55,7 +55,7 @@ func TestDrainStatsReturnsAndResets(t *testing.T) {
 // resets byte counters with it.
 func TestDrainTimingsUsesOneWindow(t *testing.T) {
 	m := mesh.New(3)
-	d := partition.Decompose(m, 2, 1)
+	d := partition.MustDecompose(m, 2, 1)
 	Run(2, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())
 		f := dom.NewField("x", 1)
@@ -92,7 +92,7 @@ func TestDrainTimingsUsesOneWindow(t *testing.T) {
 // leaves pack, wait and unpack spans attributed to the given rank.
 func TestExchangerTelemetrySpans(t *testing.T) {
 	m := mesh.New(3)
-	d := partition.Decompose(m, 2, 1)
+	d := partition.MustDecompose(m, 2, 1)
 	recs := [2]*telemetry.Recorder{telemetry.NewRecorder(64), telemetry.NewRecorder(64)}
 	Run(2, func(r *Rank) {
 		dom := NewDomain(m, d, r.ID())

@@ -93,16 +93,44 @@ func NewShardStore(dir string, pl *DistPlan) (*ShardStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
 	}
-	st := &ShardStore{dir: dir, pl: pl, shardEdges: make([][]int32, pl.NParts), verified: map[int]int{}}
+	st := &ShardStore{dir: dir, pl: pl, shardEdges: shardEdgeLists(pl), verified: map[int]int{}}
+	return st, nil
+}
+
+// shardEdgeLists computes each rank's shard edge layout under a plan:
+// owned plus ghost (received) edges, sorted for a stable file order.
+func shardEdgeLists(pl *DistPlan) [][]int32 {
+	lists := make([][]int32, pl.NParts)
 	for p := 0; p < pl.NParts; p++ {
 		edges := append([]int32(nil), pl.UEdges[p]...)
 		for _, ghost := range pl.edgeRecv[p] {
 			edges = append(edges, ghost...)
 		}
 		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
-		st.shardEdges[p] = edges
+		lists[p] = edges
 	}
-	return st, nil
+	return lists
+}
+
+// SetPlan rebinds the store to a new distributed plan (an elastic
+// repartition): shard layouts are recomputed and the verified-epoch memo
+// is dropped wholesale, since shard/plan matching is plan-relative. Call
+// between legs only — never while ranks are writing shards.
+func (st *ShardStore) SetPlan(pl *DistPlan) {
+	st.verifiedMu.Lock()
+	st.verified = map[int]int{}
+	st.verifiedMu.Unlock()
+	st.pl = pl
+	st.shardEdges = shardEdgeLists(pl)
+}
+
+// planGen returns the decomposition epoch the store's plan derives from
+// (0 for static plans) — the generation stamp of committed manifests.
+func (st *ShardStore) planGen() int {
+	if st.pl.Decomp != nil {
+		return st.pl.Decomp.Epoch
+	}
+	return 0
 }
 
 // Dir returns the checkpoint directory.
@@ -277,28 +305,83 @@ func (st *ShardStore) ReadShard(epoch, rank int, s *dycore.State) (int, error) {
 }
 
 // epochManifest is the commit record of a checkpoint epoch, written by
-// rank 0 only after every rank's shard is durable.
+// rank 0 only after every rank's shard is durable. Gen is the
+// decomposition epoch the shards were laid out under (absent/0 for
+// static runs — the PR 5 format reads unchanged): recovery only accepts
+// manifests from the current decomposition, so an elastic run that
+// shrank and later grew back to an old part count cannot resurrect a
+// pre-shrink epoch whose shard layout no longer matches.
 type epochManifest struct {
 	Epoch  int `json:"epoch"`
 	Step   int `json:"step"`
 	NParts int `json:"nparts"`
+	Gen    int `json:"gen,omitempty"`
 }
 
 // Commit atomically writes epoch's manifest, marking it recoverable.
 func (st *ShardStore) Commit(epoch, step int) error {
-	m := epochManifest{Epoch: epoch, Step: step, NParts: st.pl.NParts}
+	m := epochManifest{Epoch: epoch, Step: step, NParts: st.pl.NParts, Gen: st.planGen()}
 	return atomicWriteFile(st.manifestPath(epoch), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(&m)
 	})
 }
 
+// Redistribute re-shards a committed epoch for a new plan: the old
+// plan's shards are read back and assembled owner-truth (each entity
+// taken from the rank that owned it, never from a halo mirror, so the
+// assembly is bitwise-faithful in any precision mode), the store is
+// rebound to newPl, every new rank's shard is written, shards of
+// retired ranks are pruned, and the epoch is re-committed under the new
+// generation. After it returns, LatestCommitted under the new plan
+// resumes from exactly this epoch.
+func (st *ShardStore) Redistribute(epoch, step int, newPl *DistPlan) error {
+	old := st.pl
+	nlev := old.NLev
+	ni := nlev + 1
+	s := dycore.NewState(old.Mesh, nlev)
+	tmp := dycore.NewState(old.Mesh, nlev)
+	for p := 0; p < old.NParts; p++ {
+		if _, err := st.ReadShard(epoch, p, tmp); err != nil {
+			return fmt.Errorf("core: redistributing epoch %d: %w", epoch, err)
+		}
+		for _, c := range old.TendCells[p] {
+			base, ibase := int(c)*nlev, int(c)*ni
+			copy(s.DryMass[base:base+nlev], tmp.DryMass[base:base+nlev])
+			copy(s.ThetaM[base:base+nlev], tmp.ThetaM[base:base+nlev])
+			copy(s.W[ibase:ibase+ni], tmp.W[ibase:ibase+ni])
+			copy(s.Phi[ibase:ibase+ni], tmp.Phi[ibase:ibase+ni])
+		}
+		for _, e := range old.UEdges[p] {
+			base := int(e) * nlev
+			copy(s.U[base:base+nlev], tmp.U[base:base+nlev])
+		}
+	}
+	st.SetPlan(newPl)
+	for p := 0; p < newPl.NParts; p++ {
+		if err := st.WriteShard(epoch, p, step, s); err != nil {
+			return fmt.Errorf("core: redistributing epoch %d: %w", epoch, err)
+		}
+	}
+	// A shrink leaves the retired ranks' shard files behind; drop them so
+	// the directory holds exactly the live epoch layout.
+	for p := newPl.NParts; p < old.NParts; p++ {
+		os.Remove(st.shardPath(epoch, p))
+	}
+	return st.Commit(epoch, step)
+}
+
 // LatestCommitted returns the newest committed epoch whose every shard
 // verifies (header, CRC, plan match), with the step it was taken at.
 // ok is false when no usable epoch exists — recovery then replays from
-// the initial state. Full shard verification runs once per epoch: an
-// epoch that has already verified is served from the memo, so a poller
-// calling this every tick pays one manifest listing, not a re-hash of
-// every shard (WriteShard invalidates the memo for rewritten epochs).
+// the initial state. Only manifests of the current plan count: part
+// count and decomposition generation must both match, so epochs
+// sharded under a retired membership are never resumed. Full shard
+// verification runs once per epoch: an epoch that has already verified
+// is served from the memo after a cheap existence check of its shard
+// files, so a poller calling this every tick pays one manifest listing
+// plus stats, not a re-hash of every shard (WriteShard invalidates the
+// memo for rewritten epochs; a shard file disappearing — a shrink
+// pruned it, an operator removed it — drops the memo too).
 func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 	names, err := filepath.Glob(filepath.Join(st.dir, "epoch-*.json"))
 	if err != nil || len(names) == 0 {
@@ -311,17 +394,25 @@ func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 			continue
 		}
 		var m epochManifest
-		if json.Unmarshal(raw, &m) != nil || m.NParts != st.pl.NParts {
+		if json.Unmarshal(raw, &m) != nil || m.NParts != st.pl.NParts || m.Gen != st.planGen() {
 			continue
 		}
 		st.verifiedMu.Lock()
 		memoStep, memoized := st.verified[m.Epoch]
 		st.verifiedMu.Unlock()
 		if memoized {
-			if memoStep == m.Step {
+			if memoStep != m.Step {
+				continue // manifest rewritten since verification
+			}
+			if st.shardsPresent(m.Epoch, m.NParts) {
 				return m.Epoch, m.Step, true
 			}
-			continue // manifest rewritten since verification
+			// A verified shard no longer exists on disk: retire the memo
+			// and fall through to the full re-verification, which will
+			// reject the epoch and move on to an older one.
+			st.verifiedMu.Lock()
+			delete(st.verified, m.Epoch)
+			st.verifiedMu.Unlock()
 		}
 		usable := true
 		for p := 0; p < m.NParts; p++ {
@@ -339,4 +430,15 @@ func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 		}
 	}
 	return 0, 0, false
+}
+
+// shardsPresent reports whether every shard file of an epoch exists —
+// the cheap liveness check behind the verified-epoch memo.
+func (st *ShardStore) shardsPresent(epoch, nparts int) bool {
+	for p := 0; p < nparts; p++ {
+		if _, err := os.Stat(st.shardPath(epoch, p)); err != nil {
+			return false
+		}
+	}
+	return true
 }

@@ -38,9 +38,19 @@ type DistPlan struct {
 }
 
 // NewDistPlan partitions the mesh into nparts domains and derives all
-// ownership and exchange lists.
+// ownership and exchange lists. It panics when the partitioner cannot
+// fill nparts non-empty parts; elastic callers that must handle that
+// case decompose first and use NewDistPlanFromDecomp.
 func NewDistPlan(m *mesh.Mesh, nlev, nparts int, seed int64) *DistPlan {
-	d := partition.Decompose(m, nparts, seed)
+	return NewDistPlanFromDecomp(m, nlev, partition.MustDecompose(m, nparts, seed))
+}
+
+// NewDistPlanFromDecomp derives a distributed plan from an existing
+// decomposition — the run-time path: an elastic run recomputes the
+// decomposition over the surviving/joined member set and rebuilds the
+// plan from it, keeping the mesh and state arrays shared.
+func NewDistPlanFromDecomp(m *mesh.Mesh, nlev int, d *partition.Decomposition) *DistPlan {
+	nparts := d.NParts
 	pl := &DistPlan{
 		Mesh: m, NLev: nlev, NParts: nparts, Decomp: d,
 		TendCells: make([][]int32, nparts),
@@ -154,6 +164,40 @@ func peerLists(m map[int][]int32, peers []int) [][]int32 {
 	return out
 }
 
+// Layout returns rank p's halo-exchange layout under this plan: the
+// sorted peer list, the cell index set (set id 0) and the edge index
+// set (set id 1). The layout is the decomposition handle an exchanger
+// consumes — build with comm.NewExchangerWithLayout, swap after a
+// repartition with HaloExchanger.SwapLayout (set ids are stable across
+// epochs because every plan emits the same two sets in the same order).
+func (pl *DistPlan) Layout(p int) *comm.Layout {
+	peers := pl.peersOf(p)
+	return &comm.Layout{Peers: peers, Sets: []comm.IndexSet{
+		{Send: peerLists(pl.cellSend[p], peers), Recv: peerLists(pl.cellRecv[p], peers)},
+		{Send: peerLists(pl.edgeSend[p], peers), Recv: peerLists(pl.edgeRecv[p], peers)},
+	}}
+}
+
+// Set ids of the state exchanger layout (see Layout).
+const (
+	stateCellSet = 0
+	stateEdgeSet = 1
+)
+
+// OwnedSets returns rank p's dycore entity sets under this plan (Start/
+// Finish hooks unset — the caller binds them to its exchanger). After a
+// repartition, passing the new plan's sets to Engine.SetOwned rebuilds
+// the interior/boundary split (overlap.go taint sets) for the new
+// ownership.
+func (pl *DistPlan) OwnedSets(p int) *dycore.OwnedSets {
+	return &dycore.OwnedSets{
+		TendCells: pl.TendCells[p],
+		DiagCells: pl.DiagCells[p],
+		FluxEdges: pl.FluxEdges[p],
+		UEdges:    pl.UEdges[p],
+	}
+}
+
 // newStateExchanger builds the unified halo exchanger of the dynamics
 // state: one message per peer carries the cell halo (DryMass, ThetaM, W,
 // Phi) and the ghost edges (U) — the linked-list aggregation of §3.1.3.
@@ -161,18 +205,14 @@ func peerLists(m map[int][]int32, peers []int) [][]int32 {
 // force and stays double on the wire; the advective state and winds
 // travel FP32 under precision.Mixed.
 func newStateExchanger(pl *DistPlan, r *comm.Rank, s *dycore.State, mode precision.Mode) *comm.HaloExchanger {
-	p := r.ID()
-	peers := pl.peersOf(p)
-	ex := comm.NewExchanger(r, mode, peers)
-	cellSet := ex.AddIndexSet(peerLists(pl.cellSend[p], peers), peerLists(pl.cellRecv[p], peers))
-	edgeSet := ex.AddIndexSet(peerLists(pl.edgeSend[p], peers), peerLists(pl.edgeRecv[p], peers))
+	ex := comm.NewExchangerWithLayout(r, mode, pl.Layout(r.ID()))
 	nlev := pl.NLev
 	ni := nlev + 1
-	ex.RegisterSlice("dry_mass", s.DryMass, nlev, cellSet, false)
-	ex.RegisterSlice("theta_m", s.ThetaM, nlev, cellSet, false)
-	ex.RegisterSlice("w", s.W, ni, cellSet, false)
-	ex.RegisterSlice("phi", s.Phi, ni, cellSet, true)
-	ex.RegisterSlice("u", s.U, nlev, edgeSet, false)
+	ex.RegisterSlice("dry_mass", s.DryMass, nlev, stateCellSet, false)
+	ex.RegisterSlice("theta_m", s.ThetaM, nlev, stateCellSet, false)
+	ex.RegisterSlice("w", s.W, ni, stateCellSet, false)
+	ex.RegisterSlice("phi", s.Phi, ni, stateCellSet, true)
+	ex.RegisterSlice("u", s.U, nlev, stateEdgeSet, false)
 	return ex
 }
 
@@ -254,12 +294,7 @@ func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 			ex.SetTelemetry(opt.rec, int32(p))
 			eng.SetTelemetry(opt.rec, int32(p))
 		}
-		o := &dycore.OwnedSets{
-			TendCells: pl.TendCells[p],
-			DiagCells: pl.DiagCells[p],
-			FluxEdges: pl.FluxEdges[p],
-			UEdges:    pl.UEdges[p],
-		}
+		o := pl.OwnedSets(p)
 		if opt.blocking {
 			o.Start = ex.Exchange
 		} else {

@@ -1,0 +1,558 @@
+package core
+
+// Elastic membership: the distributed runner whose decomposition is a
+// run-time object. Where RunDistributedDynamicsResilient rolls every
+// rank back and replays on the SAME world shape, the elastic runner
+// changes shape: a classified rank death shrinks the membership,
+// repartitions the mesh over the survivors (partition.Elastic, seeded
+// per epoch), redistributes the last committed checkpoint shards to
+// their new owners (ShardStore.Redistribute, owner-truth assembly) and
+// continues — and a scheduled grow event symmetrically absorbs fresh
+// ranks mid-run, shrinking the capacity-relative load imbalance back
+// toward 1.
+//
+// Membership agreement is two-phase (DESIGN.md §11): phase one collects
+// the typed per-rank failures of the aborted leg and derives the
+// surviving node set; phase two needs no communication at all — every
+// participant recomputes the identical decomposition from (mesh, sorted
+// member list, base seed, epoch), because partition.Elastic derives the
+// partitioner seed deterministically from the epoch.
+//
+// RunDistributedDynamicsRebalanced is the second consumer of the
+// run-time decomposition: a single world that repartitions live between
+// steps — measured per-rank wall times are agreed by AllGather, fed
+// back as cell weights to the multilevel partitioner, and the ranks
+// swap their halo layouts (HaloExchanger.SwapLayout) and ownership sets
+// (Engine.SetOwned) without tearing anything down. In DP mode the final
+// state is bitwise identical to the never-rebalanced run: per-entity
+// kernels have decomposition-independent stencil order and halo mirrors
+// are exact at step boundaries.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gristgo/internal/comm"
+	"gristgo/internal/dycore"
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+	"gristgo/internal/precision"
+	"gristgo/internal/telemetry"
+)
+
+// GrowEvent schedules a deliberate mid-run scale-up: when the run
+// reaches the given step boundary it checkpoints, absorbs Add fresh
+// nodes (the lowest free node ids — a previously failed node re-joins
+// under its old id), repartitions and continues.
+type GrowEvent struct {
+	Step int
+	Add  int
+}
+
+// ElasticOpts configures RunDistributedDynamicsElastic.
+type ElasticOpts struct {
+	Mode precision.Mode
+
+	// Injector is installed on each leg's world (nil: none). If it also
+	// implements StepGate it can kill ranks; the gate is addressed by
+	// stable NODE id, not leg rank, so a kill stays aimed at the same
+	// node across reshapes.
+	Injector comm.Injector
+
+	// CheckpointEvery (> 0, required) writes a shard epoch every N
+	// steps into Dir (required). Shrink recovery resumes from the last
+	// committed epoch; the shards are what gets redistributed.
+	CheckpointEvery int
+	Dir             string
+
+	// Grow schedules deliberate scale-ups at step boundaries.
+	Grow []GrowEvent
+
+	// HaloTimeout bounds halo Finish, SyncTimeout the barriers (default
+	// 2s each — see ResilienceOpts).
+	HaloTimeout time.Duration
+	SyncTimeout time.Duration
+
+	// MaxReshapes bounds membership changes plus rollbacks (default 6).
+	MaxReshapes int
+
+	// Blocking forces blocking halo rounds instead of overlapped ones —
+	// the parity leg of the overlap-vs-blocking bitwise check.
+	Blocking bool
+
+	// Seed drives the epoch-seeded partitioner (default 12345, the
+	// static runners' seed).
+	Seed int64
+
+	// Capacity is the node-slot count behind the capacity-relative load
+	// imbalance gauge (default: initial members plus every scheduled
+	// grow). Running on fewer nodes than capacity reads as imbalance
+	// even when the survivors are perfectly balanced among themselves —
+	// the signal that re-absorbing a node will help.
+	Capacity int
+
+	// Reg receives grist_world_size, grist_load_imbalance,
+	// grist_repartition_total, grist_repartition_cost_ms,
+	// grist_checkpoint_epochs_total and grist_rank_failures_total.
+	Reg *telemetry.Registry
+}
+
+// ReshapeEvent records one membership change or rollback.
+type ReshapeEvent struct {
+	Kind        string        `json:"kind"` // "shrink", "grow", "rollback"
+	Members     []int         `json:"members"`
+	Epoch       int           `json:"epoch"` // decomposition epoch after the reshape
+	ResumeStep  int           `json:"resume_step"`
+	Failures    []RankFailure `json:"failures,omitempty"`
+	RepartMS    float64       `json:"repartition_ms"`
+	RedistribMS float64       `json:"redistribute_ms"`
+}
+
+// ElasticReport summarizes an elastic run: one entry per leg plus the
+// reshapes between them.
+type ElasticReport struct {
+	Legs         int            `json:"legs"`
+	Reshapes     []ReshapeEvent `json:"reshapes,omitempty"`
+	FinalMembers []int          `json:"final_members"`
+	FinalEpoch   int            `json:"final_epoch"`
+
+	// Per leg: world size and the capacity-relative cell-load imbalance
+	// (max owned cells * capacity / total cells — deterministic, the
+	// elastic feed of the PR 4 grist_load_imbalance gauge).
+	WorldSizes   []int     `json:"world_sizes"`
+	LegImbalance []float64 `json:"leg_imbalance"`
+}
+
+// cellImbalance is the capacity-relative load imbalance of a plan: the
+// busiest rank's owned-cell count over the per-slot ideal share. On a
+// full world this is the ordinary max/mean cell imbalance (~1); a world
+// missing nodes reads > 1 even when perfectly balanced internally,
+// quantifying how much a grow would recover.
+func cellImbalance(pl *DistPlan, capacity int) float64 {
+	maxOwned := 0
+	for p := 0; p < pl.NParts; p++ {
+		if n := len(pl.TendCells[p]); n > maxOwned {
+			maxOwned = n
+		}
+	}
+	return float64(maxOwned) * float64(capacity) / float64(pl.Mesh.NCells)
+}
+
+// growMembers extends the member set by add fresh nodes, reusing the
+// lowest free node ids first (a dead node's id is the first to return).
+func growMembers(members []int, add int) []int {
+	in := make(map[int]bool, len(members))
+	for _, n := range members {
+		in[n] = true
+	}
+	out := append([]int(nil), members...)
+	for id := 0; add > 0; id++ {
+		if !in[id] {
+			out = append(out, id)
+			in[id] = true
+			add--
+		}
+	}
+	return out
+}
+
+// RunDistributedDynamicsElastic integrates the dry dynamics over an
+// elastic membership: starting from nparts nodes, classified rank
+// deaths shrink the world (repartition + shard redistribution +
+// continue on the survivors) and scheduled GrowEvents expand it. The
+// returned state is the merged final state of whatever membership
+// finished the run; the error is non-nil when MaxReshapes is exhausted
+// or the membership would drop to zero.
+func RunDistributedDynamicsElastic(m *mesh.Mesh, nlev, nparts int,
+	initFn func(*dycore.State), steps int, dt float64, opts ElasticOpts) (*dycore.State, *ElasticReport, error) {
+
+	if opts.CheckpointEvery <= 0 || opts.Dir == "" {
+		return nil, nil, fmt.Errorf("core: ElasticOpts requires CheckpointEvery > 0 and Dir (shard redistribution needs checkpoints)")
+	}
+	if opts.HaloTimeout <= 0 {
+		opts.HaloTimeout = 2 * time.Second
+	}
+	if opts.SyncTimeout <= 0 {
+		opts.SyncTimeout = 2 * time.Second
+	}
+	if opts.MaxReshapes == 0 {
+		opts.MaxReshapes = 6
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 12345
+	}
+	if opts.Capacity == 0 {
+		opts.Capacity = nparts
+		for _, g := range opts.Grow {
+			opts.Capacity += g.Add
+		}
+	}
+
+	members := make([]int, nparts)
+	for i := range members {
+		members[i] = i
+	}
+	el, err := partition.NewElastic(m, opts.Seed, members)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl := NewDistPlanFromDecomp(m, nlev, el.Decomposition())
+	store, err := NewShardStore(opts.Dir, pl)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	grows := append([]GrowEvent(nil), opts.Grow...)
+	gi := 0
+	rep := &ElasticReport{}
+	gauge := func() {
+		if opts.Reg == nil {
+			return
+		}
+		opts.Reg.Gauge("grist_world_size").Set(float64(pl.NParts))
+		opts.Reg.Gauge("grist_load_imbalance").Set(cellImbalance(pl, opts.Capacity))
+	}
+
+	for {
+		resumeEpoch, resumeStep := -1, 0
+		if e, s0, ok := store.LatestCommitted(); ok {
+			resumeEpoch, resumeStep = e, s0
+		}
+		// The next scheduled grow bounds this leg: the ranks pause there
+		// on a forced checkpoint so the reshape sees a committed epoch.
+		for gi < len(grows) && (grows[gi].Step <= resumeStep || grows[gi].Add <= 0) {
+			gi++
+		}
+		stopStep := steps
+		if gi < len(grows) && grows[gi].Step < steps {
+			stopStep = grows[gi].Step
+		}
+
+		rep.Legs++
+		rep.WorldSizes = append(rep.WorldSizes, pl.NParts)
+		rep.LegImbalance = append(rep.LegImbalance, cellImbalance(pl, opts.Capacity))
+		gauge()
+
+		final, fails := runElasticLeg(m, pl, store, nlev, el.Members(), initFn,
+			stopStep, steps, dt, resumeEpoch, resumeStep, opts)
+
+		if len(fails) == 0 {
+			if stopStep == steps {
+				rep.FinalMembers, rep.FinalEpoch = el.Members(), el.Epoch()
+				return final, rep, nil
+			}
+			// Cooperative pause: the leg committed a checkpoint at
+			// stopStep; absorb the scheduled nodes and continue.
+			newMembers := growMembers(el.Members(), grows[gi].Add)
+			gi++
+			if err := reshape(el, newMembers, &pl, store, m, nlev, stopStep, "grow", nil, rep, opts); err != nil {
+				return nil, rep, err
+			}
+			continue
+		}
+
+		if opts.Reg != nil {
+			opts.Reg.Counter("grist_rank_failures_total").Add(int64(len(fails)))
+		}
+		if len(rep.Reshapes) >= opts.MaxReshapes {
+			return nil, rep, fmt.Errorf("core: elastic run exceeded %d reshapes: node %d (%s): %s",
+				opts.MaxReshapes, fails[0].Rank, fails[0].Kind, fails[0].Reason)
+		}
+
+		// Phase one of the membership agreement: derive the surviving
+		// node set from the classified failures. Only a positively
+		// classified death ("killed") removes a node — a timeout
+		// witnessed by peers of a killed node is collateral, and a
+		// timeout with no death at all rolls back on the same shape.
+		dead := map[int]bool{}
+		for _, f := range fails {
+			if f.Kind == "killed" {
+				dead[f.Rank] = true
+			}
+		}
+		if len(dead) == 0 {
+			rep.Reshapes = append(rep.Reshapes, ReshapeEvent{
+				Kind: "rollback", Members: el.Members(), Epoch: el.Epoch(),
+				ResumeStep: resumeStep, Failures: fails,
+			})
+			continue
+		}
+		var survivors []int
+		for _, n := range el.Members() {
+			if !dead[n] {
+				survivors = append(survivors, n)
+			}
+		}
+		if len(survivors) == 0 {
+			return nil, rep, fmt.Errorf("core: every node died")
+		}
+		// The failed leg may have committed epochs after resumeStep
+		// before dying; redistribute the newest committed one.
+		_, srcStep, ok := store.LatestCommitted()
+		if !ok {
+			srcStep = 0
+		}
+		if err := reshape(el, survivors, &pl, store, m, nlev, srcStep, "shrink", fails, rep, opts); err != nil {
+			return nil, rep, err
+		}
+	}
+}
+
+// reshape applies a membership change: recompute the decomposition over
+// the new members (epoch bump, deterministic seed), rebuild the plan,
+// and redistribute the committed checkpoint at resumeStep — when one
+// exists — to the new owners. pl is updated in place.
+func reshape(el *partition.Elastic, newMembers []int, pl **DistPlan, store *ShardStore,
+	m *mesh.Mesh, nlev, resumeStep int, kind string, fails []RankFailure,
+	rep *ElasticReport, opts ElasticOpts) error {
+
+	t0 := time.Now()
+	d, err := el.Resize(newMembers)
+	if err != nil {
+		return fmt.Errorf("core: reshape to %d nodes: %w", len(newMembers), err)
+	}
+	newPl := NewDistPlanFromDecomp(m, nlev, d)
+	repart := time.Since(t0)
+
+	t1 := time.Now()
+	if epoch, step, ok := store.LatestCommitted(); ok {
+		if err := store.Redistribute(epoch, step, newPl); err != nil {
+			return err
+		}
+	} else {
+		// Nothing committed yet: the next leg replays from the initial
+		// state, which initFn produces identically on any membership.
+		store.SetPlan(newPl)
+	}
+	redist := time.Since(t1)
+
+	*pl = newPl
+	rep.Reshapes = append(rep.Reshapes, ReshapeEvent{
+		Kind: kind, Members: el.Members(), Epoch: el.Epoch(), ResumeStep: resumeStep,
+		Failures: fails,
+		RepartMS: float64(repart) / float64(time.Millisecond),
+		RedistribMS: float64(redist) / float64(time.Millisecond),
+	})
+	if opts.Reg != nil {
+		opts.Reg.Counter("grist_repartition_total").Inc()
+		opts.Reg.Gauge("grist_repartition_cost_ms").Set(float64(repart+redist) / float64(time.Millisecond))
+	}
+	return nil
+}
+
+// runElasticLeg runs one membership's leg on a fresh world: resume from
+// the given epoch (or the initial state), step to stopStep with gated
+// steps and step-stamped checkpoint epochs, and gather the final state
+// when stopStep is the end of the run. A leg that pauses for a grow
+// (stopStep < steps) takes a forced checkpoint at stopStep and returns
+// without gathering. Checkpoint epochs are stamped with the step number
+// itself, so epochs stay unique and monotone across reshapes.
+func runElasticLeg(m *mesh.Mesh, pl *DistPlan, store *ShardStore, nlev int, members []int,
+	initFn func(*dycore.State), stopStep, steps int, dt float64, resumeEpoch, resumeStep int,
+	opts ElasticOpts) (*dycore.State, []RankFailure) {
+
+	w := comm.NewWorld(pl.NParts)
+	if opts.Injector != nil {
+		w.SetInjector(opts.Injector)
+	}
+	gate, _ := opts.Injector.(StepGate)
+
+	final := dycore.NewState(m, nlev)
+	var mu sync.Mutex
+	var fails []RankFailure
+
+	comm.RunOn(w, func(r *comm.Rank) {
+		p := r.ID()
+		node := members[p]
+		defer func() {
+			if e := recover(); e != nil {
+				f := RankFailure{Rank: node, Reason: fmt.Sprint(e)}
+				switch e.(type) {
+				case rankKilled:
+					f.Kind = "killed"
+				case sentinelAbort:
+					f.Kind = "sentinel"
+				case *comm.TimeoutError:
+					f.Kind = "timeout"
+				default:
+					f.Kind = "panic"
+				}
+				mu.Lock()
+				fails = append(fails, f)
+				mu.Unlock()
+			}
+		}()
+
+		eng := dycore.New(m, nlev, opts.Mode)
+		s := eng.State()
+		initFn(s)
+		if resumeEpoch >= 0 {
+			if _, err := store.ReadShard(resumeEpoch, p, s); err != nil {
+				panic(fmt.Sprintf("loading shard of epoch %d: %v", resumeEpoch, err))
+			}
+		}
+		ex := newStateExchanger(pl, r, s, opts.Mode)
+		ex.SetDeadline(opts.HaloTimeout)
+		o := pl.OwnedSets(p)
+		if opts.Blocking {
+			o.Start = ex.Exchange
+		} else {
+			o.Start, o.Finish = ex.Start, ex.Finish
+		}
+		eng.SetOwned(o)
+
+		for i := resumeStep; i < stopStep; i++ {
+			if gate != nil && !gate.PermitStep(node, i) {
+				panic(rankKilled{step: i})
+			}
+			eng.Step(dt)
+			step := i + 1
+
+			periodic := step%opts.CheckpointEvery == 0
+			forced := step == stopStep && stopStep < steps
+			if (periodic || forced) && step < steps {
+				if err := store.WriteShard(step, p, step, s); err != nil {
+					panic(fmt.Sprintf("writing shard of epoch %d: %v", step, err))
+				}
+				if err := r.BarrierTimeout(opts.SyncTimeout); err != nil {
+					panic(err)
+				}
+				if p == 0 {
+					if err := store.Commit(step, step); err != nil {
+						panic(fmt.Sprintf("committing epoch %d: %v", step, err))
+					}
+					if opts.Reg != nil {
+						opts.Reg.Counter("grist_checkpoint_epochs_total").Inc()
+					}
+				}
+			}
+		}
+
+		if stopStep < steps {
+			return // cooperative pause for a grow; the reshape takes over
+		}
+		if err := r.BarrierTimeout(opts.SyncTimeout); err != nil {
+			panic(err)
+		}
+		gatherState(r, final, s, pl)
+	})
+	return final, fails
+}
+
+// RunDistributedDynamicsRebalanced integrates like RunDistributedDynamics
+// but repartitions live at the given step boundaries, inside one world:
+// the ranks agree on measured per-rank wall time (AllGather), feed it
+// back as per-cell weights to the multilevel partitioner, and rebind
+// their exchanger layouts and ownership sets in place. Every rank
+// derives the identical weighted decomposition from the agreed inputs,
+// so no part map is communicated. Returns the merged final state and
+// the number of repartitions applied. In DP mode the result is bitwise
+// identical to RunDistributedDynamics of the same configuration.
+func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64, rebalanceAt []int, seed int64,
+	reg *telemetry.Registry) (*dycore.State, int) {
+
+	if seed == 0 {
+		seed = 12345
+	}
+	rebal := map[int]bool{}
+	for _, s := range rebalanceAt {
+		if s > 0 && s < steps {
+			rebal[s] = true
+		}
+	}
+	pl0 := NewDistPlan(m, nlev, nparts, seed)
+	final := dycore.NewState(m, nlev)
+	applied := 0
+
+	comm.Run(nparts, func(r *comm.Rank) {
+		p := r.ID()
+		pl := pl0
+		eng := dycore.New(m, nlev, mode)
+		s := eng.State()
+		initFn(s)
+		ex := newStateExchanger(pl, r, s, mode)
+		bind := func() {
+			o := pl.OwnedSets(p)
+			o.Start, o.Finish = ex.Start, ex.Finish
+			eng.SetOwned(o)
+		}
+		bind()
+
+		epoch := 0
+		legStart := time.Now()
+		for i := 0; i < steps; i++ {
+			eng.Step(dt)
+			step := i + 1
+			if !rebal[step] {
+				continue
+			}
+			wall := time.Since(legStart).Seconds()
+
+			// Agree on the measured load, then make every rank's state
+			// owner-truth everywhere: after this exchange each rank holds
+			// the exact owned values of all ranks, so any re-ownership is
+			// safe (mirror values never leak into a new owner's region).
+			walls := r.AllGather([]float64{wall})
+			regions := r.AllGather(packOwnedState(s, pl, p))
+			for q := 0; q < nparts; q++ {
+				if q != p {
+					unpackOwnedState(s, pl, q, regions[q])
+				}
+			}
+
+			epoch++
+			d, err := partition.DecomposeWeighted(m, nparts, partition.EpochSeed(seed, epoch),
+				cellWeightsFromWalls(pl, walls))
+			if err != nil {
+				continue // keep the current decomposition
+			}
+			d.Epoch = epoch
+			pl = NewDistPlanFromDecomp(m, nlev, d)
+			ex.SwapLayout(pl.Layout(p))
+			bind()
+			legStart = time.Now()
+			if p == 0 {
+				applied++
+				if reg != nil {
+					reg.Counter("grist_repartition_total").Inc()
+				}
+			}
+		}
+		if err := r.BarrierTimeout(10 * time.Second); err != nil {
+			panic(err)
+		}
+		gatherState(r, final, s, pl)
+	})
+	return final, applied
+}
+
+// cellWeightsFromWalls converts agreed per-rank wall times into per-cell
+// integer load weights: each rank's measured per-cell cost, normalized
+// to [1, 1000]. Pure function of (plan, walls) — every rank computes
+// the same weights, which keeps the weighted repartition agreement-free.
+func cellWeightsFromWalls(pl *DistPlan, walls [][]float64) []int32 {
+	perCell := make([]float64, pl.NParts)
+	maxW := 0.0
+	for p := 0; p < pl.NParts; p++ {
+		n := len(pl.TendCells[p])
+		if n == 0 {
+			continue
+		}
+		w := walls[p][0] / float64(n)
+		perCell[p] = w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	out := make([]int32, pl.Mesh.NCells)
+	for c := range out {
+		w := int32(1)
+		if maxW > 0 {
+			w = 1 + int32(perCell[pl.Decomp.Part[c]]/maxW*999)
+		}
+		out[c] = w
+	}
+	return out
+}

@@ -224,12 +224,7 @@ func runResilientLeg(m *mesh.Mesh, pl *DistPlan, store *ShardStore, nlev, nparts
 		}
 		ex := newStateExchanger(pl, r, s, opts.Mode)
 		ex.SetDeadline(opts.HaloTimeout)
-		o := &dycore.OwnedSets{
-			TendCells: pl.TendCells[p],
-			DiagCells: pl.DiagCells[p],
-			FluxEdges: pl.FluxEdges[p],
-			UEdges:    pl.UEdges[p],
-		}
+		o := pl.OwnedSets(p)
 		o.Start, o.Finish = ex.Start, ex.Finish
 		eng.SetOwned(o)
 

@@ -1,0 +1,122 @@
+package dycore
+
+import (
+	"testing"
+
+	"gristgo/internal/mesh"
+	"gristgo/internal/precision"
+)
+
+// ringOwned builds a plausible OwnedSets from a cell predicate: owned
+// cells, their one-ring diagnostic halo, the edges of the diagnostic
+// region, and owned edges (lower-id adjacent cell owns the edge) — the
+// same shape core.DistPlan produces, without importing core.
+func ringOwned(m *mesh.Mesh, pick func(c int32) bool) *OwnedSets {
+	o := &OwnedSets{}
+	owned := make([]bool, m.NCells)
+	for c := int32(0); c < int32(m.NCells); c++ {
+		if pick(c) {
+			o.TendCells = append(o.TendCells, c)
+			owned[c] = true
+		}
+	}
+	diag := make([]bool, m.NCells)
+	for _, c := range o.TendCells {
+		diag[c] = true
+		for k := m.CellOff[c]; k < m.CellOff[c+1]; k++ {
+			if n := m.CellCell[k]; n >= 0 {
+				diag[n] = true
+			}
+		}
+	}
+	for c := int32(0); c < int32(m.NCells); c++ {
+		if diag[c] {
+			o.DiagCells = append(o.DiagCells, c)
+		}
+	}
+	edgeIn := make([]bool, m.NEdges)
+	for _, c := range o.DiagCells {
+		for k := m.CellOff[c]; k < m.CellOff[c+1]; k++ {
+			edgeIn[m.CellEdge[k]] = true
+		}
+	}
+	for e := int32(0); e < int32(m.NEdges); e++ {
+		if edgeIn[e] {
+			o.FluxEdges = append(o.FluxEdges, e)
+		}
+		a, b := m.EdgeCell[e][0], m.EdgeCell[e][1]
+		own := a
+		if b >= 0 && b < a {
+			own = b
+		}
+		if owned[own] {
+			o.UEdges = append(o.UEdges, e)
+		}
+	}
+	return o
+}
+
+func sameIDs(t *testing.T, name string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d ids, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// Re-invoking SetOwned must rebuild the interior/boundary split sets
+// for the NEW ownership, identically to a fresh engine constructed with
+// that ownership — the property the elastic runners lean on when they
+// rebind a live engine to a repartitioned decomposition.
+func TestSetOwnedRebuildsSplitSets(t *testing.T) {
+	m := testMesh(t, 3)
+	nlev := 3
+
+	oA := ringOwned(m, func(c int32) bool { return c < int32(m.NCells)/2 })
+	oB := ringOwned(m, func(c int32) bool { return c%3 == 0 })
+
+	rebound := New(m, nlev, precision.DP).(*engine[float64])
+	rebound.SetOwned(oA)
+	if rebound.split == nil {
+		t.Fatal("SetOwned(A) built no split sets")
+	}
+	rebound.SetOwned(oB)
+
+	fresh := New(m, nlev, precision.DP).(*engine[float64])
+	fresh.SetOwned(oB)
+
+	got, want := rebound.split, fresh.split
+	if got == nil || want == nil {
+		t.Fatal("split sets missing after SetOwned(B)")
+	}
+	sameIDs(t, "diagInt", got.diagInt, want.diagInt)
+	sameIDs(t, "diagBnd", got.diagBnd, want.diagBnd)
+	sameIDs(t, "fluxInt", got.fluxInt, want.fluxInt)
+	sameIDs(t, "fluxBnd", got.fluxBnd, want.fluxBnd)
+	sameIDs(t, "vertInt", got.vertInt, want.vertInt)
+	sameIDs(t, "vertBnd", got.vertBnd, want.vertBnd)
+	sameIDs(t, "vtanInt", got.vtanInt, want.vtanInt)
+	sameIDs(t, "vtanBnd", got.vtanBnd, want.vtanBnd)
+	sameIDs(t, "tendInt", got.tendInt, want.tendInt)
+	sameIDs(t, "tendBnd", got.tendBnd, want.tendBnd)
+	sameIDs(t, "uInt", got.uInt, want.uInt)
+	sameIDs(t, "uBnd", got.uBnd, want.uBnd)
+
+	// And the split must actually have changed shape between A and B —
+	// otherwise the rebind test is vacuous.
+	reboundA := New(m, nlev, precision.DP).(*engine[float64])
+	reboundA.SetOwned(oA)
+	if len(reboundA.split.tendInt) == len(got.tendInt) && len(reboundA.split.tendBnd) == len(got.tendBnd) {
+		t.Fatal("ownership A and B produced identical split shapes; pick different predicates")
+	}
+
+	// Clearing ownership drops the split entirely (serial mode).
+	rebound.SetOwned(nil)
+	if rebound.split != nil || rebound.owned != nil {
+		t.Fatal("SetOwned(nil) did not clear the ownership split")
+	}
+}

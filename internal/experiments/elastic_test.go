@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteElastic runs the shrinkgrow experiment at CI scale and
+// checks the artifact carries the acceptance evidence: the DP legs
+// finish bitwise identical to the uninjected run across a shrink and a
+// grow, the mixed legs stay within the 5% ps/vor gate, overlap and
+// blocking halo rounds agree bitwise within each mode, and the grow
+// measurably reduces the load imbalance.
+func TestWriteElastic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-leg elastic-membership run")
+	}
+	dir := t.TempDir()
+	res, err := WriteElastic(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leg := range []ElasticLeg{res.DP, res.DPBlocking} {
+		if leg.Err != "" {
+			t.Errorf("dp leg (overlap=%v) failed: %s", leg.Overlap, leg.Err)
+		}
+		if !leg.Bitwise {
+			t.Errorf("dp leg (overlap=%v) is not bitwise vs the clean run", leg.Overlap)
+		}
+	}
+	for _, leg := range []ElasticLeg{res.Mixed, res.MixedBlock} {
+		if leg.Err != "" {
+			t.Errorf("mixed leg (overlap=%v) failed: %s", leg.Overlap, leg.Err)
+		}
+		if !leg.WithinGate {
+			t.Errorf("mixed leg (overlap=%v) exceeds the 5%% gate: ps %.3g vor %.3g",
+				leg.Overlap, leg.PsRelErr, leg.VorRelErr)
+		}
+	}
+	for _, leg := range []ElasticLeg{res.DP, res.DPBlocking, res.Mixed, res.MixedBlock} {
+		if len(leg.WorldSizes) != 3 || leg.WorldSizes[0] != 4 || leg.WorldSizes[1] != 3 || leg.WorldSizes[2] != 4 {
+			t.Errorf("leg %s/overlap=%v world sizes %v, want [4 3 4]", leg.Mode, leg.Overlap, leg.WorldSizes)
+		}
+		if len(leg.Reshapes) != 2 || leg.Reshapes[0].Kind != "shrink" || leg.Reshapes[1].Kind != "grow" {
+			t.Errorf("leg %s/overlap=%v reshapes %+v, want shrink then grow", leg.Mode, leg.Overlap, leg.Reshapes)
+		}
+	}
+	if !res.ParityDP || !res.ParityMixed {
+		t.Errorf("overlap/blocking parity broken: dp=%v mixed=%v", res.ParityDP, res.ParityMixed)
+	}
+	if !res.ImbalanceReduced {
+		t.Errorf("the grow did not reduce the load imbalance: dp %.2f->%.2f",
+			res.DP.ImbalanceShrunk, res.DP.ImbalanceGrown)
+	}
+	if res.RepartitionTotal != 8 {
+		t.Errorf("grist_repartition_total = %d, want 8 (2 per leg)", res.RepartitionTotal)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "CHAOS_elastic.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ElasticResult
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("CHAOS_elastic.json does not round-trip: %v", err)
+	}
+	if back.Seed != res.Seed || back.ParityDP != res.ParityDP {
+		t.Fatal("CHAOS_elastic.json does not match the in-memory result")
+	}
+	if rows := res.Rows(); len(rows) != 7 {
+		t.Fatalf("Rows() returned %d lines, want 7", len(rows))
+	}
+}

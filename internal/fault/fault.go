@@ -52,7 +52,9 @@ type Profile struct {
 }
 
 // Profiles names the built-in profiles for flag help.
-func Profiles() string { return "off, drop, delay, bitflip, rankdeath, chaos, mlnan" }
+func Profiles() string {
+	return "off, drop, delay, bitflip, rankdeath, shrinkgrow, chaos, mlnan"
+}
 
 // ParseProfile resolves a named fault profile. The "mlnan" profile is
 // recognized but injects nothing at the transport level — drivers wire
@@ -70,6 +72,15 @@ func ParseProfile(name string) (Profile, error) {
 		p.FlipProb = 0.05
 		p.MaxFlips = 1
 	case "rankdeath":
+		p.KillRank = 1
+		p.KillStep = 4
+	case "shrinkgrow":
+		// The elastic membership scenario: node 1 dies at step 4; the
+		// driver shrinks to the survivors and later re-absorbs the node
+		// (see core.RunDistributedDynamicsElastic and the elastic
+		// experiment). The kill addresses a stable NODE id, so the
+		// re-added node is not re-killed — the Plan's one-shot kill
+		// stays spent anyway.
 		p.KillRank = 1
 		p.KillStep = 4
 	case "chaos":

@@ -16,6 +16,14 @@
 // WaitAll, Finish, Exchange, Barrier, Recv) is reached. Buffers that
 // only exist as call results (e.g. ISend(q, tag, pack(pi))) cannot be
 // misused by name and are not tracked.
+//
+// With the decomposition a run-time object, the analyzer also guards
+// the layout handle the same way: HaloExchanger.SwapLayout rebinds the
+// exchanger to a repartitioned decomposition, and calling it between
+// Start and Finish mutates the index sets of an in-flight round — a
+// runtime panic in the exchanger, reported statically here. The window
+// opens at a Start call on an exchanger expression and closes at the
+// next synchronization call on the same expression.
 package sendownership
 
 import (
@@ -115,6 +123,81 @@ func checkBlock(pass *lint.Pass, stmts []ast.Stmt) {
 		for _, tr := range transfersIn(pass, st) {
 			scanAfter(pass, stmts[i+1:], tr)
 		}
+		for _, recv := range roundStartsIn(pass, st) {
+			scanRoundAfter(pass, stmts[i+1:], recv)
+		}
+	}
+}
+
+// roundStartsIn finds Start calls on trackable exchanger expressions in
+// the straight-line part of a single statement — each opens an
+// in-flight-round window for its receiver.
+func roundStartsIn(pass *lint.Pass, st ast.Stmt) []string {
+	var out []string
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, recv, ok := rankMethodRecv(pass.TypesInfo, call)
+		if !ok || name != "Start" {
+			return true
+		}
+		if s := trackable(recv); s != "" {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// scanRoundAfter walks the trailing statements of a Start call looking
+// for a SwapLayout on the same exchanger, stopping at the first
+// synchronization call on it (Finish/Exchange/Wait/WaitAll) or at a
+// rebinding of the exchanger variable.
+func scanRoundAfter(pass *lint.Pass, stmts []ast.Stmt, recv string) {
+	done := false
+	for _, st := range stmts {
+		if done {
+			return
+		}
+		ast.Inspect(st, func(n ast.Node) bool {
+			if done {
+				return false
+			}
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if trackable(l) == recv {
+						done = true // exchanger rebound: the tracked round is gone
+						return false
+					}
+				}
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, r, ok := rankMethodRecv(pass.TypesInfo, call)
+			if !ok || trackable(r) != recv {
+				return true
+			}
+			if syncMethods[name] {
+				done = true
+				return false
+			}
+			if name == "SwapLayout" {
+				pass.Reportf(call.Pos(),
+					"%s.SwapLayout between Start and Finish mutates the halo layout of an in-flight round; complete the round (Finish/Exchange) before repartitioning",
+					recv)
+				done = true // one report per round is enough
+				return false
+			}
+			return true
+		})
 	}
 }
 
@@ -205,13 +288,19 @@ func scanAfter(pass *lint.Pass, stmts []ast.Stmt, tr transfer) {
 // value of a type named Rank/HaloExchanger, so testdata fixtures work)
 // and returns the method name.
 func rankMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name, _, ok := rankMethodRecv(info, call)
+	return name, ok
+}
+
+// rankMethodRecv is rankMethod returning the receiver expression too.
+func rankMethodRecv(info *types.Info, call *ast.CallExpr) (string, ast.Expr, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return "", false
+		return "", nil, false
 	}
 	tv, ok := info.Types[sel.X]
 	if !ok {
-		return "", false
+		return "", nil, false
 	}
 	t := tv.Type
 	if p, ok := types.Unalias(t).(*types.Pointer); ok {
@@ -219,13 +308,13 @@ func rankMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
 	}
 	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
-		return "", false
+		return "", nil, false
 	}
 	switch named.Obj().Name() {
 	case "Rank", "HaloExchanger":
-		return sel.Sel.Name, true
+		return sel.Sel.Name, sel.X, true
 	}
-	return "", false
+	return "", nil, false
 }
 
 // trackable renders identifier/selector/index expressions to a stable

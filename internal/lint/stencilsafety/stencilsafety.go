@@ -14,10 +14,17 @@
 //	var stencilRegistry = map[string]string{ "recv.func": "role", ... }
 //
 // (and in any package whose import path ends in internal/dycore, where
-// the registry is mandatory), every function whose body mentions a mesh
+// the registry is mandatory), every function whose body mentions an
 // adjacency member — a selector like m.CellEdge, m.EdgeCell,
 // m.VertEdge, m.TrskEdge ... on a value of a type named Mesh — must
 // have its "recv.func" (methods) or "func" (functions) key registered.
+//
+// Since the decomposition became a run-time object, the same applies
+// one indirection out: members that carry halo structure through the
+// swappable decomposition handle (Owned/Halo/Peers on a Decomposition,
+// Send/Recv on a halo IndexSet) mark a function as stencil-bound just
+// like the mesh CSR arrays do — an elastic repartition changes exactly
+// that data underneath an unregistered kernel.
 package stencilsafety
 
 import (
@@ -39,20 +46,38 @@ var Analyzer = &lint.Analyzer{
 // registryVar is the package-level declaration the analyzer reads.
 const registryVar = "stencilRegistry"
 
-// adjacencyMembers are the mesh fields and methods that express
+// adjacencyCarriers maps type names to the members that express
 // neighborhood structure; touching one makes a function a stencil.
 // Purely geometric per-entity fields (areas, lengths, latitudes) are
 // deliberately absent: reading them is halo-safe.
-var adjacencyMembers = map[string]bool{
-	"CellOff":   true,
-	"CellEdge":  true,
-	"CellCell":  true,
-	"CellEdges": true,
-	"EdgeCell":  true,
-	"EdgeVert":  true,
-	"VertEdge":  true,
-	"TrskOff":   true,
-	"TrskEdge":  true,
+//
+// Beyond the mesh itself, the run-time decomposition handle carries the
+// same hazard one indirection away: a kernel that walks a
+// Decomposition's owned/halo index lists, or a halo Layout's send/recv
+// sets, derives its iteration space from the swappable decomposition —
+// exactly the data an elastic repartition changes under it — so it is
+// stencil-bound and must be classified too.
+var adjacencyCarriers = map[string]map[string]bool{
+	"Mesh": {
+		"CellOff":   true,
+		"CellEdge":  true,
+		"CellCell":  true,
+		"CellEdges": true,
+		"EdgeCell":  true,
+		"EdgeVert":  true,
+		"VertEdge":  true,
+		"TrskOff":   true,
+		"TrskEdge":  true,
+	},
+	"Decomposition": {
+		"Owned": true,
+		"Halo":  true,
+		"Peers": true,
+	},
+	"IndexSet": {
+		"Send": true,
+		"Recv": true,
+	},
 }
 
 func run(pass *lint.Pass) error {
@@ -78,7 +103,7 @@ func run(pass *lint.Pass) error {
 			key := funcKey(fd)
 			if _, ok := registry[key]; !ok {
 				pass.Reportf(pos,
-					"%s walks mesh adjacency (%s) but is not registered in %s; classify it against the splitSets taint partition in overlap.go (or record why it is exempt) before it can run under an overlapped exchange",
+					"%s walks adjacency (%s) but is not registered in %s; classify it against the splitSets taint partition in overlap.go (or record why it is exempt) before it can run under an overlapped exchange",
 					key, member, registryVar)
 			}
 		}
@@ -125,8 +150,9 @@ func findRegistry(pass *lint.Pass) map[string]bool {
 	return nil
 }
 
-// firstAdjacencyUse returns the first adjacency member referenced on a
-// Mesh-typed value inside the body, with its position.
+// firstAdjacencyUse returns the first adjacency member referenced on an
+// adjacency-carrying value (Mesh, Decomposition, IndexSet) inside the
+// body, with its position.
 func firstAdjacencyUse(info *types.Info, body *ast.BlockStmt) (string, token.Pos) {
 	member := ""
 	var pos token.Pos
@@ -135,10 +161,11 @@ func firstAdjacencyUse(info *types.Info, body *ast.BlockStmt) (string, token.Pos
 			return false
 		}
 		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || !adjacencyMembers[sel.Sel.Name] {
+		if !ok {
 			return true
 		}
-		if !isMeshValue(info, sel.X) {
+		members, ok := adjacencyCarriers[namedTypeOf(info, sel.X)]
+		if !ok || !members[sel.Sel.Name] {
 			return true
 		}
 		member = sel.Sel.Name
@@ -148,19 +175,22 @@ func firstAdjacencyUse(info *types.Info, body *ast.BlockStmt) (string, token.Pos
 	return member, pos
 }
 
-// isMeshValue reports whether e's type is (a pointer to) a named type
-// called Mesh.
-func isMeshValue(info *types.Info, e ast.Expr) bool {
+// namedTypeOf returns the name of e's (pointer-stripped) named type, or
+// "" when it has none.
+func namedTypeOf(info *types.Info, e ast.Expr) string {
 	tv, ok := info.Types[e]
 	if !ok {
-		return false
+		return ""
 	}
 	t := tv.Type
 	if p, ok := types.Unalias(t).(*types.Pointer); ok {
 		t = p.Elem()
 	}
 	named, ok := types.Unalias(t).(*types.Named)
-	return ok && named.Obj().Name() == "Mesh"
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
 }
 
 // funcKey renders "recv.name" for methods, "name" for functions,

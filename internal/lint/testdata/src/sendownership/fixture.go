@@ -10,6 +10,15 @@ func (r *Rank) Send(to, tag int, data []byte)   {}
 func (r *Rank) IRecv(from, tag int, dst []byte) {}
 func (r *Rank) WaitAll()                        {}
 
+// HaloExchanger mirrors the comm exchanger: Start/Finish bracket a
+// round; SwapLayout rebinds the index sets to a new decomposition.
+type HaloExchanger struct{}
+
+func (h *HaloExchanger) Start()           {}
+func (h *HaloExchanger) Finish()          {}
+func (h *HaloExchanger) Exchange()        {}
+func (h *HaloExchanger) SwapLayout(l int) {}
+
 func writeAfterISend(r *Rank, buf []byte) {
 	r.ISend(1, 2, buf)
 	buf[0] = 9 // want `transport-owned after ISend`
@@ -59,4 +68,38 @@ func guardClause(r *Rank, root bool, buf []byte) []byte {
 	}
 	buf[0] = 1
 	return buf
+}
+
+func swapMidRound(h *HaloExchanger, l int) {
+	h.Start()
+	h.SwapLayout(l) // want `mutates the halo layout of an in-flight round`
+	h.Finish()
+}
+
+func swapBetweenRounds(h *HaloExchanger, l int) {
+	h.Start()
+	h.Finish()
+	h.SwapLayout(l) // the round completed: repartitioning is safe here
+	h.Start()
+	h.Finish()
+}
+
+func swapAfterBlockingRound(h *HaloExchanger, l int) {
+	h.Exchange()
+	h.SwapLayout(l) // blocking rounds complete inline; never in flight
+}
+
+// swapOtherExchanger: a different exchanger's round is not ours.
+func swapOtherExchanger(a, b *HaloExchanger, l int) {
+	a.Start()
+	b.SwapLayout(l)
+	a.Finish()
+}
+
+func swapInLoop(h *HaloExchanger, layouts []int) {
+	for _, l := range layouts {
+		h.Start()
+		h.SwapLayout(l) // want `mutates the halo layout of an in-flight round`
+		h.Finish()
+	}
 }

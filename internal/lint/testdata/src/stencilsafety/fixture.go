@@ -13,6 +13,7 @@ type Mesh struct {
 var stencilRegistry = map[string]string{
 	"engine.registered": "split:flux",
 	"freeRegistered":    "serial-diagnostic",
+	"handleRegistered":  "split:tend — owned-cell list drives the loop",
 }
 
 type engine struct{ m *Mesh }
@@ -40,4 +41,39 @@ func freeRogue(m *Mesh) int {
 // geomOnly reads only per-entity geometry: halo-safe, never flagged.
 func geomOnly(m *Mesh) float64 {
 	return m.Area[0]
+}
+
+// Decomposition mirrors the run-time decomposition handle: its index
+// lists carry halo structure one indirection away from the mesh.
+type Decomposition struct {
+	Owned  [][]int32
+	Halo   [][]int32
+	Peers  []map[int32][]int32
+	NParts int
+}
+
+type IndexSet struct {
+	Send [][]int32
+	Recv [][]int32
+}
+
+func handleRegistered(d *Decomposition, p int) int {
+	return len(d.Owned[p])
+}
+
+func handleRogue(d *Decomposition, p int) int {
+	return len(d.Halo[p]) // want `not registered in stencilRegistry`
+}
+
+func setRogue(s *IndexSet) int {
+	n := 0
+	for _, ids := range s.Recv { // want `not registered in stencilRegistry`
+		n += len(ids)
+	}
+	return n
+}
+
+// partsOnly reads scalar decomposition metadata, not index structure.
+func partsOnly(d *Decomposition) int {
+	return d.NParts
 }

@@ -28,7 +28,7 @@ func TestGroupedWriteReadRoundTrip(t *testing.T) {
 	m := mesh.New(3)
 	nparts := 8
 	groupSize := 4
-	d := partition.Decompose(m, nparts, 21)
+	d := partition.MustDecompose(m, nparts, 21)
 
 	truth := make([]float64, m.NCells)
 	for c := range truth {

@@ -1,6 +1,11 @@
 package partition
 
-import "gristgo/internal/mesh"
+import (
+	"errors"
+	"fmt"
+
+	"gristgo/internal/mesh"
+)
 
 // FromMesh builds the cell-adjacency graph of a C-grid mesh, the input to
 // the domain decomposition.
@@ -18,17 +23,68 @@ type Decomposition struct {
 	NParts int
 	Part   []int32 // cell -> part
 
+	// Epoch versions successive decompositions of one elastic run: 0 for
+	// a static decomposition, incremented by Elastic.Resize. Exchange
+	// plans and checkpoint manifests derived from a decomposition carry
+	// its epoch so stale layouts are detectable.
+	Epoch int
+
 	Owned []([]int32)         // per part: owned cell ids
 	Halo  []([]int32)         // per part: remote cells needed (one ring)
 	Peers []map[int32][]int32 // per part: peer part -> cells received from it
 }
 
+// ErrEmptyParts reports that a requested decomposition left at least one
+// part with no owned cells — the multilevel bisection cannot cut that
+// many well-connected regions out of the mesh. Callers that can shrink
+// (elastic membership) should retry with fewer parts.
+var ErrEmptyParts = errors.New("partition: decomposition has empty parts")
+
 // Decompose partitions the mesh cells into nparts domains and derives the
-// one-ring halos each domain needs for the C-grid stencils.
-func Decompose(m *mesh.Mesh, nparts int, seed int64) *Decomposition {
+// one-ring halos each domain needs for the C-grid stencils. Every part is
+// guaranteed non-empty; when nparts exceeds what the mesh supports (tiny
+// meshes, nparts > NCells) the error wraps ErrEmptyParts instead of
+// returning a decomposition with silent zero-cell ranks.
+func Decompose(m *mesh.Mesh, nparts int, seed int64) (*Decomposition, error) {
+	return DecomposeWeighted(m, nparts, seed, nil)
+}
+
+// DecomposeWeighted is Decompose with per-cell load weights (nil: uniform).
+// The multilevel partitioner balances summed cell weight per part, so a
+// rebalance pass can feed measured per-cell cost back into the cut.
+func DecomposeWeighted(m *mesh.Mesh, nparts int, seed int64, cellW []int32) (*Decomposition, error) {
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts = %d, need at least 1", nparts)
+	}
+	if nparts > m.NCells {
+		return nil, fmt.Errorf("partition: %d parts over %d cells: %w", nparts, m.NCells, ErrEmptyParts)
+	}
 	g := FromMesh(m)
+	if cellW != nil {
+		if len(cellW) != m.NCells {
+			return nil, fmt.Errorf("partition: %d cell weights for %d cells", len(cellW), m.NCells)
+		}
+		g.VertW = cellW
+	}
 	part := KWay(g, nparts, seed)
-	return NewDecomposition(m, part, nparts)
+	d := NewDecomposition(m, part, nparts)
+	for p := 0; p < nparts; p++ {
+		if len(d.Owned[p]) == 0 {
+			return nil, fmt.Errorf("partition: %d-way split of %d cells left part %d empty (seed %d): %w",
+				nparts, m.NCells, p, seed, ErrEmptyParts)
+		}
+	}
+	return d, nil
+}
+
+// MustDecompose is Decompose for static configurations whose part count
+// is known to fit the mesh; it panics on the empty-part error.
+func MustDecompose(m *mesh.Mesh, nparts int, seed int64) *Decomposition {
+	d, err := Decompose(m, nparts, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // NewDecomposition derives halo structure from an existing cell->part map.

@@ -1,0 +1,113 @@
+package partition
+
+// Elastic membership: the decomposition as a run-time object. A static
+// run fixes the part count at construction; an elastic run holds an
+// Elastic handle whose Resize recomputes the decomposition over an
+// arbitrary surviving/joined member set — shrink after a classified rank
+// death, grow when capacity returns — reusing the same multilevel path
+// as the initial Decompose. Every resize bumps the decomposition epoch
+// and derives its partitioner seed deterministically from (base seed,
+// epoch), so any process that knows the member list and the epoch
+// reproduces the identical cell->part map without communication: that
+// is the second phase of the membership agreement (see DESIGN.md §11).
+
+import (
+	"fmt"
+	"sort"
+
+	"gristgo/internal/mesh"
+)
+
+// Elastic tracks the current decomposition of a mesh over a mutable
+// member set. Members are stable global node ids (they survive
+// renumbering of parts); part p of the current decomposition is executed
+// by Members()[p]. Not safe for concurrent mutation: Resize between
+// legs/steps, never during an exchange round.
+type Elastic struct {
+	m       *mesh.Mesh
+	seed    int64
+	epoch   int
+	members []int
+	d       *Decomposition
+}
+
+// NewElastic builds the epoch-0 decomposition over the initial members.
+// The member list must be non-empty and duplicate-free; it is kept in
+// sorted order so every holder of the same set derives the same
+// part->node mapping.
+func NewElastic(m *mesh.Mesh, seed int64, members []int) (*Elastic, error) {
+	e := &Elastic{m: m, seed: seed, epoch: -1}
+	if _, err := e.Resize(members); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Epoch returns the current decomposition epoch (0 after NewElastic,
+// incremented by every successful Resize).
+func (e *Elastic) Epoch() int { return e.epoch }
+
+// Members returns a copy of the current sorted member node ids.
+func (e *Elastic) Members() []int { return append([]int(nil), e.members...) }
+
+// Decomposition returns the current decomposition. Its Epoch field
+// matches Epoch().
+func (e *Elastic) Decomposition() *Decomposition { return e.d }
+
+// NodeOf returns the global node id executing part p.
+func (e *Elastic) NodeOf(p int) int { return e.members[p] }
+
+// PartOf returns the part executed by node id, or -1 when the node is
+// not a member.
+func (e *Elastic) PartOf(node int) int {
+	i := sort.SearchInts(e.members, node)
+	if i < len(e.members) && e.members[i] == node {
+		return i
+	}
+	return -1
+}
+
+// Resize recomputes the decomposition over a new member set (shrink,
+// grow, or plain rebalance with the same members), bumps the epoch, and
+// returns the new decomposition. On error (empty member list, duplicate
+// ids, more members than cells) the handle is left unchanged.
+func (e *Elastic) Resize(members []int) (*Decomposition, error) {
+	return e.ResizeWeighted(members, nil)
+}
+
+// ResizeWeighted is Resize with per-cell load weights forwarded to the
+// partitioner (nil: uniform), for rebalancing from measured cost.
+func (e *Elastic) ResizeWeighted(members []int, cellW []int32) (*Decomposition, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("partition: Resize to zero members")
+	}
+	ms := append([]int(nil), members...)
+	sort.Ints(ms)
+	for i := 1; i < len(ms); i++ {
+		if ms[i] == ms[i-1] {
+			return nil, fmt.Errorf("partition: Resize with duplicate member %d", ms[i])
+		}
+	}
+	epoch := e.epoch + 1
+	d, err := DecomposeWeighted(e.m, len(ms), EpochSeed(e.seed, epoch), cellW)
+	if err != nil {
+		return nil, err
+	}
+	d.Epoch = epoch
+	e.epoch, e.members, e.d = epoch, ms, d
+	return d, nil
+}
+
+// EpochSeed derives the partitioner seed of a decomposition epoch from
+// the run's base seed — a splitmix64 step, so successive epochs explore
+// independent cut refinements while staying reproducible from (seed,
+// epoch) alone.
+func EpochSeed(seed int64, epoch int) int64 {
+	x := uint64(seed) + uint64(epoch)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

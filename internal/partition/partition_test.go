@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -149,7 +150,10 @@ func TestKWayPropertyRandomGraphs(t *testing.T) {
 func TestDecomposeMesh(t *testing.T) {
 	m := mesh.New(4)
 	nparts := 16
-	d := Decompose(m, nparts, 11)
+	d, err := Decompose(m, nparts, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Owned sets are a disjoint cover.
 	total := 0
@@ -201,7 +205,10 @@ func TestMeshPartitionSurfaceToVolume(t *testing.T) {
 	// parts (~640 cells each), the halo should be well under the domain
 	// size.
 	m := mesh.New(5)
-	d := Decompose(m, 16, 2)
+	d, err := Decompose(m, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for p := 0; p < 16; p++ {
 		if h, o := len(d.Halo[p]), len(d.Owned[p]); h > o {
 			t.Errorf("part %d: halo %d exceeds owned %d", p, h, o)
@@ -217,7 +224,10 @@ func TestHaloListsHaveNoDuplicates(t *testing.T) {
 	m := mesh.New(3)
 	for _, seed := range []int64{1, 2, 3, 5, 11} {
 		for _, nparts := range []int{2, 3, 4, 8} {
-			d := Decompose(m, nparts, seed)
+			d, err := Decompose(m, nparts, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for p := 0; p < nparts; p++ {
 				seen := map[int32]bool{}
 				for _, c := range d.Halo[p] {
@@ -246,7 +256,10 @@ func TestHaloListsHaveNoDuplicates(t *testing.T) {
 
 func TestHaloRings(t *testing.T) {
 	m := mesh.New(3)
-	d := Decompose(m, 4, 3)
+	d, err := Decompose(m, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for p := 0; p < 4; p++ {
 		ring1 := d.HaloRings(m, p, 1)
 		if len(ring1) != len(d.Halo[p]) {
@@ -276,5 +289,134 @@ func TestHaloRings(t *testing.T) {
 				t.Fatalf("part %d: outer ring cell %d detached", p, c)
 			}
 		}
+	}
+}
+
+// TestDecomposeRejectsEmptyParts is the regression test for the silent
+// empty-part failure mode: asking for more parts than a tiny mesh can
+// support must be a typed error, not a decomposition with zero-cell
+// ranks that later wedges a distributed run.
+func TestDecomposeRejectsEmptyParts(t *testing.T) {
+	m := mesh.New(0) // 12 cells
+	if _, err := Decompose(m, m.NCells+1, 1); !errors.Is(err, ErrEmptyParts) {
+		t.Fatalf("nparts > NCells: got err %v, want ErrEmptyParts", err)
+	}
+	// Over-partitioning a tiny mesh: every requested count that the
+	// bisection cannot fill must error rather than return empty parts.
+	for nparts := 2; nparts <= m.NCells; nparts++ {
+		d, err := Decompose(m, nparts, 1)
+		if err != nil {
+			if !errors.Is(err, ErrEmptyParts) {
+				t.Fatalf("nparts=%d: unexpected error %v", nparts, err)
+			}
+			continue
+		}
+		for p := 0; p < nparts; p++ {
+			if len(d.Owned[p]) == 0 {
+				t.Fatalf("nparts=%d: part %d empty but Decompose returned no error", nparts, p)
+			}
+		}
+	}
+	if _, err := Decompose(m, 0, 1); err == nil {
+		t.Fatal("nparts=0 accepted")
+	}
+}
+
+func TestDecomposeWeightedBalancesWeight(t *testing.T) {
+	m := mesh.New(3)
+	// Tenfold weight on the first quarter of the cells: the weighted cut
+	// must shift cells away from the heavy region.
+	w := make([]int32, m.NCells)
+	for c := range w {
+		if c < m.NCells/4 {
+			w[c] = 10
+		} else {
+			w[c] = 1
+		}
+	}
+	d, err := DecomposeWeighted(m, 4, 5, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads [4]int64
+	total := int64(0)
+	for c, p := range d.Part {
+		loads[p] += int64(w[c])
+		total += int64(w[c])
+	}
+	ideal := float64(total) / 4
+	for p, l := range loads {
+		if float64(l) > 1.3*ideal {
+			t.Errorf("part %d carries weight %d, ideal %.0f", p, l, ideal)
+		}
+	}
+}
+
+func TestElasticResizeDeterministicEpochs(t *testing.T) {
+	m := mesh.New(3)
+	e1, err := NewElastic(m, 42, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Epoch() != 0 || e1.Decomposition().Epoch != 0 || e1.Decomposition().NParts != 4 {
+		t.Fatalf("fresh elastic: epoch %d, nparts %d", e1.Epoch(), e1.Decomposition().NParts)
+	}
+	// Two handles replaying the same membership history agree bit-for-bit
+	// at every epoch — the property the two-phase membership agreement
+	// relies on (no part map is ever communicated, only the member list).
+	e2, _ := NewElastic(m, 42, []int{0, 1, 2, 3})
+	history := [][]int{{0, 2, 3}, {0, 2, 3, 4}, {0, 2, 3, 4}}
+	for step, members := range history {
+		d1, err1 := e1.Resize(members)
+		d2, err2 := e2.Resize(members)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if d1.Epoch != step+1 || e1.Epoch() != step+1 {
+			t.Fatalf("resize %d: epoch %d", step, d1.Epoch)
+		}
+		for c := range d1.Part {
+			if d1.Part[c] != d2.Part[c] {
+				t.Fatalf("resize %d: replayed handles disagree at cell %d", step, c)
+			}
+		}
+		for p := 0; p < d1.NParts; p++ {
+			if len(d1.Owned[p]) == 0 {
+				t.Fatalf("resize %d: part %d empty", step, p)
+			}
+		}
+	}
+	// Same member count, different epoch: the seed moved, and the
+	// mapping part -> node tracks the sorted member list.
+	if got := e1.NodeOf(3); got != 4 {
+		t.Fatalf("NodeOf(3) = %d, want 4", got)
+	}
+	if e1.PartOf(1) != -1 || e1.PartOf(2) != 1 {
+		t.Fatalf("PartOf: node1=%d node2=%d", e1.PartOf(1), e1.PartOf(2))
+	}
+}
+
+func TestElasticResizeRejectsBadMembership(t *testing.T) {
+	m := mesh.New(0)
+	e, err := NewElastic(m, 1, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Epoch()
+	if _, err := e.Resize(nil); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := e.Resize([]int{0, 1, 1}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	members := make([]int, m.NCells+1)
+	for i := range members {
+		members[i] = i
+	}
+	if _, err := e.Resize(members); !errors.Is(err, ErrEmptyParts) {
+		t.Fatalf("oversized membership: got %v, want ErrEmptyParts", err)
+	}
+	if e.Epoch() != before {
+		t.Fatal("failed Resize mutated the handle")
 	}
 }

@@ -241,7 +241,7 @@ func TestProjectOneSYPD(t *testing.T) {
 func TestHaloFormulaMatchesPartitioner(t *testing.T) {
 	m := mesh.New(5) // 10242 cells
 	for _, nparts := range []int{8, 32, 64} {
-		d := partition.Decompose(m, nparts, 4)
+		d := partition.MustDecompose(m, nparts, 4)
 		var mean float64
 		for p := 0; p < nparts; p++ {
 			mean += float64(len(d.Halo[p]))

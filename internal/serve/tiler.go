@@ -43,7 +43,16 @@ func NewTiler(m *mesh.Mesh, ntiles int, seed int64) *Tiler {
 	if ntiles > m.NCells {
 		ntiles = m.NCells
 	}
-	d := partition.Decompose(m, ntiles, seed)
+	// Collapse to fewer tiles when the partitioner cannot fill the
+	// requested count on a tiny mesh (Decompose rejects empty parts).
+	d, err := partition.Decompose(m, ntiles, seed)
+	for err != nil && ntiles > 1 {
+		ntiles--
+		d, err = partition.Decompose(m, ntiles, seed)
+	}
+	if err != nil {
+		panic(err) // ntiles == 1 cannot fail on a non-empty mesh
+	}
 	t := &Tiler{
 		m:      m,
 		NTiles: ntiles,
