@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench bench-ml bench-halo chaos serve-smoke bench-serve
+.PHONY: check build vet lint lint-baseline lint-sarif test race race-serve bench bench-ml bench-halo chaos serve-smoke bench-serve
 
 check: build vet lint test race
 
@@ -16,11 +16,23 @@ vet:
 	$(GO) vet ./...
 
 # The domain analyzers (precisioncheck, hotpathalloc, sendownership,
-# stencilsafety — see DESIGN.md "Statically enforced invariants").
-# gristlint exits nonzero on any unsuppressed diagnostic, so `make check`
-# fails when a new finding appears.
+# stencilsafety, determinism, epochsafety, durability, locksafety — see
+# DESIGN.md "Statically enforced invariants"). gristlint exits nonzero
+# on any unsuppressed diagnostic or when the tree holds more
+# //lint:ignore suppressions than lint.baseline.json budgets, so `make
+# check` fails when a finding appears OR when one is suppressed instead
+# of fixed. To grow the budget deliberately: make lint-baseline, and
+# justify the diff in review.
 lint:
-	$(GO) run ./cmd/gristlint ./...
+	$(GO) run ./cmd/gristlint -baseline lint.baseline.json ./...
+
+lint-baseline:
+	$(GO) run ./cmd/gristlint -write-baseline lint.baseline.json ./...
+
+# SARIF artifact for code-hosting annotation (CI uploads this).
+lint-sarif:
+	$(GO) run ./cmd/gristlint -format sarif -o gristlint.sarif ./... || true
+	@test -s gristlint.sarif
 
 test:
 	$(GO) test ./...
@@ -30,6 +42,12 @@ test:
 # plain `test` target still runs them.
 race:
 	$(GO) test -race -short ./...
+
+# The serve plane's full test set (including the HTTP tests that -short
+# skips) under the race detector: the query handlers, snapshot store and
+# poller are the most concurrency-dense code in the repo.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/...
 
 # The observability benchmark: a fully instrumented coupled run plus a
 # distributed dynamics leg, emitting BENCH_telemetry.json (step latency

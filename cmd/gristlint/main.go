@@ -1,17 +1,27 @@
 // Command gristlint is the multichecker of the repo's domain analyzers:
 //
 //	precisioncheck  §3.4 mixed-precision discipline (Real kernels, FP64 pins)
-//	hotpathalloc    allocation-free //grist:hotpath steady state
+//	hotpathalloc    allocation-free //grist:hotpath steady state (cross-package facts)
 //	sendownership   no buffer reuse while a comm round owns it
 //	stencilsafety   adjacency-walking kernels registered against overlap.go
+//	determinism     bitwise-reproducible //grist:bitwise paths (cross-package facts)
+//	epochsafety     no stale layouts/plans after SwapLayout/SetPlan/Redistribute
+//	durability      no dropped or shadowed errors on //grist:durable paths
+//	locksafety      no blocking calls while a sync mutex is held
 //
 // Usage:
 //
-//	gristlint [-only name[,name]] [packages]
+//	gristlint [-only name[,name]] [-format text|json|sarif] [-o file]
+//	          [-baseline file] [-write-baseline file] [packages]
 //
 // Packages default to ./... resolved against the enclosing module.
 // Findings are suppressible per line with `//lint:ignore analyzer reason`
-// (the reason is mandatory). Exit status 1 when any diagnostic survives.
+// (the reason is mandatory). -baseline enforces the suppression budget:
+// the run fails if the tree holds more //lint:ignore directives per
+// analyzer than the baseline records, so suppressions ratchet down, not
+// up. -write-baseline records the current counts. -format sarif emits
+// SARIF 2.1.0 for code-hosting annotation; -format json a flat array.
+// Exit status 1 when any diagnostic or budget violation survives.
 //
 // The loader type-checks the module and its stdlib imports from source,
 // so gristlint needs no module cache, no network, and no go/packages —
@@ -25,7 +35,11 @@ import (
 	"strings"
 
 	"gristgo/internal/lint"
+	"gristgo/internal/lint/determinism"
+	"gristgo/internal/lint/durability"
+	"gristgo/internal/lint/epochsafety"
 	"gristgo/internal/lint/hotpathalloc"
+	"gristgo/internal/lint/locksafety"
 	"gristgo/internal/lint/precisioncheck"
 	"gristgo/internal/lint/sendownership"
 	"gristgo/internal/lint/stencilsafety"
@@ -36,11 +50,19 @@ var analyzers = []*lint.Analyzer{
 	hotpathalloc.Analyzer,
 	sendownership.Analyzer,
 	stencilsafety.Analyzer,
+	determinism.Analyzer,
+	epochsafety.Analyzer,
+	durability.Analyzer,
+	locksafety.Analyzer,
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	out := flag.String("o", "", "write output to file (default stdout)")
+	baseline := flag.String("baseline", "", "enforce the //lint:ignore suppression budget recorded in this file")
+	writeBaseline := flag.String("write-baseline", "", "record current //lint:ignore counts to this file and exit")
 	flag.Parse()
 
 	if *list {
@@ -76,25 +98,89 @@ func main() {
 
 	loader, err := lint.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gristlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gristlint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
+
+	if *writeBaseline != "" {
+		counts := lint.CountIgnores(pkgs)
+		if err := lint.WriteBaseline(*writeBaseline, counts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gristlint: baseline recorded to %s\n", *writeBaseline)
+		return
+	}
+
 	diags, err := lint.Run(pkgs, active)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gristlint:", err)
+		fatal(err)
+	}
+
+	failed := len(diags) > 0
+	if *baseline != "" {
+		b, err := lint.ReadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		violations, notes := b.Check(lint.CountIgnores(pkgs))
+		for _, n := range notes {
+			fmt.Fprintln(os.Stderr, "gristlint: note:", n)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "gristlint:", v)
+		}
+		if len(violations) > 0 {
+			failed = true
+		}
+	}
+
+	var rendered []byte
+	switch *format {
+	case "text":
+		var sb strings.Builder
+		for _, d := range diags {
+			pos := d.Position(loader.Fset())
+			fmt.Fprintf(&sb, "%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		}
+		rendered = []byte(sb.String())
+	case "json":
+		rendered, err = lint.EncodeJSON(diags, loader.Fset(), loader.ModuleRoot())
+		if err == nil {
+			rendered = append(rendered, '\n')
+		}
+	case "sarif":
+		rendered, err = lint.EncodeSARIF(diags, loader.Fset(), loader.ModuleRoot(), active)
+		if err == nil {
+			rendered = append(rendered, '\n')
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "gristlint: unknown format %q (want text, json or sarif)\n", *format)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		pos := d.Position(loader.Fset())
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	if err != nil {
+		fatal(err)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "gristlint: %d finding(s)\n", len(diags))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, rendered, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(rendered)
+	}
+
+	if failed {
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "gristlint: %d finding(s)\n", len(diags))
+		}
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gristlint:", err)
+	os.Exit(2)
 }

@@ -19,6 +19,7 @@ package core
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -39,6 +40,8 @@ const (
 // atomicWriteFile streams write into a temp file in path's directory,
 // syncs it, and renames it over path — the canonical crash-safe
 // replace. On any error the temp file is removed and path is untouched.
+//
+//grist:durable
 func atomicWriteFile(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
@@ -47,7 +50,9 @@ func atomicWriteFile(path string, write func(io.Writer) error) error {
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
-		f.Close()
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		os.Remove(tmp)
 		return err
 	}
@@ -152,6 +157,9 @@ type shardHeader struct {
 
 // WriteShard atomically writes rank's region of the state after `step`
 // completed steps as epoch's shard.
+//
+//grist:bitwise
+//grist:durable
 func (st *ShardStore) WriteShard(epoch, rank, step int, s *dycore.State) error {
 	// A rewrite (rollback-and-replay revisits epochs) invalidates any
 	// memoized verification of this epoch.
@@ -319,6 +327,9 @@ type epochManifest struct {
 }
 
 // Commit atomically writes epoch's manifest, marking it recoverable.
+//
+//grist:bitwise
+//grist:durable
 func (st *ShardStore) Commit(epoch, step int) error {
 	m := epochManifest{Epoch: epoch, Step: step, NParts: st.pl.NParts, Gen: st.planGen()}
 	return atomicWriteFile(st.manifestPath(epoch), func(w io.Writer) error {
@@ -334,6 +345,9 @@ func (st *ShardStore) Commit(epoch, step int) error {
 // retired ranks are pruned, and the epoch is re-committed under the new
 // generation. After it returns, LatestCommitted under the new plan
 // resumes from exactly this epoch.
+//
+//grist:bitwise
+//grist:durable
 func (st *ShardStore) Redistribute(epoch, step int, newPl *DistPlan) error {
 	old := st.pl
 	nlev := old.NLev
@@ -356,6 +370,9 @@ func (st *ShardStore) Redistribute(epoch, step int, newPl *DistPlan) error {
 			copy(s.U[base:base+nlev], tmp.U[base:base+nlev])
 		}
 	}
+	// Captured before SetPlan retires the old plan: only the part count
+	// survives the generation change, for pruning below.
+	oldParts := old.NParts
 	st.SetPlan(newPl)
 	for p := 0; p < newPl.NParts; p++ {
 		if err := st.WriteShard(epoch, p, step, s); err != nil {
@@ -364,7 +381,7 @@ func (st *ShardStore) Redistribute(epoch, step int, newPl *DistPlan) error {
 	}
 	// A shrink leaves the retired ranks' shard files behind; drop them so
 	// the directory holds exactly the live epoch layout.
-	for p := newPl.NParts; p < old.NParts; p++ {
+	for p := newPl.NParts; p < oldParts; p++ {
 		os.Remove(st.shardPath(epoch, p))
 	}
 	return st.Commit(epoch, step)

@@ -330,8 +330,8 @@ func reshape(el *partition.Elastic, newMembers []int, pl **DistPlan, store *Shar
 	*pl = newPl
 	rep.Reshapes = append(rep.Reshapes, ReshapeEvent{
 		Kind: kind, Members: el.Members(), Epoch: el.Epoch(), ResumeStep: resumeStep,
-		Failures: fails,
-		RepartMS: float64(repart) / float64(time.Millisecond),
+		Failures:    fails,
+		RepartMS:    float64(repart) / float64(time.Millisecond),
 		RedistribMS: float64(redist) / float64(time.Millisecond),
 	})
 	if opts.Reg != nil {

@@ -66,15 +66,15 @@ type ChaosLeg struct {
 
 // ChaosResult is the JSON payload of CHAOS_recovery.json.
 type ChaosResult struct {
-	Seed            int64      `json:"seed"`
-	RankDeath       ChaosLeg   `json:"rank_death"`
-	BitFlip         ChaosLeg   `json:"bit_flip"`
-	RecoveryTotal   int64      `json:"grist_recovery_total"`
-	RankFailures    int64      `json:"grist_rank_failures_total"`
-	CkptEpochs      int64      `json:"grist_checkpoint_epochs_total"`
-	SentinelTrips   int64      `json:"grist_sentinel_trips_total"`
-	MLFallbacks     int64      `json:"grist_physics_fallback_total"`
-	MLOutputsFinite bool       `json:"ml_outputs_finite"`
+	Seed            int64    `json:"seed"`
+	RankDeath       ChaosLeg `json:"rank_death"`
+	BitFlip         ChaosLeg `json:"bit_flip"`
+	RecoveryTotal   int64    `json:"grist_recovery_total"`
+	RankFailures    int64    `json:"grist_rank_failures_total"`
+	CkptEpochs      int64    `json:"grist_checkpoint_epochs_total"`
+	SentinelTrips   int64    `json:"grist_sentinel_trips_total"`
+	MLFallbacks     int64    `json:"grist_physics_fallback_total"`
+	MLOutputsFinite bool     `json:"ml_outputs_finite"`
 }
 
 // chaosInit is the shared initial condition: a thermal bubble riding a
@@ -284,7 +284,7 @@ func WriteChaosConfig(cfg ChaosConfig) (ChaosResult, error) {
 	for _, ev := range trips {
 		hist = append(hist, SentinelTrip{
 			Sentinel: ev.Sentinel, Step: ev.Step,
-			Value: strconv.FormatFloat(ev.Value, 'g', -1, 64),
+			Value:     strconv.FormatFloat(ev.Value, 'g', -1, 64),
 			Threshold: ev.Threshold, Detail: ev.Detail,
 		})
 	}

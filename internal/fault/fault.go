@@ -23,6 +23,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"gristgo/internal/detrand"
 )
 
 // Profile declares a fault mix. The zero value injects nothing.
@@ -131,31 +133,24 @@ func NewPlan(seed int64, p Profile) *Plan {
 	return &Plan{Seed: seed, Prof: p}
 }
 
-// mix is the splitmix64 finalizer — the per-coordinate hash behind
-// every verdict.
-func mix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// mix is one splitmix64 step (detrand.Step) — the per-coordinate hash
+// behind every verdict.
+func mix(x uint64) uint64 { return detrand.Step(x) }
 
 // hash folds the message coordinates and a purpose salt into one
-// deterministic 64-bit value.
+// deterministic 64-bit value via detrand.Fold, so the derivation chain
+// is the sanctioned splitmix64 stream and nothing else.
 func (p *Plan) hash(from, to, tag, attempt, salt int) uint64 {
-	x := mix(uint64(p.Seed) ^ 0x6772697374666c74) // "gristflt"
-	x = mix(x ^ uint64(int64(from)))
-	x = mix(x ^ uint64(int64(to)))
-	x = mix(x ^ uint64(int64(tag)))
-	x = mix(x ^ uint64(int64(attempt)))
-	return mix(x ^ uint64(int64(salt)))
+	x := detrand.Step(uint64(p.Seed) ^ 0x6772697374666c74) // "gristflt"
+	x = detrand.Fold(x, uint64(int64(from)))
+	x = detrand.Fold(x, uint64(int64(to)))
+	x = detrand.Fold(x, uint64(int64(tag)))
+	x = detrand.Fold(x, uint64(int64(attempt)))
+	return detrand.Fold(x, uint64(int64(salt)))
 }
 
 // unit maps a hash to [0, 1).
-func unit(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+func unit(x uint64) float64 { return detrand.Unit(x) }
 
 // Verdict salts, one per fault kind so the draws are independent.
 const (
@@ -170,6 +165,8 @@ const (
 // delay verdicts for one delivery attempt and applies payload
 // corruption in place. Negative tags (control-plane collectives) pass
 // untouched.
+//
+//grist:bitwise
 func (p *Plan) OnSend(from, to, tag, attempt int, data []byte) (drop bool, delay time.Duration) {
 	if tag < 0 {
 		return false, 0

@@ -1,0 +1,21 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	base := filepath.Join("..", "testdata", "src")
+	analysistest.RunWithDeps(t, determinism.Analyzer,
+		filepath.Join(base, "determinism"), "example.com/fix/determinism",
+		analysistest.Dep{Dir: filepath.Join(base, "determinism_dep"), Path: "example.com/fix/detdep"},
+		// Loaded under a path ending in internal/detrand so the fixture
+		// exercises the whitelist: Jitter reads the clock, callers are
+		// not flagged.
+		analysistest.Dep{Dir: filepath.Join(base, "determinism_detrand"), Path: "example.com/fix/internal/detrand"},
+	)
+}

@@ -1,0 +1,336 @@
+// Package durability polices the crash-consistency paths. The
+// checkpoint protocol is only as strong as its weakest error check: an
+// fsync whose error is dropped turns "committed" into "probably
+// committed", a rename error swallowed in an export path publishes a
+// manifest that points at nothing, and a CRC mismatch ignored on read
+// replays garbage into the model. A function annotated
+//
+//	//grist:durable
+//
+// in its doc comment — the atomic-write helper, shard writes, manifest
+// commit, parallel-IO owners, snapshot export — and every same-package
+// function it statically calls must account for every error:
+//
+//   - a call whose error result is discarded outright (expression
+//     statement) is reported;
+//   - an error result assigned to the blank identifier is reported;
+//   - a `:=` that binds a fresh variable named err while an outer err
+//     is in scope is reported, unless it is the init clause of an
+//     if/for/switch (the idiomatic scoped check) — shadowing on a
+//     durable path is how a checked-looking commit returns nil after a
+//     failed sync.
+//
+// Deliberate best-effort cleanup is exempt: deferred calls (deferred
+// Close after the explicit Close-and-check is cleanup, not commit),
+// goroutine launches, and os.Remove/os.RemoveAll of temporaries.
+package durability
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gristgo/internal/lint"
+)
+
+var Analyzer = &lint.Analyzer{
+	Name: "durability",
+	Doc:  "forbid discarded or shadowed errors in //grist:durable functions (fsync/rename/CRC/manifest-commit paths)",
+	Run:  run,
+}
+
+const directive = "//grist:durable"
+
+// bestEffort lists package-level functions whose errors a durable path
+// may legitimately drop: removing a temporary that was never published.
+var bestEffort = map[string]bool{
+	"os.Remove":    true,
+	"os.RemoveAll": true,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *lint.Pass) error {
+	info := pass.TypesInfo
+
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []types.Object
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if hasDirective(fd) {
+				roots = append(roots, obj)
+			}
+		}
+	}
+
+	checked := make(map[types.Object]bool)
+	work := append([]types.Object(nil), roots...)
+	for len(work) > 0 {
+		obj := work[0]
+		work = work[1:]
+		if checked[obj] {
+			continue
+		}
+		checked[obj] = true
+		fd := decls[obj]
+		checkFunc(pass, fd)
+		// Same-package callees inherit the durable obligation.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn, ok := calleeObject(info, call).(*types.Func); ok && fn.Pkg() == pass.Pkg {
+				if _, local := decls[fn.Origin()]; local && !checked[fn.Origin()] {
+					work = append(work, fn.Origin())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc applies the three rules to one durable function body.
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false // best-effort cleanup / detached work
+		case *ast.ExprStmt:
+			call, ok := x.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pos, callName := discardedError(info, call); pos.IsValid() {
+				pass.Reportf(pos,
+					"error result of %s is discarded on durable path %s; a dropped error here turns committed into probably-committed",
+					callName, name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, x, name)
+		}
+		return true
+	})
+}
+
+// discardedError reports whether call returns an error that the
+// expression statement drops, and where to report it.
+func discardedError(info *types.Info, call *ast.CallExpr) (token.Pos, string) {
+	sig := callSignature(info, call)
+	if sig == nil {
+		return token.NoPos, ""
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			label := calleeLabel(info, call)
+			if bestEffort[label] {
+				return token.NoPos, ""
+			}
+			return call.Pos(), label
+		}
+	}
+	return token.NoPos, ""
+}
+
+// checkAssign flags error results assigned to _ and fresh err variables
+// shadowing an outer err outside an if/for/switch init clause.
+func checkAssign(pass *lint.Pass, as *ast.AssignStmt, fnName string) {
+	info := pass.TypesInfo
+	// _ in an error position.
+	for i, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := lhsType(info, as, i)
+		if t != nil && types.Identical(t, errorType) {
+			pass.Reportf(l.Pos(),
+				"error result assigned to _ on durable path %s; check it or name the reason it cannot fail",
+				fnName)
+		}
+	}
+	// Fresh err shadowing an outer err.
+	if as.Tok != token.DEFINE || initClause(pass, as) {
+		return
+	}
+	for _, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "err" {
+			continue
+		}
+		obj, fresh := info.Defs[id]
+		if !fresh || obj == nil {
+			continue
+		}
+		scope := pass.Pkg.Scope().Innermost(id.Pos())
+		if scope == nil {
+			continue
+		}
+		if outer := lookupOuter(scope, obj, id.Pos()); outer != nil {
+			pass.Reportf(id.Pos(),
+				"err shadows an outer err on durable path %s; the outer error a caller sees stays nil after this block fails",
+				fnName)
+		}
+	}
+}
+
+// lookupOuter finds a different variable named err in an enclosing
+// scope.
+func lookupOuter(scope *types.Scope, inner types.Object, pos token.Pos) types.Object {
+	s := scope.Parent()
+	for s != nil {
+		if obj := s.Lookup("err"); obj != nil && obj != inner {
+			if v, ok := obj.(*types.Var); ok && v.Pos() < pos {
+				return obj
+			}
+		}
+		s = s.Parent()
+	}
+	return nil
+}
+
+// initClause reports whether as is the init statement of an if, for or
+// switch — the idiomatic scoped error check, which shadows on purpose.
+func initClause(pass *lint.Pass, as *ast.AssignStmt) bool {
+	for _, f := range pass.Files {
+		if f.Pos() <= as.Pos() && as.End() <= f.End() {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				if found || n == nil || !(n.Pos() <= as.Pos() && as.End() <= n.End()) {
+					return !found
+				}
+				switch x := n.(type) {
+				case *ast.IfStmt:
+					if x.Init == as {
+						found = true
+					}
+				case *ast.ForStmt:
+					if x.Init == as {
+						found = true
+					}
+				case *ast.SwitchStmt:
+					if x.Init == as {
+						found = true
+					}
+				case *ast.TypeSwitchStmt:
+					if x.Init == as {
+						found = true
+					}
+				}
+				return !found
+			})
+			return found
+		}
+	}
+	return false
+}
+
+// lhsType resolves the type flowing into Lhs[i].
+func lhsType(info *types.Info, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == len(as.Lhs) {
+		if tv, ok := info.Types[as.Rhs[i]]; ok {
+			return tv.Type
+		}
+		return nil
+	}
+	// Multi-value: a single call/index/recv on the right.
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[as.Rhs[0]]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok && i < tup.Len() {
+		return tup.At(i).Type()
+	}
+	return nil
+}
+
+// callSignature resolves the called function's signature, nil for type
+// conversions and built-ins.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := types.Unalias(tv.Type).Underlying().(*types.Signature)
+	return sig
+}
+
+// calleeObject resolves the called object through parens and generic
+// instantiation.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+			continue
+		case *ast.IndexExpr:
+			fun = f.X
+			continue
+		case *ast.IndexListExpr:
+			fun = f.X
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		return info.Uses[f.Sel]
+	}
+	return nil
+}
+
+// calleeLabel renders pkg.Func, pkg.Type.Method or a best-effort
+// expression string for messages and the bestEffort table.
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	obj := calleeObject(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return types.ExprString(call.Fun)
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}

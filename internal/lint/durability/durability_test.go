@@ -1,0 +1,14 @@
+package durability_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/durability"
+)
+
+func TestDurability(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "durability")
+	analysistest.Run(t, durability.Analyzer, dir, "example.com/fix/durability")
+}

@@ -1,0 +1,14 @@
+package epochsafety_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/epochsafety"
+)
+
+func TestEpochsafety(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "epochsafety")
+	analysistest.Run(t, epochsafety.Analyzer, dir, "example.com/fix/epochsafety")
+}

@@ -18,14 +18,21 @@
 //     bodies are still checked, creations are not.
 //   - Anything inside the argument list of panic(...) is a cold path.
 //
-// Call-graph propagation is package-local and name-resolved; calls
-// through function values (e.g. OwnedSets.Start) and into other
-// packages are not followed — those boundaries are covered by the
-// testing.AllocsPerRun guards.
+// Call-graph propagation is name-resolved. Same-package calls are
+// followed directly; package boundaries are crossed through facts:
+// analyzing a package exports a per-function "allocates" summary for
+// every declaration, and — lint.Run analyzes packages in import
+// dependency order — a hot path calling into another module package is
+// checked against the callee's exported summary. Calls through
+// function values (e.g. OwnedSets.Start) and into packages without
+// facts (stdlib) are still not followed — those boundaries remain
+// covered by the testing.AllocsPerRun guards.
 package hotpathalloc
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -40,6 +47,13 @@ var Analyzer = &lint.Analyzer{
 
 // directive marks a hot-path function in its doc comment.
 const directive = "//grist:hotpath"
+
+// Fact is the per-function allocation summary exported for
+// cross-package propagation: present means the function (transitively)
+// contains an allocating construct, and Reason says which.
+type Fact struct {
+	Reason string
+}
 
 // loopDrivers are the sanctioned per-entity iteration helpers: a closure
 // passed directly to one of these is not reported (its body still is).
@@ -76,6 +90,12 @@ func run(pass *lint.Pass) error {
 			}
 		}
 	}
+
+	// Export an "allocates" fact for every declaration, hot or not:
+	// later packages check their hot paths' calls into this one against
+	// these summaries.
+	exportAllocFacts(pass, decls)
+
 	if len(roots) == 0 {
 		return nil
 	}
@@ -101,6 +121,77 @@ func run(pass *lint.Pass) error {
 	return nil
 }
 
+// exportAllocFacts computes the transitive allocates-summary of every
+// function in the package — own allocating constructs, same-package
+// callees (fixpoint), imported facts of cross-package callees — and
+// exports a Fact for each function that allocates.
+func exportAllocFacts(pass *lint.Pass, decls map[types.Object]*ast.FuncDecl) {
+	type summary struct {
+		first finding
+		has   bool
+		same  []types.Object
+		cross []crossCall
+	}
+	sums := make(map[types.Object]*summary, len(decls))
+	for obj, fd := range decls {
+		s := &summary{}
+		w := &walker{pass: pass, fn: fd.Name.Name, sink: func(pos token.Pos, msg string) {
+			if !s.has {
+				s.first, s.has = finding{pos: pos, msg: msg}, true
+			}
+		}}
+		w.walk(fd.Body, false)
+		s.same, s.cross = w.callees, w.cross
+		sums[obj] = s
+	}
+	reason := make(map[types.Object]string)
+	for obj, s := range sums {
+		if s.has {
+			pos := pass.Fset.Position(s.first.pos)
+			reason[obj] = fmt.Sprintf("%s (%s:%d)", s.first.msg, shortFile(pos.Filename), pos.Line)
+			continue
+		}
+		for _, c := range s.cross {
+			if f, ok := importAllocFact(pass, c.fn); ok {
+				reason[obj] = fmt.Sprintf("calls %s, which allocates: %s", calleeLabel(c.fn), f.Reason)
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, s := range sums {
+			if _, done := reason[obj]; done {
+				continue
+			}
+			for _, callee := range s.same {
+				co := callee
+				if fn, ok := co.(*types.Func); ok {
+					co = fn.Origin()
+				}
+				if r, ok := reason[co]; ok {
+					reason[obj] = fmt.Sprintf("calls %s, which allocates: %s", callee.Name(), r)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for obj, r := range reason {
+		pass.ExportObjectFact(obj, Fact{Reason: r})
+	}
+}
+
+// importAllocFact resolves a cross-package callee's exported Fact.
+func importAllocFact(pass *lint.Pass, fn *types.Func) (Fact, bool) {
+	v, ok := pass.ImportObjectFact(fn.Origin())
+	if !ok {
+		return Fact{}, false
+	}
+	f, ok := v.(Fact)
+	return f, ok
+}
+
 func isAnnotated(fd *ast.FuncDecl) bool {
 	if fd.Doc == nil {
 		return false
@@ -113,17 +204,41 @@ func isAnnotated(fd *ast.FuncDecl) bool {
 	return false
 }
 
-// walker carries the traversal state through one hot function body.
+// finding is one allocating construct, for summary mode.
+type finding struct {
+	pos token.Pos
+	msg string
+}
+
+// crossCall is one statically resolved call into another package.
+type crossCall struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+// walker carries the traversal state through one function body. In hot
+// mode (checkBody) findings become diagnostics and cross-package calls
+// are checked against imported facts; in summary mode (sink set by
+// exportAllocFacts) findings feed the function's exported summary.
 type walker struct {
 	pass    *lint.Pass
 	fn      string
+	hot     bool
+	sink    func(token.Pos, string)
 	callees []types.Object
+	cross   []crossCall
+}
+
+func (w *walker) report(pos token.Pos, format string, args ...any) {
+	w.sink(pos, fmt.Sprintf(format, args...))
 }
 
 // checkBody reports allocating constructs in fd's body and returns the
 // statically resolved callees to propagate into.
 func checkBody(pass *lint.Pass, fd *ast.FuncDecl) []types.Object {
-	w := &walker{pass: pass, fn: fd.Name.Name}
+	w := &walker{pass: pass, fn: fd.Name.Name, hot: true, sink: func(pos token.Pos, msg string) {
+		pass.Reportf(pos, "%s", msg)
+	}}
 	w.walk(fd.Body, false)
 	return w.callees
 }
@@ -138,13 +253,13 @@ func (w *walker) walk(n ast.Node, inPanic bool) {
 		switch x := node.(type) {
 		case *ast.GoStmt:
 			if !inPanic {
-				w.pass.Reportf(x.Pos(), "goroutine launch in hot path %s allocates; hoist concurrency into the loop drivers", w.fn)
+				w.report(x.Pos(), "goroutine launch in hot path %s allocates; hoist concurrency into the loop drivers", w.fn)
 			}
 		case *ast.CallExpr:
 			return w.visitCall(x, inPanic)
 		case *ast.FuncLit:
 			if !inPanic {
-				w.pass.Reportf(x.Pos(), "closure created in hot path %s allocates per call; pass it to a loop driver or hoist it out of the steady state", w.fn)
+				w.report(x.Pos(), "closure created in hot path %s allocates per call; pass it to a loop driver or hoist it out of the steady state", w.fn)
 			}
 			// Body is traversed by the enclosing Inspect anyway.
 		case *ast.CompositeLit:
@@ -154,15 +269,15 @@ func (w *walker) walk(n ast.Node, inPanic bool) {
 			if tv, ok := info.Types[x]; ok {
 				switch types.Unalias(tv.Type).Underlying().(type) {
 				case *types.Slice:
-					w.pass.Reportf(x.Pos(), "slice literal in hot path %s heap-allocates; use a preallocated scratch buffer", w.fn)
+					w.report(x.Pos(), "slice literal in hot path %s heap-allocates; use a preallocated scratch buffer", w.fn)
 				case *types.Map:
-					w.pass.Reportf(x.Pos(), "map literal in hot path %s heap-allocates; use a preallocated structure", w.fn)
+					w.report(x.Pos(), "map literal in hot path %s heap-allocates; use a preallocated structure", w.fn)
 				}
 			}
 		case *ast.UnaryExpr:
 			if !inPanic && x.Op.String() == "&" {
 				if _, ok := x.X.(*ast.CompositeLit); ok {
-					w.pass.Reportf(x.Pos(), "&composite literal in hot path %s escapes to the heap; reuse a preallocated value", w.fn)
+					w.report(x.Pos(), "&composite literal in hot path %s escapes to the heap; reuse a preallocated value", w.fn)
 				}
 			}
 		}
@@ -187,19 +302,19 @@ func (w *walker) visitCall(call *ast.CallExpr, inPanic bool) bool {
 		return false
 	case isBuiltin(obj, "make"):
 		if !inPanic {
-			w.pass.Reportf(call.Pos(), "make in hot path %s allocates per call; allocate at construction time", w.fn)
+			w.report(call.Pos(), "make in hot path %s allocates per call; allocate at construction time", w.fn)
 		}
 	case isBuiltin(obj, "new"):
 		if !inPanic {
-			w.pass.Reportf(call.Pos(), "new in hot path %s allocates per call; allocate at construction time", w.fn)
+			w.report(call.Pos(), "new in hot path %s allocates per call; allocate at construction time", w.fn)
 		}
 	case isBuiltin(obj, "append"):
 		if !inPanic {
-			w.pass.Reportf(call.Pos(), "append in hot path %s may grow its backing array; size buffers at construction time", w.fn)
+			w.report(call.Pos(), "append in hot path %s may grow its backing array; size buffers at construction time", w.fn)
 		}
 	case obj != nil && isFmtCall(obj):
 		if !inPanic {
-			w.pass.Reportf(call.Pos(), "fmt call in hot path %s allocates (boxing and buffers); restrict formatting to error paths", w.fn)
+			w.report(call.Pos(), "fmt call in hot path %s allocates (boxing and buffers); restrict formatting to error paths", w.fn)
 		}
 	case loopDrivers[name]:
 		// Sanctioned iteration scaffolding: do not flag direct closure
@@ -215,11 +330,49 @@ func (w *walker) visitCall(call *ast.CallExpr, inPanic bool) bool {
 		w.walk(call.Fun, inPanic)
 		return false
 	case obj != nil:
-		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg() == w.pass.Pkg {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			break
+		}
+		if fn.Pkg() == w.pass.Pkg {
 			w.callees = append(w.callees, obj)
+			break
+		}
+		w.cross = append(w.cross, crossCall{fn: fn, pos: call.Pos()})
+		if w.hot && !inPanic {
+			if f, ok := importAllocFact(w.pass, fn); ok {
+				w.report(call.Pos(), "call to %s in hot path %s allocates: %s", calleeLabel(fn), w.fn, f.Reason)
+			}
 		}
 	}
 	return true
+}
+
+// calleeLabel renders pkg.Func or pkg.Type.Method for messages.
+func calleeLabel(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// shortFile trims the path to its last two elements for messages.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
 }
 
 // calleeName resolves the called function's name and object, seeing

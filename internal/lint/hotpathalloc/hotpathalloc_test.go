@@ -9,6 +9,9 @@ import (
 )
 
 func TestHotpathalloc(t *testing.T) {
-	dir := filepath.Join("..", "testdata", "src", "hotpathalloc")
-	analysistest.Run(t, hotpathalloc.Analyzer, dir, "example.com/fix/hotpathalloc")
+	base := filepath.Join("..", "testdata", "src")
+	analysistest.RunWithDeps(t, hotpathalloc.Analyzer,
+		filepath.Join(base, "hotpathalloc"), "example.com/fix/hotpathalloc",
+		analysistest.Dep{Dir: filepath.Join(base, "hotpathalloc_dep"), Path: "example.com/fix/hotdep"},
+	)
 }

@@ -30,7 +30,7 @@ type Analyzer struct {
 }
 
 // Pass carries one analyzer's view of one package: the syntax trees, the
-// type information, and the Report sink.
+// type information, the Report sink, and the cross-package fact store.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -40,6 +40,47 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	report func(Diagnostic)
+	facts  *factSet
+}
+
+// factSet carries analyzer-exported object facts across the packages of
+// one Run. Facts are keyed by (analyzer, types.Object); because every
+// package comes from one Loader, an imported function's types.Object is
+// pointer-identical to the one its defining package exported under, so
+// no serialization or renaming is needed.
+type factSet struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// ExportObjectFact records a fact about obj under the running analyzer's
+// name. Facts survive for the rest of the Run, so packages analyzed
+// later (the importers — Run visits packages in dependency order) can
+// read their callees' summaries with ImportObjectFact. Re-exporting
+// overwrites.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	if p.facts == nil || obj == nil {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, obj}] = fact
+}
+
+// ImportObjectFact returns the fact the running analyzer exported for
+// obj while analyzing an earlier package (or this one), and whether one
+// exists. Objects from packages outside the Run — the stdlib, module
+// packages not loaded this invocation — have no facts; callers treat
+// them as unknown, exactly like the package-local propagation did at
+// package boundaries before facts existed.
+func (p *Pass) ImportObjectFact(obj types.Object) (any, bool) {
+	if p.facts == nil || obj == nil {
+		return nil, false
+	}
+	f, ok := p.facts.m[factKey{p.Analyzer.Name, obj}]
+	return f, ok
 }
 
 // Report emits a diagnostic.
@@ -73,12 +114,18 @@ func (d Diagnostic) Position(fset *token.FileSet) token.Position {
 // //lint:ignore directive (see ignore.go) are dropped; malformed
 // directives are themselves reported under the analyzer name "lint".
 // All packages must come from one Loader (they share its FileSet).
+//
+// Packages are analyzed in import dependency order (imports before
+// importers), so an analyzer that exports object facts for a package's
+// functions can rely on its module-local callees' facts being present —
+// cross-package propagation instead of the old package-local horizon.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	if len(pkgs) == 0 {
 		return nil, nil
 	}
+	facts := &factSet{m: make(map[factKey]any)}
 	var all []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range dependencyOrder(pkgs) {
 		ig := collectIgnores(pkg.Fset, pkg.Files)
 		for _, bad := range ig.malformed {
 			all = append(all, bad)
@@ -91,6 +138,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Path:      pkg.Path,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				facts:     facts,
 				report: func(d Diagnostic) {
 					if d.Analyzer == "" {
 						d.Analyzer = a.Name
@@ -106,8 +154,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	sortDiagnostics(all, pkgs[0].Fset)
+	return all, nil
+}
+
+// sortDiagnostics orders diagnostics by (file, line, message).
+func sortDiagnostics(all []Diagnostic, fset *token.FileSet) {
 	sort.SliceStable(all, func(i, j int) bool {
-		pi, pj := all[i].Position(pkgs[0].Fset), all[j].Position(pkgs[0].Fset)
+		pi, pj := all[i].Position(fset), all[j].Position(fset)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -116,5 +170,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return all[i].Message < all[j].Message
 	})
-	return all, nil
+}
+
+// dependencyOrder topologically sorts the packages so imports precede
+// importers (ties broken by input order). Only dependencies that are
+// themselves in the slice matter; edges to packages outside it (the
+// stdlib, unloaded module packages) are ignored.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byTypes := make(map[*types.Package]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byTypes[p.Types] = p
+	}
+	out := make([]*Package, 0, len(pkgs))
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return // done, or a cycle (impossible in valid Go) — skip
+		}
+		state[p] = 1
+		for _, imp := range p.Types.Imports() {
+			if dep, ok := byTypes[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }

@@ -1,9 +1,12 @@
 package lint
 
 import (
+	"encoding/json"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -73,5 +76,178 @@ func TestRunEmptyInput(t *testing.T) {
 	diags, err := Run(nil, []*Analyzer{{Name: "x", Run: func(*Pass) error { return nil }}})
 	if err != nil || diags != nil {
 		t.Fatalf("Run(nil pkgs) = %v, %v; want nil, nil", diags, err)
+	}
+}
+
+// A directive covers its own line and the next — one line further down
+// and the diagnostic must survive.
+const wrongLineSrc = `package p
+
+//lint:ignore foo an early directive must not leak downward
+var gap int
+
+var e int
+`
+
+func TestIgnoreWrongLine(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", wrongLineSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := collectIgnores(fset, []*ast.File{f})
+	covered := Diagnostic{Pos: varPos(f, 0), Analyzer: "foo"} // var gap, next line
+	if !ig.suppresses(fset, covered) {
+		t.Errorf("directive must cover the next line (var gap)")
+	}
+	past := Diagnostic{Pos: varPos(f, 1), Analyzer: "foo"} // var e, two lines down
+	if ig.suppresses(fset, past) {
+		t.Errorf("directive two lines up must not suppress (var e)")
+	}
+}
+
+func TestCountIgnores(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	counts := CountIgnores([]*Package{{Fset: fset, Files: []*ast.File{f}}})
+	// ignoreSrc holds: foo (reasoned), foo (malformed: excluded),
+	// foo,bar (both counted), * (wildcard bucket).
+	want := map[string]int{"foo": 2, "bar": 1, "*": 1}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("CountIgnores[%q] = %d, want %d", k, counts[k], v)
+		}
+	}
+	if len(counts) != len(want) {
+		t.Errorf("CountIgnores = %v, want exactly %v", counts, want)
+	}
+}
+
+func TestBaselineBudget(t *testing.T) {
+	b := &Baseline{Ignores: map[string]int{"foo": 1, "bar": 2}}
+
+	// Within budget: no violations, no notes.
+	if v, n := b.Check(map[string]int{"foo": 1, "bar": 2}); len(v) != 0 || len(n) != 0 {
+		t.Errorf("equal counts: violations=%v notes=%v, want none", v, n)
+	}
+
+	// Growth fails, naming the analyzer and both counts.
+	v, _ := b.Check(map[string]int{"foo": 3, "bar": 2})
+	if len(v) != 1 || !strings.Contains(v[0], `"foo"`) ||
+		!strings.Contains(v[0], "3") || !strings.Contains(v[0], "baseline allows 1") {
+		t.Errorf("budget growth: violations = %v", v)
+	}
+
+	// A suppression for an analyzer the baseline has never seen is also
+	// growth (implicit budget zero).
+	if v, _ := b.Check(map[string]int{"foo": 1, "bar": 2, "new": 1}); len(v) != 1 {
+		t.Errorf("unbudgeted analyzer: violations = %v, want 1", v)
+	}
+
+	// Shrinking passes but asks for a ratchet-down.
+	v, n := b.Check(map[string]int{"foo": 1})
+	if len(v) != 0 || len(n) != 1 || !strings.Contains(n[0], `"bar"`) {
+		t.Errorf("budget shrink: violations=%v notes=%v", v, n)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, map[string]int{"foo": 2}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Ignores["foo"] != 2 {
+		t.Errorf("round trip: got %v", b.Ignores)
+	}
+	if _, err := ReadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("reading a missing baseline must fail")
+	}
+}
+
+func TestEncodeSARIF(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	diags := []Diagnostic{
+		{Pos: varPos(f, 0), Analyzer: "foo", Message: "finding one"},
+		{Pos: varPos(f, 1), Analyzer: "lint", Message: "malformed directive"},
+	}
+	analyzers := []*Analyzer{{Name: "foo", Doc: "doc foo"}, {Name: "bar", Doc: "doc bar"}}
+	raw, err := EncodeSARIF(diags, fset, "", analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "gristlint" {
+		t.Fatalf("runs/driver malformed: %s", raw)
+	}
+	// Rule table: every registered analyzer plus the framework's "lint"
+	// pseudo-rule appearing in the findings.
+	ids := make(map[string]bool)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"foo", "bar", "lint"} {
+		if !ids[want] {
+			t.Errorf("rule table missing %q (have %v)", want, ids)
+		}
+	}
+	rs := log.Runs[0].Results
+	if len(rs) != 2 || rs[0].RuleID != "foo" || rs[0].Level != "error" {
+		t.Fatalf("results malformed: %s", raw)
+	}
+	loc := rs[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "x.go" || loc.Region.StartLine == 0 {
+		t.Errorf("location malformed: %+v", loc)
+	}
+}
+
+func TestEncodeJSON(t *testing.T) {
+	fset, f := parseIgnoreSrc(t)
+	diags := []Diagnostic{{Pos: varPos(f, 0), Analyzer: "foo", Message: "m"}}
+	raw, err := EncodeJSON(diags, fset, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []JSONDiagnostic
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].File != "x.go" || out[0].Analyzer != "foo" || out[0].Line == 0 {
+		t.Errorf("EncodeJSON = %+v", out)
 	}
 }

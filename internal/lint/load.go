@@ -44,6 +44,7 @@ type Loader struct {
 	typed   map[string]*types.Package // every import path, incl. stdlib
 	pkgs    map[string]*Package       // packages loaded with syntax+info
 	loading map[string]bool           // cycle detection
+	extra   map[string]string         // synthetic import path -> directory (testdata fixtures)
 }
 
 // NewLoader creates a loader for the module whose go.mod is found in dir
@@ -80,6 +81,7 @@ func NewLoader(dir string) (*Loader, error) {
 		typed:   make(map[string]*types.Package),
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		extra:   make(map[string]string),
 	}, nil
 }
 
@@ -156,12 +158,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 // LoadDir type-checks the single package rooted at dir (which may live
 // under a testdata tree, invisible to the go tool) under the synthetic
 // import path asPath. Imports inside the package resolve as usual, so
-// testdata fixtures may import module or stdlib packages.
+// testdata fixtures may import module or stdlib packages — and, once a
+// fixture has been loaded, other fixtures may import it by its
+// synthetic path (the multi-package fixtures behind the cross-package
+// fact tests).
 func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
+	l.extra[asPath] = abs
 	return l.check(asPath, abs, true)
 }
 
@@ -203,6 +209,9 @@ func (l *Loader) walkModule() ([]string, error) {
 // from GOROOT/src fall back to GOROOT/src/vendor — the same resolution
 // the go tool applies inside std.
 func (l *Loader) dirFor(path string) string {
+	if d, ok := l.extra[path]; ok {
+		return d
+	}
 	if path == l.modPath {
 		return l.modRoot
 	}

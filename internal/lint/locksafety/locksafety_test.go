@@ -1,0 +1,14 @@
+package locksafety_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gristgo/internal/lint/analysistest"
+	"gristgo/internal/lint/locksafety"
+)
+
+func TestLocksafety(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "locksafety")
+	analysistest.Run(t, locksafety.Analyzer, dir, "example.com/fix/locksafety")
+}

@@ -1,0 +1,160 @@
+package lint
+
+// Machine-readable output. The text format on stdout is for humans at a
+// terminal; CI wants two other shapes: a flat JSON array a script can
+// jq over, and SARIF 2.1.0, the interchange format code-hosting UIs
+// (GitHub code scanning among them) ingest to annotate PR diffs with
+// findings. Both are encoded from the same []Diagnostic the text path
+// prints, so the three formats can never disagree about what was found.
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// JSONDiagnostic is one finding in the -format json output.
+type JSONDiagnostic struct {
+	File     string `json:"file"` // module-root-relative when root is given
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON renders diagnostics as a JSON array. root, when non-empty,
+// relativizes file paths (the module root, so output is stable across
+// checkouts).
+func EncodeJSON(diags []Diagnostic, fset *token.FileSet, root string) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := d.Position(fset)
+		out = append(out, JSONDiagnostic{
+			File:     relPath(root, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// SARIF 2.1.0 skeleton — only the fields the spec marks required plus
+// the location detail PR annotation needs. Kept as plain structs so the
+// output is schema-stable and testable without a SARIF dependency.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// EncodeSARIF renders diagnostics as a SARIF 2.1.0 log with one run.
+// analyzers populates the rule table (every registered analyzer appears
+// even with zero findings, so the rule metadata is stable); root
+// relativizes file URIs against the module root, the form code-hosting
+// annotation expects.
+func EncodeSARIF(diags []Diagnostic, fset *token.FileSet, root string, analyzers []*Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		seen[a.Name] = true
+	}
+	// The framework itself reports malformed //lint:ignore directives
+	// under "lint"; any analyzer name appearing in the findings but not
+	// in the registry still needs a rule entry for the log to validate.
+	for _, d := range diags {
+		if !seen[d.Analyzer] {
+			rules = append(rules, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: "gristlint framework diagnostics"}})
+			seen[d.Analyzer] = true
+		}
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		pos := d.Position(fset)
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(relPath(root, pos.Filename))},
+					Region:           sarifRegion{StartLine: pos.Line, StartColumn: pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "gristlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&log, "", "  ")
+}
+
+// relPath relativizes path against root when possible; otherwise the
+// path is returned unchanged.
+func relPath(root, path string) string {
+	if root == "" {
+		return path
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

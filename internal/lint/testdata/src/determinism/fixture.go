@@ -1,0 +1,107 @@
+// Golden fixture for the determinism analyzer. Roots are marked
+// //grist:bitwise; everything they reach — same-package helpers and
+// facts imported from the dep fixture — is held to the
+// bitwise-reproducibility rules.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"example.com/fix/detdep"
+	"example.com/fix/internal/detrand"
+)
+
+var global int
+
+//grist:bitwise
+func RepartitionDecision(weights map[string]float64) float64 {
+	sum := 0.0
+	for _, w := range weights { // want `map iteration order over weights escapes`
+		sum += w
+	}
+	return sum
+}
+
+//grist:bitwise
+func RepartitionSorted(weights map[string]float64) float64 {
+	keys := make([]string, 0, len(weights))
+	for k := range weights { // self-append collection: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	return sum
+}
+
+//grist:bitwise
+func CommitEpoch(n int) int64 {
+	t := time.Now().UnixNano() // want `wall-clock read time\.Now`
+	return t + int64(n)
+}
+
+//grist:bitwise
+func PickVictim(n int) int {
+	return rand.Intn(n) // want `global math/rand draw rand\.Intn`
+}
+
+//grist:bitwise
+func SeededPick(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+	return r.Intn(n)
+}
+
+//grist:bitwise
+func GatherViaHelper(m map[int]int) int {
+	return helperSum(m)
+}
+
+// helperSum has no directive, but is reachable from GatherViaHelper, so
+// its body is checked too.
+func helperSum(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration order over m escapes`
+		s += v
+	}
+	return s
+}
+
+//grist:bitwise
+func StampFromDep() int64 {
+	return dep.StampEpoch() // want `call to dep\.StampEpoch in bitwise-critical StampFromDep is nondeterministic: wall-clock read`
+}
+
+//grist:bitwise
+func StampFromDepTransitive() int64 {
+	return dep.ViaHelper() // want `call to dep\.ViaHelper in bitwise-critical StampFromDepTransitive is nondeterministic: calls StampEpoch`
+}
+
+//grist:bitwise
+func MixFromDep(x uint64) uint64 {
+	return dep.MixPure(x) // deterministic dep callee: allowed
+}
+
+//grist:bitwise
+func JitterFromDetrand() int64 {
+	return detrand.Jitter() // whitelisted package: allowed
+}
+
+// Unreachable from any root: nondeterminism here is not reported.
+func coldPath() int64 {
+	return time.Now().UnixNano()
+}
+
+// localOnly writes loop-local state only; order cannot fork ranks.
+//
+//grist:bitwise
+func LocalOnly(m map[string]int) int {
+	for k := range m {
+		kk := len(k)
+		_ = kk
+	}
+	return len(m) + global
+}

@@ -1,0 +1,27 @@
+// Package dep is an auxiliary fixture loaded before the determinism
+// main fixture. It has no //grist:bitwise roots of its own, so nothing
+// is reported here — but the analyzer still exports per-function
+// nondeterminism facts, which the main fixture observes through its
+// imports.
+package dep
+
+import "time"
+
+// StampEpoch reads the wall clock; its exported fact marks it
+// nondeterministic for cross-package callers.
+func StampEpoch() int64 {
+	return time.Now().UnixNano()
+}
+
+// MixPure is deterministic; callers may use it freely.
+func MixPure(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	return x ^ x>>33
+}
+
+// ViaHelper is nondeterministic only transitively, through a
+// same-package call — the fixpoint must export a fact for it too.
+func ViaHelper() int64 {
+	return StampEpoch() + 1
+}

@@ -1,0 +1,82 @@
+// Golden fixture for the durability analyzer: discarded and shadowed
+// errors on //grist:durable paths, with the best-effort exemptions.
+package fixture
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func sink(b []byte) {}
+
+//grist:durable
+func AtomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, _ := f.Write(data) // want `error result assigned to _ on durable path AtomicWrite`
+	_ = n
+	f.Sync() // want `error result of os\.File\.Sync is discarded on durable path AtomicWrite`
+	if err := f.Close(); err != nil {
+		os.Remove(tmp) // best-effort removal of an unpublished temp: ok
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+//grist:durable
+func CommitManifest(path string) (err error) {
+	if len(path) > 0 {
+		data, err := os.ReadFile(path) // want `err shadows an outer err on durable path CommitManifest`
+		if err == nil {
+			sink(data)
+		}
+	}
+	return err
+}
+
+//grist:durable
+func ScopedCheck(f *os.File) error {
+	if err := f.Sync(); err != nil { // if-init shadowing is the idiom: ok
+		return err
+	}
+	return nil
+}
+
+//grist:durable
+func DeferredCleanup(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup is best-effort: ok
+	buf := make([]byte, 8)
+	if _, err := f.Read(buf); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ExportSnapshot is durable; flushDir inherits the obligation through
+// the call.
+//
+//grist:durable
+func ExportSnapshot(dir string) error {
+	return flushDir(dir)
+}
+
+func flushDir(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "snapshot.bin"))
+	if err != nil {
+		return err
+	}
+	f.Sync() // want `error result of os\.File\.Sync is discarded on durable path flushDir`
+	return f.Close()
+}
+
+// coldCleanup is not reachable from any durable root: not checked.
+func coldCleanup(path string) {
+	os.Rename(path, path+".bak")
+}

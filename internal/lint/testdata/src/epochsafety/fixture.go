@@ -1,0 +1,100 @@
+// Golden fixture for the epochsafety analyzer: stale generation uses
+// after SwapLayout/SetPlan/Redistribute, rebind-as-fix, and Gen-less
+// manifest literals.
+package fixture
+
+// Layout, DistPlan and IndexSet carry the retirable names the analyzer
+// tracks; Exchanger and Store carry the retiring methods.
+type Layout struct{ Peers []int }
+
+type DistPlan struct{ Owner []int }
+
+type IndexSet struct{ Idx []int }
+
+type Decomp struct{ N int }
+
+func (d *Decomp) Layout() Layout     { return Layout{Peers: make([]int, d.N)} }
+func (d *Decomp) Plan() *DistPlan    { return &DistPlan{Owner: make([]int, d.N)} }
+func (d *Decomp) Indices() *IndexSet { return &IndexSet{Idx: make([]int, d.N)} }
+
+type Exchanger struct{ cur Layout }
+
+func (ex *Exchanger) SwapLayout(l Layout) { ex.cur = l }
+
+type Store struct{ plan *DistPlan }
+
+func (s *Store) SetPlan(p *DistPlan)                             { s.plan = p }
+func (s *Store) Redistribute(epoch, step int, p *DistPlan) error { s.plan = p; return nil }
+
+func sendTo(peers []int) {}
+
+// StaleAfterSwap keeps using the pre-swap layout.
+func StaleAfterSwap(ex *Exchanger, oldD, newD *Decomp) {
+	old := oldD.Layout()
+	sendTo(old.Peers)
+	ex.SwapLayout(newD.Layout())
+	sendTo(old.Peers) // want `old was derived from a decomposition generation retired by SwapLayout`
+}
+
+// RebuiltAfterSwap rebinds from the new generation first: the fix.
+func RebuiltAfterSwap(ex *Exchanger, oldD, newD *Decomp) {
+	l := oldD.Layout()
+	sendTo(l.Peers)
+	ex.SwapLayout(newD.Layout())
+	l = newD.Layout()
+	sendTo(l.Peers) // rebound: ok
+}
+
+// NewBeforeRetire builds the next generation just before installing it —
+// the canonical call shape; the argument's own variable is not retired.
+func NewBeforeRetire(ex *Exchanger, d *Decomp) {
+	nl := d.Layout()
+	ex.SwapLayout(nl)
+	sendTo(nl.Peers) // the new generation itself: ok
+}
+
+// StaleParamAfterSwap first touches the stale parameter after the swap.
+func StaleParamAfterSwap(ex *Exchanger, cached Layout, d *Decomp) {
+	ex.SwapLayout(d.Layout())
+	sendTo(cached.Peers) // want `cached was derived from a decomposition generation retired by SwapLayout`
+}
+
+// StalePlanAfterRedistribute reads ownership from the superseded plan.
+func StalePlanAfterRedistribute(s *Store, pl *DistPlan, d *Decomp) int {
+	owner := pl.Owner[0]
+	newPl := d.Plan()
+	if err := s.Redistribute(3, 40, newPl); err != nil {
+		return -1
+	}
+	return owner + pl.Owner[1] // want `pl was derived from a decomposition generation retired by Redistribute`
+}
+
+// StaleIndexAfterSetPlan keeps a cached index set across SetPlan.
+func StaleIndexAfterSetPlan(s *Store, d *Decomp) int {
+	idx := d.Indices()
+	s.SetPlan(d.Plan())
+	return idx.Idx[0] // want `idx was derived from a decomposition generation retired by SetPlan`
+}
+
+// DerefRebind writes through a pointer-to-pointer after the retiring
+// call — reshape()'s exact shape; the deref assignment is a rebind, not
+// a use.
+func DerefRebind(s *Store, pl **DistPlan, d *Decomp) {
+	newPl := d.Plan()
+	s.SetPlan(newPl)
+	*pl = newPl // rebind through deref: ok
+}
+
+// Manifest carries both a generation and an epoch stamp.
+type Manifest struct {
+	Gen   int
+	Epoch int
+	Rank  int
+}
+
+func BuildManifests(epoch, gen, rank int) []Manifest {
+	good := Manifest{Gen: gen, Epoch: epoch, Rank: rank}
+	positional := Manifest{gen, epoch, rank}
+	bad := Manifest{Epoch: epoch, Rank: rank} // want `manifest literal sets Epoch but omits Gen`
+	return []Manifest{good, positional, bad}
+}

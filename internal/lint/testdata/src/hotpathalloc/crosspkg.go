@@ -1,0 +1,19 @@
+// Cross-package half of the hotpathalloc fixture: hot paths calling
+// into the dep package are checked against its exported
+// allocates-facts.
+package fixture
+
+import "example.com/fix/hotdep"
+
+//grist:hotpath
+func crossStep(xs []float64) {
+	dep.Scale(xs, 0.5)       // allocation-free callee: ok
+	buf := dep.Grow(len(xs)) // want `call to dep\.Grow in hot path crossStep allocates: make`
+	_ = buf
+}
+
+//grist:hotpath
+func crossStepTransitive(xs []float64) {
+	buf := dep.GrowVia(len(xs)) // want `call to dep\.GrowVia in hot path crossStepTransitive allocates: calls Grow`
+	_ = buf
+}

@@ -1,0 +1,22 @@
+// Package dep is an auxiliary fixture for hotpathalloc's cross-package
+// fact propagation: no hot paths of its own, but every function gets an
+// allocates-summary exported as a fact.
+package dep
+
+// Grow allocates directly.
+func Grow(n int) []float64 {
+	return make([]float64, n)
+}
+
+// GrowVia allocates only transitively, through a same-package call —
+// the fixpoint must export a fact for it too.
+func GrowVia(n int) []float64 {
+	return Grow(n + 1)
+}
+
+// Scale is allocation-free; hot paths may call it.
+func Scale(xs []float64, f float64) {
+	for i := range xs {
+		xs[i] *= f
+	}
+}

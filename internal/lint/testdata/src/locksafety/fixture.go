@@ -1,0 +1,126 @@
+// Golden fixture for the locksafety analyzer: blocking work under a
+// held sync.Mutex/RWMutex, with the release-then-block fixes.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type Exchanger struct{}
+
+func (e *Exchanger) WaitAll()               {}
+func (e *Exchanger) Barrier()               {}
+func (e *Exchanger) ISend(to int, b []byte) {}
+
+type Registry struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+	ch    chan int
+	ex    *Exchanger
+}
+
+// CollectiveUnderLock holds the registry mutex across a barrier.
+func (r *Registry) CollectiveUnderLock() {
+	r.mu.Lock()
+	r.ex.Barrier() // want `blocking collective r\.ex\.Barrier while r\.mu is held`
+	r.mu.Unlock()
+}
+
+// CollectiveAfterUnlock releases first: the fix.
+func (r *Registry) CollectiveAfterUnlock() {
+	r.mu.Lock()
+	n := len(r.items)
+	r.mu.Unlock()
+	if n > 0 {
+		r.ex.Barrier()
+	}
+}
+
+// SendUnderDeferredLock holds to function end via defer.
+func (r *Registry) SendUnderDeferredLock(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- v // want `channel send while r\.mu is held`
+}
+
+// NonBlockingSendUnderLock uses select-with-default: exempt.
+func (r *Registry) NonBlockingSendUnderLock(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- v:
+	default:
+	}
+}
+
+// ReceiveAndSleepUnderRLock blocks twice under a read lock.
+func (r *Registry) ReceiveAndSleepUnderRLock() int {
+	r.rw.RLock()
+	v := <-r.ch             // want `channel receive while r\.rw is held`
+	time.Sleep(time.Second) // want `time\.Sleep while r\.rw is held`
+	r.rw.RUnlock()
+	return v
+}
+
+// WaitGroupUnderLock waits on a WaitGroup while holding the mutex.
+func (r *Registry) WaitGroupUnderLock(wg *sync.WaitGroup) {
+	r.mu.Lock()
+	wg.Wait() // want `sync wait wg\.Wait while r\.mu is held`
+	r.mu.Unlock()
+}
+
+// CondWaitUnderLock is the condition-variable pattern: Cond.Wait
+// REQUIRES the mutex held, so it is exempt.
+func (r *Registry) CondWaitUnderLock(c *sync.Cond, ready *bool) {
+	r.mu.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// HandlerWriteUnderLock streams the response while holding the
+// registry lock.
+func (r *Registry) HandlerWriteUnderLock(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w.WriteHeader(http.StatusOK) // want `HTTP response WriteHeader while r\.mu is held`
+	w.Write([]byte("ok"))        // want `HTTP response Write while r\.mu is held`
+}
+
+// HandlerCopyThenWrite copies under the lock and writes after: the fix.
+func (r *Registry) HandlerCopyThenWrite(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	n := len(r.items)
+	r.mu.Unlock()
+	if n == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Write([]byte("ok"))
+}
+
+// GoroutineUnderLock launches work that blocks on its own goroutine:
+// exempt.
+func (r *Registry) GoroutineUnderLock(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	go func() {
+		r.ch <- v
+	}()
+}
+
+// BlockingSelectUnderLock has no default clause.
+func (r *Registry) BlockingSelectUnderLock() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want `blocking select while r\.mu is held`
+	case v := <-r.ch:
+		return v
+	case <-time.After(time.Second):
+		return -1
+	}
+}

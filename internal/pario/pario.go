@@ -60,6 +60,8 @@ const magic = 0x47525354 // "GRST"
 // leaders emit framed records to w. Only leaders may receive a non-nil
 // writer; non-leader ranks pass w == nil. The tag namespace must be
 // unique per call site.
+//
+//grist:durable
 func WriteOwned(r *comm.Rank, groupSize int, owned []int32, values []float64, w io.Writer, tag int) error {
 	sp := telRec.Load().Begin("pario_write", int32(r.ID()))
 	defer sp.End()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gristgo/internal/detrand"
 	"gristgo/internal/mesh"
 )
 
@@ -77,6 +78,8 @@ func (e *Elastic) Resize(members []int) (*Decomposition, error) {
 
 // ResizeWeighted is Resize with per-cell load weights forwarded to the
 // partitioner (nil: uniform), for rebalancing from measured cost.
+//
+//grist:bitwise
 func (e *Elastic) ResizeWeighted(members []int, cellW []int32) (*Decomposition, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("partition: Resize to zero members")
@@ -99,15 +102,11 @@ func (e *Elastic) ResizeWeighted(members []int, cellW []int32) (*Decomposition, 
 }
 
 // EpochSeed derives the partitioner seed of a decomposition epoch from
-// the run's base seed — a splitmix64 step, so successive epochs explore
-// independent cut refinements while staying reproducible from (seed,
-// epoch) alone.
+// the run's base seed — a splitmix64 step (detrand.SeedAt), so
+// successive epochs explore independent cut refinements while staying
+// reproducible from (seed, epoch) alone.
+//
+//grist:bitwise
 func EpochSeed(seed int64, epoch int) int64 {
-	x := uint64(seed) + uint64(epoch)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int64(x)
+	return detrand.SeedAt(seed, epoch)
 }
