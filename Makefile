@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-baseline lint-sarif test race race-serve bench bench-ml bench-halo chaos serve-smoke bench-serve
+.PHONY: check build vet lint lint-baseline lint-sarif test race race-serve bench bench-ml bench-halo chaos serve-smoke bench-serve bench-obs bench-check
 
 check: build vet lint test race
 
@@ -96,3 +96,18 @@ serve-smoke:
 # ratio, status breakdown) for the CI artifact upload.
 bench-serve:
 	$(GO) run ./cmd/gristbench -exp serve
+
+# The cross-rank trace aggregation benchmark: two rebalanced runs from
+# the same skewed decomposition (wall-weighted vs span-attributed cost
+# feedback) plus a postmortem replay-identity check, emitting
+# BENCH_obs.json, BENCH_obs_postmortem.json (per-step critical path,
+# stragglers, phase attribution) and BENCH_obs_trace.json (merged
+# multi-rank Chrome trace with the critical path marked).
+bench-obs:
+	$(GO) run ./cmd/gristbench -exp obs
+
+# The benchmark regression gate: regenerate the obs artifacts and
+# compare them against the committed per-metric tolerance windows.
+# Widening a window is a reviewed diff on bench.baseline.json.
+bench-check: bench-obs
+	$(GO) run ./cmd/gristbench -check -baseline bench.baseline.json

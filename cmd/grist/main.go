@@ -49,7 +49,13 @@ func main() {
 	serveEvery := flag.Int("serve.every", 4, "physics steps between snapshot publications/exports for -serve.addr and -serve.export")
 	faultProf := flag.String("fault.profile", "", "inject faults: "+fault.Profiles()+" (mlnan corrupts one ML inference output; transport profiles need the distributed chaos harness, see gristbench -exp chaos)")
 	faultSeed := flag.Int64("fault.seed", 1, "fault-injection seed (deterministic per seed+profile)")
+	logFormat := flag.String("log.format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	if err := telemetry.SetDefaultLogger(*logFormat, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if _, err := fault.ParseProfile(*faultProf); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -14,15 +14,41 @@ import (
 	"time"
 
 	"gristgo/internal/experiments"
+	"gristgo/internal/telemetry"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, elastic, serve, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, elastic, serve, obs, all")
 	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
 	benchDir := flag.String("bench-out", ".", "directory for the telemetry/chaos experiments' JSON artifacts")
 	faultSeed := flag.Int64("fault.seed", 7, "chaos experiment: fault-injection seed")
+	check := flag.Bool("check", false, "compare the BENCH_*.json artifacts in -bench-out against -baseline and exit nonzero on drift")
+	baseline := flag.String("baseline", "bench.baseline.json", "per-metric tolerance file for -check")
+	logFormat := flag.String("log.format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	if err := telemetry.SetDefaultLogger(*logFormat, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *check {
+		rows, ok, err := experiments.CheckBench(*benchDir, *baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench check:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+		if !ok {
+			fmt.Fprintln(os.Stderr, "bench check: drift against", *baseline)
+			os.Exit(1)
+		}
+		fmt.Printf("bench check: %d metrics within %s\n", len(rows), *baseline)
+		return
+	}
 
 	if *csvDir != "" {
 		if err := experiments.WriteScalingCSV(*csvDir); err != nil {
@@ -75,6 +101,15 @@ func main() {
 			}
 			printRows(res.Rows())
 			fmt.Printf("Wrote BENCH_serve.json to %s\n", *benchDir)
+		},
+		"obs": func() {
+			res, err := experiments.WriteObsBench(*benchDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "obs bench:", err)
+				os.Exit(1)
+			}
+			printRows(res.Rows())
+			fmt.Printf("Wrote BENCH_obs.json, BENCH_obs_postmortem.json and BENCH_obs_trace.json to %s\n", *benchDir)
 		},
 		"chaos": func() {
 			cfg := experiments.DefaultChaosConfig()

@@ -15,12 +15,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"time"
 
 	"gristgo/internal/core"
+	"gristgo/internal/obs"
 	"gristgo/internal/mesh"
 	"gristgo/internal/physics"
 	"gristgo/internal/serve"
@@ -45,7 +47,13 @@ func main() {
 	replaySteps := flag.Int("replay.steps", 2, "physics steps between self-generated epochs")
 	smokeQueries := flag.Int("smoke.queries", 0, "run a self-smoke: fire N queries over real HTTP, print the report, exit")
 	smokeP99 := flag.Duration("smoke.p99", 50*time.Millisecond, "self-smoke failure bound on cached-query p99")
+	logFormat := flag.String("log.format", "text", "structured log format: text or json")
 	flag.Parse()
+
+	if err := telemetry.SetDefaultLogger(*logFormat, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *data == "" && *replayEpochs <= 0 {
 		fmt.Fprintln(os.Stderr, "gristd: need -data DIR to watch, or -replay.epochs N to self-generate one")
@@ -91,9 +99,15 @@ func main() {
 	}, reg)
 	poller := serve.NewShardPoller(src, srv.Engine.Store())
 
-	// One mux: telemetry endpoints plus the query plane.
+	// One mux: telemetry endpoints plus the query plane and the debug
+	// plane (/debug/query traces, /debug/step postmortems over the
+	// daemon's own flight ring).
 	mux := telemetry.NewMux(reg, rec)
 	srv.Register(mux)
+	srv.RegisterDebug(mux)
+	mux.Handle("/debug/step", obs.StepHandler(func() ([][]telemetry.Event, uint64) {
+		return obs.Rings(rec)
+	}))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -102,7 +116,7 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: mux}
 	go httpSrv.Serve(ln)
-	fmt.Printf("gristd on http://%s/ (/v1/point /v1/region /v1/range /v1/epochs /healthz /metrics)\n", ln.Addr())
+	fmt.Printf("gristd on http://%s/ (/v1/point /v1/region /v1/range /v1/epochs /healthz /metrics /debug/query /debug/step)\n", ln.Addr())
 	fmt.Printf("  watching %s every %s (%d ranks, %d layers, retain %d epochs)\n",
 		*data, *poll, *parts, *layers, *retain)
 
@@ -113,10 +127,11 @@ func main() {
 		n, err := poller.Poll()
 		span.End()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "poll:", err)
+			slog.Warn("snapshot poll failed", "dir", *data, "err", err)
 		}
 		if n > 0 {
-			fmt.Printf("  published %d snapshot(s), head epoch %d\n", n, srv.Engine.Store().Latest().Epoch)
+			slog.Info("snapshots published",
+				"count", n, "epoch", srv.Engine.Store().Latest().Epoch)
 		}
 	}
 	publishPoll()

@@ -15,9 +15,12 @@
 package comm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -160,14 +163,20 @@ func Run(n int, body func(r *Rank)) {
 // RunOn executes body once per rank of an existing world, concurrently,
 // and waits for all ranks to return. Use it when the world needs
 // pre-run configuration (SetInjector) that must be in place before the
-// first message.
+// first message. Each rank goroutine carries a pprof label
+// (grist_rank), so CPU profiles of a distributed run segment by rank —
+// the profiler-side counterpart of the flight recorder's per-rank span
+// attribution.
 func RunOn(w *World, body func(r *Rank)) {
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for id := 0; id < w.n; id++ {
 		go func(id int) {
 			defer wg.Done()
-			body(&Rank{id: id, w: w})
+			labels := pprof.Labels("grist_rank", strconv.Itoa(id), "grist_phase", "distributed_run")
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				body(&Rank{id: id, w: w})
+			})
 		}(id)
 	}
 	wg.Wait()

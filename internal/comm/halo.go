@@ -193,9 +193,11 @@ type HaloExchanger struct {
 	stats   ExchangeStats
 
 	// Optional flight recorder: when set, Start/Finish emit pack, wait
-	// and unpack spans attributed to telRank.
+	// and unpack spans attributed to telRank. telStep > 0 stamps spans
+	// with an explicit per-rank step (see SetTelemetryStep).
 	rec     *telemetry.Recorder
 	telRank int32
+	telStep int64
 }
 
 // NewExchanger creates an exchanger bound to a rank with an explicit
@@ -266,6 +268,23 @@ func (h *HaloExchanger) SetMode(mode precision.Mode) {
 func (h *HaloExchanger) SetTelemetry(rec *telemetry.Recorder, rank int32) {
 	h.rec = rec
 	h.telRank = rank
+}
+
+// SetTelemetryStep stamps subsequent round spans with an explicit model
+// step (> 0) — SPMD ranks advance independently, so the driver bumps
+// each rank's exchanger alongside its engine. Zero restores the
+// recorder-wide shared step.
+func (h *HaloExchanger) SetTelemetryStep(step int64) { h.telStep = step }
+
+// span opens a round-phase span on the stamped per-rank step when one
+// is set, else on the recorder's shared step.
+//
+//grist:hotpath
+func (h *HaloExchanger) span(name string) telemetry.Span {
+	if h.telStep > 0 {
+		return h.rec.BeginAt(name, h.telRank, h.telStep)
+	}
+	return h.rec.Begin(name, h.telRank)
 }
 
 // AddIndexSet registers a family of exchanged entities and returns its
@@ -439,7 +458,7 @@ func (h *HaloExchanger) Start() {
 	}
 	tag := h.tag
 	h.tag++ // unique tag per exchange round
-	sp := h.rec.Begin("halo_pack", h.telRank)
+	sp := h.span("halo_pack")
 	var bytes int64
 	for pi, q := range h.peers {
 		h.rank.ISend(q, tag, h.pack(pi))
@@ -463,7 +482,7 @@ func (h *HaloExchanger) Finish() {
 	if !h.inFlight {
 		panic("comm: HaloExchanger.Finish without Start")
 	}
-	wsp := h.rec.Begin("halo_wait", h.telRank)
+	wsp := h.span("halo_wait")
 	t0 := time.Now()
 	if h.deadline > 0 {
 		h.waitAllDeadline()
@@ -472,7 +491,7 @@ func (h *HaloExchanger) Finish() {
 	}
 	wait := time.Since(t0)
 	wsp.End()
-	usp := h.rec.Begin("halo_unpack", h.telRank)
+	usp := h.span("halo_unpack")
 	for pi := range h.peers {
 		h.unpack(pi)
 	}

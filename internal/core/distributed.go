@@ -222,7 +222,13 @@ type distOpts struct {
 	tim      *Timings            // drain per-rank halo wait times
 	stats    *comm.ExchangeStats // aggregate rounds/bytes/wait
 	reg      *telemetry.Registry // publish comm share / imbalance gauges
-	rec      *telemetry.Recorder // per-rank halo + dynamics spans
+	rec      *telemetry.Recorder // per-rank halo + dynamics spans (one shared ring)
+	recs     []*telemetry.Recorder
+	// recs, when non-nil (length nparts), gives every rank its OWN ring
+	// — the multi-node model, where each node records locally and a
+	// postmortem merges the rings (internal/obs). Spans are then stamped
+	// with the rank's own step counter, so cross-rank alignment by step
+	// survives ranks drifting apart.
 }
 
 // RunDistributedDynamics integrates the dry dynamics for the given number
@@ -264,6 +270,24 @@ func RunDistributedDynamicsObserved(m *mesh.Mesh, nlev, nparts int, mode precisi
 	return s, st
 }
 
+// RunDistributedDynamicsTraced is the cross-rank observability variant:
+// every rank records into its own flight-recorder ring (recs[p], length
+// nparts), with spans stamped by the rank's own step counter — the
+// input shape internal/obs merges into a global per-step timeline and
+// critical path. reg (may be nil) additionally receives the Observed
+// gauges plus grist_trace_dropped_total summed over the rings.
+func RunDistributedDynamicsTraced(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64,
+	recs []*telemetry.Recorder, reg *telemetry.Registry) (*dycore.State, comm.ExchangeStats) {
+	if len(recs) != nparts {
+		panic("core: RunDistributedDynamicsTraced needs one recorder per rank")
+	}
+	var st comm.ExchangeStats
+	s := runDistributedDynamics(m, nlev, nparts, mode, initFn, steps, dt,
+		distOpts{stats: &st, reg: reg, recs: recs})
+	return s, st
+}
+
 // MeasuredCommShare returns the measured communication fraction of a
 // timed distributed run: summed halo wait over summed dynamics wall time
 // across ranks.
@@ -290,9 +314,13 @@ func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 		eng := dycore.New(m, nlev, mode)
 		initFn(eng.State())
 		ex := newStateExchanger(pl, r, eng.State(), mode)
-		if opt.rec != nil {
-			ex.SetTelemetry(opt.rec, int32(p))
-			eng.SetTelemetry(opt.rec, int32(p))
+		rec := opt.rec
+		if opt.recs != nil {
+			rec = opt.recs[p]
+		}
+		if rec != nil {
+			ex.SetTelemetry(rec, int32(p))
+			eng.SetTelemetry(rec, int32(p))
 		}
 		o := pl.OwnedSets(p)
 		if opt.blocking {
@@ -303,6 +331,13 @@ func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 		eng.SetOwned(o)
 		t0 := time.Now()
 		for i := 0; i < steps; i++ {
+			if rec != nil {
+				// Stamp this rank's spans with ITS step counter (1-based):
+				// the recorder-wide SetStep cannot attribute concurrently
+				// advancing ranks.
+				eng.SetTelemetryStep(int64(i + 1))
+				ex.SetTelemetryStep(int64(i + 1))
+			}
 			eng.Step(dt)
 		}
 		wall := time.Since(t0)
@@ -345,6 +380,12 @@ func runDistributedDynamics(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 		opt.reg.Gauge("grist_load_imbalance").Set(LoadImbalance(rankWall))
 		if steps > 0 {
 			opt.reg.Gauge("grist_halo_bytes_per_step").Set(float64(agg.BytesSent) / float64(steps))
+		}
+		// Ring-wrap drops poison postmortem attribution silently; surface
+		// them as a counter so a scrape (or the obs report) can warn.
+		telemetry.NewDropCounter(opt.reg, opt.rec).Publish()
+		for _, rec := range opt.recs {
+			telemetry.NewDropCounter(opt.reg, rec).Publish()
 		}
 	}
 	return final

@@ -30,6 +30,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -276,6 +277,8 @@ func RunDistributedDynamicsElastic(m *mesh.Mesh, nlev, nparts int,
 				Kind: "rollback", Members: el.Members(), Epoch: el.Epoch(),
 				ResumeStep: resumeStep, Failures: fails,
 			})
+			slog.Warn("elastic rollback on same shape",
+				"epoch", el.Epoch(), "resume_step", resumeStep, "failures", len(fails))
 			continue
 		}
 		var survivors []int
@@ -338,6 +341,11 @@ func reshape(el *partition.Elastic, newMembers []int, pl **DistPlan, store *Shar
 		opts.Reg.Counter("grist_repartition_total").Inc()
 		opts.Reg.Gauge("grist_repartition_cost_ms").Set(float64(repart+redist) / float64(time.Millisecond))
 	}
+	slog.Info("membership reshape",
+		"kind", kind, "members", len(el.Members()), "epoch", el.Epoch(),
+		"resume_step", resumeStep, "failures", len(fails),
+		"repart_ms", float64(repart)/float64(time.Millisecond),
+		"redistribute_ms", float64(redist)/float64(time.Millisecond))
 	return nil
 }
 
@@ -440,31 +448,103 @@ func runElasticLeg(m *mesh.Mesh, pl *DistPlan, store *ShardStore, nlev int, memb
 	return final, fails
 }
 
+// RebalanceOpts configures RunDistributedDynamicsRebalancedOpts.
+type RebalanceOpts struct {
+	// RebalanceAt lists the step boundaries (1-based, exclusive of the
+	// final step) where the world repartitions.
+	RebalanceAt []int
+
+	// Seed keys the deterministic partitioner (default 12345).
+	Seed int64
+
+	// Attributed selects the cost signal fed back to the partitioner.
+	// False uses per-rank leg wall time — the raw imbalance-gauge
+	// signal. True uses span-attributed compute time (wall minus the
+	// measured halo wait): under lockstep synchronization per-rank
+	// walls equalize because peers absorb a straggler's excess as
+	// halo_wait, so wall-based weights misattribute — an under-loaded
+	// rank reports the same wall over fewer cells and looks expensive —
+	// while compute = wall − wait localizes the real load.
+	Attributed bool
+
+	// InitialWeights, when non-nil, seeds the first decomposition with
+	// explicit per-cell weights (the obs experiment starts from a
+	// deliberately skewed partition to measure convergence).
+	InitialWeights []int32
+
+	// Reg receives grist_repartition_total and the final
+	// grist_load_imbalance (max/mean of per-rank attributed compute
+	// over the last leg). Optional.
+	Reg *telemetry.Registry
+
+	// Recs, when non-nil, must hold one flight recorder per rank;
+	// engine and exchanger spans land in the rank's own ring with
+	// per-rank step stamps, ready for obs.Merge.
+	Recs []*telemetry.Recorder
+}
+
+// RebalanceReport summarizes a rebalanced run: how many repartitions
+// applied and the final leg's per-rank attribution, the numbers the
+// gauge-vs-attributed comparison is judged on.
+type RebalanceReport struct {
+	Applied int
+
+	// FinalComputeSec / FinalWaitSec are the last leg's per-rank
+	// attributed compute (wall − halo wait) and halo wait, seconds.
+	FinalComputeSec []float64
+	FinalWaitSec    []float64
+
+	// FinalImbalance is max/mean of FinalComputeSec: 1.0 is perfectly
+	// balanced load. Walls cannot measure this — under lockstep they
+	// equalize regardless of the split.
+	FinalImbalance float64
+}
+
 // RunDistributedDynamicsRebalanced integrates like RunDistributedDynamics
-// but repartitions live at the given step boundaries, inside one world:
-// the ranks agree on measured per-rank wall time (AllGather), feed it
-// back as per-cell weights to the multilevel partitioner, and rebind
-// their exchanger layouts and ownership sets in place. Every rank
-// derives the identical weighted decomposition from the agreed inputs,
-// so no part map is communicated. Returns the merged final state and
-// the number of repartitions applied. In DP mode the result is bitwise
-// identical to RunDistributedDynamics of the same configuration.
+// but repartitions live at the given step boundaries from measured
+// per-rank wall time. Kept as the stable wall-driven entry point;
+// RunDistributedDynamicsRebalancedOpts adds span-attributed weighting,
+// per-rank tracing and the full report.
 func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
 	initFn func(*dycore.State), steps int, dt float64, rebalanceAt []int, seed int64,
 	reg *telemetry.Registry) (*dycore.State, int) {
+	final, rep := RunDistributedDynamicsRebalancedOpts(m, nlev, nparts, mode, initFn, steps, dt,
+		RebalanceOpts{RebalanceAt: rebalanceAt, Seed: seed, Reg: reg})
+	return final, rep.Applied
+}
 
+// RunDistributedDynamicsRebalancedOpts integrates with live repartition
+// inside one world: at each boundary the ranks agree on measured
+// per-rank cost (AllGather), feed it back as per-cell weights to the
+// multilevel partitioner, and rebind their exchanger layouts and
+// ownership sets in place. Every rank derives the identical weighted
+// decomposition from the agreed inputs, so no part map is communicated.
+// In DP mode the result is bitwise identical to RunDistributedDynamics
+// of the same configuration.
+func RunDistributedDynamicsRebalancedOpts(m *mesh.Mesh, nlev, nparts int, mode precision.Mode,
+	initFn func(*dycore.State), steps int, dt float64, opts RebalanceOpts) (*dycore.State, RebalanceReport) {
+
+	seed := opts.Seed
 	if seed == 0 {
 		seed = 12345
 	}
 	rebal := map[int]bool{}
-	for _, s := range rebalanceAt {
+	for _, s := range opts.RebalanceAt {
 		if s > 0 && s < steps {
 			rebal[s] = true
 		}
 	}
-	pl0 := NewDistPlan(m, nlev, nparts, seed)
+	var pl0 *DistPlan
+	if opts.InitialWeights != nil {
+		if d, err := partition.DecomposeWeighted(m, nparts, seed, opts.InitialWeights); err == nil {
+			pl0 = NewDistPlanFromDecomp(m, nlev, d)
+		}
+	}
+	if pl0 == nil {
+		pl0 = NewDistPlan(m, nlev, nparts, seed)
+	}
 	final := dycore.NewState(m, nlev)
-	applied := 0
+	var rep RebalanceReport
 
 	comm.Run(nparts, func(r *comm.Rank) {
 		p := r.ID()
@@ -473,6 +553,11 @@ func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode preci
 		s := eng.State()
 		initFn(s)
 		ex := newStateExchanger(pl, r, s, mode)
+		if opts.Recs != nil {
+			rec := opts.Recs[p]
+			eng.SetTelemetry(rec, int32(p))
+			ex.SetTelemetry(rec, int32(p))
+		}
 		bind := func() {
 			o := pl.OwnedSets(p)
 			o.Start, o.Finish = ex.Start, ex.Finish
@@ -480,21 +565,45 @@ func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode preci
 		}
 		bind()
 
-		epoch := 0
+		// legCost returns the leg's (cost, wait) per the configured
+		// signal, draining the exchanger stats so each leg measures
+		// itself. The wait side of the drain is the same quantity the
+		// halo_wait spans record.
 		legStart := time.Now()
+		legCost := func() (float64, float64) {
+			wall := time.Since(legStart).Seconds()
+			wait := ex.DrainStats().Wait.Seconds()
+			compute := wall - wait
+			if compute < 0 {
+				compute = 0
+			}
+			if opts.Attributed {
+				return compute, wait
+			}
+			return wall, wait
+		}
+
+		epoch := 0
 		for i := 0; i < steps; i++ {
+			if opts.Recs != nil {
+				// Stamp this rank's spans with ITS step counter; the
+				// recorder-wide SetStep cannot attribute concurrently
+				// advancing ranks.
+				eng.SetTelemetryStep(int64(i + 1))
+				ex.SetTelemetryStep(int64(i + 1))
+			}
 			eng.Step(dt)
 			step := i + 1
 			if !rebal[step] {
 				continue
 			}
-			wall := time.Since(legStart).Seconds()
+			cost, _ := legCost()
 
 			// Agree on the measured load, then make every rank's state
 			// owner-truth everywhere: after this exchange each rank holds
 			// the exact owned values of all ranks, so any re-ownership is
 			// safe (mirror values never leak into a new owner's region).
-			walls := r.AllGather([]float64{wall})
+			costs := r.AllGather([]float64{cost})
 			regions := r.AllGather(packOwnedState(s, pl, p))
 			for q := 0; q < nparts; q++ {
 				if q != p {
@@ -503,8 +612,12 @@ func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode preci
 			}
 
 			epoch++
+			flat := make([]float64, nparts)
+			for q := 0; q < nparts; q++ {
+				flat[q] = costs[q][0]
+			}
 			d, err := partition.DecomposeWeighted(m, nparts, partition.EpochSeed(seed, epoch),
-				cellWeightsFromWalls(pl, walls))
+				partition.CostWeights(pl.Decomp.Part, nparts, flat))
 			if err != nil {
 				continue // keep the current decomposition
 			}
@@ -514,10 +627,41 @@ func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode preci
 			bind()
 			legStart = time.Now()
 			if p == 0 {
-				applied++
-				if reg != nil {
-					reg.Counter("grist_repartition_total").Inc()
+				rep.Applied++
+				if opts.Reg != nil {
+					opts.Reg.Counter("grist_repartition_total").Inc()
 				}
+				slog.Debug("repartition applied",
+					"step", step, "epoch", epoch, "parts", nparts, "attributed", opts.Attributed)
+			}
+		}
+
+		// Final-leg attribution: agree on (compute, wait) so rank 0 can
+		// report the converged balance.
+		wall := time.Since(legStart).Seconds()
+		wait := ex.DrainStats().Wait.Seconds()
+		compute := wall - wait
+		if compute < 0 {
+			compute = 0
+		}
+		finals := r.AllGather([]float64{compute, wait})
+		if p == 0 {
+			rep.FinalComputeSec = make([]float64, nparts)
+			rep.FinalWaitSec = make([]float64, nparts)
+			var sum, max float64
+			for q := 0; q < nparts; q++ {
+				rep.FinalComputeSec[q] = finals[q][0]
+				rep.FinalWaitSec[q] = finals[q][1]
+				sum += finals[q][0]
+				if finals[q][0] > max {
+					max = finals[q][0]
+				}
+			}
+			if sum > 0 {
+				rep.FinalImbalance = max * float64(nparts) / sum
+			}
+			if opts.Reg != nil {
+				opts.Reg.Gauge("grist_load_imbalance").Set(rep.FinalImbalance)
 			}
 		}
 		if err := r.BarrierTimeout(10 * time.Second); err != nil {
@@ -525,34 +669,5 @@ func RunDistributedDynamicsRebalanced(m *mesh.Mesh, nlev, nparts int, mode preci
 		}
 		gatherState(r, final, s, pl)
 	})
-	return final, applied
-}
-
-// cellWeightsFromWalls converts agreed per-rank wall times into per-cell
-// integer load weights: each rank's measured per-cell cost, normalized
-// to [1, 1000]. Pure function of (plan, walls) — every rank computes
-// the same weights, which keeps the weighted repartition agreement-free.
-func cellWeightsFromWalls(pl *DistPlan, walls [][]float64) []int32 {
-	perCell := make([]float64, pl.NParts)
-	maxW := 0.0
-	for p := 0; p < pl.NParts; p++ {
-		n := len(pl.TendCells[p])
-		if n == 0 {
-			continue
-		}
-		w := walls[p][0] / float64(n)
-		perCell[p] = w
-		if w > maxW {
-			maxW = w
-		}
-	}
-	out := make([]int32, pl.Mesh.NCells)
-	for c := range out {
-		w := int32(1)
-		if maxW > 0 {
-			w = 1 + int32(perCell[pl.Decomp.Part[c]]/maxW*999)
-		}
-		out[c] = w
-	}
-	return out
+	return final, rep
 }

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -168,6 +169,9 @@ func RunDistributedDynamicsResilient(m *mesh.Mesh, nlev, nparts int,
 			opts.Reg.Counter("grist_rank_failures_total").Add(int64(len(fails)))
 		}
 		rep.Events = append(rep.Events, RecoveryEvent{Attempt: attempt, Failures: fails, ResumeEpoch: -1})
+		slog.Warn("resilient leg aborted; rolling back",
+			"attempt", attempt, "failures", len(fails),
+			"rank", fails[0].Rank, "kind", fails[0].Kind, "reason", fails[0].Reason)
 		if rep.Recoveries >= opts.MaxRecoveries {
 			return nil, rep, fmt.Errorf("core: resilient run failed after %d recoveries: rank %d (%s): %s",
 				rep.Recoveries, fails[0].Rank, fails[0].Kind, fails[0].Reason)

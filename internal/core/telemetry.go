@@ -36,6 +36,7 @@ type ModelTelemetry struct {
 	sypd        *telemetry.Gauge
 	simSeconds  *telemetry.Gauge
 	steps       *telemetry.Counter
+	drops       *telemetry.DropCounter
 	stepNo      int64
 
 	// Graceful degradation: when the physics suite supports DegradeFor
@@ -64,6 +65,7 @@ func (mod *Model) EnableTelemetry(reg *telemetry.Registry, rec *telemetry.Record
 		tel.sypd = reg.Gauge("grist_sypd")
 		tel.simSeconds = reg.Gauge("grist_sim_seconds")
 		tel.steps = reg.Counter("grist_physics_steps_total")
+		tel.drops = telemetry.NewDropCounter(reg, rec)
 		// A single-process run has no exchange and one rank: comm share
 		// is genuinely 0 and the imbalance ratio 1. Registering the
 		// degenerate values keeps the exposition schema identical between
@@ -123,6 +125,7 @@ func (tel *ModelTelemetry) endStep(mod *Model, sp telemetry.Span, start time.Tim
 	if wall > 0 {
 		tel.sypd.Set(dtPhy / wall * 86400.0 / secondsPerYear)
 	}
+	tel.drops.Publish()
 	if tel.Health != nil && tel.HealthEvery > 0 && tel.stepNo%int64(tel.HealthEvery) == 0 {
 		tel.scanHealth(mod)
 	}

@@ -54,6 +54,12 @@ type Engine interface {
 	// halo_finish, boundary, implicit_vertical), attributed to rank. A
 	// nil recorder detaches.
 	SetTelemetry(rec *telemetry.Recorder, rank int32)
+	// SetTelemetryStep stamps subsequent spans with an explicit model
+	// step (> 0). Distributed runners call it before each Step so every
+	// rank's spans carry its own step counter — the recorder's shared
+	// SetStep cannot attribute ranks that advance independently. Zero
+	// restores the shared-step behavior of the serial drivers.
+	SetTelemetryStep(step int64)
 }
 
 // OwnedSets describes one rank's share of the mesh for distributed runs:
@@ -111,8 +117,10 @@ type engine[T precision.Real] struct {
 	workers int
 
 	// Optional flight recorder for Step phase spans (nil: disabled).
+	// telStep > 0 stamps spans with an explicit per-rank step.
 	rec     *telemetry.Recorder
 	telRank int32
+	telStep int64
 
 	// Work arrays in switchable precision T (advective terms, kinetic
 	// energy, vorticity, tangential winds — the insensitive terms).
@@ -217,6 +225,19 @@ func (e *engine[T]) SetTelemetry(rec *telemetry.Recorder, rank int32) {
 	e.telRank = rank
 }
 
+func (e *engine[T]) SetTelemetryStep(step int64) { e.telStep = step }
+
+// span opens a phase span: with an explicit per-rank step when one was
+// stamped (distributed runs), else on the recorder's shared step.
+//
+//grist:hotpath
+func (e *engine[T]) span(name string) telemetry.Span {
+	if e.telStep > 0 {
+		return e.rec.BeginAt(name, e.telRank, e.telStep)
+	}
+	return e.rec.Begin(name, e.telRank)
+}
+
 func (e *engine[T]) SetOwned(o *OwnedSets) {
 	e.owned = o
 	e.split = nil
@@ -308,7 +329,7 @@ func (e *engine[T]) eachUEdge(f func(ed int32)) {
 //
 //grist:hotpath
 func (e *engine[T]) Step(dt float64) {
-	stepSpan := e.rec.Begin("dyn_step", e.telRank)
+	stepSpan := e.span("dyn_step")
 	s := e.s
 	copy(e.saveMass, s.DryMass)
 	copy(e.saveTheta, s.ThetaM)
@@ -332,22 +353,22 @@ func (e *engine[T]) Step(dt float64) {
 			}
 		})
 		if si < 2 {
-			sp := e.rec.Begin("halo_start", e.telRank)
+			sp := e.span("halo_start")
 			e.hookStart()
 			sp.End()
-			sp = e.rec.Begin("interior", e.telRank)
+			sp = e.span("interior")
 			e.computeTendencies(regionInterior)
 			sp.End()
-			sp = e.rec.Begin("halo_finish", e.telRank)
+			sp = e.span("halo_finish")
 			e.hookFinish()
 			sp.End()
-			sp = e.rec.Begin("boundary", e.telRank)
+			sp = e.span("boundary")
 			e.computeTendencies(regionBoundary)
 			sp.End()
 		}
 	}
 
-	sp := e.rec.Begin("halo_start", e.telRank)
+	sp := e.span("halo_start")
 	e.hookStart()
 	sp.End()
 	// Accumulate the final-stage mass flux in double precision for the
@@ -360,10 +381,10 @@ func (e *engine[T]) Step(dt float64) {
 	})
 	e.accumSteps++
 
-	sp = e.rec.Begin("implicit_vertical", e.telRank)
+	sp = e.span("implicit_vertical")
 	e.implicitVertical(dt)
 	sp.End()
-	sp = e.rec.Begin("halo_finish", e.telRank)
+	sp = e.span("halo_finish")
 	e.hookFinish()
 	sp.End()
 	// Post-implicit refresh: ship the implicitly updated (w, phi).

@@ -1,0 +1,116 @@
+package experiments
+
+// Benchmark regression gate: CheckBench compares freshly generated
+// BENCH_*.json artifacts against a committed baseline of per-metric
+// tolerance windows. The baseline is data, not code — widening a window
+// is a reviewed diff on bench.baseline.json, so silent performance or
+// correctness drift cannot ride in on an unrelated change.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BaselineEntry is one gated metric: a dotted path into the named
+// artifact and the inclusive [Min, Max] window its value must land in.
+// Booleans are compared as 0/1, so `"min": 1, "max": 1` pins a verdict
+// field to true.
+type BaselineEntry struct {
+	File string  `json:"file"`
+	Path string  `json:"path"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// LoadBaseline reads a bench.baseline.json tolerance file.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// lookup resolves a dotted path ("a.b.c") in a decoded JSON document,
+// returning the numeric value (bools as 0/1).
+func lookup(doc any, path string) (float64, error) {
+	cur := doc
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("%q: not an object at %q", path, part)
+		}
+		cur, ok = m[part]
+		if !ok {
+			return 0, fmt.Errorf("%q: no field %q", path, part)
+		}
+	}
+	switch v := cur.(type) {
+	case float64:
+		return v, nil
+	case bool:
+		if v {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("%q: not a number or bool", path)
+}
+
+// CheckBench verifies every baseline entry against the artifacts in
+// dir. It returns one report line per entry plus ok=false when any
+// metric lands outside its window (or an artifact/field is missing —
+// a gate that silently skips is not a gate).
+func CheckBench(dir, baselinePath string) ([]string, bool, error) {
+	entries, err := LoadBaseline(baselinePath)
+	if err != nil {
+		return nil, false, err
+	}
+	docs := map[string]any{}
+	var rows []string
+	ok := true
+	for _, e := range entries {
+		doc, loaded := docs[e.File]
+		if !loaded {
+			buf, err := os.ReadFile(filepath.Join(dir, e.File))
+			if err != nil {
+				rows = append(rows, fmt.Sprintf("FAIL %-22s %-30s artifact missing: %v", e.File, e.Path, err))
+				ok = false
+				docs[e.File] = nil
+				continue
+			}
+			if err := json.Unmarshal(buf, &doc); err != nil {
+				rows = append(rows, fmt.Sprintf("FAIL %-22s %-30s unparsable: %v", e.File, e.Path, err))
+				ok = false
+				docs[e.File] = nil
+				continue
+			}
+			docs[e.File] = doc
+		}
+		if doc == nil {
+			rows = append(rows, fmt.Sprintf("FAIL %-22s %-30s artifact missing", e.File, e.Path))
+			ok = false
+			continue
+		}
+		v, err := lookup(doc, e.Path)
+		if err != nil {
+			rows = append(rows, fmt.Sprintf("FAIL %-22s %-30s %v", e.File, e.Path, err))
+			ok = false
+			continue
+		}
+		if v < e.Min || v > e.Max {
+			rows = append(rows, fmt.Sprintf("FAIL %-22s %-30s %g outside [%g, %g]", e.File, e.Path, v, e.Min, e.Max))
+			ok = false
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("ok   %-22s %-30s %g in [%g, %g]", e.File, e.Path, v, e.Min, e.Max))
+	}
+	return rows, ok, nil
+}

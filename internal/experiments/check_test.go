@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCheckFixture(t *testing.T, baseline string) (dir, basePath string) {
+	t.Helper()
+	dir = t.TempDir()
+	artifact := `{"ok_flag": true, "nested": {"imbalance": 1.25}, "count": 8}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte(artifact), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath = filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(baseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, basePath
+}
+
+func TestCheckBenchWithinWindows(t *testing.T) {
+	dir, base := writeCheckFixture(t, `[
+		{"file": "BENCH_x.json", "path": "ok_flag", "min": 1, "max": 1},
+		{"file": "BENCH_x.json", "path": "nested.imbalance", "min": 1.0, "max": 1.5},
+		{"file": "BENCH_x.json", "path": "count", "min": 8, "max": 8}
+	]`)
+	rows, ok, err := CheckBench(dir, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(rows) != 3 {
+		t.Fatalf("ok=%v rows=%v", ok, rows)
+	}
+}
+
+func TestCheckBenchFlagsDrift(t *testing.T) {
+	dir, base := writeCheckFixture(t, `[
+		{"file": "BENCH_x.json", "path": "nested.imbalance", "min": 1.0, "max": 1.1}
+	]`)
+	rows, ok, err := CheckBench(dir, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("drifted metric passed the gate")
+	}
+	if len(rows) != 1 || !strings.HasPrefix(rows[0], "FAIL") {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCheckBenchMissingIsFailure(t *testing.T) {
+	dir, base := writeCheckFixture(t, `[
+		{"file": "BENCH_x.json", "path": "no.such.field", "min": 0, "max": 1},
+		{"file": "BENCH_gone.json", "path": "anything", "min": 0, "max": 1}
+	]`)
+	_, ok, err := CheckBench(dir, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("missing artifact/field passed the gate — a gate that silently skips is not a gate")
+	}
+}
+
+func TestCheckBenchCommittedBaselineParses(t *testing.T) {
+	// The committed baseline must always load; a syntax error here
+	// would disable the CI gate.
+	entries, err := LoadBaseline(filepath.Join("..", "..", "bench.baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("committed bench.baseline.json gates nothing")
+	}
+	for _, e := range entries {
+		if e.File == "" || e.Path == "" || e.Min > e.Max {
+			t.Fatalf("malformed entry %+v", e)
+		}
+	}
+}

@@ -20,6 +20,7 @@ package fault
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
@@ -117,6 +118,12 @@ const maxEvents = 1024
 type Plan struct {
 	Seed int64
 	Prof Profile
+
+	// Log, when non-nil, receives one structured record per injected
+	// fault (kind, from, to, tag) in addition to the bounded event log.
+	// Injection verdicts are pure functions of the coordinates, so the
+	// logging side channel cannot perturb them.
+	Log *slog.Logger
 
 	mu       sync.Mutex
 	flips    int
@@ -233,7 +240,8 @@ func (p *Plan) PermitStep(rank, step int) bool {
 	return false
 }
 
-// record appends to the bounded event log.
+// record appends to the bounded event log and mirrors the event to the
+// structured logger when one is attached.
 func (p *Plan) record(e Event) {
 	p.mu.Lock()
 	if len(p.events) < maxEvents {
@@ -242,6 +250,11 @@ func (p *Plan) record(e Event) {
 		p.overflow++
 	}
 	p.mu.Unlock()
+	if p.Log != nil {
+		p.Log.Debug("fault injected",
+			"kind", e.Kind, "from", e.From, "to", e.To, "tag", e.Tag,
+			"attempt", e.Attempt, "detail", e.Detail)
+	}
 }
 
 // Events returns a copy of the injected-fault log (at most maxEvents

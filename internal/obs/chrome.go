@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChromeTrace writes the merged timeline as Chrome trace_event
+// JSON (chrome://tracing, Perfetto). Mapping:
+//
+//   - pid is the source ring index (one process per ring), tid the
+//     rank, so each rank gets its own row grouped under its process;
+//   - ts/dur are microseconds since the ring's first retained span
+//     (per-ring normalization — cross-ring horizontal alignment is
+//     approximate; the step arg is the global alignment key);
+//   - args.step is the model step; spans on their step's critical path
+//     (per pm) additionally carry args.crit=1, so the binding chain can
+//     be highlighted in the viewer. Pass a nil pm to skip marking.
+//
+// Output is deterministic for a given timeline: spans are ordered by
+// (ring, rank, start, longer-first), the per-row order the viewers
+// require for correct nesting.
+func (t *Timeline) WriteChromeTrace(w io.Writer, pm *Postmortem) error {
+	type critKey struct {
+		step  int64
+		rank  int32
+		name  string
+		index int
+	}
+	crit := make(map[critKey]bool)
+	if pm != nil {
+		for _, rep := range pm.Steps {
+			for _, h := range rep.CriticalPath {
+				crit[critKey{rep.Step, h.Rank, h.Name, h.Index}] = true
+			}
+		}
+	}
+	var evs []Span
+	for _, st := range t.Steps {
+		for _, rs := range st.Ranks {
+			evs = append(evs, rs.Spans...)
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ring != evs[j].Ring {
+			return evs[i].Ring < evs[j].Ring
+		}
+		if evs[i].Rank != evs[j].Rank {
+			return evs[i].Rank < evs[j].Rank
+		}
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, ev := range evs {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		mark := ""
+		if crit[critKey{ev.Step, ev.Rank, ev.Name, ev.Index}] {
+			mark = `,"crit":1`
+		}
+		if _, err := fmt.Fprintf(w,
+			"%s\n{\"name\":%s,\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"args\":{\"step\":%d%s}}",
+			sep, strconv.Quote(ev.Name), ev.Ring, ev.Rank, micros(ev.Start), micros(ev.Dur), ev.Step, mark); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// micros renders nanoseconds as decimal microseconds with nanosecond
+// resolution preserved (integer math; no float wobble in goldens).
+func micros(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign = "-"
+		ns = -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}

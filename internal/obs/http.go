@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+
+	"gristgo/internal/telemetry"
+)
+
+// Source supplies the per-rank rings and summed drop count for a debug
+// snapshot — typically a closure over Rings(recs...) for a distributed
+// run, or over a single recorder for a serial one.
+type Source func() ([][]telemetry.Event, uint64)
+
+// StepHandler serves live step postmortems:
+//
+//	GET /debug/step               full postmortem JSON over retained steps
+//	GET /debug/step?step=N        only step N
+//	GET /debug/step?topk=K        top-K stragglers per step (default 3)
+//	GET /debug/step?format=trace  merged multi-rank Chrome trace with
+//	                              critical-path marks (load in Perfetto)
+func StepHandler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rings, dropped := src()
+		t := Merge(rings, dropped)
+		topk := 3
+		if s := r.URL.Query().Get("topk"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				topk = v
+			}
+		}
+		pm := Build(t, topk)
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "trace" {
+			_ = t.WriteChromeTrace(w, pm)
+			return
+		}
+		if s := r.URL.Query().Get("step"); s != "" {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				pm.Steps = filterStep(pm.Steps, v)
+			}
+		}
+		_ = pm.EncodeJSON(w)
+	})
+}
+
+// filterStep keeps only the reports for one step number.
+func filterStep(steps []StepReport, step int64) []StepReport {
+	var kept []StepReport
+	for _, sr := range steps {
+		if sr.Step == step {
+			kept = append(kept, sr)
+		}
+	}
+	return kept
+}

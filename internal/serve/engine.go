@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sync/atomic"
+	"time"
 
 	"gristgo/internal/mesh"
 )
@@ -65,26 +68,38 @@ func (e *Engine) Tiler() *Tiler { return e.tiler }
 
 // tile returns the materialized tile for (snap.Epoch, tile, field),
 // from cache when possible, coalescing concurrent builds of the same
-// key into one.
-func (e *Engine) tile(snap *Snapshot, tile int32, field int) (*Tile, string) {
+// key into one. A non-nil qt gets the per-tile outcome counted and a
+// build's wall time recorded as a phase; the goroutine materializing a
+// tile carries a grist_phase=tile_build pprof label so CPU profiles
+// split build time from lookup time.
+func (e *Engine) tile(snap *Snapshot, tile int32, field int, qt *QueryTrace) (*Tile, string) {
 	k := TileKey{Epoch: int32(snap.Epoch), Tile: tile, Field: uint8(field)}
 	if t := e.cache.Get(k); t != nil {
+		qt.countTile(CacheHit)
 		return t, CacheHit
 	}
 	for {
 		if c := e.flight.join(k); c != nil {
 			<-c.done
+			qt.countTile(CacheCoalesced)
 			return c.tile, CacheCoalesced
 		}
 		c, leader := e.flight.lead(k)
 		if !leader {
 			<-c.done
+			qt.countTile(CacheCoalesced)
 			return c.tile, CacheCoalesced
 		}
-		t := NewTile(k, snap, e.tiler.TileCells(tile))
+		t0 := time.Now()
+		var t *Tile
+		pprof.Do(context.Background(), pprof.Labels("grist_phase", "tile_build"), func(context.Context) {
+			t = NewTile(k, snap, e.tiler.TileCells(tile))
+		})
 		e.builds.Add(1)
 		e.cache.Add(t)
 		e.flight.finish(k, c, t, nil)
+		qt.countTile(CacheBuild)
+		qt.phase("tile_build", time.Since(t0))
 		return t, CacheBuild
 	}
 }
@@ -137,6 +152,12 @@ type PointResult struct {
 // the latest snapshot. The returned cache status is one of the
 // Cache* constants.
 func (e *Engine) Point(epoch int, field string, latDeg, lonDeg float64) (PointResult, string, *Error) {
+	return e.PointT(nil, epoch, field, latDeg, lonDeg)
+}
+
+// PointT is Point with request-scoped tracing: a non-nil qt collects
+// the tile outcomes and build phases of this query.
+func (e *Engine) PointT(qt *QueryTrace, epoch int, field string, latDeg, lonDeg float64) (PointResult, string, *Error) {
 	f, ok := FieldID(field)
 	if !ok {
 		return PointResult{}, "", badRequest("unknown field %q (have %v)", field, FieldNames)
@@ -150,7 +171,7 @@ func (e *Engine) Point(epoch int, field string, latDeg, lonDeg float64) (PointRe
 		return PointResult{}, "", serr
 	}
 	c := e.tiler.Locate(lat, lon)
-	t, status := e.tile(snap, e.tiler.TileOfCell(c), f)
+	t, status := e.tile(snap, e.tiler.TileOfCell(c), f, qt)
 	m := e.tiler.m
 	return PointResult{
 		Epoch:  snap.Epoch,
@@ -185,6 +206,11 @@ const DefaultRegionLimit = 4096
 // dateline-crossing boxes must be split by the client). The cache
 // status is CacheHit only when every touched tile was cached.
 func (e *Engine) Region(epoch int, field string, minLatDeg, maxLatDeg, minLonDeg, maxLonDeg float64, limit int) (RegionResult, string, *Error) {
+	return e.RegionT(nil, epoch, field, minLatDeg, maxLatDeg, minLonDeg, maxLonDeg, limit)
+}
+
+// RegionT is Region with request-scoped tracing.
+func (e *Engine) RegionT(qt *QueryTrace, epoch int, field string, minLatDeg, maxLatDeg, minLonDeg, maxLonDeg float64, limit int) (RegionResult, string, *Error) {
 	f, ok := FieldID(field)
 	if !ok {
 		return RegionResult{}, "", badRequest("unknown field %q (have %v)", field, FieldNames)
@@ -218,7 +244,7 @@ func (e *Engine) Region(epoch int, field string, minLatDeg, maxLatDeg, minLonDeg
 		if !e.tiler.Overlaps(tile, lo, hi, ll, hl) {
 			continue
 		}
-		t, st := e.tile(snap, tile, f)
+		t, st := e.tile(snap, tile, f, qt)
 		if st != CacheHit {
 			status = st
 		}
@@ -260,6 +286,11 @@ type RangeResult struct {
 // Range answers a time-range query over epochs [from, to] (to < 0
 // means the newest retained epoch) at degree coordinates.
 func (e *Engine) Range(field string, latDeg, lonDeg float64, from, to int) (RangeResult, string, *Error) {
+	return e.RangeT(nil, field, latDeg, lonDeg, from, to)
+}
+
+// RangeT is Range with request-scoped tracing.
+func (e *Engine) RangeT(qt *QueryTrace, field string, latDeg, lonDeg float64, from, to int) (RangeResult, string, *Error) {
 	f, ok := FieldID(field)
 	if !ok {
 		return RangeResult{}, "", badRequest("unknown field %q (have %v)", field, FieldNames)
@@ -297,7 +328,7 @@ func (e *Engine) Range(field string, latDeg, lonDeg float64, from, to int) (Rang
 		if !ok {
 			continue // evicted between Epochs() and At()
 		}
-		t, st := e.tile(snap, tile, f)
+		t, st := e.tile(snap, tile, f, qt)
 		if st != CacheHit {
 			status = st
 		}

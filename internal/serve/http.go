@@ -51,8 +51,9 @@ type Server struct {
 	Engine *Engine
 	Quotas *Quotas
 
-	queue chan struct{}
-	reg   *telemetry.Registry
+	queue  chan struct{}
+	reg    *telemetry.Registry
+	traces *traceRing
 
 	// Metric handles resolved once at construction (hot paths must not
 	// take the registry lock per request).
@@ -78,6 +79,7 @@ func NewServer(m *mesh.Mesh, cfg Config, reg *telemetry.Registry) *Server {
 		Quotas:      NewQuotas(cfg.QuotaRate, cfg.QuotaBurst),
 		queue:       make(chan struct{}, cfg.QueueDepth),
 		reg:         reg,
+		traces:      newTraceRing(cfg.Seed),
 		latency:     map[string]*telemetry.Histogram{},
 		hitLatency:  reg.Histogram("grist_serve_latency_seconds", "cache", "hit"),
 		queueDepth:  reg.Gauge("grist_serve_queue_depth"),
@@ -131,49 +133,77 @@ func Tenant(r *http.Request) string {
 	return "anon"
 }
 
-// wrap applies the admission pipeline around a query handler: quota
-// check, bounded-queue admission, latency/result accounting, JSON
-// encoding. Handlers return (payload, cacheStatus, *Error).
-func (s *Server) wrap(kind string, fn func(*http.Request) (any, string, *Error)) http.HandlerFunc {
+// wrap applies the admission pipeline around a query handler: trace
+// start (an inbound X-Grist-Trace ID is honored, else one is minted and
+// echoed), quota check, bounded-queue admission, latency and result
+// accounting with the trace ID recorded as the latency histogram's
+// exemplar, JSON encoding. Handlers return (payload, cacheStatus,
+// *Error).
+func (s *Server) wrap(kind string, fn func(*http.Request, *QueryTrace) (any, string, *Error)) http.HandlerFunc {
 	lat := s.latency[kind]
 	ok2xx, bad4xx := s.okCount[kind], s.badCount[kind]
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.Quotas.Allow(Tenant(r)) {
+		qt := &QueryTrace{ID: r.Header.Get("X-Grist-Trace"), Kind: kind, Tenant: Tenant(r), Start: time.Now()}
+		if qt.ID == "" {
+			qt.ID = s.traces.newID()
+		}
+		w.Header().Set("X-Grist-Trace", qt.ID)
+		t0 := time.Now()
+		if !s.Quotas.Allow(qt.Tenant) {
 			s.quotaReject.Inc()
 			w.Header().Set("Retry-After", "1")
 			w.Header().Set("X-Grist-Reject", "quota")
+			qt.phase("quota", time.Since(t0))
+			s.finishTrace(qt, 429, "", "tenant quota exceeded")
 			writeJSON(w, 429, &Error{Code: 429, Msg: "tenant quota exceeded"})
 			return
 		}
+		qt.phase("quota", time.Since(t0))
+		tq := time.Now()
 		select {
 		case s.queue <- struct{}{}:
 		default:
 			s.queueReject.Inc()
 			w.Header().Set("Retry-After", "1")
 			w.Header().Set("X-Grist-Reject", "queue")
+			qt.phase("queue", time.Since(tq))
+			s.finishTrace(qt, 429, "", "server queue full")
 			writeJSON(w, 429, &Error{Code: 429, Msg: "server queue full"})
 			return
 		}
+		qt.phase("queue", time.Since(tq))
 		s.queueDepth.Set(float64(len(s.queue)))
-		t0 := time.Now()
-		payload, status, qerr := fn(r)
+		t0 = time.Now()
+		payload, status, qerr := fn(r, qt)
 		dt := time.Since(t0).Seconds()
+		qt.phase("handler", time.Since(t0))
 		<-s.queue
-		lat.Observe(dt)
+		lat.ObserveExemplar(dt, qt.ID)
 		if qerr != nil {
 			bad4xx.Inc()
+			s.finishTrace(qt, qerr.Code, "", qerr.Msg)
 			writeJSON(w, qerr.Code, qerr)
 			return
 		}
 		if status != "" {
 			w.Header().Set("X-Grist-Cache", status)
 			if status == CacheHit {
-				s.hitLatency.Observe(dt)
+				s.hitLatency.ObserveExemplar(dt, qt.ID)
 			}
 		}
 		ok2xx.Inc()
+		s.finishTrace(qt, 200, status, "")
 		writeJSON(w, 200, payload)
 	}
+}
+
+// finishTrace seals a query trace and retains a copy in the ring.
+func (s *Server) finishTrace(qt *QueryTrace, code int, cache, errMsg string) {
+	qt.Status = code
+	qt.Cache = cache
+	qt.Err = errMsg
+	qt.DurNS = int64(time.Since(qt.Start))
+	s.traces.add(*qt)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -209,7 +239,7 @@ func intArg(r *http.Request, name string, def int) (int, *Error) {
 	return v, nil
 }
 
-func (s *Server) handlePoint(r *http.Request) (any, string, *Error) {
+func (s *Server) handlePoint(r *http.Request, qt *QueryTrace) (any, string, *Error) {
 	lat, err := floatArg(r, "lat", 0)
 	if err != nil {
 		return nil, "", err
@@ -226,14 +256,14 @@ func (s *Server) handlePoint(r *http.Request) (any, string, *Error) {
 	if field == "" {
 		field = "ps"
 	}
-	res, status, qerr := s.Engine.Point(epoch, field, lat, lon)
+	res, status, qerr := s.Engine.PointT(qt, epoch, field, lat, lon)
 	if qerr != nil {
 		return nil, "", qerr
 	}
 	return res, status, nil
 }
 
-func (s *Server) handleRegion(r *http.Request) (any, string, *Error) {
+func (s *Server) handleRegion(r *http.Request, qt *QueryTrace) (any, string, *Error) {
 	minLat, err := floatArg(r, "min_lat", -90)
 	if err != nil {
 		return nil, "", err
@@ -262,14 +292,14 @@ func (s *Server) handleRegion(r *http.Request) (any, string, *Error) {
 	if field == "" {
 		field = "ps"
 	}
-	res, status, qerr := s.Engine.Region(epoch, field, minLat, maxLat, minLon, maxLon, limit)
+	res, status, qerr := s.Engine.RegionT(qt, epoch, field, minLat, maxLat, minLon, maxLon, limit)
 	if qerr != nil {
 		return nil, "", qerr
 	}
 	return res, status, nil
 }
 
-func (s *Server) handleRange(r *http.Request) (any, string, *Error) {
+func (s *Server) handleRange(r *http.Request, qt *QueryTrace) (any, string, *Error) {
 	lat, err := floatArg(r, "lat", 0)
 	if err != nil {
 		return nil, "", err
@@ -290,7 +320,7 @@ func (s *Server) handleRange(r *http.Request) (any, string, *Error) {
 	if field == "" {
 		field = "ps"
 	}
-	res, status, qerr := s.Engine.Range(field, lat, lon, from, to)
+	res, status, qerr := s.Engine.RangeT(qt, field, lat, lon, from, to)
 	if qerr != nil {
 		return nil, "", qerr
 	}
@@ -304,7 +334,7 @@ type epochsResult struct {
 	Fields []string `json:"fields"`
 }
 
-func (s *Server) handleEpochs(r *http.Request) (any, string, *Error) {
+func (s *Server) handleEpochs(r *http.Request, qt *QueryTrace) (any, string, *Error) {
 	return epochsResult{Epochs: s.Engine.Store().Epochs(), Fields: FieldNames[:]}, "", nil
 }
 

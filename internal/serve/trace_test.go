@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gristgo/internal/telemetry"
+)
+
+// traceTestServer returns a warm server with the debug endpoints
+// registered on the same mux as the query plane, plus its registry.
+func traceTestServer(t *testing.T) (*Server, *telemetry.Registry, *http.ServeMux) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	s := NewServer(testMesh, Config{}, reg)
+	s.Publish(testSnapshot(1))
+	mux := s.Mux()
+	s.RegisterDebug(mux)
+	return s, reg, mux
+}
+
+// getTraced issues a GET carrying an explicit X-Grist-Trace ID.
+func getTraced(t *testing.T, h http.Handler, path, traceID, tenant string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	req.Header.Set("X-Grist-Trace", traceID)
+	if tenant != "" {
+		req.Header.Set("X-Grist-Tenant", tenant)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestTraceIDEchoedAndRetained(t *testing.T) {
+	_, _, mux := traceTestServer(t)
+
+	rec := getTraced(t, mux, "/v1/point?lat=12&lon=34&field=ps", "cafe0001", "")
+	if rec.Code != 200 {
+		t.Fatalf("point = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Grist-Trace"); got != "cafe0001" {
+		t.Fatalf("echoed trace ID = %q, want cafe0001", got)
+	}
+
+	// The completed trace is retrievable by ID with its phase timeline
+	// and tile-path outcome.
+	dbg := get(t, mux, "/debug/query/cafe0001", "")
+	if dbg.Code != 200 {
+		t.Fatalf("/debug/query/cafe0001 = %d: %s", dbg.Code, dbg.Body.String())
+	}
+	var qt QueryTrace
+	if err := json.Unmarshal(dbg.Body.Bytes(), &qt); err != nil {
+		t.Fatal(err)
+	}
+	if qt.ID != "cafe0001" || qt.Kind != "point" || qt.Status != 200 {
+		t.Fatalf("trace = %+v, want id=cafe0001 kind=point status=200", qt)
+	}
+	var names []string
+	for _, ph := range qt.Phases {
+		names = append(names, ph.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"quota", "queue", "handler"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("phases %v missing %q", names, want)
+		}
+	}
+	if qt.TileHits+qt.TileBuilds+qt.TileCoalesced == 0 {
+		t.Fatalf("trace recorded no tile acquisitions: %+v", qt)
+	}
+}
+
+func TestTraceIDMintedWhenAbsent(t *testing.T) {
+	_, _, mux := traceTestServer(t)
+	a := get(t, mux, "/v1/point?lat=12&lon=34&field=ps", "")
+	b := get(t, mux, "/v1/point?lat=12&lon=34&field=ps", "")
+	ida, idb := a.Header().Get("X-Grist-Trace"), b.Header().Get("X-Grist-Trace")
+	if ida == "" || idb == "" {
+		t.Fatalf("minted IDs empty: %q %q", ida, idb)
+	}
+	if ida == idb {
+		t.Fatalf("two queries share trace ID %q", ida)
+	}
+}
+
+func TestDebugQueryListNewestFirst(t *testing.T) {
+	_, _, mux := traceTestServer(t)
+	for i := 0; i < 3; i++ {
+		get(t, mux, "/v1/point?lat=12&lon=34&field=ps", "")
+	}
+	rec := get(t, mux, "/debug/query?limit=2", "")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/query = %d", rec.Code)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("limit=2 returned %d traces", len(list))
+	}
+	rec = get(t, mux, "/debug/query/no-such-id", "")
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace ID = %d, want 404", rec.Code)
+	}
+}
+
+func TestQuotaRejectionTraced(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewServer(testMesh, Config{QuotaRate: 0.001, QuotaBurst: 1}, reg)
+	s.Publish(testSnapshot(1))
+	mux := s.Mux()
+	s.RegisterDebug(mux)
+	get(t, mux, "/v1/point?lat=12&lon=34&field=ps", "greedy")
+	rec := getTraced(t, mux, "/v1/point?lat=12&lon=34&field=ps", "throttled1", "greedy")
+	if rec.Code != 429 {
+		t.Fatalf("second query over burst = %d, want 429", rec.Code)
+	}
+	dbg := get(t, mux, "/debug/query/throttled1", "")
+	var qt QueryTrace
+	if err := json.Unmarshal(dbg.Body.Bytes(), &qt); err != nil {
+		t.Fatal(err)
+	}
+	if qt.Status != 429 || qt.Err == "" {
+		t.Fatalf("throttled trace = %+v, want status=429 with error", qt)
+	}
+}
+
+func TestLatencyExemplarIsTraceID(t *testing.T) {
+	_, reg, mux := traceTestServer(t)
+	if rec := getTraced(t, mux, "/v1/point?lat=12&lon=34&field=ps", "exemplar1", ""); rec.Code != 200 {
+		t.Fatalf("point = %d", rec.Code)
+	}
+	h := reg.Histogram("grist_serve_latency_seconds", "kind", "point")
+	if ex := h.ExemplarNear(0.99); ex != "exemplar1" {
+		t.Fatalf("latency exemplar = %q, want exemplar1", ex)
+	}
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"exemplar_p99":"exemplar1"`) {
+		t.Fatal("metrics JSON export missing the p99 exemplar trace ID")
+	}
+}

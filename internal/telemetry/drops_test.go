@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBeginAtStampsExplicitStep(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.SetStep(99) // recorder-wide value, must be overridden
+	rec.BeginAt("interior", 3, 7).End()
+	rec.Begin("boundary", 3).End()
+	evs := rec.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Name != "interior" || evs[0].Rank != 3 || evs[0].Step != 7 {
+		t.Fatalf("BeginAt span = %+v, want step 7 rank 3", evs[0])
+	}
+	if evs[1].Step != 99 {
+		t.Fatalf("Begin span step = %d, want the recorder-wide 99", evs[1].Step)
+	}
+}
+
+func TestDroppedCountsRingWrap(t *testing.T) {
+	rec := NewRecorder(16) // 16 is the recorder's minimum capacity
+	for i := 0; i < 16; i++ {
+		rec.Begin("a", 0).End()
+	}
+	if d := rec.Dropped(); d != 0 {
+		t.Fatalf("Dropped before wrap = %d, want 0", d)
+	}
+	for i := 0; i < 3; i++ {
+		rec.Begin("b", 0).End()
+	}
+	if d := rec.Dropped(); d != 3 {
+		t.Fatalf("Dropped after 3 overwrites = %d, want 3", d)
+	}
+}
+
+func TestDropCounterPublishesDeltas(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(16)
+	dc := NewDropCounter(reg, rec)
+	c := reg.Counter("grist_trace_dropped_total")
+
+	dc.Publish()
+	if c.Value() != 0 {
+		t.Fatalf("counter before any drop = %d", c.Value())
+	}
+	for i := 0; i < 19; i++ {
+		rec.Begin("x", 0).End()
+	}
+	dc.Publish()
+	dc.Publish() // second publish with no new drops must not double-count
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3 (19 events into a 16-slot ring)", c.Value())
+	}
+	rec.Begin("x", 0).End()
+	dc.Publish()
+	if c.Value() != 4 {
+		t.Fatalf("counter after one more drop = %d, want 4", c.Value())
+	}
+
+	// Nil pieces yield an inert publisher, not a panic.
+	NewDropCounter(nil, nil).Publish()
+	var nilDC *DropCounter
+	nilDC.Publish()
+}
+
+func TestExemplarSurvivesToExport(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("grist_serve_latency_seconds", "kind", "point")
+	h.ObserveExemplar(0.004, "fast1")
+	h.ObserveExemplar(0.250, "slow1")
+	if ex := h.ExemplarNear(0.99); ex != "slow1" {
+		t.Fatalf("p99 exemplar = %q, want the slow query's ID", ex)
+	}
+	var buf strings.Builder
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"exemplar_p99":"slow1"`) {
+		t.Fatalf("JSON export missing exemplar: %s", buf.String())
+	}
+}

@@ -100,6 +100,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			for _, q := range exportQuantiles {
 				entry += fmt.Sprintf(",\"p%02.0f\":%s", q*100, jsonFloat(h.Quantile(q)))
 			}
+			if ex := h.ExemplarNear(0.99); ex != "" {
+				entry += fmt.Sprintf(",\"exemplar_p99\":%q", ex)
+			}
 			hists = append(hists, entry+"}")
 		}
 	}

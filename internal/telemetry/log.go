@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the structured logger behind every driver's
+// -log.format flag: "text" renders human-readable key=value lines,
+// "json" renders one JSON object per line for log shippers. Components
+// attach their coordinates (rank, step, epoch) as attrs rather than
+// interpolating them into the message, so a straggler investigation can
+// filter by rank the same way it slices the trace.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// SetDefaultLogger installs the format's logger process-wide
+// (slog.Default), which is what the library packages log through.
+func SetDefaultLogger(format string, w io.Writer) error {
+	l, err := NewLogger(format, w)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(l)
+	return nil
+}

@@ -59,6 +59,12 @@ type Histogram struct {
 	primed  bool
 	alpha   float64
 	buckets [histBuckets]int64
+
+	// exemplars holds the most recent exemplar label (a trace id) per
+	// bucket, so "what request landed in the p99 bucket?" has an answer
+	// one can paste into /debug/query/{id}. Fixed storage; overwritten
+	// in place, never allocated per observation.
+	exemplars [histBuckets]string
 }
 
 // ewmaAlpha is the default EWMA smoothing factor: each observation
@@ -68,10 +74,17 @@ const ewmaAlpha = 0.1
 // Observe records one value.
 //
 //grist:hotpath
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one value and attaches an exemplar label (a
+// trace id) to the bucket it lands in, replacing the bucket's previous
+// exemplar. Allocation-free apart from the caller's label.
+//
+//grist:hotpath
+func (h *Histogram) ObserveExemplar(v float64, exemplar string) {
 	h.mu.Lock()
 	if h.alpha == 0 {
-		h.alpha = ewmaAlpha // zero-value Histogram gets the default
+		h.alpha = ewmaAlpha
 	}
 	h.count++
 	h.sum += v
@@ -87,8 +100,44 @@ func (h *Histogram) Observe(v float64) {
 		}
 		h.ewma += h.alpha * (v - h.ewma)
 	}
-	h.buckets[bucketOf(v)]++
+	b := bucketOf(v)
+	h.buckets[b]++
+	if exemplar != "" {
+		h.exemplars[b] = exemplar
+	}
 	h.mu.Unlock()
+}
+
+// ExemplarNear returns the exemplar of the bucket holding the
+// q-quantile observation, falling back to the nearest lower bucket
+// carrying one ("" when no exemplar has been recorded at or below the
+// quantile). The p99 exemplar is the usual question: which request was
+// the slow one.
+func (h *Histogram) ExemplarNear(q float64) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return ""
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	qb := histBuckets - 1
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i]
+		if cum >= target {
+			qb = i
+			break
+		}
+	}
+	for i := qb; i >= 0; i-- {
+		if h.exemplars[i] != "" {
+			return h.exemplars[i]
+		}
+	}
+	return ""
 }
 
 // bucketOf maps a value to its log2 bucket index.

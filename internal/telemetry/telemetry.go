@@ -99,13 +99,20 @@ func (r *Recorder) CurrentStep() int64 {
 	return r.step.Load()
 }
 
-// Span is an in-flight interval begun by Begin. The zero Span (and any
-// Span from a nil Recorder) is inert: End does nothing.
+// Span is an in-flight interval begun by Begin or BeginAt. The zero
+// Span (and any Span from a nil Recorder) is inert: End does nothing.
 type Span struct {
 	rec   *Recorder
 	name  string
 	rank  int32
+	step  int64 // explicit step when stepped is true (BeginAt)
 	start int64
+	// stepped selects the step source at End: the explicit step carried
+	// by the span (BeginAt) or the recorder's shared SetStep value
+	// (Begin). SPMD ranks advance their step counters independently, so
+	// a shared atomic would misattribute a straggler's spans; BeginAt
+	// lets each rank stamp its own step.
+	stepped bool
 }
 
 // Begin starts a span attributed to rank. The span is recorded when End
@@ -119,6 +126,19 @@ func (r *Recorder) Begin(name string, rank int32) Span {
 	return Span{rec: r, name: name, rank: rank, start: r.now()}
 }
 
+// BeginAt starts a span attributed to rank with an explicit model step,
+// overriding the recorder-wide SetStep value. Distributed runners use
+// it because concurrently advancing ranks have no shared "current"
+// step. Allocation-free.
+//
+//grist:hotpath
+func (r *Recorder) BeginAt(name string, rank int32, step int64) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{rec: r, name: name, rank: rank, step: step, stepped: true, start: r.now()}
+}
+
 // End completes the span and writes it into the ring, overwriting the
 // oldest event when full. Allocation-free.
 //
@@ -129,7 +149,10 @@ func (s Span) End() {
 		return
 	}
 	end := r.now()
-	step := r.step.Load()
+	step := s.step
+	if !s.stepped {
+		step = r.step.Load()
+	}
 	r.mu.Lock()
 	ev := &r.events[int(r.next%uint64(len(r.events)))]
 	ev.Name = s.name
@@ -176,6 +199,42 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.next = 0
 	r.mu.Unlock()
+}
+
+// DropCounter publishes a recorder's ring-wrap drop count into the
+// monotone grist_trace_dropped_total counter. Dropped() is a cumulative
+// high-water mark while counters only move forward, so the publisher
+// tracks the last value it pushed and adds deltas; call Publish from
+// any periodic point (a poll loop, the end of a run leg).
+type DropCounter struct {
+	rec  *Recorder
+	c    *Counter
+	mu   sync.Mutex
+	last uint64
+}
+
+// NewDropCounter wires rec's drop count to grist_trace_dropped_total in
+// reg. Either argument may be nil, yielding an inert publisher.
+func NewDropCounter(reg *Registry, rec *Recorder) *DropCounter {
+	d := &DropCounter{rec: rec}
+	if reg != nil {
+		d.c = reg.Counter("grist_trace_dropped_total")
+	}
+	return d
+}
+
+// Publish pushes the drops accrued since the previous Publish.
+func (d *DropCounter) Publish() {
+	if d == nil || d.c == nil || d.rec == nil {
+		return
+	}
+	n := d.rec.Dropped()
+	d.mu.Lock()
+	if n > d.last {
+		d.c.Add(int64(n - d.last))
+		d.last = n
+	}
+	d.mu.Unlock()
 }
 
 // Snapshot returns the held events in chronological (recording) order.
