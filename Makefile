@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-baseline lint-sarif test race race-serve bench bench-ml bench-halo chaos serve-smoke bench-serve bench-obs bench-check
+.PHONY: check build vet lint lint-baseline lint-sarif test race race-serve bench bench-ml bench-halo chaos chaos-serve serve-smoke bench-serve bench-obs bench-check
 
 check: build vet lint test race
 
@@ -81,6 +81,20 @@ chaos:
 	$(GO) run ./cmd/gristbench -exp chaos
 	$(GO) run ./cmd/gristbench -exp elastic
 
+# The storage-plane chaos suite under the race detector (the vfs seam,
+# the fault-injecting filesystem, atomic shard writes under torn
+# renames, quarantine/staleness/breaker behavior in the serve plane),
+# then the chaosserve experiment: producer + poller + load replay per
+# filesystem fault profile, writing CHAOS_serve.json (non-breaker-5xx /
+# checksum / bounded-recovery verdicts) and gating it against the
+# committed tolerance windows.
+chaos-serve:
+	$(GO) test -race -count=1 \
+		-run 'FS|Vfs|OSRoundTrip|WriteOwnedFile|WriteShard|CommittedEpochs|Quarantine|Rederive|CrashRestart|Breaker|Backoff|Degraded|SnapshotStore' \
+		./internal/vfs/ ./internal/fault/ ./internal/core/ ./internal/pario/ ./internal/serve/
+	$(GO) run ./cmd/gristbench -exp chaosserve
+	$(GO) run ./cmd/gristbench -check -check-files CHAOS_serve.json -baseline bench.baseline.json
+
 # The serving-plane smoke: gristd self-generates a 3-epoch replay,
 # fires 10k queries at its own HTTP listener, and exits nonzero unless
 # the run had zero 5xx, cached p99 under the bound, and quota-throttled
@@ -107,7 +121,9 @@ bench-obs:
 	$(GO) run ./cmd/gristbench -exp obs
 
 # The benchmark regression gate: regenerate the obs artifacts and
-# compare them against the committed per-metric tolerance windows.
-# Widening a window is a reviewed diff on bench.baseline.json.
+# compare them against the committed per-metric tolerance windows
+# (restricted to the obs artifact — the chaos-serve target gates
+# CHAOS_serve.json). Widening a window is a reviewed diff on
+# bench.baseline.json.
 bench-check: bench-obs
-	$(GO) run ./cmd/gristbench -check -baseline bench.baseline.json
+	$(GO) run ./cmd/gristbench -check -check-files BENCH_obs.json -baseline bench.baseline.json

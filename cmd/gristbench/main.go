@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"gristgo/internal/experiments"
@@ -18,13 +19,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, elastic, serve, obs, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig2, fig7, fig8, fig9, fig10, fig11, telemetry, chaos, chaosserve, elastic, serve, obs, all")
 	fast := flag.Bool("fast", false, "skip the slow model-integration experiments (fig7, fig8) under -exp all")
 	csvDir := flag.String("csv", "", "also write plot-ready CSV files for figs 2/9/10/11 into this directory")
 	benchDir := flag.String("bench-out", ".", "directory for the telemetry/chaos experiments' JSON artifacts")
 	faultSeed := flag.Int64("fault.seed", 7, "chaos experiment: fault-injection seed")
 	check := flag.Bool("check", false, "compare the BENCH_*.json artifacts in -bench-out against -baseline and exit nonzero on drift")
 	baseline := flag.String("baseline", "bench.baseline.json", "per-metric tolerance file for -check")
+	checkFiles := flag.String("check-files", "", "comma-separated artifact names: restrict -check to baseline entries on these files")
 	logFormat := flag.String("log.format", "text", "structured log format: text or json")
 	flag.Parse()
 
@@ -34,7 +36,11 @@ func main() {
 	}
 
 	if *check {
-		rows, ok, err := experiments.CheckBench(*benchDir, *baseline)
+		var files []string
+		if *checkFiles != "" {
+			files = strings.Split(*checkFiles, ",")
+		}
+		rows, ok, err := experiments.CheckBench(*benchDir, *baseline, files...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench check:", err)
 			os.Exit(1)
@@ -122,6 +128,18 @@ func main() {
 			}
 			printRows(res.Rows())
 			fmt.Printf("Wrote CHAOS_recovery.json and CHAOS_sentinels.json to %s\n", *benchDir)
+		},
+		"chaosserve": func() {
+			cfg := experiments.DefaultChaosServeConfig()
+			cfg.Seed = *faultSeed
+			cfg.Dir = *benchDir
+			res, err := experiments.WriteChaosServeConfig(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaosserve:", err)
+				os.Exit(1)
+			}
+			printRows(res.Rows())
+			fmt.Printf("Wrote CHAOS_serve.json to %s\n", *benchDir)
 		},
 		"elastic": func() {
 			cfg := experiments.DefaultElasticConfig()

@@ -22,12 +22,14 @@ import (
 	"time"
 
 	"gristgo/internal/core"
-	"gristgo/internal/obs"
+	"gristgo/internal/fault"
 	"gristgo/internal/mesh"
+	"gristgo/internal/obs"
 	"gristgo/internal/physics"
 	"gristgo/internal/serve"
 	"gristgo/internal/synthclim"
 	"gristgo/internal/telemetry"
+	"gristgo/internal/vfs"
 )
 
 func main() {
@@ -48,6 +50,9 @@ func main() {
 	smokeQueries := flag.Int("smoke.queries", 0, "run a self-smoke: fire N queries over real HTTP, print the report, exit")
 	smokeP99 := flag.Duration("smoke.p99", 50*time.Millisecond, "self-smoke failure bound on cached-query p99")
 	logFormat := flag.String("log.format", "text", "structured log format: text or json")
+	maxStale := flag.Int("serve.max-stale", 4, "degraded mode once serving lags this many committed epochs")
+	faultProfile := flag.String("fault.profile", "off", "filesystem fault profile over -data ("+fault.FSProfiles()+")")
+	faultSeed := flag.Int64("fault.seed", 1, "seed of the filesystem fault verdict stream")
 	flag.Parse()
 
 	if err := telemetry.SetDefaultLogger(*logFormat, os.Stderr); err != nil {
@@ -80,8 +85,22 @@ func main() {
 		*parts = 1
 	}
 
+	// The daemon reads -data through the vfs seam; a named fault profile
+	// decorates it with seeded storage chaos (for drills and demos — the
+	// plane must keep serving through it).
+	fsys := vfs.OS
+	prof, err := fault.ParseFSProfile(*faultProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if prof != (fault.FSProfile{Name: prof.Name}) {
+		fmt.Printf("Storage chaos: profile %s seed %d over %s\n", prof.Name, *faultSeed, *data)
+		fsys = fault.NewFS(vfs.OS, *faultSeed, prof)
+	}
+
 	pl := core.NewDistPlan(m, *layers, *parts, 12345)
-	src, err := core.NewShardStore(*data, pl)
+	src, err := core.NewShardStoreFS(*data, pl, fsys)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -96,8 +115,12 @@ func main() {
 		QueueDepth: *queueDepth,
 		QuotaRate:  *quotaRate,
 		QuotaBurst: *quotaBurst,
+		MaxStale:   *maxStale,
 	}, reg)
 	poller := serve.NewShardPoller(src, srv.Engine.Store())
+	poller.SetSeed(*faultSeed)
+	poller.SetLogger(slog.Default())
+	poller.SetMetrics(reg)
 
 	// One mux: telemetry endpoints plus the query plane and the debug
 	// plane (/debug/query traces, /debug/step postmortems over the
@@ -122,19 +145,26 @@ func main() {
 
 	// First poll before serving traffic so a pre-populated directory
 	// (the replay case) is immediately queryable.
-	publishPoll := func() {
+	pollErrors := reg.Counter("grist_serve_poll_errors_total")
+	publishPoll := func() error {
 		span := rec.Begin("poll", 0)
 		n, err := poller.Poll()
 		span.End()
+		srv.SetStaleness(poller.Staleness())
+		srv.SetQuarantine(poller.Quarantined())
 		if err != nil {
-			slog.Warn("snapshot poll failed", "dir", *data, "err", err)
+			pollErrors.Inc()
+			return err
 		}
 		if n > 0 {
 			slog.Info("snapshots published",
 				"count", n, "epoch", srv.Engine.Store().Latest().Epoch)
 		}
+		return nil
 	}
-	publishPoll()
+	if err := publishPoll(); err != nil {
+		slog.Warn("initial snapshot poll failed", "dir", *data, "err", err)
+	}
 
 	if *smokeQueries > 0 {
 		code := runSmoke(ln.Addr().String(), srv, *smokeQueries, *smokeP99)
@@ -142,9 +172,20 @@ func main() {
 		os.Exit(code)
 	}
 
+	// Persistent poll failures back off exponentially (capped, jittered)
+	// instead of hammering a sick filesystem at the base interval, with
+	// one log line per backoff step rather than one per tick.
+	bo := serve.NewBackoff(*poll, time.Minute, *faultSeed)
 	for {
+		if err := publishPoll(); err != nil {
+			wait := bo.Next()
+			slog.Warn("snapshot poll failed; backing off",
+				"dir", *data, "err", err, "consecutive", bo.Fails(), "retry_in", wait)
+			time.Sleep(wait)
+			continue
+		}
+		bo.Reset()
 		time.Sleep(*poll)
-		publishPoll()
 	}
 }
 

@@ -17,6 +17,7 @@ package core
 // mirrors exactly as they were, not just the owned region.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -24,12 +25,12 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
 	"gristgo/internal/dycore"
+	"gristgo/internal/vfs"
 )
 
 const (
@@ -39,12 +40,26 @@ const (
 
 // atomicWriteFile streams write into a temp file in path's directory,
 // syncs it, and renames it over path — the canonical crash-safe
-// replace. On any error the temp file is removed and path is untouched.
+// replace on the real filesystem.
 //
 //grist:durable
 func atomicWriteFile(path string, write func(io.Writer) error) error {
+	return atomicWriteFileFS(vfs.OS, path, write)
+}
+
+// atomicWriteFileFS is atomicWriteFile over an injectable filesystem:
+// every durable write path routes through here so the chaos layer can
+// interpose torn writes, ENOSPC and rename reordering on exactly the
+// operations a real storage failure hits. The payload is buffered so
+// the file sees syscall-sized writes (a shard serializer emitting one
+// row at a time would otherwise pay ~2500 write calls per shard, and
+// hand the fault layer ~2500 chances per file instead of a handful).
+// On any error the temp file is removed and path is untouched.
+//
+//grist:durable
+func atomicWriteFileFS(fsys vfs.FS, path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	f, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
@@ -53,21 +68,25 @@ func atomicWriteFile(path string, write func(io.Writer) error) error {
 		if cerr := f.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := write(f); err != nil {
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := write(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
 		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
 		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	return nil
@@ -79,6 +98,7 @@ func atomicWriteFile(path string, write func(io.Writer) error) error {
 type ShardStore struct {
 	dir string
 	pl  *DistPlan
+	fs  vfs.FS
 
 	// shardEdges[p]: the U columns rank p's kernels read — owned edges
 	// plus ghost (received) edges — sorted for a stable file layout.
@@ -95,10 +115,17 @@ type ShardStore struct {
 // NewShardStore creates (if needed) the checkpoint directory and
 // precomputes each rank's shard layout from the plan.
 func NewShardStore(dir string, pl *DistPlan) (*ShardStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewShardStoreFS(dir, pl, vfs.OS)
+}
+
+// NewShardStoreFS is NewShardStore over an injectable filesystem —
+// the seam the storage-chaos layer decorates. Every read and write
+// the store performs goes through fsys.
+func NewShardStoreFS(dir string, pl *DistPlan, fsys vfs.FS) (*ShardStore, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: creating checkpoint dir: %w", err)
 	}
-	st := &ShardStore{dir: dir, pl: pl, shardEdges: shardEdgeLists(pl), verified: map[int]int{}}
+	st := &ShardStore{dir: dir, pl: pl, fs: fsys, shardEdges: shardEdgeLists(pl), verified: map[int]int{}}
 	return st, nil
 }
 
@@ -171,7 +198,7 @@ func (st *ShardStore) WriteShard(epoch, rank, step int, s *dycore.State) error {
 	ni := nlev + 1
 	cells := pl.DiagCells[rank]
 	edges := st.shardEdges[rank]
-	return atomicWriteFile(st.shardPath(epoch, rank), func(w io.Writer) error {
+	return atomicWriteFileFS(st.fs, st.shardPath(epoch, rank), func(w io.Writer) error {
 		crc := crc32.NewIEEE()
 		mw := io.MultiWriter(w, crc)
 		hdr := make([]byte, len(shardMagic)+6*4)
@@ -229,7 +256,7 @@ func (st *ShardStore) WriteShard(epoch, rank, step int, s *dycore.State) error {
 func (st *ShardStore) loadShard(epoch, rank int) (shardHeader, []byte, error) {
 	var h shardHeader
 	path := st.shardPath(epoch, rank)
-	raw, err := os.ReadFile(path)
+	raw, err := st.fs.ReadFile(path)
 	if err != nil {
 		return h, nil, err
 	}
@@ -332,7 +359,7 @@ type epochManifest struct {
 //grist:durable
 func (st *ShardStore) Commit(epoch, step int) error {
 	m := epochManifest{Epoch: epoch, Step: step, NParts: st.pl.NParts, Gen: st.planGen()}
-	return atomicWriteFile(st.manifestPath(epoch), func(w io.Writer) error {
+	return atomicWriteFileFS(st.fs, st.manifestPath(epoch), func(w io.Writer) error {
 		return json.NewEncoder(w).Encode(&m)
 	})
 }
@@ -382,7 +409,7 @@ func (st *ShardStore) Redistribute(epoch, step int, newPl *DistPlan) error {
 	// A shrink leaves the retired ranks' shard files behind; drop them so
 	// the directory holds exactly the live epoch layout.
 	for p := newPl.NParts; p < oldParts; p++ {
-		os.Remove(st.shardPath(epoch, p))
+		st.fs.Remove(st.shardPath(epoch, p))
 	}
 	return st.Commit(epoch, step)
 }
@@ -400,13 +427,13 @@ func (st *ShardStore) Redistribute(epoch, step int, newPl *DistPlan) error {
 // memo for rewritten epochs; a shard file disappearing — a shrink
 // pruned it, an operator removed it — drops the memo too).
 func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
-	names, err := filepath.Glob(filepath.Join(st.dir, "epoch-*.json"))
+	names, err := st.fs.Glob(filepath.Join(st.dir, "epoch-*.json"))
 	if err != nil || len(names) == 0 {
 		return 0, 0, false
 	}
 	sort.Sort(sort.Reverse(sort.StringSlice(names)))
 	for _, name := range names {
-		raw, err := os.ReadFile(name)
+		raw, err := st.fs.ReadFile(name)
 		if err != nil {
 			continue
 		}
@@ -453,9 +480,46 @@ func (st *ShardStore) LatestCommitted() (epoch, step int, ok bool) {
 // the cheap liveness check behind the verified-epoch memo.
 func (st *ShardStore) shardsPresent(epoch, nparts int) bool {
 	for p := 0; p < nparts; p++ {
-		if _, err := os.Stat(st.shardPath(epoch, p)); err != nil {
+		if _, err := st.fs.Stat(st.shardPath(epoch, p)); err != nil {
 			return false
 		}
 	}
 	return true
+}
+
+// EpochInfo identifies one committed checkpoint epoch: its number and
+// the step count it was taken at.
+type EpochInfo struct {
+	Epoch int
+	Step  int
+}
+
+// CommittedEpochs lists every manifest-committed epoch of the current
+// plan, ascending, WITHOUT verifying shard contents. This is the serve
+// poller's view of what the producer claims exists: a corrupt epoch
+// still appears here (its manifest committed fine) so the poller can
+// attempt it, fail verification, and quarantine it — whereas
+// LatestCommitted silently skips non-verifying epochs and would hide
+// the corruption entirely. The error return distinguishes "directory
+// unreadable" (IO fault, worth backoff) from "no epochs yet" (empty
+// slice, nil error).
+func (st *ShardStore) CommittedEpochs() ([]EpochInfo, error) {
+	names, err := st.fs.Glob(filepath.Join(st.dir, "epoch-*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("core: listing epoch manifests: %w", err)
+	}
+	var out []EpochInfo
+	for _, name := range names {
+		raw, err := st.fs.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading manifest %s: %w", filepath.Base(name), err)
+		}
+		var m epochManifest
+		if json.Unmarshal(raw, &m) != nil || m.NParts != st.pl.NParts || m.Gen != st.planGen() {
+			continue
+		}
+		out = append(out, EpochInfo{Epoch: m.Epoch, Step: m.Step})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out, nil
 }

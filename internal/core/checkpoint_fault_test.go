@@ -1,0 +1,149 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gristgo/internal/dycore"
+	"gristgo/internal/fault"
+	"gristgo/internal/vfs"
+)
+
+// CommittedEpochs must list manifests ascending without verifying
+// shards — a corrupt epoch stays visible (that is the whole point: the
+// serve poller needs to see it to quarantine it) while manifests from
+// another plan are filtered out.
+func TestCommittedEpochs(t *testing.T) {
+	m := sharedMesh3
+	nlev, nparts := 3, 2
+	pl := NewDistPlan(m, nlev, nparts, 12345)
+	dir := t.TempDir()
+	st, err := NewShardStore(dir, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps, err := st.CommittedEpochs(); err != nil || len(eps) != 0 {
+		t.Fatalf("empty dir CommittedEpochs = (%v, %v), want ([], nil)", eps, err)
+	}
+	src := dycore.NewState(m, nlev)
+	resilientInit(src)
+	for _, e := range []struct{ epoch, step int }{{3, 15}, {1, 5}, {2, 10}} {
+		for p := 0; p < nparts; p++ {
+			if err := st.WriteShard(e.epoch, p, e.step, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Commit(e.epoch, e.step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A manifest from a different plan (wrong part count) must not appear.
+	if err := os.WriteFile(filepath.Join(dir, "epoch-000009.json"),
+		[]byte(`{"epoch":9,"step":45,"nparts":7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt epoch 2's shard: it must STILL be listed.
+	corruptFile(t, filepath.Join(dir, "shard-e000002-r0000.grist"))
+
+	eps, err := st.CommittedEpochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EpochInfo{{1, 5}, {2, 10}, {3, 15}}
+	if len(eps) != len(want) {
+		t.Fatalf("CommittedEpochs = %v, want %v", eps, want)
+	}
+	for i := range want {
+		if eps[i] != want[i] {
+			t.Fatalf("CommittedEpochs[%d] = %v, want %v", i, eps[i], want[i])
+		}
+	}
+}
+
+// A torn write through the fault layer must fail WriteShard cleanly:
+// error surfaced, no shard file under the final name, no temp litter.
+func TestWriteShardTornWriteIsAtomic(t *testing.T) {
+	m := sharedMesh3
+	nlev, nparts := 3, 2
+	pl := NewDistPlan(m, nlev, nparts, 12345)
+	dir := t.TempDir()
+	ffs := fault.NewFS(vfs.OS, 7, fault.FSProfile{WriteTornProb: 1})
+	st, err := NewShardStoreFS(dir, pl, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dycore.NewState(m, nlev)
+	resilientInit(src)
+	if err := st.WriteShard(1, 0, 5, src); err == nil {
+		t.Fatal("WriteShard succeeded under WriteTornProb=1")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "shard-") || strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("torn WriteShard left %q behind", e.Name())
+		}
+	}
+	if _, _, counts := ffs.FSEvents(); counts["fstorn"] == 0 {
+		t.Fatal("no fstorn event recorded")
+	}
+}
+
+// Rename-before-sync reordering is the silent one: WriteShard reports
+// success, the shard file exists under its final name, but its data
+// pages were lost — ReadShard must catch it via CRC, LatestCommitted
+// must skip the epoch, and CommittedEpochs must still list it.
+func TestWriteShardRenameTornIsDetected(t *testing.T) {
+	m := sharedMesh3
+	nlev, nparts := 3, 2
+	pl := NewDistPlan(m, nlev, nparts, 12345)
+	dir := t.TempDir()
+
+	// Epoch 1 lands clean (decorator inactive), epoch 2 through the tear.
+	ffs := fault.NewFS(vfs.OS, 9, fault.FSProfile{RenameTornProb: 1})
+	ffs.SetActive(false)
+	st, err := NewShardStoreFS(dir, pl, ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := dycore.NewState(m, nlev)
+	resilientInit(src)
+	for p := 0; p < nparts; p++ {
+		if err := st.WriteShard(1, p, 5, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Commit(1, 5); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetActive(true)
+	for p := 0; p < nparts; p++ {
+		if err := st.WriteShard(2, p, 10, src); err != nil {
+			t.Fatalf("rename-torn WriteShard must lie about success, got %v", err)
+		}
+	}
+	ffs.SetActive(false)
+	if err := st.Commit(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, counts := ffs.FSEvents(); counts["fsrenametorn"] == 0 {
+		t.Fatal("no fsrenametorn event recorded")
+	}
+
+	got := dycore.NewState(m, nlev)
+	if _, err := st.ReadShard(2, 0, got); err == nil {
+		t.Fatal("ReadShard verified a rename-torn shard")
+	}
+	if epoch, step, ok := st.LatestCommitted(); !ok || epoch != 1 || step != 5 {
+		t.Fatalf("LatestCommitted = (%d, %d, %v), want the clean epoch (1, 5, true)", epoch, step, ok)
+	}
+	eps, err := st.CommittedEpochs()
+	if err != nil || len(eps) != 2 || eps[1].Epoch != 2 {
+		t.Fatalf("CommittedEpochs = (%v, %v), want both epochs listed", eps, err)
+	}
+}

@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
 	"gristgo/internal/tracer"
+	"gristgo/internal/vfs"
 )
 
 // Restart stream framing: a magic + format-version header so a foreign
@@ -138,14 +138,30 @@ func (mod *Model) ReadRestart(r io.Reader) error {
 // framed stream lands in a temp file in the same directory and is
 // renamed into place, so a crash mid-write never leaves a truncated
 // file under the restart name.
+//
+//grist:durable
 func (mod *Model) WriteRestartFile(path string) error {
-	return atomicWriteFile(path, mod.WriteRestart)
+	return mod.WriteRestartFileFS(vfs.OS, path)
+}
+
+// WriteRestartFileFS is WriteRestartFile over an injectable filesystem,
+// so the storage-chaos layer can tear or starve the restart write the
+// same way it does checkpoint shards.
+//
+//grist:durable
+func (mod *Model) WriteRestartFileFS(fsys vfs.FS, path string) error {
+	return atomicWriteFileFS(fsys, path, mod.WriteRestart)
 }
 
 // ReadRestartFile restores the model from a restart file written by
 // WriteRestartFile (or any WriteRestart stream on disk).
 func (mod *Model) ReadRestartFile(path string) error {
-	f, err := os.Open(path)
+	return mod.ReadRestartFileFS(vfs.OS, path)
+}
+
+// ReadRestartFileFS is ReadRestartFile over an injectable filesystem.
+func (mod *Model) ReadRestartFileFS(fsys vfs.FS, path string) error {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return fmt.Errorf("core: opening restart: %w", err)
 	}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A scaled-down run must uphold all three serving invariants and land
+// the artifact on disk.
+func TestChaosServeInvariants(t *testing.T) {
+	cfg := DefaultChaosServeConfig()
+	cfg.Dir = t.TempDir()
+	cfg.Queries = 400 // enough to exercise every endpoint, cheap in CI
+
+	res, err := RunChaosServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Legs) != len(chaosServeProfiles) {
+		t.Fatalf("legs = %d, want %d", len(res.Legs), len(chaosServeProfiles))
+	}
+	if !res.ZeroNonBreaker5xx {
+		t.Error("storage faults surfaced as non-breaker 5xx")
+	}
+	if !res.AllChecksumsMatch {
+		t.Error("a published snapshot diverged from the clean reference (corrupt bytes served)")
+	}
+	if !res.AllRecovered {
+		t.Errorf("a leg failed to recover within %d polls", cfg.RecoveryPollBound)
+	}
+	if res.QuarantinedTotal == 0 {
+		t.Error("no epoch was ever quarantined — the chaos is not injecting")
+	}
+	for name, leg := range res.Legs {
+		if leg.Load.OK == 0 {
+			t.Errorf("leg %s: no query succeeded", name)
+		}
+		if leg.Load.Client4xx > 0 {
+			t.Errorf("leg %s: %d client 4xx from the well-formed workload", name, leg.Load.Client4xx)
+		}
+		if leg.EpochsProduced == 0 {
+			t.Errorf("leg %s: producer never committed an epoch", name)
+		}
+	}
+	// The flaky and torn profiles must actually provoke quarantines;
+	// fsslow only delays, so it is allowed zero.
+	if res.Legs["fstorn"].QuarantinedTotal == 0 {
+		t.Error("fstorn: torn renames never quarantined an epoch")
+	}
+
+	for _, r := range res.Rows() {
+		t.Log(r)
+	}
+}
+
+func TestWriteChaosServeArtifact(t *testing.T) {
+	dir := t.TempDir()
+	res, err := WriteChaosServe(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, "CHAOS_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded ChaosServeResult
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Seed != res.Seed || len(decoded.Legs) != len(res.Legs) {
+		t.Fatalf("artifact round-trip mismatch: %+v vs %+v", decoded, res)
+	}
+	// The artifact must expose the scalar verdicts CheckBench pins.
+	var raw map[string]any
+	if err := json.Unmarshal(buf, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"zero_non_breaker_5xx", "all_checksums_match", "all_recovered",
+		"quarantined_total", "max_recovery_polls"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("CHAOS_serve.json missing top-level gate field %q", key)
+		}
+	}
+}

@@ -67,11 +67,30 @@ func lookup(doc any, path string) (float64, error) {
 // CheckBench verifies every baseline entry against the artifacts in
 // dir. It returns one report line per entry plus ok=false when any
 // metric lands outside its window (or an artifact/field is missing —
-// a gate that silently skips is not a gate).
-func CheckBench(dir, baselinePath string) ([]string, bool, error) {
+// a gate that silently skips is not a gate). A non-empty files list
+// restricts the gate to entries on those artifacts, so CI jobs that
+// generate different artifact subsets (bench vs chaos-serve) each gate
+// exactly what they produced.
+func CheckBench(dir, baselinePath string, files ...string) ([]string, bool, error) {
 	entries, err := LoadBaseline(baselinePath)
 	if err != nil {
 		return nil, false, err
+	}
+	if len(files) > 0 {
+		want := map[string]bool{}
+		for _, f := range files {
+			want[f] = true
+		}
+		kept := entries[:0]
+		for _, e := range entries {
+			if want[e.File] {
+				kept = append(kept, e)
+			}
+		}
+		entries = kept
+		if len(entries) == 0 {
+			return nil, false, fmt.Errorf("%s: no baseline entries for %v (a gate that checks nothing is not a gate)", baselinePath, files)
+		}
 	}
 	docs := map[string]any{}
 	var rows []string

@@ -22,13 +22,23 @@
 //
 // Deliberate best-effort cleanup is exempt: deferred calls (deferred
 // Close after the explicit Close-and-check is cleanup, not commit),
-// goroutine launches, and os.Remove/os.RemoveAll of temporaries.
+// goroutine launches, and os.Remove/os.RemoveAll (or vfs.FS.Remove) of
+// temporaries.
+//
+// Durable paths that write through the injectable filesystem seam
+// (internal/vfs) are additionally held to the commit ordering: a
+// Rename that publishes a file created in the same function must have
+// a Sync between the create and the rename. Rename-before-sync is the
+// classic torn commit — the rename can reach the journal before the
+// data blocks do, and a crash then exposes a fully published name
+// whose bytes never hit disk.
 package durability
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 
 	"gristgo/internal/lint"
@@ -42,11 +52,32 @@ var Analyzer = &lint.Analyzer{
 
 const directive = "//grist:durable"
 
-// bestEffort lists package-level functions whose errors a durable path
-// may legitimately drop: removing a temporary that was never published.
+// bestEffort lists callees whose errors a durable path may
+// legitimately drop: removing a temporary that was never published.
+// vfs.FS.Remove is the injectable-filesystem twin of os.Remove — the
+// atomic-write helpers discard its error on their failure paths, where
+// the original error is already on its way to the caller.
 var bestEffort = map[string]bool{
-	"os.Remove":    true,
-	"os.RemoveAll": true,
+	"os.Remove":     true,
+	"os.RemoveAll":  true,
+	"vfs.FS.Remove": true,
+}
+
+// createLabels and renameLabels anchor the sync-before-rename rule:
+// a durable function that calls a create and later a rename with no
+// Sync in between is publishing unsynced bytes. Matching is by the
+// calleeLabel form (package.Type.Method), so the rule covers both the
+// os package and the vfs seam every durable path now routes through.
+var createLabels = map[string]bool{
+	"os.Create":         true,
+	"os.CreateTemp":     true,
+	"vfs.FS.Create":     true,
+	"vfs.FS.CreateTemp": true,
+}
+
+var renameLabels = map[string]bool{
+	"os.Rename":     true,
+	"vfs.FS.Rename": true,
 }
 
 var errorType = types.Universe.Lookup("error").Type()
@@ -136,6 +167,61 @@ func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+	checkSyncBeforeRename(pass, fd)
+}
+
+// checkSyncBeforeRename flags the rename-before-sync torn commit: a
+// durable function that creates a file and renames one into place with
+// no Sync call between the latest create and the rename publishes a
+// name whose bytes may not be on disk. The check is per-function and
+// source-ordered — helpers that create-and-sync for a caller that
+// renames are split across functions and stay out of scope, which
+// keeps the rule free of false positives at the cost of missing
+// cross-function splits.
+func checkSyncBeforeRename(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	type labeled struct {
+		pos   token.Pos
+		label string
+	}
+	var calls []labeled
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false // cleanup/detached, same as the error rules
+		}
+		if c, ok := n.(*ast.CallExpr); ok {
+			calls = append(calls, labeled{c.Pos(), calleeLabel(info, c)})
+		}
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].pos < calls[j].pos })
+	for i, c := range calls {
+		if !renameLabels[c.label] {
+			continue
+		}
+		created := -1
+		for j := 0; j < i; j++ {
+			if createLabels[calls[j].label] {
+				created = j
+			}
+		}
+		if created < 0 {
+			continue
+		}
+		synced := false
+		for j := created + 1; j < i; j++ {
+			if strings.HasSuffix(calls[j].label, ".Sync") {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			pass.Reportf(c.pos,
+				"%s on durable path %s with no Sync between create and rename; rename-before-sync publishes a name whose bytes may not be on disk",
+				c.label, fd.Name.Name)
+		}
+	}
 }
 
 // discardedError reports whether call returns an error that the

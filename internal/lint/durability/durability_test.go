@@ -12,3 +12,14 @@ func TestDurability(t *testing.T) {
 	dir := filepath.Join("..", "testdata", "src", "durability")
 	analysistest.Run(t, durability.Analyzer, dir, "example.com/fix/durability")
 }
+
+// The vfs golden fixture: durable paths writing through the injectable
+// filesystem seam are held to the commit ordering (Sync between create
+// and Rename) and get the vfs.FS.Remove best-effort exemption.
+func TestDurabilityVfs(t *testing.T) {
+	base := filepath.Join("..", "testdata", "src")
+	analysistest.RunWithDeps(t, durability.Analyzer,
+		filepath.Join(base, "durability_vfs"), "example.com/fix/durabilityvfs",
+		analysistest.Dep{Dir: filepath.Join(base, "durability_vfs_dep"), Path: "example.com/fix/vfs"},
+	)
+}

@@ -1,0 +1,115 @@
+// Golden fixture for the durability analyzer's vfs rules: the
+// best-effort exemption for vfs.FS.Remove (dropping the error of
+// removing an unpublished temp is deliberate cleanup, not a commit)
+// and the sync-before-rename check (a Rename publishing a file created
+// in the same function with no Sync in between is a torn commit).
+package fixture
+
+import (
+	"example.com/fix/vfs"
+)
+
+// AtomicReplace is the correct protocol: create, write, sync, close,
+// rename — every error checked, temp removal best-effort.
+//
+//grist:durable
+func AtomicReplace(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(".", path+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()        // want `error result of vfs\.File\.Close is discarded on durable path AtomicReplace`
+		fsys.Remove(tmp) // best-effort removal of an unpublished temp: ok
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.Rename(tmp, path) // synced before rename: ok
+}
+
+// PublishUnsynced renames a freshly written temp into place without a
+// Sync: the rename can hit the journal before the data blocks, and a
+// crash then exposes a published name full of garbage.
+//
+//grist:durable
+func PublishUnsynced(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(path+".tmp", path) // want `vfs\.FS\.Rename on durable path PublishUnsynced with no Sync between create and rename`
+}
+
+// StaleSync syncs an earlier file, then creates and renames a second
+// one: the rule keys on the latest create before the rename, so the
+// stale Sync does not cover the second file.
+//
+//grist:durable
+func StaleSync(fsys vfs.FS, a, b string, data []byte) error {
+	f, err := fsys.Create(a)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	g, err := fsys.Create(b + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := g.Write(data); err != nil {
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(b+".tmp", b) // want `vfs\.FS\.Rename on durable path StaleSync with no Sync between create and rename`
+}
+
+// CommitThrough carries the directive; publish inherits the durable
+// obligation through the same-package call and its unsynced rename is
+// reported there.
+//
+//grist:durable
+func CommitThrough(fsys vfs.FS, path string, data []byte) error {
+	return publish(fsys, path, data)
+}
+
+func publish(fsys vfs.FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(".", "pub-")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, path) // want `vfs\.FS\.Rename on durable path publish with no Sync between create and rename`
+}
+
+// coldRename is unreachable from any durable root: not checked, and a
+// rename of a file this function never created is out of the rule's
+// scope anyway.
+func coldRename(fsys vfs.FS, a, b string) {
+	fsys.Rename(a, b)
+}

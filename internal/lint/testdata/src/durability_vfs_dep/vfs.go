@@ -1,0 +1,25 @@
+// Package vfs mirrors the repo's injectable filesystem seam just
+// enough for the durability golden fixtures: the analyzer matches
+// callees by their package.Type.Method label, so the tests need a
+// package *named* vfs exporting FS and File with the durable-path
+// method set. No //grist:durable roots live here; the package exists
+// only to give the main fixture vfs-typed values to call through.
+package vfs
+
+// File is one open file on an FS. Methods are declared directly (not
+// embedded from io) so the analyzer's callee labels read vfs.File.*,
+// the same shape the real seam produces at its call sites.
+type File interface {
+	Write(p []byte) (n int, err error)
+	Close() error
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem surface of the durable paths.
+type FS interface {
+	Create(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}

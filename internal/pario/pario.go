@@ -6,15 +6,18 @@
 package pario
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"path/filepath"
 	"sync/atomic"
 
 	"gristgo/internal/comm"
 	"gristgo/internal/telemetry"
+	"gristgo/internal/vfs"
 )
 
 // GroupSize is the default number of ranks per I/O group.
@@ -115,6 +118,53 @@ func WriteOwned(r *comm.Rank, groupSize int, owned []int32, values []float64, w 
 	}
 	if c := bytesCtr.Load(); c != nil {
 		c.Add(int64(8 + 12*count))
+	}
+	return nil
+}
+
+// WriteOwnedFile is WriteOwned with the leader stream landing durably
+// at path on an injectable filesystem: the leader writes the framed
+// records into a temp file in path's directory, syncs, closes, then
+// renames into place — so a fault mid-write (torn write, ENOSPC, a
+// crash) never leaves a partial file under the output name. Non-leader
+// ranks participate in the gather exactly as in WriteOwned and never
+// touch the filesystem.
+//
+//grist:durable
+func WriteOwnedFile(fsys vfs.FS, path string, r *comm.Rank, groupSize int, owned []int32, values []float64, tag int) error {
+	leader := LeaderOf(r.ID(), groupSize)
+	if r.ID() != leader {
+		return WriteOwned(r, groupSize, owned, values, nil, tag)
+	}
+	f, err := fsys.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("pario: creating temp for %s: %w", filepath.Base(path), err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		fsys.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := WriteOwned(r, groupSize, owned, values, bw, tag); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
 	}
 	return nil
 }

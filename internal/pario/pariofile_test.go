@@ -1,0 +1,101 @@
+package pario
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+
+	"gristgo/internal/comm"
+	"gristgo/internal/fault"
+	"gristgo/internal/mesh"
+	"gristgo/internal/partition"
+	"gristgo/internal/vfs"
+)
+
+// WriteOwnedFile must land each leader's framed stream durably on the
+// filesystem and round-trip through ReadAll.
+func TestWriteOwnedFileRoundTrip(t *testing.T) {
+	m := mesh.New(3)
+	nparts, groupSize := 8, 4
+	d := partition.MustDecompose(m, nparts, 21)
+	dir := t.TempDir()
+
+	truth := make([]float64, m.NCells)
+	for c := range truth {
+		truth[c] = float64(c)*1.5 + 0.25
+	}
+	leaderPath := func(rank int) string {
+		return filepath.Join(dir, fmt.Sprintf("field-g%02d.pario", GroupOf(rank, groupSize)))
+	}
+
+	var firstErr error
+	var mu sync.Mutex
+	comm.Run(nparts, func(r *comm.Rank) {
+		owned := d.Owned[r.ID()]
+		vals := make([]float64, len(owned))
+		for i, c := range owned {
+			vals[i] = truth[c]
+		}
+		if err := WriteOwnedFile(vfs.OS, leaderPath(r.ID()), r, groupSize, owned, vals, 600); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+
+	var readers []*os.File
+	for g := 0; g < NumGroups(nparts, groupSize); g++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("field-g%02d.pario", g)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	got, err := ReadAll(m.NCells, readers[0], readers[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range truth {
+		if got[c] != truth[c] {
+			t.Fatalf("cell %d: read %v, want %v", c, got[c], truth[c])
+		}
+	}
+}
+
+// A torn write through the fault layer must fail WriteOwnedFile and
+// leave neither the final file nor temp litter behind.
+func TestWriteOwnedFileTornWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fault.NewFS(vfs.OS, 11, fault.FSProfile{WriteTornProb: 1})
+	path := filepath.Join(dir, "field.pario")
+	var gotErr error
+	comm.Run(1, func(r *comm.Rank) {
+		gotErr = WriteOwnedFile(ffs, path, r, 1, []int32{0, 1}, []float64{1, 2}, 601)
+	})
+	if gotErr == nil {
+		t.Fatal("WriteOwnedFile succeeded under WriteTornProb=1")
+	}
+	if !errors.Is(gotErr, syscall.ENOSPC) {
+		t.Fatalf("error = %v, want ENOSPC in chain", gotErr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == "field.pario" || strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("torn WriteOwnedFile left %q behind", e.Name())
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"time"
+
+	"gristgo/internal/detrand"
+)
+
+// Backoff computes capped, jittered exponential retry delays for the
+// gristd poll loop: each consecutive failure doubles the delay from
+// Base up to Max, plus a deterministic jitter of up to half the
+// current delay (seeded, so a fleet of daemons with distinct seeds
+// de-synchronizes instead of hammering a recovering filesystem in
+// lockstep). Zero value is unusable; use NewBackoff. Not safe for
+// concurrent use — it belongs to the one poll goroutine.
+type Backoff struct {
+	base, max time.Duration
+	seed      int64
+	fails     int
+}
+
+// NewBackoff returns a backoff ramping from base to max (defaults
+// 1s…60s for non-positive arguments).
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = 60 * time.Second
+	}
+	return &Backoff{base: base, max: max, seed: seed}
+}
+
+// Next records one more consecutive failure and returns how long to
+// wait before the next attempt.
+func (b *Backoff) Next() time.Duration {
+	b.fails++
+	d := b.base
+	for i := 1; i < b.fails && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	h := detrand.Fold(detrand.Step(uint64(b.seed)^0x626b6f66), uint64(b.fails))
+	jitter := time.Duration(detrand.Unit(h) * float64(d) * 0.5)
+	if d+jitter > b.max {
+		return b.max
+	}
+	return d + jitter
+}
+
+// Reset clears the failure streak after a success.
+func (b *Backoff) Reset() { b.fails = 0 }
+
+// Fails returns the current consecutive-failure count.
+func (b *Backoff) Fails() int { return b.fails }

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffExponentialGrowthAndCap(t *testing.T) {
+	b := NewBackoff(time.Second, 16*time.Second, 7)
+	prev := time.Duration(0)
+	for i := 1; i <= 10; i++ {
+		d := b.Next()
+		if d > 16*time.Second {
+			t.Fatalf("fail %d: delay %s exceeds cap", i, d)
+		}
+		// Base delay before jitter doubles: each step's floor is at least
+		// the previous step's floor.
+		floor := time.Second << uint(min(i-1, 4))
+		if d < floor {
+			t.Fatalf("fail %d: delay %s under exponential floor %s", i, d, floor)
+		}
+		if i >= 5 && d != 16*time.Second {
+			// Once the doubled base hits the cap, jitter cannot push past
+			// it — the schedule pins exactly at max.
+			t.Fatalf("fail %d: delay %s, want pinned at cap", i, d)
+		}
+		if d < prev && i < 5 {
+			t.Fatalf("fail %d: delay %s shrank from %s while ramping", i, d, prev)
+		}
+		prev = d
+	}
+	if b.Fails() != 10 {
+		t.Fatalf("Fails = %d, want 10", b.Fails())
+	}
+	b.Reset()
+	if b.Fails() != 0 {
+		t.Fatalf("Fails after Reset = %d, want 0", b.Fails())
+	}
+	if d := b.Next(); d < time.Second || d > 1500*time.Millisecond {
+		t.Fatalf("post-reset first delay = %s, want base + <=50%% jitter", d)
+	}
+}
+
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	a := NewBackoff(time.Second, time.Minute, 3)
+	b := NewBackoff(time.Second, time.Minute, 3)
+	c := NewBackoff(time.Second, time.Minute, 4)
+	sameAll, diffAny := true, false
+	for i := 0; i < 6; i++ {
+		da, db, dc := a.Next(), b.Next(), c.Next()
+		if da != db {
+			sameAll = false
+		}
+		if da != dc {
+			diffAny = true
+		}
+	}
+	if !sameAll {
+		t.Fatal("same seed produced different schedules")
+	}
+	if !diffAny {
+		t.Fatal("distinct seeds produced identical schedules (no de-synchronization)")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	d := b.Next()
+	if d < time.Second || d > 90*time.Second {
+		t.Fatalf("default-tuned first delay = %s, implausible", d)
+	}
+	for i := 0; i < 20; i++ {
+		if d := b.Next(); d > 60*time.Second {
+			t.Fatalf("delay %s exceeds the default 60s cap", d)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// buildBreaker is a per-tile-key circuit breaker over tile builds: a
+// key whose materialization keeps panicking or failing (a corrupt
+// snapshot slipped past verification, a tiler bug on one tile) is shed
+// with 503 + Retry-After for that key only — the rest of the plane
+// keeps serving. After the cooldown one probe build is allowed
+// through (half-open); success closes the breaker, another failure
+// re-opens it for a full cooldown immediately.
+type buildBreaker struct {
+	threshold int           // consecutive failures to open
+	cooldown  time.Duration // open duration before the probe
+
+	mu      sync.Mutex
+	entries map[TileKey]*breakerEntry
+
+	trips atomic.Int64 // times any key transitioned to open
+	shed  atomic.Int64 // requests rejected by an open breaker
+}
+
+type breakerEntry struct {
+	fails     int
+	openUntil time.Time
+}
+
+func newBuildBreaker(threshold int, cooldown time.Duration) *buildBreaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &buildBreaker{threshold: threshold, cooldown: cooldown, entries: map[TileKey]*breakerEntry{}}
+}
+
+// allow reports whether a build of k may proceed; when the breaker is
+// open it returns the remaining cooldown for the Retry-After header.
+func (b *buildBreaker) allow(k TileKey) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[k]
+	if e == nil || e.fails < b.threshold {
+		return 0, true
+	}
+	if wait := time.Until(e.openUntil); wait > 0 {
+		b.shed.Add(1)
+		return wait, false
+	}
+	// Half-open: let this caller probe. Re-arm the window so a stampede
+	// during the probe is still shed rather than piling onto a key that
+	// keeps failing.
+	e.openUntil = time.Now().Add(b.cooldown)
+	return 0, true
+}
+
+// success closes the breaker for k.
+func (b *buildBreaker) success(k TileKey) {
+	b.mu.Lock()
+	delete(b.entries, k)
+	b.mu.Unlock()
+}
+
+// failure records a failed or panicked build of k, opening the breaker
+// once the threshold is reached.
+func (b *buildBreaker) failure(k TileKey) {
+	b.mu.Lock()
+	e := b.entries[k]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[k] = e
+	}
+	e.fails++
+	if e.fails >= b.threshold {
+		if e.fails == b.threshold {
+			b.trips.Add(1)
+		}
+		e.openUntil = time.Now().Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// Stats returns cumulative trip and shed counts.
+func (b *buildBreaker) Stats() (trips, shed int64) {
+	return b.trips.Load(), b.shed.Load()
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// malformedSnapshot builds a snapshot whose data arrays are shorter
+// than the mesh — any tile build over it indexes out of range and
+// panics, which is exactly the poison the breaker exists to contain.
+func malformedSnapshot(epoch int) *Snapshot {
+	s := &Snapshot{Epoch: epoch, Step: epoch * 10}
+	for f := 0; f < NumFields; f++ {
+		s.data[f] = make([]float64, 1)
+	}
+	return s
+}
+
+// A poisoned tile key trips its breaker after `threshold` failed
+// builds, sheds with 503 + Retry-After while open, leaves every other
+// key serving, and recovers once a healthy snapshot replaces the bad
+// epoch and the cooldown elapses.
+func TestBuildBreakerTripsShedsAndRecovers(t *testing.T) {
+	store := NewSnapshotStore(4)
+	eng := NewEngine(testMesh, store, 8, 64, 1)
+	eng.SetBreaker(3, 50*time.Millisecond)
+
+	store.Publish(malformedSnapshot(0))
+
+	// Three build attempts, each a recovered panic surfaced as 503.
+	for i := 0; i < 3; i++ {
+		_, status, terr := eng.Point(0, "ps", 40.7, -74.0)
+		if terr == nil || terr.Code != 503 {
+			t.Fatalf("attempt %d: err = %v, want 503", i+1, terr)
+		}
+		if status != CacheBreaker {
+			t.Fatalf("attempt %d: status = %q, want %q", i+1, status, CacheBreaker)
+		}
+	}
+	st := eng.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1 after threshold failures", st.BreakerTrips)
+	}
+	if st.BreakerShed != 0 {
+		t.Fatalf("BreakerShed = %d before the breaker was consulted open", st.BreakerShed)
+	}
+
+	// Open breaker: shed without attempting the build, with Retry-After.
+	_, status, terr := eng.Point(0, "ps", 40.7, -74.0)
+	if terr == nil || terr.Code != 503 || status != CacheBreaker {
+		t.Fatalf("open-breaker query = (%q, %v), want breaker 503", status, terr)
+	}
+	if terr.RetryAfter < 1 {
+		t.Fatalf("RetryAfter = %d, want >= 1 second", terr.RetryAfter)
+	}
+	if shed := eng.Stats().BreakerShed; shed != 1 {
+		t.Fatalf("BreakerShed = %d, want 1", shed)
+	}
+
+	// Per-key isolation: a healthy epoch serves while epoch 0 is open.
+	store.Publish(testSnapshot(1))
+	if _, _, terr := eng.Point(1, "ps", 40.7, -74.0); terr != nil {
+		t.Fatalf("healthy epoch shed alongside the poisoned one: %v", terr)
+	}
+
+	// Repair epoch 0 and let the cooldown elapse: the half-open probe
+	// succeeds and the key serves again.
+	store.Publish(testSnapshot(0))
+	time.Sleep(60 * time.Millisecond)
+	res, status, terr := eng.Point(0, "ps", 40.7, -74.0)
+	if terr != nil {
+		t.Fatalf("post-recovery query failed: %v", terr)
+	}
+	if status != CacheBuild {
+		t.Fatalf("post-recovery status = %q, want %q", status, CacheBuild)
+	}
+	if res.Value < 5e4 || res.Value > 1.2e5 {
+		t.Fatalf("post-recovery ps = %v, implausible", res.Value)
+	}
+	// And a repeat is a plain cache hit — the breaker holds no state for
+	// the key anymore.
+	if _, status, _ := eng.Point(0, "ps", 40.7, -74.0); status != CacheHit {
+		t.Fatalf("repeat status = %q, want %q", status, CacheHit)
+	}
+}
+
+// While still poisoned, the half-open probe fails and re-arms the
+// window instead of letting the full query stream through.
+func TestBuildBreakerHalfOpenReArms(t *testing.T) {
+	store := NewSnapshotStore(4)
+	eng := NewEngine(testMesh, store, 8, 64, 1)
+	eng.SetBreaker(2, 30*time.Millisecond)
+	store.Publish(malformedSnapshot(0))
+
+	for i := 0; i < 2; i++ {
+		eng.Point(0, "t_sfc", 10, 10)
+	}
+	time.Sleep(40 * time.Millisecond)
+	// Probe: attempted (not shed) but still failing.
+	_, status, terr := eng.Point(0, "t_sfc", 10, 10)
+	if terr == nil || terr.Code != 503 || status != CacheBreaker {
+		t.Fatalf("half-open probe = (%q, %v), want failing 503", status, terr)
+	}
+	shedBefore := eng.Stats().BreakerShed
+	// Immediately after the failed probe the window is re-armed: shed.
+	eng.Point(0, "t_sfc", 10, 10)
+	if shed := eng.Stats().BreakerShed; shed != shedBefore+1 {
+		t.Fatalf("BreakerShed = %d, want %d (re-armed window sheds)", shed, shedBefore+1)
+	}
+}
+
+// Range queries touching an open key degrade with 503 rather than
+// serving a partial series.
+func TestBreakerShedsRangeQueries(t *testing.T) {
+	store := NewSnapshotStore(4)
+	eng := NewEngine(testMesh, store, 8, 64, 1)
+	eng.SetBreaker(1, time.Minute)
+	store.Publish(testSnapshot(0))
+	store.Publish(malformedSnapshot(1))
+
+	_, _, terr := eng.Range("ps", 40.7, -74.0, 0, -1)
+	if terr == nil || terr.Code != 503 {
+		t.Fatalf("range over a poisoned epoch = %v, want 503", terr)
+	}
+	// Scoped: a range over only the healthy epoch still works.
+	res, _, terr := eng.Range("ps", 40.7, -74.0, 0, 0)
+	if terr != nil || len(res.Series) != 1 {
+		t.Fatalf("healthy-only range = (%v, %v), want one sample", res.Series, terr)
+	}
+}

@@ -13,11 +13,16 @@ import (
 
 // Error is a query-plane failure with its HTTP status. Engine methods
 // return *Error so the transport layer maps causes to codes without
-// string matching; everything here is a client error (4xx) — the
-// engine itself has no 5xx paths.
+// string matching; everything here is a client error (4xx) except the
+// single breaker-shed 503, which is scoped to one tile key and carries
+// a Retry-After.
 type Error struct {
 	Code int    `json:"code"`
 	Msg  string `json:"error"`
+
+	// RetryAfter, when positive, is the Retry-After header value in
+	// seconds (set on breaker-shed 503s only).
+	RetryAfter int `json:"-"`
 }
 
 func (e *Error) Error() string { return e.Msg }
@@ -30,34 +35,59 @@ func notFound(format string, args ...any) *Error {
 	return &Error{Code: 404, Msg: fmt.Sprintf(format, args...)}
 }
 
+// unavailable is the one 5xx the engine can produce: a tile build
+// breaker is open for the requested key. RetryAfter carries the
+// remaining cooldown for the Retry-After header.
+func unavailable(retryAfter time.Duration, format string, args ...any) *Error {
+	secs := int(retryAfter/time.Second) + 1
+	return &Error{Code: 503, Msg: fmt.Sprintf(format, args...), RetryAfter: secs}
+}
+
 // Cache-status values reported per query (the X-Grist-Cache header).
 const (
 	CacheHit       = "hit"       // served from the tile cache
 	CacheCoalesced = "coalesced" // joined another request's build
 	CacheBuild     = "build"     // led a tile materialization
+	CacheBreaker   = "breaker"   // shed: the build breaker is open for this key
 )
 
 // Engine answers point, region and time-range queries over the
 // retained snapshots: locate -> tile -> cached value. All methods are
 // safe for arbitrary concurrency and never mutate snapshot state.
 type Engine struct {
-	store  *SnapshotStore
-	tiler  *Tiler
-	cache  *TileCache
-	flight *flightGroup
+	store   *SnapshotStore
+	tiler   *Tiler
+	cache   *TileCache
+	flight  *flightGroup
+	breaker *buildBreaker
 
 	builds atomic.Int64
 }
 
 // NewEngine assembles an engine over store with ntiles spatial tiles
-// and a capTiles-entry cache.
+// and a capTiles-entry cache. The build breaker starts at the default
+// threshold/cooldown; SetBreaker tunes it.
 func NewEngine(m *mesh.Mesh, store *SnapshotStore, ntiles, capTiles int, seed int64) *Engine {
 	return &Engine{
-		store:  store,
-		tiler:  NewTiler(m, ntiles, seed),
-		cache:  NewTileCache(capTiles),
-		flight: newFlightGroup(),
+		store:   store,
+		tiler:   NewTiler(m, ntiles, seed),
+		cache:   NewTileCache(capTiles),
+		flight:  newFlightGroup(),
+		breaker: newBuildBreaker(DefaultBreakerThreshold, DefaultBreakerCooldown),
 	}
+}
+
+// Default build-breaker tuning: three consecutive failures open a
+// key's breaker for half a second.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 500 * time.Millisecond
+)
+
+// SetBreaker replaces the build breaker's tuning. Call before serving
+// traffic; it resets accumulated failure state.
+func (e *Engine) SetBreaker(threshold int, cooldown time.Duration) {
+	e.breaker = newBuildBreaker(threshold, cooldown)
 }
 
 // Store returns the engine's snapshot store (the publish side).
@@ -68,40 +98,74 @@ func (e *Engine) Tiler() *Tiler { return e.tiler }
 
 // tile returns the materialized tile for (snap.Epoch, tile, field),
 // from cache when possible, coalescing concurrent builds of the same
-// key into one. A non-nil qt gets the per-tile outcome counted and a
-// build's wall time recorded as a phase; the goroutine materializing a
-// tile carries a grist_phase=tile_build pprof label so CPU profiles
-// split build time from lookup time.
-func (e *Engine) tile(snap *Snapshot, tile int32, field int, qt *QueryTrace) (*Tile, string) {
+// key into one. A build that errors or panics feeds the per-key
+// breaker; once it opens, requests for that key are shed with a 503 +
+// Retry-After while every other key keeps serving. A non-nil qt gets
+// the per-tile outcome counted and a build's wall time recorded as a
+// phase; the goroutine materializing a tile carries a
+// grist_phase=tile_build pprof label so CPU profiles split build time
+// from lookup time.
+func (e *Engine) tile(snap *Snapshot, tile int32, field int, qt *QueryTrace) (*Tile, string, *Error) {
 	k := TileKey{Epoch: int32(snap.Epoch), Tile: tile, Field: uint8(field)}
 	if t := e.cache.Get(k); t != nil {
 		qt.countTile(CacheHit)
-		return t, CacheHit
+		return t, CacheHit, nil
+	}
+	if wait, ok := e.breaker.allow(k); !ok {
+		qt.countTile(CacheBreaker)
+		return nil, CacheBreaker, unavailable(wait, "tile build for epoch %d tile %d field %d is shedding (breaker open)", k.Epoch, k.Tile, k.Field)
 	}
 	for {
 		if c := e.flight.join(k); c != nil {
 			<-c.done
+			if c.err != nil {
+				qt.countTile(CacheBreaker)
+				return nil, CacheBreaker, unavailable(e.breaker.cooldown, "tile build for epoch %d tile %d field %d failed: %v", k.Epoch, k.Tile, k.Field, c.err)
+			}
 			qt.countTile(CacheCoalesced)
-			return c.tile, CacheCoalesced
+			return c.tile, CacheCoalesced, nil
 		}
 		c, leader := e.flight.lead(k)
 		if !leader {
 			<-c.done
+			if c.err != nil {
+				qt.countTile(CacheBreaker)
+				return nil, CacheBreaker, unavailable(e.breaker.cooldown, "tile build for epoch %d tile %d field %d failed: %v", k.Epoch, k.Tile, k.Field, c.err)
+			}
 			qt.countTile(CacheCoalesced)
-			return c.tile, CacheCoalesced
+			return c.tile, CacheCoalesced, nil
 		}
 		t0 := time.Now()
-		var t *Tile
-		pprof.Do(context.Background(), pprof.Labels("grist_phase", "tile_build"), func(context.Context) {
-			t = NewTile(k, snap, e.tiler.TileCells(tile))
-		})
+		t, buildErr := e.buildTile(k, snap, tile)
+		if buildErr != nil {
+			e.breaker.failure(k)
+			e.flight.finish(k, c, nil, buildErr)
+			qt.countTile(CacheBreaker)
+			return nil, CacheBreaker, unavailable(e.breaker.cooldown, "tile build for epoch %d tile %d field %d failed: %v", k.Epoch, k.Tile, k.Field, buildErr)
+		}
+		e.breaker.success(k)
 		e.builds.Add(1)
 		e.cache.Add(t)
 		e.flight.finish(k, c, t, nil)
 		qt.countTile(CacheBuild)
 		qt.phase("tile_build", time.Since(t0))
-		return t, CacheBuild
+		return t, CacheBuild, nil
 	}
+}
+
+// buildTile materializes one tile, converting a panic (a malformed
+// snapshot indexing out of range) into an error so one poisoned key
+// cannot take the process down.
+func (e *Engine) buildTile(k TileKey, snap *Snapshot, tile int32) (t *Tile, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			t, err = nil, fmt.Errorf("build panic: %v", r)
+		}
+	}()
+	pprof.Do(context.Background(), pprof.Labels("grist_phase", "tile_build"), func(context.Context) {
+		t = NewTile(k, snap, e.tiler.TileCells(tile))
+	})
+	return t, nil
 }
 
 // snapshotAt resolves an epoch argument: negative means latest.
@@ -171,7 +235,10 @@ func (e *Engine) PointT(qt *QueryTrace, epoch int, field string, latDeg, lonDeg 
 		return PointResult{}, "", serr
 	}
 	c := e.tiler.Locate(lat, lon)
-	t, status := e.tile(snap, e.tiler.TileOfCell(c), f, qt)
+	t, status, terr := e.tile(snap, e.tiler.TileOfCell(c), f, qt)
+	if terr != nil {
+		return PointResult{}, status, terr
+	}
 	m := e.tiler.m
 	return PointResult{
 		Epoch:  snap.Epoch,
@@ -244,7 +311,10 @@ func (e *Engine) RegionT(qt *QueryTrace, epoch int, field string, minLatDeg, max
 		if !e.tiler.Overlaps(tile, lo, hi, ll, hl) {
 			continue
 		}
-		t, st := e.tile(snap, tile, f, qt)
+		t, st, terr := e.tile(snap, tile, f, qt)
+		if terr != nil {
+			return RegionResult{}, st, terr
+		}
 		if st != CacheHit {
 			status = st
 		}
@@ -328,7 +398,10 @@ func (e *Engine) RangeT(qt *QueryTrace, field string, latDeg, lonDeg float64, fr
 		if !ok {
 			continue // evicted between Epochs() and At()
 		}
-		t, st := e.tile(snap, tile, f, qt)
+		t, st, terr := e.tile(snap, tile, f, qt)
+		if terr != nil {
+			return RangeResult{}, st, terr
+		}
 		if st != CacheHit {
 			status = st
 		}
@@ -343,24 +416,29 @@ func (e *Engine) RangeT(qt *QueryTrace, field string, latDeg, lonDeg float64, fr
 // EngineStats is a snapshot of the engine's cache and coalescing
 // counters.
 type EngineStats struct {
-	Hits      int64 `json:"tile_hits"`
-	Misses    int64 `json:"tile_misses"`
-	Builds    int64 `json:"tile_builds"`
-	Coalesced int64 `json:"coalesced"`
-	Evictions int64 `json:"evictions"`
-	Cached    int   `json:"tiles_cached"`
+	Hits         int64 `json:"tile_hits"`
+	Misses       int64 `json:"tile_misses"`
+	Builds       int64 `json:"tile_builds"`
+	Coalesced    int64 `json:"coalesced"`
+	Evictions    int64 `json:"evictions"`
+	Cached       int   `json:"tiles_cached"`
+	BreakerTrips int64 `json:"breaker_trips"`
+	BreakerShed  int64 `json:"breaker_shed"`
 }
 
 // Stats returns the cumulative engine counters.
 func (e *Engine) Stats() EngineStats {
 	h, m, ev := e.cache.Stats()
+	trips, shed := e.breaker.Stats()
 	return EngineStats{
-		Hits:      h,
-		Misses:    m,
-		Builds:    e.builds.Load(),
-		Coalesced: e.flight.Coalesced(),
-		Evictions: ev,
-		Cached:    e.cache.Len(),
+		Hits:         h,
+		Misses:       m,
+		Builds:       e.builds.Load(),
+		Coalesced:    e.flight.Coalesced(),
+		Evictions:    ev,
+		Cached:       e.cache.Len(),
+		BreakerTrips: trips,
+		BreakerShed:  shed,
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gristgo/internal/mesh"
@@ -20,6 +22,18 @@ type Config struct {
 	QuotaRate  float64 // per-tenant tokens/second (default 0: unlimited)
 	QuotaBurst float64 // per-tenant burst capacity (default 64)
 	Seed       int64   // tile decomposition seed (default 12345)
+
+	// MaxStale bounds silent staleness: when the newest published epoch
+	// lags more than this many committed epochs behind, the plane enters
+	// degraded mode — responses carry X-Grist-Stale and /healthz reports
+	// "degraded" (still 200 for LB purposes). Default 4.
+	MaxStale int
+
+	// Build-breaker tuning: consecutive failures to open one tile key's
+	// breaker, and how long it stays open. Defaults
+	// DefaultBreakerThreshold / DefaultBreakerCooldown.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -41,6 +55,15 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 12345
 	}
+	if c.MaxStale <= 0 {
+		c.MaxStale = 4
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return c
 }
 
@@ -55,6 +78,13 @@ type Server struct {
 	reg    *telemetry.Registry
 	traces *traceRing
 
+	// Degraded-serving state, fed by the poll loop (SetStaleness /
+	// SetQuarantine) and read per request and by /healthz.
+	maxStale    int
+	staleness   atomic.Int64
+	quarMu      sync.Mutex
+	quarantined []int
+
 	// Metric handles resolved once at construction (hot paths must not
 	// take the registry lock per request).
 	latency     map[string]*telemetry.Histogram
@@ -64,6 +94,8 @@ type Server struct {
 	quotaReject *telemetry.Counter
 	okCount     map[string]*telemetry.Counter
 	badCount    map[string]*telemetry.Counter
+	shedCount   map[string]*telemetry.Counter
+	degradedGge *telemetry.Gauge
 }
 
 // queryKinds labels the served endpoints for metrics.
@@ -80,6 +112,7 @@ func NewServer(m *mesh.Mesh, cfg Config, reg *telemetry.Registry) *Server {
 		queue:       make(chan struct{}, cfg.QueueDepth),
 		reg:         reg,
 		traces:      newTraceRing(cfg.Seed),
+		maxStale:    cfg.MaxStale,
 		latency:     map[string]*telemetry.Histogram{},
 		hitLatency:  reg.Histogram("grist_serve_latency_seconds", "cache", "hit"),
 		queueDepth:  reg.Gauge("grist_serve_queue_depth"),
@@ -87,14 +120,41 @@ func NewServer(m *mesh.Mesh, cfg Config, reg *telemetry.Registry) *Server {
 		quotaReject: reg.Counter("grist_serve_rejected_total", "reason", "quota"),
 		okCount:     map[string]*telemetry.Counter{},
 		badCount:    map[string]*telemetry.Counter{},
+		shedCount:   map[string]*telemetry.Counter{},
+		degradedGge: reg.Gauge("grist_serve_degraded"),
 	}
+	s.Engine.SetBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	for _, kind := range queryKinds {
 		s.latency[kind] = reg.Histogram("grist_serve_latency_seconds", "kind", kind)
 		s.okCount[kind] = reg.Counter("grist_serve_requests_total", "kind", kind, "code", "2xx")
 		s.badCount[kind] = reg.Counter("grist_serve_requests_total", "kind", kind, "code", "4xx")
+		s.shedCount[kind] = reg.Counter("grist_serve_requests_total", "kind", kind, "code", "503")
 	}
 	return s
 }
+
+// SetStaleness feeds the degraded-mode machinery: n is how many
+// committed epochs the newest published snapshot lags behind (the
+// poller's Staleness()). Crossing MaxStale flips the plane into
+// degraded serving.
+func (s *Server) SetStaleness(n int) {
+	s.staleness.Store(int64(n))
+	if n > s.maxStale {
+		s.degradedGge.Set(1)
+	} else {
+		s.degradedGge.Set(0)
+	}
+}
+
+// SetQuarantine records the currently quarantined epochs for /healthz.
+func (s *Server) SetQuarantine(epochs []int) {
+	s.quarMu.Lock()
+	s.quarantined = append(s.quarantined[:0], epochs...)
+	s.quarMu.Unlock()
+}
+
+// Degraded reports whether staleness exceeds the configured bound.
+func (s *Server) Degraded() bool { return int(s.staleness.Load()) > s.maxStale }
 
 // Publish installs a snapshot and updates the epoch gauge — the
 // producer-side entry point (poller or in-process model hook).
@@ -148,6 +208,11 @@ func (s *Server) wrap(kind string, fn func(*http.Request, *QueryTrace) (any, str
 			qt.ID = s.traces.newID()
 		}
 		w.Header().Set("X-Grist-Trace", qt.ID)
+		if stale := int(s.staleness.Load()); stale > s.maxStale {
+			// Degraded mode is advertised, never hidden: clients see how
+			// many committed epochs the answer lags behind.
+			w.Header().Set("X-Grist-Stale", strconv.Itoa(stale))
+		}
 		t0 := time.Now()
 		if !s.Quotas.Allow(qt.Tenant) {
 			s.quotaReject.Inc()
@@ -180,7 +245,17 @@ func (s *Server) wrap(kind string, fn func(*http.Request, *QueryTrace) (any, str
 		<-s.queue
 		lat.ObserveExemplar(dt, qt.ID)
 		if qerr != nil {
-			bad4xx.Inc()
+			if qerr.Code == 503 {
+				// Breaker shed: scoped to one tile key, with the cooldown
+				// as Retry-After — distinct from 429 backpressure.
+				if qerr.RetryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(qerr.RetryAfter))
+				}
+				w.Header().Set("X-Grist-Reject", "breaker")
+				s.shedCount[kind].Inc()
+			} else {
+				bad4xx.Inc()
+			}
 			s.finishTrace(qt, qerr.Code, "", qerr.Msg)
 			writeJSON(w, qerr.Code, qerr)
 			return
@@ -339,13 +414,28 @@ func (s *Server) handleEpochs(r *http.Request, qt *QueryTrace) (any, string, *Er
 }
 
 // handleHealthz bypasses quotas and the queue: load balancers must see
-// liveness even under full backpressure. 200 once a snapshot exists,
-// 503 while warming up (the one intentional non-2xx/4xx code, excluded
-// from smoke accounting by probing until ready).
+// liveness even under full backpressure. 503 while warming up (no
+// snapshot yet); 200 afterwards, including degraded mode — a stale
+// plane still serves, so it must not flap out of the LB pool. The body
+// is machine-readable: status ("ok" or "degraded"), the current
+// staleness, the configured bound, and the quarantined epochs.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Engine.Store().Latest() == nil {
 		writeJSON(w, 503, map[string]string{"status": "warming", "reason": "no snapshot published yet"})
 		return
 	}
-	writeJSON(w, 200, map[string]string{"status": "ok"})
+	s.quarMu.Lock()
+	quarantined := append([]int(nil), s.quarantined...)
+	s.quarMu.Unlock()
+	stale := int(s.staleness.Load())
+	status := "ok"
+	if stale > s.maxStale {
+		status = "degraded"
+	}
+	writeJSON(w, 200, map[string]any{
+		"status":       status,
+		"stale_epochs": stale,
+		"max_stale":    s.maxStale,
+		"quarantined":  quarantined,
+	})
 }

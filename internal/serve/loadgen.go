@@ -63,11 +63,12 @@ type LoadReport struct {
 	DurationSec float64 `json:"duration_sec"`
 	QPS         float64 `json:"qps"`
 
-	OK        int64 `json:"ok_2xx"`
-	Client4xx int64 `json:"client_4xx"`
-	Quota429  int64 `json:"quota_429"`
-	Busy429   int64 `json:"busy_429"`
-	Server5xx int64 `json:"server_5xx"`
+	OK         int64 `json:"ok_2xx"`
+	Client4xx  int64 `json:"client_4xx"`
+	Quota429   int64 `json:"quota_429"`
+	Busy429    int64 `json:"busy_429"`
+	Breaker503 int64 `json:"breaker_503"`
+	Server5xx  int64 `json:"server_5xx"`
 
 	P50Sec  float64 `json:"latency_p50_s"`
 	P99Sec  float64 `json:"latency_p99_s"`
@@ -85,8 +86,8 @@ type LoadReport struct {
 func (r LoadReport) Rows() []string {
 	return []string{
 		fmt.Sprintf("queries=%d in %.2fs -> %.0f qps", r.Queries, r.DurationSec, r.QPS),
-		fmt.Sprintf("status: 2xx=%d 4xx=%d quota429=%d busy429=%d 5xx=%d",
-			r.OK, r.Client4xx, r.Quota429, r.Busy429, r.Server5xx),
+		fmt.Sprintf("status: 2xx=%d 4xx=%d quota429=%d busy429=%d breaker503=%d 5xx=%d",
+			r.OK, r.Client4xx, r.Quota429, r.Busy429, r.Breaker503, r.Server5xx),
 		fmt.Sprintf("latency: p50=%.3fms p99=%.3fms mean=%.3fms (cached p50=%.3fms p99=%.3fms)",
 			r.P50Sec*1e3, r.P99Sec*1e3, r.MeanSec*1e3, r.HitP50Sec*1e3, r.HitP99Sec*1e3),
 		fmt.Sprintf("tiles: hit rate=%.1f%%  coalesce ratio=%.2f  builds=%d",
@@ -145,8 +146,8 @@ func runLoad(cfg LoadConfig, epochs []int, eng *Engine, do func(worker int) doer
 	}
 
 	type workerOut struct {
-		lats, hitLats                          []float64
-		ok, c4, quota429, busy429, s5xx, fired int64
+		lats, hitLats                                      []float64
+		ok, c4, quota429, busy429, breaker503, s5xx, fired int64
 	}
 	outs := make([]workerOut, cfg.Workers)
 	var wg sync.WaitGroup
@@ -189,6 +190,10 @@ func runLoad(cfg LoadConfig, epochs []int, eng *Engine, do func(worker int) doer
 					}
 				case status >= 400 && status < 500:
 					out.c4++
+				case status == 503 && cache == "breaker":
+					// Breaker-keyed shedding is intentional degradation,
+					// not an unexplained 5xx.
+					out.breaker503++
 				default:
 					out.s5xx++
 				}
@@ -207,6 +212,7 @@ func runLoad(cfg LoadConfig, epochs []int, eng *Engine, do func(worker int) doer
 		rep.Client4xx += o.c4
 		rep.Quota429 += o.quota429
 		rep.Busy429 += o.busy429
+		rep.Breaker503 += o.breaker503
 		rep.Server5xx += o.s5xx
 		lats = append(lats, o.lats...)
 		hitLats = append(hitLats, o.hitLats...)

@@ -20,14 +20,20 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
+	"log/slog"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 
 	"gristgo/internal/core"
+	"gristgo/internal/detrand"
 	"gristgo/internal/dycore"
 	"gristgo/internal/mesh"
+	"gristgo/internal/telemetry"
 )
 
 // The served field set: 2D per-cell diagnostics derived from the
@@ -183,58 +189,263 @@ func (st *SnapshotStore) Epochs() []int {
 	return append([]int(nil), st.epochs...)
 }
 
+// Verification-failure classes for quarantined epochs: the reason
+// label on grist_serve_quarantined_total.
+const (
+	FailMissing = "missing" // a shard file does not exist
+	FailTorn    = "torn"    // shards disagree on the step (torn commit)
+	FailCorrupt = "corrupt" // CRC / header / plan-match verification failed
+	FailIO      = "io"      // the read itself errored (EIO, permissions)
+)
+
+// classifyLoadError maps a LoadEpochState failure onto a quarantine
+// reason. The classification is textual of necessity — core returns
+// wrapped fmt errors — but it only feeds the metric label and the
+// retry log line, never control flow.
+func classifyLoadError(err error) string {
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return FailMissing
+	case strings.Contains(err.Error(), "disagree"):
+		return FailTorn
+	case strings.Contains(err.Error(), "corrupt"),
+		strings.Contains(err.Error(), "truncated"),
+		strings.Contains(err.Error(), "bad magic"),
+		strings.Contains(err.Error(), "does not match the plan"),
+		strings.Contains(err.Error(), "payload is"):
+		return FailCorrupt
+	default:
+		return FailIO
+	}
+}
+
+// quarantineEntry tracks one corrupt epoch: how often it has failed
+// verification, when (in poll ticks) the next retry is due, and why it
+// was quarantined last.
+type quarantineEntry struct {
+	Fails   int
+	RetryAt int
+	Reason  string
+}
+
 // ShardPoller watches a core.ShardStore for newly committed checkpoint
 // epochs and publishes them as snapshots — the live bridge between a
-// resilient run (or a replay directory) and the serving plane. Not
-// safe for concurrent Poll calls; drive it from one goroutine.
+// resilient run (or a replay directory) and the serving plane. Epochs
+// that fail verification are quarantined: skipped, retried with
+// jittered exponential backoff (in units of polls), and un-quarantined
+// when a re-read verifies or when they age out of the retention
+// window. Not safe for concurrent Poll calls; drive it from one
+// goroutine (accessors are safe from others).
 type ShardPoller struct {
 	src     *core.ShardStore
 	dst     *SnapshotStore
 	scratch *dycore.State
-	last    int // newest epoch published so far (-1: none)
+	seed    int64
+
+	mu         sync.Mutex
+	last       int // scan frontier: highest epoch attempted (published OR quarantined); -1: none
+	published  int // newest epoch actually published (-1: none)
+	head       int // newest committed epoch seen on disk (-1: none)
+	polls      int // Poll invocation counter — the backoff clock
+	staleness  int // committed epochs the published head lags, as of last Poll
+	quarantine map[int]*quarantineEntry
+
+	log *slog.Logger
+
+	quarantinedTotal   map[string]*telemetry.Counter // by reason
+	unquarantinedTotal *telemetry.Counter
+	quarantineSize     *telemetry.Gauge
+	stalenessGauge     *telemetry.Gauge
 }
 
 // NewShardPoller builds a poller over src publishing into dst.
 func NewShardPoller(src *core.ShardStore, dst *SnapshotStore) *ShardPoller {
 	pl := src.Plan()
 	return &ShardPoller{
-		src:     src,
-		dst:     dst,
-		scratch: dycore.NewState(pl.Mesh, pl.NLev),
-		last:    -1,
+		src:        src,
+		dst:        dst,
+		scratch:    dycore.NewState(pl.Mesh, pl.NLev),
+		last:       -1,
+		published:  -1,
+		head:       -1,
+		quarantine: map[int]*quarantineEntry{},
 	}
 }
 
-// Poll checks for committed epochs newer than the last published one
-// and publishes each that still fully verifies. Epochs between the
-// last poll and the head are backfilled — on the first poll back to
-// the store's retention window — so range queries see the whole
-// sequence. Returns how many snapshots were published.
+// SetSeed fixes the jitter stream of the quarantine backoff (default 0:
+// still deterministic, just the zero stream).
+func (p *ShardPoller) SetSeed(seed int64) { p.seed = seed }
+
+// SetLogger attaches a structured logger for quarantine transitions.
+func (p *ShardPoller) SetLogger(lg *slog.Logger) { p.log = lg }
+
+// SetMetrics registers the poller's quarantine and staleness series on
+// reg: grist_serve_quarantined_total{reason}, un-quarantine count,
+// live quarantine size, and the staleness gauge (committed epochs the
+// serving head lags behind).
+func (p *ShardPoller) SetMetrics(reg *telemetry.Registry) {
+	p.quarantinedTotal = map[string]*telemetry.Counter{}
+	for _, r := range []string{FailMissing, FailTorn, FailCorrupt, FailIO} {
+		p.quarantinedTotal[r] = reg.Counter("grist_serve_quarantined_total", "reason", r)
+	}
+	p.unquarantinedTotal = reg.Counter("grist_serve_unquarantined_total")
+	p.quarantineSize = reg.Gauge("grist_serve_quarantine_size")
+	p.stalenessGauge = reg.Gauge("grist_serve_staleness_epochs")
+}
+
+// retryDelay returns the poll-tick backoff before the fails-th retry of
+// an epoch: exponential (1, 2, 4, 8, 16 capped) plus a deterministic
+// jitter of up to half the step, so a directory of quarantined epochs
+// does not retry in lockstep.
+func (p *ShardPoller) retryDelay(epoch, fails int) int {
+	shift := fails - 1
+	if shift > 4 {
+		shift = 4
+	}
+	base := 1 << shift
+	h := detrand.Fold(detrand.Step(uint64(p.seed)^0x71726E74), uint64(epoch))
+	h = detrand.Fold(h, uint64(fails))
+	return base + int(detrand.Unit(h)*float64(base)*0.5)
+}
+
+// Poll scans the committed-epoch list, publishes every new epoch that
+// verifies, quarantines those that do not, and retries quarantined
+// epochs whose backoff expired. Returns how many snapshots were
+// published. The error reports a failure to make ANY forward progress
+// this tick — the epoch list was unreadable, or the newest committed
+// epoch failed verification on first attempt — so a caller can back
+// off; quarantined epochs awaiting retry are not errors.
 func (p *ShardPoller) Poll() (int, error) {
-	head, _, ok := p.src.LatestCommitted()
-	if !ok || head <= p.last {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.polls++
+	epochs, err := p.src.CommittedEpochs()
+	if err != nil {
+		return 0, fmt.Errorf("serve: listing committed epochs: %w", err)
+	}
+	if len(epochs) == 0 {
+		p.updateGaugesLocked(epochs)
 		return 0, nil
 	}
-	published := 0
-	from := p.last + 1
+	p.head = epochs[len(epochs)-1].Epoch
+
+	// The first poll backfills at most the retention window.
+	floor := -1
 	if p.last < 0 {
-		if from = head - p.dst.retain + 1; from < 0 {
-			from = 0
-		}
+		floor = p.head - p.dst.retain
 	}
-	for e := from; e <= head; e++ {
+
+	published := 0
+	var headErr error
+	for _, ei := range epochs {
+		e := ei.Epoch
+		if e <= floor {
+			continue
+		}
+		q := p.quarantine[e]
+		if e <= p.last && q == nil {
+			continue // already published (or aged out) — never re-derive
+		}
+		if q != nil && p.polls < q.RetryAt {
+			continue // quarantined, retry not due yet
+		}
 		step, err := p.src.LoadEpochState(e, p.scratch)
 		if err != nil {
-			if e == head {
-				return published, fmt.Errorf("serve: loading committed epoch %d: %w", e, err)
+			reason := classifyLoadError(err)
+			first := q == nil
+			if first {
+				q = &quarantineEntry{}
+				p.quarantine[e] = q
 			}
-			continue // an intermediate epoch may have been torn by rollback
+			q.Fails++
+			q.Reason = reason
+			q.RetryAt = p.polls + p.retryDelay(e, q.Fails)
+			if first {
+				if c := p.quarantinedTotal[reason]; c != nil {
+					c.Inc()
+				}
+				if p.log != nil {
+					p.log.Warn("epoch quarantined", "epoch", e, "reason", reason, "err", err)
+				}
+			}
+			if e == p.head && first {
+				headErr = fmt.Errorf("serve: loading committed epoch %d: %w", e, err)
+			}
+			if e > p.last {
+				p.last = e
+			}
+			continue
 		}
 		p.dst.Publish(SnapshotFromState(e, step, p.scratch))
 		published++
+		if q != nil {
+			delete(p.quarantine, e)
+			if p.unquarantinedTotal != nil {
+				p.unquarantinedTotal.Inc()
+			}
+			if p.log != nil {
+				p.log.Info("epoch un-quarantined", "epoch", e, "fails", q.Fails)
+			}
+		}
+		if e > p.last {
+			p.last = e
+		}
+		if e > p.published {
+			p.published = e
+		}
 	}
-	p.last = head
-	return published, nil
+
+	// Quarantined epochs below the retention window can never be served
+	// again; keeping them would retry (and leak) forever.
+	for e := range p.quarantine {
+		if e <= p.head-p.dst.retain {
+			delete(p.quarantine, e)
+			if p.log != nil {
+				p.log.Info("quarantined epoch aged out", "epoch", e)
+			}
+		}
+	}
+	p.updateGaugesLocked(epochs)
+	return published, headErr
+}
+
+// updateGaugesLocked refreshes the staleness and quarantine-size
+// series. Caller holds p.mu.
+func (p *ShardPoller) updateGaugesLocked(epochs []core.EpochInfo) {
+	behind := 0
+	for _, ei := range epochs {
+		if ei.Epoch > p.published {
+			behind++
+		}
+	}
+	p.staleness = behind
+	if p.stalenessGauge != nil {
+		p.stalenessGauge.Set(float64(behind))
+	}
+	if p.quarantineSize != nil {
+		p.quarantineSize.Set(float64(len(p.quarantine)))
+	}
+}
+
+// Staleness returns how many committed epochs the newest published
+// snapshot lags behind, as of the last Poll. Zero while fully caught
+// up (or before anything is committed).
+func (p *ShardPoller) Staleness() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.staleness
+}
+
+// Quarantined returns the quarantined epoch numbers, ascending.
+func (p *ShardPoller) Quarantined() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.quarantine))
+	for e := range p.quarantine {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Mesh returns the mesh the poller's plan spans.

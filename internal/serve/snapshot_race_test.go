@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"gristgo/internal/detrand"
+)
+
+// raceSnapshot is a cheap snapshot for store-contention tests — no
+// physics, just a distinctive value per epoch so readers can verify
+// they never observe a half-published snapshot.
+func raceSnapshot(epoch int) *Snapshot {
+	s := &Snapshot{Epoch: epoch, Step: epoch}
+	for f := 0; f < NumFields; f++ {
+		s.data[f] = make([]float64, 4)
+		for i := range s.data[f] {
+			s.data[f][i] = float64(epoch)
+		}
+	}
+	return s
+}
+
+// One publisher racing many Latest/At/Epochs readers while retention
+// evicts continuously. Run under -race this is the satellite's main
+// assertion; the invariant checks make it a functional test too.
+func TestSnapshotStoreConcurrentPublishAndRead(t *testing.T) {
+	const (
+		retain  = 4
+		nepochs = 200
+		readers = 8
+	)
+	st := NewSnapshotStore(retain)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := detrand.Step(uint64(r) ^ 0x72616365)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch h = detrand.Step(h); h % 3 {
+				case 0:
+					if s := st.Latest(); s != nil {
+						// A published snapshot is complete: every cell
+						// carries the epoch's value.
+						if got := s.Value(0, 0); got != float64(s.Epoch) {
+							t.Errorf("Latest epoch %d carries value %v", s.Epoch, got)
+							return
+						}
+					}
+				case 1:
+					epochs := st.Epochs()
+					for i := 1; i < len(epochs); i++ {
+						if epochs[i] <= epochs[i-1] {
+							t.Errorf("Epochs not strictly ascending: %v", epochs)
+							return
+						}
+					}
+					if len(epochs) > retain {
+						t.Errorf("Epochs %v exceeds retention %d", epochs, retain)
+						return
+					}
+				case 2:
+					epochs := st.Epochs()
+					if len(epochs) == 0 {
+						continue
+					}
+					e := epochs[int(detrand.Step(h)%uint64(len(epochs)))]
+					if s, ok := st.At(e); ok && s.Epoch != e {
+						t.Errorf("At(%d) returned epoch %d", e, s.Epoch)
+						return
+					}
+					// !ok is fine: evicted between Epochs() and At().
+				}
+			}
+		}(r)
+	}
+
+	for e := 0; e < nepochs; e++ {
+		st.Publish(raceSnapshot(e))
+	}
+	close(stop)
+	wg.Wait()
+
+	epochs := st.Epochs()
+	if len(epochs) != retain {
+		t.Fatalf("retained %v, want %d epochs", epochs, retain)
+	}
+	if epochs[len(epochs)-1] != nepochs-1 {
+		t.Fatalf("newest retained epoch = %d, want %d", epochs[len(epochs)-1], nepochs-1)
+	}
+	if st.Latest().Epoch != nepochs-1 {
+		t.Fatalf("Latest = %d, want %d", st.Latest().Epoch, nepochs-1)
+	}
+}
+
+// Property test: under any deterministic interleaving of publishes
+// (including out-of-order and duplicate epochs), Epochs() is strictly
+// ascending, bounded by the retention window, and At() agrees with it.
+func TestSnapshotStoreRetentionProperties(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		retain := 1 + int(detrand.Step(seed)%6)
+		st := NewSnapshotStore(retain)
+		h := detrand.Step(seed ^ 0x70726f70)
+		published := map[int]bool{}
+		for i := 0; i < 100; i++ {
+			h = detrand.Step(h)
+			e := int(h % 40)
+			st.Publish(raceSnapshot(e))
+			published[e] = true
+
+			epochs := st.Epochs()
+			if len(epochs) == 0 || len(epochs) > retain {
+				t.Fatalf("seed %d: %d epochs retained, want 1..%d", seed, len(epochs), retain)
+			}
+			for j := 1; j < len(epochs); j++ {
+				if epochs[j] <= epochs[j-1] {
+					t.Fatalf("seed %d: Epochs not strictly ascending: %v", seed, epochs)
+				}
+			}
+			for _, ep := range epochs {
+				if !published[ep] {
+					t.Fatalf("seed %d: retained epoch %d was never published", seed, ep)
+				}
+				s, ok := st.At(ep)
+				if !ok || s.Epoch != ep {
+					t.Fatalf("seed %d: At(%d) = (%v, %v)", seed, ep, s, ok)
+				}
+			}
+			if st.Latest().Epoch != epochs[len(epochs)-1] {
+				t.Fatalf("seed %d: Latest %d != newest retained %d",
+					seed, st.Latest().Epoch, epochs[len(epochs)-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package vfs is the injectable filesystem seam under every durable
+// path: checkpoint shards, epoch manifests, restart files and grouped
+// parallel-IO streams all go through an FS value instead of calling
+// the os package directly, so the chaos layer (internal/fault.FS) can
+// decorate one interface with torn writes, read bit-flips, ENOSPC,
+// EIO, latency and rename reordering — and the production default
+// (vfs.OS) stays a zero-cost passthrough.
+//
+// The interface is deliberately the small set the durable paths use:
+// open/create/temp, whole-file read, rename/remove/stat, directory
+// creation and globbing. Anything not needed by a //grist:durable
+// call site stays off the interface so a fault decorator cannot fall
+// out of sync with a path it never sees.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is one open file on an FS. The method set is what the durable
+// writers need: streaming writes, positional and streaming reads, an
+// explicit Sync (the durability point — rename-before-sync is the
+// classic torn-commit bug) and the name for error messages.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem operations surface of the durable paths.
+// Implementations must be safe for concurrent use by multiple
+// goroutines (ranks write their shards in parallel).
+type FS interface {
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Create truncates-or-creates a file for writing.
+	Create(name string) (File, error)
+	// CreateTemp creates a uniquely named temp file in dir (see
+	// os.CreateTemp for the pattern contract).
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat describes a file.
+	Stat(name string) (fs.FileInfo, error)
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Glob lists the names matching a shell pattern.
+	Glob(pattern string) ([]string, error)
+}
+
+// osFS is the passthrough production implementation.
+type osFS struct{}
+
+// OS is the real filesystem: every method delegates to the os package.
+var OS FS = osFS{}
+
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) ReadFile(name string) ([]byte, error)  { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error              { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
